@@ -1,0 +1,327 @@
+// Package repro's benchmark harness: one benchmark per paper table/figure
+// (real engine wall time per cell; the simulated-seconds tables come from
+// cmd/hrdbms-bench which runs the same code paths through the performance
+// model), plus component micro-benchmarks for the ablations DESIGN.md
+// calls out.
+//
+//	go test -bench=. -benchmem
+//	go test -bench=BenchmarkFig7 -benchtime=1x   # one pass per cell
+package repro_test
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/exec"
+	"repro/internal/network"
+	"repro/internal/page"
+	"repro/internal/perfmodel"
+	"repro/internal/skipcache"
+	"repro/internal/sqlparse"
+	"repro/internal/tpch"
+	"repro/internal/types"
+)
+
+const benchSF = 0.0005
+
+var (
+	benchData     *tpch.Data
+	benchDataOnce sync.Once
+)
+
+func dataset() *tpch.Data {
+	benchDataOnce.Do(func() { benchData = tpch.Generate(benchSF, 1) })
+	return benchData
+}
+
+// newBenchCluster builds a loaded TPC-H cluster for one profile.
+func newBenchCluster(b *testing.B, workers int, prof cluster.ExecProfile) *cluster.Cluster {
+	b.Helper()
+	dir, err := os.MkdirTemp("", "hrdbms-bench-*")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { os.RemoveAll(dir) })
+	c, err := cluster.New(cluster.Config{
+		NumWorkers: workers, BaseDir: dir, PageSize: 16 * 1024, Nmax: 4, Profile: prof,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { c.Close() })
+	for _, ddl := range tpch.DDL() {
+		if _, err := c.ExecSQL(ddl); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for tbl, rows := range dataset().Tables() {
+		if _, err := c.Load(tbl, rows); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return c
+}
+
+func runQuery(b *testing.B, c *cluster.Cluster, sql string) {
+	b.Helper()
+	if _, err := c.ExecSQL(sql); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkFig7Suite measures the full 21-query TPC-H suite per system
+// profile per cluster size — the real-execution cells behind Figure 7
+// (runtime and the two speedup panels).
+func BenchmarkFig7Suite(b *testing.B) {
+	for _, sys := range []string{"hrdbms", "greenplum", "sparksql", "hive"} {
+		for _, workers := range []int{4, 8} {
+			b.Run(fmt.Sprintf("%s/workers=%d", sys, workers), func(b *testing.B) {
+				c := newBenchCluster(b, workers, perfmodel.ClusterProfile(sys))
+				queries := tpch.Queries()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					for _, qid := range tpch.QueryIDs() {
+						runQuery(b, c, queries[qid])
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFig8PerQuery measures each TPC-H query for HRDBMS and the
+// Greenplum-like profile — the per-query comparison of Figure 8.
+func BenchmarkFig8PerQuery(b *testing.B) {
+	for _, sys := range []string{"hrdbms", "greenplum"} {
+		c := newBenchCluster(b, 4, perfmodel.ClusterProfile(sys))
+		queries := tpch.Queries()
+		for _, qid := range tpch.QueryIDs() {
+			b.Run(fmt.Sprintf("%s/%s", sys, qid), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					runQuery(b, c, queries[qid])
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFig9Q18 measures Q18 (the 1.5-billion-group aggregation in the
+// paper) for both systems across cluster sizes — Figure 9.
+func BenchmarkFig9Q18(b *testing.B) {
+	for _, sys := range []string{"hrdbms", "greenplum"} {
+		for _, workers := range []int{4, 8, 12} {
+			b.Run(fmt.Sprintf("%s/workers=%d", sys, workers), func(b *testing.B) {
+				c := newBenchCluster(b, workers, perfmodel.ClusterProfile(sys))
+				q18 := tpch.Queries()["q18"]
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					runQuery(b, c, q18)
+				}
+			})
+		}
+	}
+}
+
+// Benchmark3TBMemoryPressure runs the suite's heaviest queries with a tiny
+// per-operator memory budget, forcing the spill paths that let HRDBMS
+// finish the paper's 3 TB experiment where others OOM.
+func Benchmark3TBMemoryPressure(b *testing.B) {
+	dir, err := os.MkdirTemp("", "hrdbms-3tb-*")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { os.RemoveAll(dir) })
+	c, err := cluster.New(cluster.Config{
+		NumWorkers: 4, BaseDir: dir, PageSize: 16 * 1024, Nmax: 4,
+		MemRows: 256, // force spilling in joins/sorts/aggregations
+		Profile: cluster.HRDBMSProfile(),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { c.Close() })
+	for _, ddl := range tpch.DDL() {
+		if _, err := c.ExecSQL(ddl); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for tbl, rows := range dataset().Tables() {
+		if _, err := c.Load(tbl, rows); err != nil {
+			b.Fatal(err)
+		}
+	}
+	queries := tpch.Queries()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, qid := range []string{"q9", "q18", "q21"} {
+			runQuery(b, c, queries[qid])
+		}
+	}
+}
+
+// BenchmarkCurrentVersions is the real-execution cell behind the paper's
+// current-versions table (8 nodes, full memory): HRDBMS vs the Tez-like
+// profile.
+func BenchmarkCurrentVersions(b *testing.B) {
+	for _, sys := range []string{"hrdbms", "hive-tez", "spark2"} {
+		b.Run(sys, func(b *testing.B) {
+			c := newBenchCluster(b, 8, perfmodel.ClusterProfile(sys))
+			queries := tpch.Queries()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, qid := range []string{"q1", "q3", "q6", "q12", "q18"} {
+					runQuery(b, c, queries[qid])
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkShuffleTopology is the ablation behind the paper's Nmax claim:
+// hierarchical (binomial-graph) vs direct shuffle at the same data volume.
+func BenchmarkShuffleTopology(b *testing.B) {
+	for _, hier := range []bool{true, false} {
+		name := "direct"
+		if hier {
+			name = "hierarchical"
+		}
+		b.Run(name, func(b *testing.B) {
+			const n = 12
+			ids := make([]int, n)
+			for i := range ids {
+				ids[i] = i
+			}
+			var rows []types.Row
+			for i := int64(0); i < 2000; i++ {
+				rows = append(rows, types.Row{types.NewInt(i), types.NewInt(i * 3)})
+			}
+			sch := types.NewSchema(
+				types.Column{Name: "k", Kind: types.KindInt},
+				types.Column{Name: "v", Kind: types.KindInt},
+			)
+			b.ResetTimer()
+			for it := 0; it < b.N; it++ {
+				fabric := network.NewFabric(ids, 256)
+				spec := exec.ShuffleSpec{
+					Channel: "bench", Nodes: ids, Nmax: 3, Hierarchical: hier,
+				}
+				var wg sync.WaitGroup
+				for i := 0; i < n; i++ {
+					wg.Add(1)
+					go func(i int) {
+						defer wg.Done()
+						ep, _ := fabric.Endpoint(i)
+						src := exec.NewSource(sch, rows)
+						sh, err := exec.NewShuffle(ep, spec, src, exec.ColRefs(0), types.Schema{})
+						if err != nil {
+							b.Error(err)
+							return
+						}
+						if _, err := exec.Collect(sh); err != nil {
+							b.Error(err)
+						}
+					}(i)
+				}
+				wg.Wait()
+				fabric.CloseAll()
+			}
+		})
+	}
+}
+
+// BenchmarkDataSkipping is the predicate-cache ablation: a selective scan
+// repeated with skipping on vs off.
+func BenchmarkDataSkipping(b *testing.B) {
+	for _, skip := range []bool{true, false} {
+		name := "off"
+		if skip {
+			name = "on"
+		}
+		b.Run(name, func(b *testing.B) {
+			prof := cluster.HRDBMSProfile()
+			prof.UseSkipCache = skip
+			prof.UseMinMax = skip
+			c := newBenchCluster(b, 2, prof)
+			sql := `SELECT count(*) FROM lineitem WHERE l_quantity > 9999`
+			runQuery(b, c, sql) // warm the cache
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				runQuery(b, c, sql)
+			}
+		})
+	}
+}
+
+// BenchmarkBlockingShuffle quantifies the materialization cost the paper
+// attributes to MapReduce-style shuffles.
+func BenchmarkBlockingShuffle(b *testing.B) {
+	for _, blocking := range []bool{false, true} {
+		name := "pipelined"
+		if blocking {
+			name = "blocking+disk"
+		}
+		b.Run(name, func(b *testing.B) {
+			prof := cluster.HRDBMSProfile()
+			prof.BlockingShuffle = blocking
+			prof.MaterializeShuffle = blocking
+			c := newBenchCluster(b, 4, prof)
+			sql := tpch.Queries()["q12"] // shuffle-heavy join
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				runQuery(b, c, sql)
+			}
+		})
+	}
+}
+
+// BenchmarkPreAggVsShuffleGroupBy is the aggregation-strategy ablation: Q1
+// (4 groups — pre-aggregation should win) with the tree path toggled.
+func BenchmarkPreAggVsShuffleGroupBy(b *testing.B) {
+	for _, tree := range []bool{true, false} {
+		name := "shuffle-groupby"
+		if tree {
+			name = "preagg-tree"
+		}
+		b.Run(name, func(b *testing.B) {
+			prof := cluster.HRDBMSProfile()
+			prof.PreAggTree = tree
+			c := newBenchCluster(b, 4, prof)
+			sql := tpch.Queries()["q1"]
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				runQuery(b, c, sql)
+			}
+		})
+	}
+}
+
+// BenchmarkParse measures the SQL front-end.
+func BenchmarkParse(b *testing.B) {
+	q := tpch.Queries()["q21"]
+	for i := 0; i < b.N; i++ {
+		if _, err := sqlparse.Parse(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPredCacheFootprint exercises the predicate cache at the scale
+// of the Section III footprint claim (recording and skip-checking across
+// thousands of pages).
+func BenchmarkPredCacheFootprint(b *testing.B) {
+	cache := skipcache.NewCache(0)
+	conj := skipcache.Conj{{Col: "l_shipdate", Op: skipcache.OpLt, Val: types.NewInt(9000)}}
+	for p := uint32(0); p < 16384; p++ {
+		cache.Record(page.Key{File: 1, Page: p}, conj)
+	}
+	probe := skipcache.Conj{{Col: "l_shipdate", Op: skipcache.OpLt, Val: types.NewInt(8000)}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !cache.CanSkip(page.Key{File: 1, Page: uint32(i) % 16384}, probe) {
+			b.Fatal("implication skip failed")
+		}
+	}
+}

@@ -1,0 +1,110 @@
+// Command hrdbms-server runs an HRDBMS node set reachable over TCP: it
+// embeds a cluster (coordinators + workers in this process, as the
+// in-process substitution DESIGN.md documents) and serves a line protocol
+// on a real socket so external clients can submit SQL.
+//
+// Protocol: one SQL statement per line; the server answers with
+// tab-separated rows, then a line "OK <n> rows" or "ERR <message>".
+//
+// Usage:
+//
+//	hrdbms-server -listen :7432 -workers 8 -dir /var/lib/hrdbms
+//	echo "SELECT 1 FROM nation LIMIT 1;" | nc localhost 7432
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/tpch"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:7432", "listen address")
+	workers := flag.Int("workers", 4, "number of worker nodes")
+	dir := flag.String("dir", "", "data directory (default: temp)")
+	tpchSF := flag.Float64("tpch", 0, "preload TPC-H at this scale factor")
+	flag.Parse()
+
+	baseDir := *dir
+	if baseDir == "" {
+		var err error
+		baseDir, err = os.MkdirTemp("", "hrdbms-server-*")
+		if err != nil {
+			fatal(err)
+		}
+	}
+	db, err := core.Open(core.Config{Workers: *workers, Dir: baseDir})
+	if err != nil {
+		fatal(err)
+	}
+	defer db.Close()
+
+	if *tpchSF > 0 {
+		for _, ddl := range tpch.DDL() {
+			if _, err := db.Exec(ddl); err != nil {
+				fatal(err)
+			}
+		}
+		data := tpch.Generate(*tpchSF, 1)
+		for tbl, rows := range data.Tables() {
+			if _, err := db.Load(tbl, rows); err != nil {
+				fatal(err)
+			}
+		}
+		fmt.Printf("loaded TPC-H SF%g\n", *tpchSF)
+	}
+
+	l, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("hrdbms-server listening on %s (%d workers, data in %s)\n",
+		l.Addr(), *workers, baseDir)
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			fatal(err)
+		}
+		go serve(db, conn)
+	}
+}
+
+func serve(db *core.DB, conn net.Conn) {
+	defer conn.Close()
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	w := bufio.NewWriter(conn)
+	defer w.Flush()
+	for sc.Scan() {
+		sql := strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(sc.Text()), ";"))
+		if sql == "" {
+			continue
+		}
+		res, err := db.Exec(sql)
+		if err != nil {
+			fmt.Fprintf(w, "ERR %v\n", err)
+			w.Flush()
+			continue
+		}
+		for _, r := range res.Rows {
+			fmt.Fprintln(w, r.String())
+		}
+		if res.Message != "" {
+			fmt.Fprintf(w, "OK %s\n", res.Message)
+		} else {
+			fmt.Fprintf(w, "OK %d rows\n", len(res.Rows))
+		}
+		w.Flush()
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hrdbms-server:", err)
+	os.Exit(1)
+}

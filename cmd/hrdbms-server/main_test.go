@@ -1,0 +1,65 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestServeProtocol drives the line protocol over an in-memory pipe.
+func TestServeProtocol(t *testing.T) {
+	db, err := core.Open(core.Config{Workers: 2, Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	server, client := net.Pipe()
+	go serve(db, server)
+	defer client.Close()
+
+	rd := bufio.NewReader(client)
+	send := func(sql string) []string {
+		if _, err := fmt.Fprintln(client, sql); err != nil {
+			t.Fatal(err)
+		}
+		var lines []string
+		for {
+			line, err := rd.ReadString('\n')
+			if err != nil {
+				t.Fatal(err)
+			}
+			line = strings.TrimRight(line, "\n")
+			lines = append(lines, line)
+			if strings.HasPrefix(line, "OK") || strings.HasPrefix(line, "ERR") {
+				return lines
+			}
+		}
+	}
+
+	out := send("CREATE TABLE t (a INT, b VARCHAR(10)) PARTITION BY HASH(a);")
+	if !strings.HasPrefix(out[len(out)-1], "OK") {
+		t.Fatalf("create: %v", out)
+	}
+	out = send("INSERT INTO t VALUES (1,'x'), (2,'y'), (3,'z');")
+	if !strings.Contains(out[len(out)-1], "3 rows inserted") {
+		t.Fatalf("insert: %v", out)
+	}
+	out = send("SELECT a, b FROM t ORDER BY a;")
+	if len(out) != 4 || out[0] != "1\tx" || out[2] != "3\tz" || out[3] != "OK 3 rows" {
+		t.Fatalf("select: %v", out)
+	}
+	out = send("SELEC syntax error;")
+	if !strings.HasPrefix(out[len(out)-1], "ERR") {
+		t.Fatalf("bad sql: %v", out)
+	}
+	// The connection must survive an error and keep serving.
+	out = send("SELECT count(*) FROM t;")
+	if out[0] != "3" {
+		t.Fatalf("after error: %v", out)
+	}
+}

@@ -1,0 +1,357 @@
+// Package cluster wires HRDBMS's pieces into a running database: a set of
+// coordinator nodes (metadata, query planning, XA management) and worker
+// nodes (storage, execution, locking, logging), connected by the network
+// fabric. Queries are planned on a coordinator, converted into per-worker
+// dataflows (the paper's phases 2 and 3: fragment-local scans, operator
+// push-down to workers, shuffle insertion and elimination, pre-aggregation
+// splitting, topology enforcement), executed across the workers, and the
+// results routed back through the coordinator.
+//
+// The cluster runs in one process — each node is a set of goroutines behind
+// a network.Endpoint — which is the substitution this reproduction makes
+// for the paper's 96-node deployment; all communication is metered so the
+// performance model can reconstruct cluster-scale timing.
+package cluster
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/exec"
+	"repro/internal/external"
+	"repro/internal/index"
+	"repro/internal/network"
+	"repro/internal/storage"
+	"repro/internal/twopc"
+	"repro/internal/txn"
+	"repro/internal/types"
+	"repro/internal/wal"
+)
+
+// ExecProfile toggles the execution strategies that distinguish HRDBMS
+// from the paper's comparison systems; the baseline package instantiates
+// Hive/Spark/Greenplum-like profiles from these switches.
+type ExecProfile struct {
+	// HierarchicalShuffle routes shuffles over the binomial-graph ring
+	// (bounded per-node connections); off = direct O(n) connections.
+	HierarchicalShuffle bool
+	// BlockingShuffle materializes (and sorts) each node's shuffle input
+	// before any row is sent — the MapReduce shuffle model.
+	BlockingShuffle bool
+	// MaterializeShuffle spills received shuffle data to disk before the
+	// consumer reads it (Hive always; Spark by default).
+	MaterializeShuffle bool
+	// UseSkipCache enables predicate-based data skipping.
+	UseSkipCache bool
+	// UseMinMax enables min-max (SMA) skipping.
+	UseMinMax bool
+	// EnforceLocality lets the planner use partitioning for co-located
+	// joins and aggregations; off = always shuffle (no locality control).
+	EnforceLocality bool
+	// PreAggTree allows splitting aggregations into worker-side partials
+	// merged over the tree topology.
+	PreAggTree bool
+	// ProbeParallelism is the intra-operator parallelism of join probes.
+	ProbeParallelism int
+}
+
+// HRDBMSProfile is the paper's system: everything on.
+func HRDBMSProfile() ExecProfile {
+	return ExecProfile{
+		HierarchicalShuffle: true,
+		UseSkipCache:        true,
+		UseMinMax:           true,
+		EnforceLocality:     true,
+		PreAggTree:          true,
+		ProbeParallelism:    2,
+	}
+}
+
+// Config sizes a cluster.
+type Config struct {
+	NumWorkers      int
+	NumCoordinators int
+	DisksPerWorker  int
+	PageSize        int
+	BaseDir         string
+	Nmax            int // neighbor limit for tree and ring topologies
+	MemRows         int // per-operator memory budget (rows)
+	LockTimeout     time.Duration
+	Profile         ExecProfile
+}
+
+// Worker is one worker node.
+type Worker struct {
+	ID    int
+	Store *storage.NodeStore
+	Log   *wal.Log
+	Txn   *txn.Manager
+	Part  *twopc.Participant
+	Ep    network.Endpoint
+
+	frags    map[string]*storage.Fragment
+	colFrags map[string]*storage.ColumnarFragment
+	btreeIdx map[string]*index.BTree
+	skipIdx  map[string]*index.SkipList
+	execCtx  *exec.Ctx
+}
+
+// CoordinatorNode is one coordinator.
+type CoordinatorNode struct {
+	ID  int
+	Ep  network.Endpoint
+	Cat *catalog.Catalog
+	XA  *twopc.Coordinator
+	Log *wal.Log
+}
+
+// Cluster is a running HRDBMS deployment.
+type Cluster struct {
+	Cfg      Config
+	Fabric   *network.Fabric
+	Workers  []*Worker
+	Coords   []*CoordinatorNode
+	External *external.Registry
+
+	querySeq atomic.Uint64
+	coordSeq atomic.Uint64
+	txSeq    atomic.Uint64
+}
+
+// New builds and starts a cluster.
+func New(cfg Config) (*Cluster, error) {
+	if cfg.NumWorkers < 1 {
+		return nil, fmt.Errorf("cluster: need at least one worker")
+	}
+	if cfg.NumCoordinators < 1 {
+		cfg.NumCoordinators = 1
+	}
+	if cfg.DisksPerWorker < 1 {
+		cfg.DisksPerWorker = 2
+	}
+	if cfg.Nmax < 2 {
+		cfg.Nmax = 4
+	}
+	if cfg.MemRows == 0 {
+		cfg.MemRows = 1 << 20
+	}
+	if cfg.LockTimeout == 0 {
+		cfg.LockTimeout = 2 * time.Second
+	}
+	// Node IDs: coordinators 0..C-1, workers C..C+W-1.
+	var ids []int
+	for i := 0; i < cfg.NumCoordinators+cfg.NumWorkers; i++ {
+		ids = append(ids, i)
+	}
+	c := &Cluster{
+		Cfg:      cfg,
+		Fabric:   network.NewFabric(ids, 1024),
+		External: external.NewRegistry(),
+	}
+	c.txSeq.Store(1)
+
+	sharedCat := catalog.New()
+	for i := 0; i < cfg.NumCoordinators; i++ {
+		ep, err := c.Fabric.Endpoint(i)
+		if err != nil {
+			return nil, err
+		}
+		xalog, err := wal.Open(filepath.Join(cfg.BaseDir, fmt.Sprintf("coord%d.xa.log", i)))
+		if err != nil {
+			return nil, err
+		}
+		cat := sharedCat
+		if i > 0 {
+			// Each coordinator holds its own replica of the metadata; DDL
+			// synchronizes them (Section VI).
+			cat = sharedCat.Snapshot()
+		}
+		cn := &CoordinatorNode{
+			ID:  i,
+			Ep:  ep,
+			Cat: cat,
+			XA:  twopc.NewCoordinator(ep, xalog, cfg.Nmax),
+		}
+		cn.XA.Serve()
+		c.Coords = append(c.Coords, cn)
+	}
+	for i := 0; i < cfg.NumWorkers; i++ {
+		nodeID := cfg.NumCoordinators + i
+		ep, err := c.Fabric.Endpoint(nodeID)
+		if err != nil {
+			return nil, err
+		}
+		log, err := wal.Open(filepath.Join(cfg.BaseDir, fmt.Sprintf("worker%d.wal", nodeID)))
+		if err != nil {
+			return nil, err
+		}
+		ns, err := storage.NewNodeStore(storage.NodeConfig{
+			NodeID:    nodeID,
+			BaseDir:   cfg.BaseDir,
+			NumDisks:  cfg.DisksPerWorker,
+			PageSize:  cfg.PageSize,
+			BufFrames: 512,
+			FlushHook: log.FlushUpTo,
+		})
+		if err != nil {
+			return nil, err
+		}
+		mgr := txn.NewManager(log, txn.NewLockManager(cfg.LockTimeout), ns.Buf)
+		part := twopc.NewParticipant(ep, mgr)
+		part.Serve()
+		w := &Worker{
+			ID: nodeID, Store: ns, Log: log, Txn: mgr, Part: part, Ep: ep,
+			frags:    map[string]*storage.Fragment{},
+			colFrags: map[string]*storage.ColumnarFragment{},
+			btreeIdx: map[string]*index.BTree{},
+			skipIdx:  map[string]*index.SkipList{},
+			execCtx:  exec.NewCtx(filepath.Join(cfg.BaseDir, fmt.Sprintf("tmp%d", nodeID)), cfg.MemRows),
+		}
+		// Worker-local resource management: a node-wide cap on extra
+		// operator threads; concurrent queries share it and operators
+		// degrade to fewer threads under load (Section I).
+		w.execCtx.SetParallelBudget(2 * runtime.NumCPU() / cfg.NumWorkers)
+		if err := ensureDir(w.execCtx.TempDir); err != nil {
+			return nil, err
+		}
+		c.Workers = append(c.Workers, w)
+	}
+	return c, nil
+}
+
+func ensureDir(dir string) error {
+	return os.MkdirAll(dir, 0o755)
+}
+
+// Catalog returns the primary coordinator's catalog.
+func (c *Cluster) Catalog() *catalog.Catalog { return c.Coords[0].Cat }
+
+// WorkerIDs returns all worker node IDs.
+func (c *Cluster) WorkerIDs() []int {
+	out := make([]int, len(c.Workers))
+	for i, w := range c.Workers {
+		out[i] = w.ID
+	}
+	return out
+}
+
+// workerIndex maps a worker node ID to its slice index.
+func (c *Cluster) workerIndex(nodeID int) int { return nodeID - c.Cfg.NumCoordinators }
+
+// CreateTable registers a table on every coordinator replica and opens its
+// fragments on every worker. Metadata changes apply to all coordinators
+// (the paper's coordinator metadata synchronization).
+func (c *Cluster) CreateTable(def *catalog.TableDef) error {
+	if def.PageSize == 0 {
+		def.PageSize = c.Cfg.PageSize
+	}
+	for _, cn := range c.Coords {
+		if err := cn.Cat.CreateTable(def); err != nil {
+			return err
+		}
+	}
+	for _, w := range c.Workers {
+		if def.Columnar {
+			fr, err := storage.OpenColumnarFragment(w.Store, def)
+			if err != nil {
+				return err
+			}
+			w.colFrags[lower(def.Name)] = fr
+		} else {
+			fr, err := storage.OpenFragment(w.Store, def)
+			if err != nil {
+				return err
+			}
+			w.frags[lower(def.Name)] = fr
+		}
+	}
+	return nil
+}
+
+// Load bulk-loads rows into a table, partitioning them across workers per
+// the table's strategy (hash, range, or replicated).
+func (c *Cluster) Load(table string, rows []types.Row) (int, error) {
+	def, err := c.Catalog().Table(table)
+	if err != nil {
+		return 0, err
+	}
+	perWorker := make([][]types.Row, len(c.Workers))
+	for _, r := range rows {
+		nodes, err := def.NodeFor(r, len(c.Workers))
+		if err != nil {
+			return 0, err
+		}
+		for _, n := range nodes {
+			perWorker[n] = append(perWorker[n], r)
+		}
+	}
+	total := 0
+	for wi, wRows := range perWorker {
+		w := c.Workers[wi]
+		if def.Columnar {
+			n, err := w.colFrags[lower(def.Name)].Load(wRows)
+			if err != nil {
+				return total, err
+			}
+			total += n
+		} else {
+			n, err := w.frags[lower(def.Name)].Load(wRows)
+			if err != nil {
+				return total, err
+			}
+			total += n
+		}
+	}
+	// Refresh statistics on load (ANALYZE) using a sample of the rows.
+	stats := catalog.ComputeStats(def.Schema, rows)
+	for _, cn := range c.Coords {
+		cn.Cat.SetStats(def.Name, stats)
+	}
+	if def.Part.Kind == catalog.PartReplicated {
+		return total / len(c.Workers), nil
+	}
+	return total, nil
+}
+
+// Close shuts the cluster down, persisting predicate caches for reload at
+// the next start.
+func (c *Cluster) Close() error {
+	c.Fabric.CloseAll()
+	var firstErr error
+	for _, w := range c.Workers {
+		for _, fr := range w.frags {
+			if err := fr.PersistPredCache(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		if err := w.Store.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		if err := w.Log.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	for _, cn := range c.Coords {
+		if cn.XA.XALog != nil {
+			if err := cn.XA.XALog.Close(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	return firstErr
+}
+
+func lower(s string) string {
+	b := []byte(s)
+	for i, ch := range b {
+		if ch >= 'A' && ch <= 'Z' {
+			b[i] = ch + 32
+		}
+	}
+	return string(b)
+}

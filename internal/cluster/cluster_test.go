@@ -1,0 +1,752 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/exec"
+	"repro/internal/page"
+	"repro/internal/plan"
+	"repro/internal/sqlparse"
+	"repro/internal/storage"
+	"repro/internal/types"
+)
+
+// newCluster spins up an in-process cluster with TPC-H-ish tables loaded.
+func newCluster(t *testing.T, workers int, prof ExecProfile) (*Cluster, map[string][]types.Row) {
+	t.Helper()
+	c, err := New(Config{
+		NumWorkers: workers,
+		BaseDir:    t.TempDir(),
+		PageSize:   8192,
+		Nmax:       3,
+		MemRows:    1 << 20,
+		Profile:    prof,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+
+	ddl := []string{
+		`CREATE TABLE nation (n_nationkey INT, n_name VARCHAR(25)) PARTITION BY REPLICATED`,
+		`CREATE TABLE customer (c_custkey INT, c_name VARCHAR(25), c_nationkey INT, c_acctbal FLOAT)
+			PARTITION BY HASH(c_custkey)`,
+		`CREATE TABLE orders (o_orderkey INT, o_custkey INT, o_totalprice FLOAT, o_orderdate DATE)
+			PARTITION BY HASH(o_custkey)`,
+		`CREATE TABLE lineitem (l_orderkey INT, l_partkey INT, l_quantity FLOAT,
+			l_extendedprice FLOAT, l_discount FLOAT, l_shipdate DATE)
+			PARTITION BY HASH(l_orderkey)`,
+	}
+	for _, stmt := range ddl {
+		if _, err := c.ExecSQL(stmt); err != nil {
+			t.Fatalf("ddl: %v", err)
+		}
+	}
+
+	data := map[string][]types.Row{}
+	data["nation"] = []types.Row{
+		{types.NewInt(1), types.NewString("CANADA")},
+		{types.NewInt(2), types.NewString("FRANCE")},
+		{types.NewInt(3), types.NewString("KENYA")},
+	}
+	for i := int64(0); i < 60; i++ {
+		data["customer"] = append(data["customer"], types.Row{
+			types.NewInt(i), types.NewString(fmt.Sprintf("cust%03d", i)),
+			types.NewInt(i%3 + 1), types.NewFloat(float64(i*13%500) - 100),
+		})
+	}
+	for i := int64(0); i < 240; i++ {
+		data["orders"] = append(data["orders"], types.Row{
+			types.NewInt(1000 + i), types.NewInt(i % 60),
+			types.NewFloat(float64(i*7%300) + 1),
+			types.NewDate(types.MustDate("1995-01-01").I + i%700),
+		})
+	}
+	for i := int64(0); i < 900; i++ {
+		data["lineitem"] = append(data["lineitem"], types.Row{
+			types.NewInt(1000 + i%240), types.NewInt(i % 40),
+			types.NewFloat(float64(i%50) + 1),
+			types.NewFloat(float64(i*11%1000) + 10),
+			types.NewFloat(float64(i%10) / 100),
+			types.NewDate(types.MustDate("1995-01-05").I + i%700),
+		})
+	}
+	for tbl, rows := range data {
+		if _, err := c.Load(tbl, rows); err != nil {
+			t.Fatalf("load %s: %v", tbl, err)
+		}
+	}
+	return c, data
+}
+
+// reference executes the same SQL single-node over the in-memory rows.
+func reference(t *testing.T, c *Cluster, data map[string][]types.Row, sql string) []types.Row {
+	t.Helper()
+	sel, err := sqlparse.ParseSelect(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	node, err := plan.Build(sel, c.Catalog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prov := &plan.MemProvider{Cat: c.Catalog(), Rows: data}
+	op, err := plan.Execute(node, prov, exec.NewCtx(t.TempDir(), 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := exec.Collect(op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rows
+}
+
+// rowKey renders a row with floats rounded to 9 significant digits, so
+// distribution-order differences in float summation do not fail equality.
+func rowKey(r types.Row) string {
+	parts := make([]string, len(r))
+	for i, v := range r {
+		if v.K == types.KindFloat {
+			parts[i] = strconv.FormatFloat(v.F, 'g', 9, 64)
+		} else {
+			parts[i] = v.String()
+		}
+	}
+	return strings.Join(parts, "\t")
+}
+
+// normalize renders rows as sorted strings for order-insensitive compare.
+func normalize(rows []types.Row) []string {
+	out := make([]string, len(rows))
+	for i, r := range rows {
+		out[i] = rowKey(r)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// checkAgainstReference runs sql distributed and single-node and compares.
+func checkAgainstReference(t *testing.T, c *Cluster, data map[string][]types.Row, sql string, ordered bool) {
+	t.Helper()
+	res, err := c.ExecSQL(sql)
+	if err != nil {
+		t.Fatalf("distributed %q: %v", sql, err)
+	}
+	want := reference(t, c, data, sql)
+	if len(res.Rows) != len(want) {
+		t.Fatalf("%q: got %d rows, want %d", sql, len(res.Rows), len(want))
+	}
+	if ordered {
+		for i := range want {
+			if rowKey(res.Rows[i]) != rowKey(want[i]) {
+				t.Fatalf("%q row %d:\n got %v\nwant %v", sql, i, res.Rows[i], want[i])
+			}
+		}
+		return
+	}
+	g, w := normalize(res.Rows), normalize(want)
+	for i := range w {
+		if g[i] != w[i] {
+			t.Fatalf("%q (unordered) row %d:\n got %v\nwant %v", sql, i, g[i], w[i])
+		}
+	}
+}
+
+func TestDistributedScanFilter(t *testing.T) {
+	c, data := newCluster(t, 4, HRDBMSProfile())
+	checkAgainstReference(t, c, data,
+		"SELECT c_name, c_acctbal FROM customer WHERE c_acctbal > 100", false)
+}
+
+func TestDistributedColocatedJoin(t *testing.T) {
+	c, data := newCluster(t, 4, HRDBMSProfile())
+	// customer and orders both hash-partitioned on custkey: co-located.
+	checkAgainstReference(t, c, data,
+		`SELECT c_name, o_totalprice FROM customer, orders
+		 WHERE c_custkey = o_custkey AND o_totalprice > 250`, false)
+}
+
+func TestDistributedShuffleJoin(t *testing.T) {
+	c, data := newCluster(t, 4, HRDBMSProfile())
+	// orders partitioned on o_custkey but joined on o_orderkey: shuffle.
+	checkAgainstReference(t, c, data,
+		`SELECT o_orderkey, l_quantity FROM orders, lineitem
+		 WHERE o_orderkey = l_orderkey AND l_quantity > 45`, false)
+}
+
+func TestDistributedReplicatedJoin(t *testing.T) {
+	c, data := newCluster(t, 4, HRDBMSProfile())
+	checkAgainstReference(t, c, data,
+		`SELECT n_name, count(*) AS cnt FROM nation, customer
+		 WHERE n_nationkey = c_nationkey GROUP BY n_name ORDER BY n_name`, true)
+}
+
+func TestDistributedFourWayJoinAgg(t *testing.T) {
+	c, data := newCluster(t, 4, HRDBMSProfile())
+	// The paper's running example: how much have CANADA customers spent.
+	checkAgainstReference(t, c, data,
+		`SELECT sum(l_extendedprice) FROM lineitem, orders, customer, nation
+		 WHERE o_orderkey = l_orderkey AND o_custkey = c_custkey
+		   AND c_nationkey = n_nationkey AND n_name = 'CANADA'`, true)
+}
+
+func TestDistributedGroupByShuffle(t *testing.T) {
+	c, data := newCluster(t, 4, HRDBMSProfile())
+	checkAgainstReference(t, c, data,
+		`SELECT l_partkey, sum(l_quantity) AS q, count(*) AS c, avg(l_extendedprice) AS a
+		 FROM lineitem GROUP BY l_partkey ORDER BY l_partkey`, true)
+}
+
+func TestDistributedScalarAggTree(t *testing.T) {
+	c, data := newCluster(t, 5, HRDBMSProfile())
+	checkAgainstReference(t, c, data,
+		`SELECT sum(l_quantity), count(*), min(l_shipdate), max(l_shipdate), avg(l_discount) FROM lineitem`, true)
+}
+
+func TestDistributedSortMerge(t *testing.T) {
+	c, data := newCluster(t, 4, HRDBMSProfile())
+	checkAgainstReference(t, c, data,
+		`SELECT c_custkey, c_acctbal FROM customer ORDER BY c_acctbal DESC, c_custkey`, true)
+}
+
+func TestDistributedTopK(t *testing.T) {
+	c, data := newCluster(t, 4, HRDBMSProfile())
+	checkAgainstReference(t, c, data,
+		`SELECT o_orderkey, o_totalprice FROM orders ORDER BY o_totalprice DESC, o_orderkey LIMIT 7`, true)
+}
+
+func TestDistributedDistinct(t *testing.T) {
+	c, data := newCluster(t, 4, HRDBMSProfile())
+	checkAgainstReference(t, c, data,
+		`SELECT DISTINCT c_nationkey FROM customer ORDER BY c_nationkey`, true)
+}
+
+func TestDistributedHaving(t *testing.T) {
+	c, data := newCluster(t, 3, HRDBMSProfile())
+	checkAgainstReference(t, c, data,
+		`SELECT o_custkey, count(*) AS cnt FROM orders GROUP BY o_custkey
+		 HAVING count(*) > 3 ORDER BY o_custkey`, true)
+}
+
+func TestDistributedExistsSubquery(t *testing.T) {
+	c, data := newCluster(t, 4, HRDBMSProfile())
+	checkAgainstReference(t, c, data,
+		`SELECT c_name FROM customer c
+		 WHERE EXISTS (SELECT 1 FROM orders o WHERE o.o_custkey = c.c_custkey AND o.o_totalprice > 290)
+		 ORDER BY c_name`, true)
+	checkAgainstReference(t, c, data,
+		`SELECT count(*) FROM customer c
+		 WHERE NOT EXISTS (SELECT 1 FROM orders o WHERE o.o_custkey = c.c_custkey)`, true)
+}
+
+func TestDistributedScalarSubquery(t *testing.T) {
+	c, data := newCluster(t, 4, HRDBMSProfile())
+	checkAgainstReference(t, c, data,
+		`SELECT count(*) FROM customer WHERE c_acctbal > (SELECT avg(c_acctbal) FROM customer)`, true)
+}
+
+func TestDistributedCorrelatedScalar(t *testing.T) {
+	c, data := newCluster(t, 3, HRDBMSProfile())
+	checkAgainstReference(t, c, data,
+		`SELECT count(*) FROM lineitem l1
+		 WHERE l1.l_quantity < (SELECT avg(l2.l_quantity) FROM lineitem l2 WHERE l2.l_partkey = l1.l_partkey)`, true)
+}
+
+func TestDistributedDerivedTable(t *testing.T) {
+	c, data := newCluster(t, 4, HRDBMSProfile())
+	checkAgainstReference(t, c, data,
+		`SELECT d.o_custkey, d.total FROM
+		   (SELECT o_custkey, sum(o_totalprice) AS total FROM orders GROUP BY o_custkey) AS d
+		 WHERE d.total > 500 ORDER BY d.total DESC, d.o_custkey`, true)
+}
+
+func TestBaselineProfilesAgree(t *testing.T) {
+	// Every execution profile must return the same answers — the profiles
+	// differ in HOW, not WHAT.
+	sql := `SELECT l_partkey, sum(l_extendedprice * (1 - l_discount)) AS rev
+		FROM lineitem, orders WHERE l_orderkey = o_orderkey AND o_totalprice > 50
+		GROUP BY l_partkey ORDER BY l_partkey`
+	profiles := map[string]ExecProfile{
+		"hrdbms": HRDBMSProfile(),
+		"hive-like": {
+			BlockingShuffle: true, MaterializeShuffle: true, ProbeParallelism: 1,
+		},
+		"spark-like": {
+			MaterializeShuffle: true, ProbeParallelism: 2,
+		},
+		"greenplum-like": {
+			EnforceLocality: true, UseMinMax: true, ProbeParallelism: 2,
+		},
+	}
+	var want []string
+	for name, prof := range profiles {
+		c, _ := newCluster(t, 3, prof)
+		res, err := c.ExecSQL(sql)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		got := make([]string, len(res.Rows))
+		for i, r := range res.Rows {
+			got[i] = rowKey(r)
+		}
+		if want == nil {
+			want = got
+			continue
+		}
+		if len(got) != len(want) {
+			t.Fatalf("%s: %d rows, want %d", name, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%s row %d: %q != %q", name, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestExplainStatement(t *testing.T) {
+	c, _ := newCluster(t, 2, HRDBMSProfile())
+	res, err := c.ExecSQL("EXPLAIN SELECT count(*) FROM customer WHERE c_acctbal > 0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) < 2 {
+		t.Fatalf("explain rows = %v", res.Rows)
+	}
+}
+
+func TestInsertDeleteUpdate2PC(t *testing.T) {
+	c, _ := newCluster(t, 3, HRDBMSProfile())
+	if _, err := c.ExecSQL(`CREATE TABLE t (k INT, v VARCHAR(10), amt FLOAT) PARTITION BY HASH(k)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.ExecSQL(`INSERT INTO t VALUES (1, 'a', 10.5), (2, 'b', 20.0), (3, 'c', 30.0), (4, 'd', 40.0)`); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.ExecSQL(`SELECT k, v, amt FROM t ORDER BY k`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 || res.Rows[0][1].Str() != "a" {
+		t.Fatalf("after insert: %v", res.Rows)
+	}
+	if _, err := c.ExecSQL(`DELETE FROM t WHERE k = 2`); err != nil {
+		t.Fatal(err)
+	}
+	res, _ = c.ExecSQL(`SELECT count(*) FROM t`)
+	if res.Rows[0][0].Int() != 3 {
+		t.Fatalf("after delete: %v", res.Rows)
+	}
+	if _, err := c.ExecSQL(`UPDATE t SET amt = amt + 1 WHERE k >= 3`); err != nil {
+		t.Fatal(err)
+	}
+	res, _ = c.ExecSQL(`SELECT amt FROM t WHERE k = 3`)
+	if len(res.Rows) != 1 || res.Rows[0][0].Float() != 31 {
+		t.Fatalf("after update: %v", res.Rows)
+	}
+	// Repartitioning update: change the partition key.
+	if _, err := c.ExecSQL(`UPDATE t SET k = 100 WHERE k = 1`); err != nil {
+		t.Fatal(err)
+	}
+	res, _ = c.ExecSQL(`SELECT k FROM t ORDER BY k`)
+	if len(res.Rows) != 3 || res.Rows[2][0].Int() != 100 {
+		t.Fatalf("after key update: %v", res.Rows)
+	}
+}
+
+func TestCreateIndexAndLookup(t *testing.T) {
+	c, _ := newCluster(t, 3, HRDBMSProfile())
+	if _, err := c.ExecSQL(`CREATE INDEX idx_cust_nation ON customer(c_nationkey)`); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := c.IndexLookup("idx_cust_nation", types.Row{types.NewInt(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 20 { // 60 customers, nation keys 1..3 uniform
+		t.Fatalf("index lookup rows = %d, want 20", len(rows))
+	}
+	// Skip list variant.
+	if _, err := c.ExecSQL(`CREATE INDEX sl_cust ON customer(c_custkey) USING SKIPLIST`); err != nil {
+		t.Fatal(err)
+	}
+	rows, err = c.IndexLookup("sl_cust", types.Row{types.NewInt(17)})
+	if err != nil || len(rows) != 1 {
+		t.Fatalf("skiplist lookup = %v err=%v", rows, err)
+	}
+}
+
+func TestAnalyzeUpdatesStats(t *testing.T) {
+	c, _ := newCluster(t, 2, HRDBMSProfile())
+	if _, err := c.ExecSQL("ANALYZE lineitem"); err != nil {
+		t.Fatal(err)
+	}
+	stats := c.Catalog().Stats("lineitem")
+	if stats.RowCount != 900 {
+		t.Fatalf("analyzed rowcount = %d", stats.RowCount)
+	}
+	if stats.Cols["l_partkey"].NDV != 40 {
+		t.Fatalf("l_partkey NDV = %d", stats.Cols["l_partkey"].NDV)
+	}
+}
+
+func TestMultipleCoordinatorsMetadataSync(t *testing.T) {
+	c, err := New(Config{
+		NumWorkers: 2, NumCoordinators: 2, BaseDir: t.TempDir(),
+		PageSize: 4096, Profile: HRDBMSProfile(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.ExecSQL(`CREATE TABLE syncme (a INT, b INT) PARTITION BY HASH(a)`); err != nil {
+		t.Fatal(err)
+	}
+	// Both coordinator replicas must know the table.
+	for i, cn := range c.Coords {
+		if _, err := cn.Cat.Table("syncme"); err != nil {
+			t.Errorf("coordinator %d missing table: %v", i, err)
+		}
+	}
+}
+
+func TestSingleWorkerCluster(t *testing.T) {
+	c, data := newCluster(t, 1, HRDBMSProfile())
+	checkAgainstReference(t, c, data,
+		`SELECT count(*), sum(o_totalprice) FROM orders`, true)
+}
+
+func TestSkippingAcrossQueries(t *testing.T) {
+	// Small pages so fragments span many full pages (the predicate cache
+	// records absence facts only for full pages). Min-max skipping is
+	// disabled so the predicate cache is what does the skipping here.
+	prof := HRDBMSProfile()
+	prof.UseMinMax = false
+	c, err := New(Config{
+		NumWorkers: 2, BaseDir: t.TempDir(), PageSize: 1024,
+		Nmax: 3, Profile: prof,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.ExecSQL(`CREATE TABLE lineitem (l_orderkey INT, l_quantity FLOAT)
+		PARTITION BY HASH(l_orderkey)`); err != nil {
+		t.Fatal(err)
+	}
+	var rows []types.Row
+	for i := int64(0); i < 2000; i++ {
+		rows = append(rows, types.Row{types.NewInt(i), types.NewFloat(float64(i % 50))})
+	}
+	if _, err := c.Load("lineitem", rows); err != nil {
+		t.Fatal(err)
+	}
+	sql := `SELECT count(*) FROM lineitem WHERE l_quantity > 200`
+	r1, err := c.ExecSQL(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Rows[0][0].Int() != 0 {
+		t.Fatalf("selective count = %v", r1.Rows)
+	}
+	// Second identical query: predicate cache should skip pages.
+	before := pagesSkipped(c)
+	if _, err := c.ExecSQL(sql); err != nil {
+		t.Fatal(err)
+	}
+	after := pagesSkipped(c)
+	if after <= before {
+		t.Errorf("no pages skipped on repeat query (before=%d after=%d)", before, after)
+	}
+}
+
+// pagesSkipped sums the predicate-cache hits over all lineitem fragments.
+func pagesSkipped(c *Cluster) int64 {
+	var total int64
+	for _, w := range c.Workers {
+		if fr := w.frags["lineitem"]; fr != nil {
+			h, _ := fr.PredCache.Stats()
+			total += h
+		}
+	}
+	return total
+}
+
+func TestCatalogPartitioningHonored(t *testing.T) {
+	c, _ := newCluster(t, 4, HRDBMSProfile())
+	// Each customer row must live on exactly the worker its hash says.
+	def, _ := c.Catalog().Table("customer")
+	for wi, w := range c.Workers {
+		fr := w.frags["customer"]
+		n, err := fr.RowCount()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n == 0 {
+			t.Errorf("worker %d has no customer rows — bad balance", wi)
+		}
+		_, err = fr.Scan(storage.ScanOptions{}, func(rid page.RID, r types.Row) bool {
+			nodes, nerr := def.NodeFor(r, len(c.Workers))
+			if nerr != nil || len(nodes) != 1 || nodes[0] != wi {
+				t.Errorf("row %v on worker %d, want %v", r, wi, nodes)
+				return false
+			}
+			return true
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestRestartReloadsDataAndPredCache(t *testing.T) {
+	dir := t.TempDir()
+	prof := HRDBMSProfile()
+	prof.UseMinMax = false // isolate the predicate cache
+	cfg := Config{NumWorkers: 2, BaseDir: dir, PageSize: 1024, Nmax: 3, Profile: prof}
+	ddl := `CREATE TABLE li (k INT, qty FLOAT) PARTITION BY HASH(k)`
+	sql := `SELECT count(*) FROM li WHERE qty > 500`
+
+	c1, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c1.ExecSQL(ddl); err != nil {
+		t.Fatal(err)
+	}
+	var rows []types.Row
+	for i := int64(0); i < 1500; i++ {
+		rows = append(rows, types.Row{types.NewInt(i), types.NewFloat(float64(i % 100))})
+	}
+	if _, err := c1.Load("li", rows); err != nil {
+		t.Fatal(err)
+	}
+	// Populate the predicate cache, then shut down (persists caches).
+	if _, err := c1.ExecSQL(sql); err != nil {
+		t.Fatal(err)
+	}
+	if err := c1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart over the same directories: data and caches must survive.
+	c2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if _, err := c2.ExecSQL(ddl); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c2.ExecSQL(`SELECT count(*) FROM li`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].Int() != 1500 {
+		t.Fatalf("rows after restart = %v", res.Rows)
+	}
+	// The reloaded predicate cache should skip pages on the FIRST run
+	// after restart.
+	sel, _ := sqlparse.ParseSelect(sql)
+	node, err := c2.Plan(sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, m, err := c2.RunMetered(node)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.PagesSkipped == 0 {
+		t.Errorf("restarted cluster skipped no pages (read %d)", m.PagesRead)
+	}
+}
+
+func TestReorganizeStatement(t *testing.T) {
+	c, _ := newCluster(t, 2, HRDBMSProfile())
+	if _, err := c.ExecSQL(`DELETE FROM lineitem WHERE l_partkey < 20`); err != nil {
+		t.Fatal(err)
+	}
+	before, _ := c.ExecSQL(`SELECT count(*) FROM lineitem`)
+	res, err := c.ExecSQL(`REORGANIZE lineitem`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Message == "" {
+		t.Error("reorganize should report")
+	}
+	after, _ := c.ExecSQL(`SELECT count(*) FROM lineitem`)
+	if before.Rows[0][0].Int() != after.Rows[0][0].Int() {
+		t.Fatalf("reorganize changed row count: %v -> %v", before.Rows[0], after.Rows[0])
+	}
+}
+
+func TestIndexBackedScan(t *testing.T) {
+	c, data := newCluster(t, 3, HRDBMSProfile())
+	if _, err := c.ExecSQL(`CREATE INDEX idx_li_part ON lineitem(l_partkey)`); err != nil {
+		t.Fatal(err)
+	}
+	// The equality on the indexed leading column selects the index path;
+	// results must match the reference exactly.
+	checkAgainstReference(t, c, data,
+		`SELECT l_orderkey, l_quantity FROM lineitem WHERE l_partkey = 7 AND l_quantity > 10`, false)
+	// Metered run confirms the page scan was avoided.
+	sel, _ := sqlparse.ParseSelect(`SELECT count(*) FROM lineitem WHERE l_partkey = 7`)
+	node, err := c.Plan(sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, m, err := c.RunMetered(node)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0][0].Int() == 0 {
+		t.Fatal("index scan found nothing")
+	}
+	full, _ := c.ExecSQL(`SELECT count(*) FROM lineitem`)
+	if m.WorkRows >= full.Rows[0][0].Int() {
+		t.Errorf("index path processed %d rows of %d total", m.WorkRows, full.Rows[0][0].Int())
+	}
+}
+
+func TestIndexMaintainedByDML(t *testing.T) {
+	c, _ := newCluster(t, 3, HRDBMSProfile())
+	if _, err := c.ExecSQL(`CREATE TABLE items (id INT, cat INT, label VARCHAR(10)) PARTITION BY HASH(id)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.ExecSQL(`INSERT INTO items VALUES (1, 5, 'a'), (2, 5, 'b'), (3, 9, 'c')`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.ExecSQL(`CREATE INDEX idx_cat ON items(cat)`); err != nil {
+		t.Fatal(err)
+	}
+	// Insert after index creation: the new row must be index-visible.
+	if _, err := c.ExecSQL(`INSERT INTO items VALUES (4, 5, 'd')`); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.ExecSQL(`SELECT count(*) FROM items WHERE cat = 5`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].Int() != 3 {
+		t.Fatalf("indexed count after insert = %v, want 3", res.Rows[0])
+	}
+	// Delete: the removed row must disappear from index results.
+	if _, err := c.ExecSQL(`DELETE FROM items WHERE id = 2`); err != nil {
+		t.Fatal(err)
+	}
+	res, _ = c.ExecSQL(`SELECT count(*) FROM items WHERE cat = 5`)
+	if res.Rows[0][0].Int() != 2 {
+		t.Fatalf("indexed count after delete = %v, want 2", res.Rows[0])
+	}
+}
+
+func TestParallelQueriesAcrossCoordinators(t *testing.T) {
+	c, err := New(Config{
+		NumWorkers: 3, NumCoordinators: 2, BaseDir: t.TempDir(),
+		PageSize: 8192, Nmax: 3, Profile: HRDBMSProfile(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.ExecSQL(`CREATE TABLE t (a INT, b FLOAT) PARTITION BY HASH(a)`); err != nil {
+		t.Fatal(err)
+	}
+	var rows []types.Row
+	for i := int64(0); i < 300; i++ {
+		rows = append(rows, types.Row{types.NewInt(i), types.NewFloat(float64(i))})
+	}
+	if _, err := c.Load("t", rows); err != nil {
+		t.Fatal(err)
+	}
+	// Fire queries concurrently; they spread over both coordinators and
+	// must all agree.
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, err := c.ExecSQL(`SELECT count(*), sum(b) FROM t WHERE a >= 100`)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if res.Rows[0][0].Int() != 200 {
+				errs <- fmt.Errorf("count = %v", res.Rows[0])
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	// Both coordinators must have received result traffic.
+	links := c.Fabric.Meter().PerLink()
+	toCoord := map[int]bool{}
+	for _, l := range links {
+		if l.To < c.Cfg.NumCoordinators {
+			toCoord[l.To] = true
+		}
+	}
+	if !toCoord[0] || !toCoord[1] {
+		t.Errorf("queries did not spread over coordinators: %v", toCoord)
+	}
+}
+
+// TestConcurrentDMLInvariant hammers the cluster with concurrent UPDATEs
+// moving value between rows; SS2PL + 2PC must keep the total invariant.
+func TestConcurrentDMLInvariant(t *testing.T) {
+	c, err := New(Config{
+		NumWorkers: 3, BaseDir: t.TempDir(), PageSize: 4096,
+		Nmax: 3, Profile: HRDBMSProfile(), LockTimeout: 5 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.ExecSQL(`CREATE TABLE bal (id INT, amt FLOAT) PARTITION BY HASH(id)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.ExecSQL(`INSERT INTO bal VALUES (1, 100), (2, 100), (3, 100), (4, 100)`); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 5; i++ {
+				src := g%4 + 1
+				dst := (g+1)%4 + 1
+				// Each statement is one atomic distributed transaction.
+				if _, err := c.ExecSQL(fmt.Sprintf(
+					`UPDATE bal SET amt = amt - 1 WHERE id = %d`, src)); err != nil {
+					t.Errorf("debit: %v", err)
+					return
+				}
+				if _, err := c.ExecSQL(fmt.Sprintf(
+					`UPDATE bal SET amt = amt + 1 WHERE id = %d`, dst)); err != nil {
+					t.Errorf("credit: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	res, err := c.ExecSQL(`SELECT sum(amt), count(*) FROM bal`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].Float() != 400 || res.Rows[0][1].Int() != 4 {
+		t.Fatalf("invariant broken: %v", res.Rows[0])
+	}
+}

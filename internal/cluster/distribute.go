@@ -1,0 +1,861 @@
+package cluster
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/catalog"
+	"repro/internal/exec"
+	"repro/internal/expr"
+	"repro/internal/opt"
+	"repro/internal/plan"
+	"repro/internal/types"
+)
+
+// This file implements the paper's dataflow phases (Section V):
+//
+//	Phase 2 (dataflow conversion): each table scan becomes one scan per
+//	fragment, placed on the worker storing the fragment, so data locality
+//	is enforced for scans.
+//
+//	Phase 3 (dataflow optimization): relational operators are pushed from
+//	the coordinator to the workers; joins and aggregations run co-located
+//	when partitioning allows it, shuffles are inserted only where needed
+//	(and eliminated when an existing partitioning subsumes the required
+//	one); aggregations are split into worker-side pre-aggregation merged
+//	over the tree topology when that is cheaper; sorts merge upward; top-k
+//	runs as per-worker heaps merged at the coordinator.
+
+// distKind classifies where a distributed stream's rows live.
+type distKind uint8
+
+const (
+	distPartitioned distKind = iota + 1 // hash-partitioned across workers on cols
+	distReplicated                      // full copy on every worker
+	distRandom                          // spread across workers, no known key
+)
+
+type distInfo struct {
+	kind distKind
+	cols []string // partitioning columns (qualified, lower-case)
+}
+
+// dstream is a worker-resident distributed stream: one operator per worker.
+type dstream struct {
+	ops  []exec.Operator
+	sch  types.Schema
+	dist distInfo
+}
+
+// queryExec tracks per-query state during distribution. coord is the
+// coordinator planning and gathering this query — the paper allows
+// multiple coordinators to process requests in parallel, so queries are
+// spread across them.
+type queryExec struct {
+	c     *Cluster
+	coord *CoordinatorNode
+	qid   uint64
+	xseq  int
+	prof  ExecProfile
+}
+
+func (q *queryExec) channel(tag string) string {
+	q.xseq++
+	return fmt.Sprintf("q%d.%s%d", q.qid, tag, q.xseq)
+}
+
+// Run plans nothing — it takes an already-built logical plan, distributes
+// it, executes it, and returns all result rows at the coordinator.
+func (c *Cluster) Run(root plan.Node) ([]types.Row, error) {
+	op, err := c.CompileDistributed(root)
+	if err != nil {
+		return nil, err
+	}
+	return exec.Collect(op)
+}
+
+// CompileDistributed converts a logical plan into a coordinator-side
+// operator whose Open launches the distributed dataflow.
+func (c *Cluster) CompileDistributed(root plan.Node) (exec.Operator, error) {
+	return c.CompileDistributedOn(c.Coords[0], root)
+}
+
+// CompileDistributedOn compiles against a specific coordinator (results
+// route through it; Section I: query results are always routed to the
+// client through the coordinator that planned the query).
+func (c *Cluster) CompileDistributedOn(coord *CoordinatorNode, root plan.Node) (exec.Operator, error) {
+	q := &queryExec{c: c, coord: coord, qid: c.querySeq.Add(1), prof: c.Cfg.Profile}
+	if err := q.materializeScalars(root); err != nil {
+		return nil, err
+	}
+	ds, coordOp, err := q.distribute(root)
+	if err != nil {
+		return nil, err
+	}
+	if coordOp != nil {
+		return coordOp, nil
+	}
+	return q.gatherPlain(ds), nil
+}
+
+// materializeScalars executes uncorrelated scalar subqueries first, with
+// full distribution, and freezes their values into the plan.
+func (q *queryExec) materializeScalars(root plan.Node) error {
+	var scalars []*plan.ScalarSubquery
+	collect := func(e expr.Expr) {
+		expr.Walk(e, func(x expr.Expr) {
+			if s, ok := x.(*plan.ScalarSubquery); ok && s.Resolved == nil {
+				scalars = append(scalars, s)
+			}
+		})
+	}
+	plan.Walk(root, func(m plan.Node) {
+		switch x := m.(type) {
+		case *plan.Filter:
+			collect(x.Pred)
+		case *plan.Scan:
+			if x.Pred != nil {
+				collect(x.Pred)
+			}
+		case *plan.Project:
+			for _, e := range x.Exprs {
+				collect(e)
+			}
+		case *plan.Join:
+			if x.Residual != nil {
+				collect(x.Residual)
+			}
+		}
+	})
+	for _, s := range scalars {
+		rows, err := q.c.Run(s.Plan)
+		if err != nil {
+			return err
+		}
+		v := types.Null
+		switch {
+		case len(rows) == 0:
+		case len(rows) == 1 && len(rows[0]) >= 1:
+			v = rows[0][0]
+		default:
+			return fmt.Errorf("cluster: scalar subquery returned %d rows", len(rows))
+		}
+		s.Resolved = &v
+	}
+	return nil
+}
+
+// distribute returns either a worker-resident stream or a coordinator
+// operator (exactly one non-nil).
+func (q *queryExec) distribute(n plan.Node) (*dstream, exec.Operator, error) {
+	switch x := n.(type) {
+	case *plan.Scan:
+		return q.distributeScan(x)
+	case *plan.Rename:
+		ds, coordOp, err := q.distribute(x.Child)
+		if err != nil {
+			return nil, nil, err
+		}
+		if coordOp != nil {
+			return nil, renameSchema(coordOp, x.Schema()), nil
+		}
+		// Rename columns positionally; partition columns follow.
+		newDist := ds.dist
+		newDist.cols = mapColsByPosition(ds.dist.cols, ds.sch, x.Schema())
+		out := &dstream{sch: x.Schema(), dist: newDist}
+		for _, op := range ds.ops {
+			out.ops = append(out.ops, renameSchema(op, x.Schema()))
+		}
+		return out, nil, nil
+	case *plan.Filter:
+		ds, coordOp, err := q.distribute(x.Child)
+		if err != nil {
+			return nil, nil, err
+		}
+		if coordOp != nil {
+			return nil, exec.NewFilter(nil, coordOp, x.Pred), nil
+		}
+		out := &dstream{sch: ds.sch, dist: ds.dist}
+		for wi, op := range ds.ops {
+			out.ops = append(out.ops, exec.NewFilter(q.c.Workers[wi].execCtx, op, x.Pred))
+		}
+		return out, nil, nil
+	case *plan.Project:
+		ds, coordOp, err := q.distribute(x.Child)
+		if err != nil {
+			return nil, nil, err
+		}
+		if coordOp != nil {
+			return nil, exec.NewProject(nil, coordOp, x.Exprs, x.Names), nil
+		}
+		newDist := projectDist(ds.dist, x)
+		out := &dstream{sch: x.Schema(), dist: newDist}
+		for wi, op := range ds.ops {
+			out.ops = append(out.ops, exec.NewProject(q.c.Workers[wi].execCtx, op, x.Exprs, x.Names))
+		}
+		return out, nil, nil
+	case *plan.Join:
+		return q.distributeJoin(x)
+	case *plan.Agg:
+		return q.distributeAgg(x)
+	case *plan.Sort:
+		ds, coordOp, err := q.distribute(x.Child)
+		if err != nil {
+			return nil, nil, err
+		}
+		keys := planSortKeys(x.Keys)
+		if coordOp != nil {
+			return nil, exec.NewSort(nil, coordOp, keys), nil
+		}
+		// Distributed merge sort: local sorts, ordered merge upward.
+		sorted := make([]exec.Operator, len(ds.ops))
+		for wi, op := range ds.ops {
+			sorted[wi] = exec.NewSort(q.c.Workers[wi].execCtx, op, keys)
+		}
+		return nil, q.gatherOrdered(&dstream{ops: sorted, sch: ds.sch}, keys), nil
+	case *plan.Limit:
+		return q.distributeLimit(x)
+	case *plan.Distinct:
+		ds, coordOp, err := q.distribute(x.Child)
+		if err != nil {
+			return nil, nil, err
+		}
+		if coordOp != nil {
+			return nil, exec.NewDistinct(coordOp), nil
+		}
+		if ds.dist.kind == distReplicated {
+			// One replica suffices.
+			return nil, exec.NewDistinct(q.pickOne(ds)), nil
+		}
+		// Shuffle on all columns, then local distinct.
+		allKeys := exec.ColRefs(allIdx(ds.sch.Len())...)
+		shuffled, err := q.shuffle(ds, allKeys, colNames(ds.sch))
+		if err != nil {
+			return nil, nil, err
+		}
+		out := &dstream{sch: ds.sch, dist: shuffled.dist}
+		for _, op := range shuffled.ops {
+			out.ops = append(out.ops, exec.NewDistinct(op))
+		}
+		return out, nil, nil
+	default:
+		return nil, nil, fmt.Errorf("cluster: cannot distribute %T", n)
+	}
+}
+
+func allIdx(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+func colNames(s types.Schema) []string {
+	out := make([]string, s.Len())
+	for i, c := range s.Cols {
+		out[i] = strings.ToLower(c.Name)
+	}
+	return out
+}
+
+// planSortKeys converts plan sort items.
+func planSortKeys(keys []plan.SortItem) []exec.SortKey {
+	out := make([]exec.SortKey, len(keys))
+	for i, k := range keys {
+		out[i] = exec.SortKey{Col: k.Col, Desc: k.Desc}
+	}
+	return out
+}
+
+// distributeScan is phase 2: one scan per fragment on the worker holding it.
+// When an index matches a highly selective equality, the optimizer chooses
+// the index path instead (phase 1's table-vs-index-scan decision).
+func (q *queryExec) distributeScan(x *plan.Scan) (*dstream, exec.Operator, error) {
+	if !x.Table.Columnar {
+		if m := q.findIndexPath(x); m != nil {
+			ds, err := q.indexScan(x, m)
+			if err != nil {
+				return nil, nil, err
+			}
+			return ds, nil, nil
+		}
+	}
+	cfg := exec.ScanConfig{
+		Pred:         x.Pred,
+		UseSkipCache: q.prof.UseSkipCache,
+		UseMinMax:    q.prof.UseMinMax,
+		Predeclare:   true,
+	}
+	ds := &dstream{sch: x.Schema()}
+	name := lower(x.Table.Name)
+	for _, w := range q.c.Workers {
+		var op exec.Operator
+		if x.Table.Columnar {
+			fr := w.colFrags[name]
+			if fr == nil {
+				return nil, nil, fmt.Errorf("cluster: worker %d has no fragment of %s", w.ID, name)
+			}
+			op = exec.NewColumnarScan(fr, x.Alias, cfg)
+		} else {
+			fr := w.frags[name]
+			if fr == nil {
+				return nil, nil, fmt.Errorf("cluster: worker %d has no fragment of %s", w.ID, name)
+			}
+			op = exec.NewRowScan(fr, x.Alias, cfg)
+		}
+		ds.ops = append(ds.ops, op)
+	}
+	switch {
+	case x.Table.Part.Kind == catalog.PartReplicated:
+		ds.dist = distInfo{kind: distReplicated}
+	case x.Table.Part.Kind == catalog.PartHash && q.prof.EnforceLocality:
+		cols := make([]string, len(x.Table.Part.Cols))
+		for i, c := range x.Table.Part.Cols {
+			cols[i] = x.Alias + "." + strings.ToLower(c)
+		}
+		ds.dist = distInfo{kind: distPartitioned, cols: cols}
+	default:
+		ds.dist = distInfo{kind: distRandom}
+	}
+	return ds, nil, nil
+}
+
+// keyNames extracts qualified column names from plain-column key exprs;
+// ok=false when any key is a computed expression.
+func keyNames(keys []expr.Expr) ([]string, bool) {
+	out := make([]string, len(keys))
+	for i, k := range keys {
+		c, isCol := k.(*expr.Col)
+		if !isCol || c.Name == "" {
+			return nil, false
+		}
+		out[i] = strings.ToLower(c.Name)
+	}
+	return out, true
+}
+
+// distMatches reports whether a stream partitioned on dist.cols satisfies
+// a requirement to be partitioned on req (the paper's shuffle elimination:
+// equality on the existing partition columns implies co-location; we use
+// exact sequence match of the hash key).
+func distMatches(d distInfo, req []string, sch types.Schema) bool {
+	if d.kind != distPartitioned || len(d.cols) != len(req) {
+		return false
+	}
+	for i := range req {
+		if !sameColumn(d.cols[i], req[i], sch) {
+			return false
+		}
+	}
+	return true
+}
+
+// sameColumn matches possibly differently-qualified names resolving to the
+// same schema position.
+func sameColumn(a, b string, sch types.Schema) bool {
+	if strings.EqualFold(a, b) {
+		return true
+	}
+	ia, ib := sch.Find(a), sch.Find(b)
+	return ia >= 0 && ia == ib
+}
+
+func (q *queryExec) distributeJoin(x *plan.Join) (*dstream, exec.Operator, error) {
+	left, leftCoord, err := q.distribute(x.Left)
+	if err != nil {
+		return nil, nil, err
+	}
+	right, rightCoord, err := q.distribute(x.Right)
+	if err != nil {
+		return nil, nil, err
+	}
+	par := q.prof.ProbeParallelism
+	// Any side already on the coordinator → finish there.
+	if leftCoord != nil || rightCoord != nil {
+		if leftCoord == nil {
+			leftCoord = q.gatherPlain(left)
+		}
+		if rightCoord == nil {
+			rightCoord = q.gatherPlain(right)
+		}
+		return nil, q.makeJoin(nil, leftCoord, rightCoord, x, par), nil
+	}
+	// No equality keys: non-equi join on the coordinator.
+	if len(x.EquiLeft) == 0 {
+		return nil, exec.NewNestedLoopJoin(nil, q.gatherPlain(left), q.gatherPlain(right), x.Residual, x.Type), nil
+	}
+
+	leftNames, leftPlain := keyNames(x.EquiLeft)
+	rightNames, rightPlain := keyNames(x.EquiRight)
+
+	join := func(l, r *dstream, d distInfo) *dstream {
+		out := &dstream{sch: x.Schema(), dist: d}
+		for wi := range q.c.Workers {
+			out.ops = append(out.ops, q.makeJoin(q.c.Workers[wi].execCtx, l.ops[wi], r.ops[wi], x, par))
+		}
+		return out
+	}
+
+	switch {
+	case right.dist.kind == distReplicated:
+		// Build side replicated: co-located join everywhere; output keeps
+		// the probe side's distribution.
+		return join(left, right, left.dist), nil, nil
+	case left.dist.kind == distReplicated && x.Type == exec.JoinInner:
+		// Probe side replicated: each worker probes its replica against
+		// its partition of the build side; build rows partition, so no
+		// duplicates arise.
+		return join(left, right, right.dist), nil, nil
+	case left.dist.kind == distReplicated:
+		// Semi/anti with replicated probe would duplicate output rows;
+		// run on the coordinator (rare).
+		return nil, q.makeJoin(nil, q.gatherPlain(left), q.gatherPlain(right), x, par), nil
+	}
+
+	// Both partitioned/random: exploit or create co-location.
+	leftOK := q.prof.EnforceLocality && leftPlain && distMatches(left.dist, leftNames, x.Left.Schema())
+	rightOK := q.prof.EnforceLocality && rightPlain && distMatches(right.dist, rightNames, x.Right.Schema())
+	if !leftOK {
+		left, err = q.shuffle(left, x.EquiLeft, leftNames)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	if !rightOK {
+		right, err = q.shuffle(right, x.EquiRight, rightNames)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	outDist := distInfo{kind: distRandom}
+	if leftPlain {
+		outDist = distInfo{kind: distPartitioned, cols: leftNames}
+	}
+	return join(left, right, outDist), nil, nil
+}
+
+func (q *queryExec) makeJoin(ctx *exec.Ctx, l, r exec.Operator, x *plan.Join, par int) exec.Operator {
+	if len(x.EquiLeft) == 0 {
+		return exec.NewNestedLoopJoin(ctx, l, r, x.Residual, x.Type)
+	}
+	return exec.NewHashJoin(ctx, l, r, x.EquiLeft, x.EquiRight, x.Type, x.Residual, par)
+}
+
+// shuffle repartitions a stream on key expressions; the result is
+// partitioned on the given column names (nil if keys are computed).
+func (q *queryExec) shuffle(ds *dstream, keys []expr.Expr, names []string) (*dstream, error) {
+	ch := q.channel("x")
+	spec := exec.ShuffleSpec{
+		Channel:      ch,
+		Nodes:        q.c.WorkerIDs(),
+		Nmax:         q.c.Cfg.Nmax,
+		Hierarchical: q.prof.HierarchicalShuffle,
+	}
+	out := &dstream{sch: ds.sch, dist: distInfo{kind: distRandom}}
+	if names != nil {
+		out.dist = distInfo{kind: distPartitioned, cols: names}
+	}
+	for wi, op := range ds.ops {
+		w := q.c.Workers[wi]
+		in := op
+		if q.prof.BlockingShuffle {
+			// MapReduce-style: materialize (and implicitly sort boundary)
+			// before sending.
+			in = exec.NewMaterialize(w.execCtx, in, true)
+		}
+		sh, err := exec.NewShuffle(w.Ep, spec, in, keys, ds.sch)
+		if err != nil {
+			return nil, err
+		}
+		var recv exec.Operator = sh
+		if q.prof.MaterializeShuffle {
+			recv = exec.NewMaterialize(w.execCtx, recv, true)
+		}
+		out.ops = append(out.ops, recv)
+	}
+	return out, nil
+}
+
+func (q *queryExec) distributeAgg(x *plan.Agg) (*dstream, exec.Operator, error) {
+	ds, coordOp, err := q.distribute(x.Child)
+	if err != nil {
+		return nil, nil, err
+	}
+	specs := make([]exec.AggSpec, len(x.Aggs))
+	hasDistinct := false
+	for i, a := range x.Aggs {
+		specs[i] = exec.AggSpec{Kind: a.Kind, Arg: a.Arg, Distinct: a.Distinct, Name: a.Name}
+		if a.Distinct {
+			hasDistinct = true
+		}
+	}
+	if coordOp != nil {
+		return nil, exec.NewHashAggregate(nil, coordOp, x.GroupBy, specs, exec.AggComplete), nil
+	}
+	groupNames, groupPlain := keyNames(x.GroupBy)
+
+	// Replicated input: aggregate one replica locally.
+	if ds.dist.kind == distReplicated {
+		return nil, exec.NewHashAggregate(nil, q.pickOne(ds), x.GroupBy, specs, exec.AggComplete), nil
+	}
+
+	// Co-located: input partitioned on a prefix/subset of the group key →
+	// groups never span workers; aggregate locally (shuffle eliminated).
+	if q.prof.EnforceLocality && groupPlain && len(x.GroupBy) > 0 &&
+		coveredBy(ds.dist, groupNames, x.Child.Schema()) {
+		out := &dstream{sch: x.Schema(), dist: distInfo{kind: distPartitioned, cols: aggOutCols(x, groupNames)}}
+		for wi, op := range ds.ops {
+			out.ops = append(out.ops, exec.NewHashAggregate(q.c.Workers[wi].execCtx, op, x.GroupBy, specs, exec.AggComplete))
+		}
+		return out, nil, nil
+	}
+
+	// DISTINCT aggregates cannot pre-aggregate; shuffle by group key.
+	if hasDistinct && len(x.GroupBy) > 0 {
+		shuffled, err := q.shuffle(ds, x.GroupBy, groupNames)
+		if err != nil {
+			return nil, nil, err
+		}
+		out := &dstream{sch: x.Schema(), dist: distInfo{kind: distPartitioned, cols: aggOutCols(x, groupNames)}}
+		for wi, op := range shuffled.ops {
+			out.ops = append(out.ops, exec.NewHashAggregate(q.c.Workers[wi].execCtx, op, x.GroupBy, specs, exec.AggComplete))
+		}
+		return out, nil, nil
+	}
+	if hasDistinct {
+		// Scalar DISTINCT aggregate: gather raw rows.
+		return nil, exec.NewHashAggregate(nil, q.gatherPlain(ds), x.GroupBy, specs, exec.AggComplete), nil
+	}
+
+	// Scalar aggregates (no GROUP BY) always pre-aggregate per worker and
+	// finalize at the coordinator — merged over the tree topology when the
+	// profile allows, direct otherwise.
+	if len(x.GroupBy) == 0 {
+		if q.prof.PreAggTree {
+			return nil, q.treeAggregate(ds, x, specs), nil
+		}
+		partials := make([]exec.Operator, len(ds.ops))
+		for wi, op := range ds.ops {
+			partials[wi] = exec.NewHashAggregate(q.c.Workers[wi].execCtx, op, nil, specs, exec.AggPartial)
+		}
+		gathered := q.gatherPlain(&dstream{ops: partials, sch: partials[0].Schema()})
+		return nil, exec.NewHashAggregate(nil, gathered, nil, specs, exec.AggFinal), nil
+	}
+
+	// Cost-based choice (phase 3): pre-aggregation + tree merge when the
+	// estimated number of groups is small (Section IV/V); shuffle-based
+	// grouping when groups are many (the Q18 case: 1.5B groups).
+	est := &opt.Estimator{Cat: q.c.Catalog()}
+	groups := est.Estimate(x)
+	preAggLimit := 64.0 * 1024
+	if q.prof.PreAggTree && groups <= preAggLimit {
+		return nil, q.treeAggregate(ds, x, specs), nil
+	}
+	// Shuffle group-by.
+	shuffled, err := q.shuffle(ds, x.GroupBy, groupNames)
+	if err != nil {
+		return nil, nil, err
+	}
+	out := &dstream{sch: x.Schema(), dist: distInfo{kind: distRandom}}
+	if groupPlain {
+		out.dist = distInfo{kind: distPartitioned, cols: aggOutCols(x, groupNames)}
+	}
+	for wi, op := range shuffled.ops {
+		out.ops = append(out.ops, exec.NewHashAggregate(q.c.Workers[wi].execCtx, op, x.GroupBy, specs, exec.AggComplete))
+	}
+	return out, nil, nil
+}
+
+// aggOutCols maps group input names to the aggregate's output column names.
+func aggOutCols(x *plan.Agg, groupNames []string) []string {
+	out := make([]string, len(groupNames))
+	for i := range groupNames {
+		out[i] = strings.ToLower(x.Schema().Cols[i].Name)
+	}
+	return out
+}
+
+// coveredBy reports whether dist's columns all appear among the group
+// columns (then each group lives on exactly one worker).
+func coveredBy(d distInfo, groupNames []string, sch types.Schema) bool {
+	if d.kind != distPartitioned || len(d.cols) == 0 {
+		return false
+	}
+	for _, dc := range d.cols {
+		found := false
+		for _, g := range groupNames {
+			if sameColumn(dc, g, sch) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// treeAggregate splits the aggregation into worker partials merged up the
+// tree topology to the coordinator, which finalizes.
+func (q *queryExec) treeAggregate(ds *dstream, x *plan.Agg, specs []exec.AggSpec) exec.Operator {
+	partials := make([]exec.Operator, len(ds.ops))
+	for wi, op := range ds.ops {
+		partials[wi] = exec.NewHashAggregate(q.c.Workers[wi].execCtx, op, x.GroupBy, specs, exec.AggPartial)
+	}
+	// Group columns are positional in the partial output.
+	groupRefs := exec.ColRefs(allIdx(len(x.GroupBy))...)
+	combine := func(ins []exec.Operator) exec.Operator {
+		return exec.NewHashAggregate(nil, exec.NewUnion(ins...), groupRefs, specs, exec.AggMerge)
+	}
+	tree := q.gatherTree(&dstream{ops: partials, sch: partials[0].Schema()}, combine)
+	return exec.NewHashAggregate(nil, tree, groupRefs, specs, exec.AggFinal)
+}
+
+func (q *queryExec) distributeLimit(x *plan.Limit) (*dstream, exec.Operator, error) {
+	// Sort directly below: the paper's heap-based distributed top-k.
+	if s, ok := x.Child.(*plan.Sort); ok && x.Offset == 0 {
+		ds, coordOp, err := q.distribute(s.Child)
+		if err != nil {
+			return nil, nil, err
+		}
+		keys := planSortKeys(s.Keys)
+		if coordOp != nil {
+			return nil, exec.NewTopK(nil, coordOp, keys, int(x.N)), nil
+		}
+		local := make([]exec.Operator, len(ds.ops))
+		for wi, op := range ds.ops {
+			local[wi] = exec.NewTopK(q.c.Workers[wi].execCtx, op, keys, int(x.N))
+		}
+		merged := q.gatherOrdered(&dstream{ops: local, sch: ds.sch}, keys)
+		return nil, exec.NewLimit(merged, x.N, 0), nil
+	}
+	ds, coordOp, err := q.distribute(x.Child)
+	if err != nil {
+		return nil, nil, err
+	}
+	if coordOp != nil {
+		return nil, exec.NewLimit(coordOp, x.N, x.Offset), nil
+	}
+	// Any N+offset rows per worker suffice; trim on the coordinator.
+	local := make([]exec.Operator, len(ds.ops))
+	for wi, op := range ds.ops {
+		local[wi] = exec.NewLimit(op, x.N+x.Offset, 0)
+	}
+	return nil, exec.NewLimit(q.gatherPlain(&dstream{ops: local, sch: ds.sch}), x.N, x.Offset), nil
+}
+
+// pickOne selects worker 0's replica of a replicated stream and drops the
+// rest (the paper assigns replicated-table scans to one worker).
+func (q *queryExec) pickOne(ds *dstream) exec.Operator {
+	ch := q.channel("one")
+	w := q.c.Workers[0]
+	return &workerDriver{
+		coordSide: func() exec.Operator { return exec.NewRecv(q.coord.Ep, ch, 1, ds.sch) },
+		launch: func() []func() error {
+			return []func() error{func() error {
+				return exec.SendAll(w.Ep, q.coord.ID, ch, ds.ops[0])
+			}}
+		},
+	}
+}
+
+// gatherPlain brings a worker stream to the coordinator, unordered.
+func (q *queryExec) gatherPlain(ds *dstream) exec.Operator {
+	ch := q.channel("g")
+	coordEp := q.coord.Ep
+	coordID := q.coord.ID
+	return &workerDriver{
+		coordSide: func() exec.Operator {
+			return exec.NewRecv(coordEp, ch, len(ds.ops), ds.sch)
+		},
+		launch: func() []func() error {
+			var fns []func() error
+			for wi := range ds.ops {
+				w := q.c.Workers[wi]
+				op := ds.ops[wi]
+				fns = append(fns, func() error {
+					return exec.SendAll(w.Ep, coordID, ch, op)
+				})
+			}
+			return fns
+		},
+	}
+}
+
+// gatherOrdered preserves per-worker order with an ordered merge at the
+// coordinator (distributed merge sort's final phase).
+func (q *queryExec) gatherOrdered(ds *dstream, keys []exec.SortKey) exec.Operator {
+	base := q.channel("m")
+	coordEp := q.coord.Ep
+	coordID := q.coord.ID
+	return &workerDriver{
+		coordSide: func() exec.Operator {
+			ins := make([]exec.Operator, len(ds.ops))
+			for wi := range ds.ops {
+				ins[wi] = exec.NewRecv(coordEp, fmt.Sprintf("%s.%d", base, wi), 1, ds.sch)
+			}
+			return exec.NewMergeOperators(ins, keys)
+		},
+		launch: func() []func() error {
+			var fns []func() error
+			for wi := range ds.ops {
+				w := q.c.Workers[wi]
+				op := ds.ops[wi]
+				ch := fmt.Sprintf("%s.%d", base, wi)
+				fns = append(fns, func() error {
+					return exec.SendAll(w.Ep, coordID, ch, op)
+				})
+			}
+			return fns
+		},
+	}
+}
+
+// gatherTree runs a tree-topology reduction with the coordinator as root
+// (hierarchical aggregation; Section IV).
+func (q *queryExec) gatherTree(ds *dstream, combine func([]exec.Operator) exec.Operator) exec.Operator {
+	ch := q.channel("t")
+	spec := exec.TreeReduceSpec{
+		Channel: ch,
+		Nodes:   append([]int{q.coord.ID}, q.c.WorkerIDs()...),
+		Nmax:    q.c.Cfg.Nmax,
+	}
+	coordEp := q.coord.Ep
+	return &workerDriver{
+		coordSide: func() exec.Operator {
+			op, err := exec.RunTreeReduce(coordEp, spec, exec.NewSource(ds.sch, nil), combine)
+			if err != nil || op == nil {
+				return exec.NewSource(ds.sch, nil)
+			}
+			return op
+		},
+		launch: func() []func() error {
+			var fns []func() error
+			for wi := range ds.ops {
+				w := q.c.Workers[wi]
+				op := ds.ops[wi]
+				fns = append(fns, func() error {
+					_, err := exec.RunTreeReduce(w.Ep, spec, op, combine)
+					return err
+				})
+			}
+			return fns
+		},
+	}
+}
+
+// workerDriver is a coordinator-side operator that launches the worker
+// goroutines of a gather when opened and surfaces their errors.
+type workerDriver struct {
+	coordSide func() exec.Operator
+	launch    func() []func() error
+
+	op      exec.Operator
+	errs    chan error
+	pending int
+	mu      sync.Mutex
+	firstE  error
+}
+
+// Schema implements exec.Operator.
+func (d *workerDriver) Schema() types.Schema {
+	if d.op == nil {
+		d.op = d.coordSide()
+	}
+	return d.op.Schema()
+}
+
+// Open implements exec.Operator.
+func (d *workerDriver) Open() error {
+	d.op = d.coordSide()
+	if err := d.op.Open(); err != nil {
+		return err
+	}
+	fns := d.launch()
+	d.errs = make(chan error, len(fns))
+	d.pending = len(fns)
+	for _, fn := range fns {
+		go func(fn func() error) { d.errs <- fn() }(fn)
+	}
+	return nil
+}
+
+// Next implements exec.Operator.
+func (d *workerDriver) Next() (types.Row, bool, error) {
+	r, ok, err := d.op.Next()
+	if err != nil {
+		return nil, false, err
+	}
+	if ok {
+		return r, true, nil
+	}
+	// Stream finished: collect worker outcomes.
+	for d.pending > 0 {
+		if e := <-d.errs; e != nil && d.firstE == nil {
+			d.firstE = e
+		}
+		d.pending--
+	}
+	return nil, false, d.firstE
+}
+
+// Close implements exec.Operator.
+func (d *workerDriver) Close() error {
+	if d.op != nil {
+		return d.op.Close()
+	}
+	return nil
+}
+
+// renameSchema overrides an operator's reported schema.
+func renameSchema(op exec.Operator, sch types.Schema) exec.Operator {
+	return &schemaOverride{Operator: op, sch: sch}
+}
+
+type schemaOverride struct {
+	exec.Operator
+	sch types.Schema
+}
+
+func (s *schemaOverride) Schema() types.Schema { return s.sch }
+
+// mapColsByPosition renames dist columns positionally between two schemas.
+func mapColsByPosition(cols []string, from, to types.Schema) []string {
+	out := make([]string, 0, len(cols))
+	for _, c := range cols {
+		idx := from.Find(c)
+		if idx < 0 || idx >= to.Len() {
+			return nil
+		}
+		out = append(out, strings.ToLower(to.Cols[idx].Name))
+	}
+	return out
+}
+
+// projectDist tracks partitioning columns through a projection: each dist
+// column must appear as a plain passthrough column.
+func projectDist(d distInfo, p *plan.Project) distInfo {
+	if d.kind != distPartitioned {
+		return d
+	}
+	childSch := p.Child.Schema()
+	out := distInfo{kind: distPartitioned}
+	for _, dc := range d.cols {
+		idx := childSch.Find(dc)
+		mapped := ""
+		for i, e := range p.Exprs {
+			if c, ok := e.(*expr.Col); ok && c.Index == idx {
+				mapped = strings.ToLower(p.Schema().Cols[i].Name)
+				break
+			}
+		}
+		if mapped == "" {
+			return distInfo{kind: distRandom}
+		}
+		out.cols = append(out.cols, mapped)
+	}
+	return out
+}

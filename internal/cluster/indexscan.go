@@ -1,0 +1,177 @@
+package cluster
+
+import (
+	"strings"
+
+	"repro/internal/catalog"
+	"repro/internal/exec"
+	"repro/internal/expr"
+	"repro/internal/page"
+	"repro/internal/plan"
+	"repro/internal/skipcache"
+	"repro/internal/storage"
+	"repro/internal/types"
+)
+
+// Index-backed scans: the paper's phase-1 optimizer chooses between table
+// and index scans. We apply the rule at distribution time: when a scan's
+// predicate contains an equality on the leading column of a worker-local
+// B+-tree (or skip-list) index and the equality is estimated highly
+// selective, each worker probes its index instead of scanning pages.
+
+// indexMatch describes a usable index access path for a scan.
+type indexMatch struct {
+	def *catalog.IndexDef
+	key types.Value // equality constant on the leading index column
+}
+
+// findIndexPath looks for an equality conjunct col = const where col is
+// the leading column of an index on the table.
+func (q *queryExec) findIndexPath(x *plan.Scan) *indexMatch {
+	if x.Pred == nil {
+		return nil
+	}
+	conj, _ := expr.ToSkipConj(x.Pred)
+	indexes := q.c.Catalog().IndexesOn(x.Table.Name)
+	for _, p := range conj {
+		if p.Op != skipcache.OpEq {
+			continue
+		}
+		bare := strings.ToLower(p.Col)
+		if i := strings.LastIndexByte(bare, '.'); i >= 0 {
+			bare = bare[i+1:]
+		}
+		for _, idx := range indexes {
+			if len(idx.Cols) >= 1 && strings.EqualFold(idx.Cols[0], bare) {
+				return &indexMatch{def: idx, key: p.Val}
+			}
+		}
+	}
+	return nil
+}
+
+// indexScanOp probes one worker's index and re-fetches rows by RID,
+// applying the scan's full residual predicate.
+type indexScanOp struct {
+	w    *Worker
+	fr   *storage.Fragment
+	def  *catalog.IndexDef
+	key  types.Value
+	pred expr.Expr
+	sch  types.Schema
+
+	rows []types.Row
+	pos  int
+}
+
+// Schema implements exec.Operator.
+func (s *indexScanOp) Schema() types.Schema { return s.sch }
+
+// Open implements exec.Operator: the probe happens here.
+func (s *indexScanOp) Open() error {
+	s.rows, s.pos = nil, 0
+	var rids []page.RID
+	var err error
+	if bt := s.w.btreeIdx[s.def.Name]; bt != nil {
+		rids, err = bt.Search(types.Row{s.key})
+	} else if sl := s.w.skipIdx[s.def.Name]; sl != nil {
+		rids, err = sl.Search(types.Row{s.key})
+	} else {
+		return nil // index not built on this worker: no rows here
+	}
+	if err != nil {
+		return err
+	}
+	for _, rid := range rids {
+		r, ok, err := s.fr.Get(rid)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			continue // tombstoned since indexing (logical delete)
+		}
+		if s.pred != nil {
+			keep, err := expr.EvalBool(s.pred, r)
+			if err != nil {
+				return err
+			}
+			if !keep {
+				continue
+			}
+		}
+		s.rows = append(s.rows, r)
+	}
+	return nil
+}
+
+// Next implements exec.Operator.
+func (s *indexScanOp) Next() (types.Row, bool, error) {
+	if s.pos >= len(s.rows) {
+		return nil, false, nil
+	}
+	r := s.rows[s.pos]
+	s.pos++
+	return r, true, nil
+}
+
+// Close implements exec.Operator.
+func (s *indexScanOp) Close() error { return nil }
+
+// maintainIndexes applies an insert or delete to every index on a table
+// for one worker. Index updates piggyback on the data transaction's page
+// writes; after a crash, indexes are rebuilt from the fragments (the
+// standard recovery simplification — see DESIGN.md).
+func (w *Worker) maintainIndexes(c *catalog.Catalog, tbl *catalog.TableDef, r types.Row, rid page.RID, insert bool) error {
+	for _, idx := range c.IndexesOn(tbl.Name) {
+		offs, err := tbl.ColOffsets(idx.Cols)
+		if err != nil {
+			return err
+		}
+		key := r.Project(offs)
+		if bt := w.btreeIdx[idx.Name]; bt != nil {
+			if insert {
+				if err := bt.Insert(key, rid); err != nil {
+					return err
+				}
+			} else if _, err := bt.Delete(key, rid); err != nil {
+				return err
+			}
+		} else if sl := w.skipIdx[idx.Name]; sl != nil {
+			if insert {
+				if err := sl.Insert(key, rid); err != nil {
+					return err
+				}
+			} else if _, err := sl.Delete(key, rid); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// indexScan builds the per-worker index-backed stream for a scan node.
+func (q *queryExec) indexScan(x *plan.Scan, m *indexMatch) (*dstream, error) {
+	ds := &dstream{sch: x.Schema()}
+	name := lower(x.Table.Name)
+	for _, w := range q.c.Workers {
+		fr := w.frags[name]
+		ds.ops = append(ds.ops, &indexScanOp{
+			w: w, fr: fr, def: m.def, key: m.key, pred: x.Pred, sch: x.Schema(),
+		})
+	}
+	switch {
+	case x.Table.Part.Kind == catalog.PartReplicated:
+		ds.dist = distInfo{kind: distReplicated}
+	case x.Table.Part.Kind == catalog.PartHash && q.prof.EnforceLocality:
+		cols := make([]string, len(x.Table.Part.Cols))
+		for i, col := range x.Table.Part.Cols {
+			cols[i] = x.Alias + "." + strings.ToLower(col)
+		}
+		ds.dist = distInfo{kind: distPartitioned, cols: cols}
+	default:
+		ds.dist = distInfo{kind: distRandom}
+	}
+	return ds, nil
+}
+
+var _ exec.Operator = (*indexScanOp)(nil)

@@ -1,0 +1,131 @@
+package cluster
+
+import (
+	"repro/internal/plan"
+	"repro/internal/types"
+)
+
+// RunMetrics captures what one query execution did across the cluster —
+// the real, counted quantities the performance model converts into
+// simulated cluster-scale time.
+type RunMetrics struct {
+	// CPU work: rows flowing through operators.
+	WorkRows int64
+	// ScanRows is rows produced by table scans (cheaper per row than
+	// operator work; zero for pages avoided by data skipping).
+	ScanRows int64
+	// Disk: pages touched by scans, and pages skipped by data skipping.
+	PagesRead    int64
+	PagesSkipped int64
+	PageBytes    int64 // PagesRead × page size
+	// Spill/materialization volume (blocking shuffles, Grace joins,
+	// external sorts).
+	SpillBytes int64
+	// Peak-ish operator state (hash tables, group tables, sort buffers):
+	// the per-query memory working set, summed across workers.
+	StateBytes int64
+	// Network.
+	NetBytes    int64
+	NetMessages int64
+	Connections int
+	MaxDegree   int
+	// Plan shape.
+	Exchanges  int // number of exchange (shuffle/gather) boundaries
+	ResultRows int
+}
+
+// RunMetered executes a plan and reports metrics. Counters are deltas over
+// this query only (the fabric meter is reset; worker counters are diffed).
+func (c *Cluster) RunMetered(root plan.Node) ([]types.Row, RunMetrics, error) {
+	c.Fabric.Meter().Reset()
+	type snap struct {
+		rows, spill, state, scanned, pagesRead int64
+	}
+	before := make([]snap, len(c.Workers))
+	var skippedBefore int64
+	for i, w := range c.Workers {
+		bs := w.Store.Buf.Stats()
+		before[i] = snap{
+			rows:      w.execCtx.RowsProcessed.Load(),
+			spill:     w.execCtx.SpillBytes.Load(),
+			state:     w.execCtx.StateBytes.Load(),
+			scanned:   w.Store.RowsScanned.Load(),
+			pagesRead: bs.Hits + bs.Misses, // logical page accesses
+		}
+	}
+	skippedBefore = c.totalSkipped()
+
+	q := &queryExec{c: c, coord: c.Coords[0], qid: c.querySeq.Add(1), prof: c.Cfg.Profile}
+	var m RunMetrics
+	if err := q.materializeScalars(root); err != nil {
+		return nil, m, err
+	}
+	ds, coordOp, err := q.distribute(root)
+	if err != nil {
+		return nil, m, err
+	}
+	if coordOp == nil {
+		coordOp = q.gatherPlain(ds)
+	}
+	rows, err := collectRows(coordOp)
+	if err != nil {
+		return nil, m, err
+	}
+
+	meter := c.Fabric.Meter()
+	m.NetBytes = meter.TotalBytes()
+	m.NetMessages = meter.TotalMessages()
+	m.Connections = meter.Connections()
+	m.MaxDegree = meter.MaxNodeDegree()
+	m.Exchanges = q.xseq
+	m.ResultRows = len(rows)
+	for i, w := range c.Workers {
+		m.WorkRows += w.execCtx.RowsProcessed.Load() - before[i].rows
+		m.SpillBytes += w.execCtx.SpillBytes.Load() - before[i].spill
+		m.StateBytes += w.execCtx.StateBytes.Load() - before[i].state
+		m.ScanRows += w.Store.RowsScanned.Load() - before[i].scanned
+		bs := w.Store.Buf.Stats()
+		m.PagesRead += (bs.Hits + bs.Misses) - before[i].pagesRead
+	}
+	m.PagesSkipped = c.totalSkipped() - skippedBefore
+	m.PageBytes = m.PagesRead * int64(c.Cfg.PageSize)
+	return rows, m, nil
+}
+
+// totalSkipped sums predicate-cache skip decisions across fragments.
+func (c *Cluster) totalSkipped() int64 {
+	var total int64
+	for _, w := range c.Workers {
+		for _, fr := range w.frags {
+			h, _ := fr.PredCache.Stats()
+			total += h + fr.MinMax.Hits()
+		}
+		for _, fr := range w.colFrags {
+			h, _ := fr.PredCache.Stats()
+			total += h + fr.MinMax.Hits()
+		}
+	}
+	return total
+}
+
+func collectRows(op interface {
+	Open() error
+	Next() (types.Row, bool, error)
+	Close() error
+}) ([]types.Row, error) {
+	if err := op.Open(); err != nil {
+		return nil, err
+	}
+	defer op.Close()
+	var out []types.Row
+	for {
+		r, ok, err := op.Next()
+		if err != nil {
+			return out, err
+		}
+		if !ok {
+			return out, nil
+		}
+		out = append(out, r)
+	}
+}

@@ -1,0 +1,641 @@
+package cluster
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/catalog"
+	"repro/internal/exec"
+	"repro/internal/expr"
+	"repro/internal/index"
+	"repro/internal/opt"
+	"repro/internal/page"
+	"repro/internal/plan"
+	"repro/internal/sqlparse"
+	"repro/internal/storage"
+	"repro/internal/types"
+)
+
+// Result is the outcome of one SQL statement.
+type Result struct {
+	Schema  types.Schema
+	Rows    []types.Row
+	Message string
+}
+
+// ExecSQL parses and executes one SQL statement against the cluster. Reads
+// are planned by the coordinator's optimizer and executed across the
+// workers; DML runs under a distributed transaction committed with
+// hierarchical 2PC; DDL synchronizes coordinator metadata replicas.
+func (c *Cluster) ExecSQL(sql string) (*Result, error) {
+	stmt, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	switch x := stmt.(type) {
+	case *sqlparse.Select:
+		return c.runSelect(x)
+	case *sqlparse.Explain:
+		return c.explain(x.Query)
+	case *sqlparse.CreateTable:
+		return c.createTableStmt(x)
+	case *sqlparse.DropTable:
+		for _, cn := range c.Coords {
+			if err := cn.Cat.DropTable(x.Name); err != nil {
+				return nil, err
+			}
+		}
+		for _, w := range c.Workers {
+			delete(w.frags, lower(x.Name))
+			delete(w.colFrags, lower(x.Name))
+		}
+		return &Result{Message: fmt.Sprintf("table %s dropped", x.Name)}, nil
+	case *sqlparse.CreateIndex:
+		return c.createIndexStmt(x)
+	case *sqlparse.Insert:
+		return c.insertStmt(x)
+	case *sqlparse.Delete:
+		return c.deleteStmt(x)
+	case *sqlparse.Update:
+		return c.updateStmt(x)
+	case *sqlparse.Analyze:
+		return c.analyzeStmt(x)
+	case *sqlparse.Reorganize:
+		return c.reorganizeStmt(x)
+	default:
+		return nil, fmt.Errorf("cluster: unsupported statement %T", stmt)
+	}
+}
+
+// Plan builds and optimizes the logical plan for a SELECT.
+func (c *Cluster) Plan(sel *sqlparse.Select) (plan.Node, error) {
+	node, err := plan.Build(sel, c.Catalog())
+	if err != nil {
+		return nil, err
+	}
+	return opt.Optimize(node, c.Catalog())
+}
+
+func (c *Cluster) runSelect(sel *sqlparse.Select) (*Result, error) {
+	// Spread read queries over the coordinators (Section I: multiple
+	// coordinators process requests in parallel; results route through the
+	// coordinator that planned the query).
+	coord := c.Coords[int(c.coordSeq.Add(1))%len(c.Coords)]
+	node, err := plan.Build(sel, coord.Cat)
+	if err != nil {
+		return nil, err
+	}
+	node, err = opt.Optimize(node, coord.Cat)
+	if err != nil {
+		return nil, err
+	}
+	op, err := c.CompileDistributedOn(coord, node)
+	if err != nil {
+		return nil, err
+	}
+	rows, err := exec.Collect(op)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Schema: node.Schema(), Rows: rows}, nil
+}
+
+func (c *Cluster) explain(sel *sqlparse.Select) (*Result, error) {
+	node, err := c.Plan(sel)
+	if err != nil {
+		return nil, err
+	}
+	var rows []types.Row
+	for _, line := range strings.Split(strings.TrimRight(plan.Explain(node), "\n"), "\n") {
+		rows = append(rows, types.Row{types.NewString(line)})
+	}
+	return &Result{
+		Schema: types.NewSchema(types.Column{Name: "plan", Kind: types.KindString}),
+		Rows:   rows,
+	}, nil
+}
+
+func (c *Cluster) createTableStmt(x *sqlparse.CreateTable) (*Result, error) {
+	def := &catalog.TableDef{
+		Name:        strings.ToLower(x.Name),
+		Schema:      types.Schema{Cols: x.Cols},
+		Columnar:    x.Columnar,
+		ClusterCols: x.ClusterCols,
+	}
+	switch x.PartKind {
+	case "HASH":
+		def.Part = catalog.Partitioning{Kind: catalog.PartHash, Cols: x.PartCols}
+	case "RANGE":
+		def.Part = catalog.Partitioning{Kind: catalog.PartRange, Cols: x.PartCols, Bounds: x.RangeBounds}
+	case "REPLICATED":
+		def.Part = catalog.Partitioning{Kind: catalog.PartReplicated}
+	default:
+		return nil, fmt.Errorf("cluster: unknown partitioning %q", x.PartKind)
+	}
+	if err := c.CreateTable(def); err != nil {
+		return nil, err
+	}
+	return &Result{Message: fmt.Sprintf("table %s created", def.Name)}, nil
+}
+
+func (c *Cluster) createIndexStmt(x *sqlparse.CreateIndex) (*Result, error) {
+	kind := catalog.IndexBTree
+	if x.Using == "SKIPLIST" {
+		kind = catalog.IndexSkipList
+	}
+	def := &catalog.IndexDef{Name: strings.ToLower(x.Name), Table: strings.ToLower(x.Table), Cols: x.Cols, Kind: kind}
+	for _, cn := range c.Coords {
+		if err := cn.Cat.CreateIndex(def); err != nil {
+			return nil, err
+		}
+	}
+	// Build the index on every worker's fragment.
+	tbl, err := c.Catalog().Table(x.Table)
+	if err != nil {
+		return nil, err
+	}
+	if tbl.Columnar {
+		return nil, fmt.Errorf("cluster: secondary indexes require row tables")
+	}
+	offs, err := tbl.ColOffsets(x.Cols)
+	if err != nil {
+		return nil, err
+	}
+	total := 0
+	for _, w := range c.Workers {
+		n, err := w.buildIndex(def, tbl, offs, c.Cfg.PageSize)
+		if err != nil {
+			return nil, err
+		}
+		total += n
+	}
+	return &Result{Message: fmt.Sprintf("index %s created (%d entries)", def.Name, total)}, nil
+}
+
+// buildIndex scans the worker's fragment into a fresh disk index.
+func (w *Worker) buildIndex(def *catalog.IndexDef, tbl *catalog.TableDef, offs []int, pageSize int) (int, error) {
+	if pageSize == 0 {
+		pageSize = w.Store.PageSize()
+	}
+	fileID, err := w.Store.OpenFile(0, def.Name+".idx", true)
+	if err != nil {
+		return 0, err
+	}
+	space := index.NewBufferSpace(w.Store.Buf, fileID, w.Store.PageSize(), 0)
+	insert := func(fn func(key types.Row, rid page.RID) error) (int, error) {
+		count := 0
+		fr := w.frags[lower(tbl.Name)]
+		_, err := fr.Scan(storage.ScanOptions{}, func(rid page.RID, r types.Row) bool {
+			if err := fn(r.Project(offs), rid); err != nil {
+				return false
+			}
+			count++
+			return true
+		})
+		return count, err
+	}
+	if def.Kind == catalog.IndexSkipList {
+		sl, err := index.CreateSkipList(space)
+		if err != nil {
+			return 0, err
+		}
+		w.skipIdx[def.Name] = sl
+		return insert(sl.Insert)
+	}
+	bt, err := index.CreateBTree(space)
+	if err != nil {
+		return 0, err
+	}
+	w.btreeIdx[def.Name] = bt
+	return insert(bt.Insert)
+}
+
+// IndexLookup searches a named index on every worker, returning matching
+// rows (the disk-resident index path; the optimizer's table-vs-index scan
+// choice uses this for selective point queries).
+func (c *Cluster) IndexLookup(indexName string, key types.Row) ([]types.Row, error) {
+	var idxDef *catalog.IndexDef
+	for _, tblName := range c.Catalog().Tables() {
+		for _, d := range c.Catalog().IndexesOn(tblName) {
+			if strings.EqualFold(d.Name, indexName) {
+				idxDef = d
+			}
+		}
+	}
+	if idxDef == nil {
+		return nil, fmt.Errorf("cluster: index %s not found", indexName)
+	}
+	tbl, err := c.Catalog().Table(idxDef.Table)
+	if err != nil {
+		return nil, err
+	}
+	var out []types.Row
+	for _, w := range c.Workers {
+		var rids []page.RID
+		if bt := w.btreeIdx[idxDef.Name]; bt != nil {
+			rids, err = bt.Search(key)
+		} else if sl := w.skipIdx[idxDef.Name]; sl != nil {
+			rids, err = sl.Search(key)
+		} else {
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+		fr := w.frags[lower(tbl.Name)]
+		for _, rid := range rids {
+			r, ok, err := fr.Get(rid)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				out = append(out, r)
+			}
+		}
+	}
+	return out, nil
+}
+
+// evalLiteralRow evaluates an INSERT VALUES row and coerces to the schema.
+func evalLiteralRow(exprs []expr.Expr, sch types.Schema) (types.Row, error) {
+	if len(exprs) != sch.Len() {
+		return nil, fmt.Errorf("cluster: INSERT arity %d != %d columns", len(exprs), sch.Len())
+	}
+	row := make(types.Row, len(exprs))
+	for i, e := range exprs {
+		v, err := e.Eval(nil)
+		if err != nil {
+			return nil, err
+		}
+		// Coerce ints into float columns and int days into dates.
+		if v.K == types.KindInt {
+			switch sch.Cols[i].Kind {
+			case types.KindFloat:
+				v = types.NewFloat(float64(v.I))
+			case types.KindDate:
+				v = types.NewDate(v.I)
+			}
+		}
+		row[i] = v
+	}
+	return row, nil
+}
+
+// insertStmt routes rows to workers by partitioning and commits via 2PC.
+func (c *Cluster) insertStmt(x *sqlparse.Insert) (*Result, error) {
+	def, err := c.Catalog().Table(x.Table)
+	if err != nil {
+		return nil, err
+	}
+	if def.Columnar {
+		// Columnar fragments are bulk-load only; route through Load.
+		var rows []types.Row
+		for _, re := range x.Rows {
+			r, err := evalLiteralRow(re, def.Schema)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, r)
+		}
+		n, err := c.Load(x.Table, rows)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Message: fmt.Sprintf("%d rows loaded", n)}, nil
+	}
+	txid := c.txSeq.Add(1)
+	involved := map[int]bool{}
+	count := 0
+	abort := func(e error) (*Result, error) {
+		for wid := range involved {
+			w := c.Workers[c.workerIndex(wid)]
+			if tx, ok := w.Txn.Lookup(txid); ok {
+				_ = w.Txn.Rollback(tx)
+			}
+		}
+		return nil, e
+	}
+	for _, re := range x.Rows {
+		r, err := evalLiteralRow(re, def.Schema)
+		if err != nil {
+			return abort(err)
+		}
+		nodes, err := def.NodeFor(r, len(c.Workers))
+		if err != nil {
+			return abort(err)
+		}
+		for _, n := range nodes {
+			w := c.Workers[n]
+			tx, ok := w.Txn.Lookup(txid)
+			if !ok {
+				tx = w.Txn.BeginWithID(txid)
+				involved[w.ID] = true
+			}
+			rid, err := w.frags[lower(def.Name)].Insert(tx, r)
+			if err != nil {
+				return abort(err)
+			}
+			if err := w.maintainIndexes(c.Catalog(), def, r, rid, true); err != nil {
+				return abort(err)
+			}
+		}
+		count++
+	}
+	var ids []int
+	for wid := range involved {
+		ids = append(ids, wid)
+	}
+	committed, err := c.Coords[0].XA.CommitGlobal(txid, ids)
+	if err != nil {
+		return nil, err
+	}
+	if !committed {
+		return nil, fmt.Errorf("cluster: transaction %d rolled back", txid)
+	}
+	return &Result{Message: fmt.Sprintf("%d rows inserted", count)}, nil
+}
+
+// deleteStmt deletes matching rows on every worker under one global txn.
+func (c *Cluster) deleteStmt(x *sqlparse.Delete) (*Result, error) {
+	def, err := c.Catalog().Table(x.Table)
+	if err != nil {
+		return nil, err
+	}
+	if def.Columnar {
+		return nil, fmt.Errorf("cluster: DELETE requires a row table (reorganize/reload columnar tables)")
+	}
+	var pred expr.Expr
+	if x.Where != nil {
+		pred = expr.Clone(x.Where)
+		if err := expr.Bind(pred, def.Schema); err != nil {
+			return nil, err
+		}
+	}
+	txid := c.txSeq.Add(1)
+	var ids []int
+	total := 0
+	for _, w := range c.Workers {
+		fr := w.frags[lower(def.Name)]
+		tx := w.Txn.BeginWithID(txid)
+		ids = append(ids, w.ID)
+		// Scan under exclusive page locks (write intent) so concurrent
+		// writers serialize, then delete.
+		var rids []page.RID
+		scanErr := error(nil)
+		_, err := fr.Scan(storage.ScanOptions{Tx: tx, LockExclusive: true},
+			func(rid page.RID, r types.Row) bool {
+				if pred != nil {
+					ok, err := expr.EvalBool(pred, r)
+					if err != nil {
+						scanErr = err
+						return false
+					}
+					if !ok {
+						return true
+					}
+				}
+				rids = append(rids, rid)
+				return true
+			})
+		if err == nil {
+			err = scanErr
+		}
+		if err != nil {
+			c.abortGlobal(txid, ids)
+			return nil, err
+		}
+		for _, rid := range rids {
+			old, hadOld, err := fr.Get(rid)
+			if err != nil {
+				c.abortGlobal(txid, ids)
+				return nil, err
+			}
+			deleted, err := fr.Delete(tx, rid)
+			if err != nil {
+				c.abortGlobal(txid, ids)
+				return nil, err
+			}
+			if !deleted {
+				continue // lost the race to another committed delete
+			}
+			if hadOld {
+				if err := w.maintainIndexes(c.Catalog(), def, old, rid, false); err != nil {
+					c.abortGlobal(txid, ids)
+					return nil, err
+				}
+			}
+			total++
+		}
+	}
+	if len(ids) > 0 {
+		committed, err := c.Coords[0].XA.CommitGlobal(txid, ids)
+		if err != nil {
+			return nil, err
+		}
+		if !committed {
+			return nil, fmt.Errorf("cluster: transaction %d rolled back", txid)
+		}
+	}
+	return &Result{Message: fmt.Sprintf("%d rows deleted", total)}, nil
+}
+
+// updateStmt implements out-of-place update: delete + reinsert (possibly
+// on another worker if the partition key changed), in one global txn.
+func (c *Cluster) updateStmt(x *sqlparse.Update) (*Result, error) {
+	def, err := c.Catalog().Table(x.Table)
+	if err != nil {
+		return nil, err
+	}
+	if def.Columnar {
+		return nil, fmt.Errorf("cluster: UPDATE requires a row table")
+	}
+	var pred expr.Expr
+	if x.Where != nil {
+		pred = expr.Clone(x.Where)
+		if err := expr.Bind(pred, def.Schema); err != nil {
+			return nil, err
+		}
+	}
+	setExprs := map[int]expr.Expr{}
+	for col, e := range x.Set {
+		idx := def.Schema.Find(col)
+		if idx < 0 {
+			return nil, fmt.Errorf("cluster: UPDATE column %s not in %s", col, x.Table)
+		}
+		ec := expr.Clone(e)
+		if err := expr.Bind(ec, def.Schema); err != nil {
+			return nil, err
+		}
+		setExprs[idx] = ec
+	}
+	txid := c.txSeq.Add(1)
+	involved := map[int]bool{}
+	total := 0
+	getTx := func(w *Worker) interface {
+		TxID() uint64
+		LockPage(page.Key, bool) error
+		LogInsert(page.Key, uint16, []byte) uint64
+		LogDelete(page.Key, uint16, []byte) uint64
+	} {
+		if tx, ok := w.Txn.Lookup(txid); ok {
+			return tx
+		}
+		involved[w.ID] = true
+		return w.Txn.BeginWithID(txid)
+	}
+	fail := func(err error) (*Result, error) {
+		var ids []int
+		for wid := range involved {
+			ids = append(ids, wid)
+		}
+		c.abortGlobal(txid, ids)
+		return nil, err
+	}
+	for _, w := range c.Workers {
+		fr := w.frags[lower(def.Name)]
+		type change struct {
+			rid    page.RID
+			newRow types.Row
+		}
+		var changes []change
+		tx := getTx(w)
+		var scanErr error
+		// Exclusive page locks during the scan: concurrent UPDATE
+		// statements serialize instead of double-applying.
+		_, err := fr.Scan(storage.ScanOptions{Tx: tx, LockExclusive: true},
+			func(rid page.RID, r types.Row) bool {
+				if pred != nil {
+					ok, err := expr.EvalBool(pred, r)
+					if err != nil {
+						scanErr = err
+						return false
+					}
+					if !ok {
+						return true
+					}
+				}
+				newRow := r.Clone()
+				for idx, e := range setExprs {
+					v, err := e.Eval(r)
+					if err != nil {
+						scanErr = err
+						return false
+					}
+					if v.K == types.KindInt && def.Schema.Cols[idx].Kind == types.KindFloat {
+						v = types.NewFloat(float64(v.I))
+					}
+					newRow[idx] = v
+				}
+				changes = append(changes, change{rid, newRow})
+				return true
+			})
+		if err == nil {
+			err = scanErr
+		}
+		if err != nil {
+			return fail(err)
+		}
+		for _, ch := range changes {
+			old, hadOld, err := fr.Get(ch.rid)
+			if err != nil {
+				return fail(err)
+			}
+			deleted, err := fr.Delete(tx, ch.rid)
+			if err != nil {
+				return fail(err)
+			}
+			if !deleted {
+				continue // row vanished under a concurrent committed delete
+			}
+			if hadOld {
+				if err := w.maintainIndexes(c.Catalog(), def, old, ch.rid, false); err != nil {
+					return fail(err)
+				}
+			}
+			nodes, err := def.NodeFor(ch.newRow, len(c.Workers))
+			if err != nil {
+				return fail(err)
+			}
+			for _, n := range nodes {
+				dst := c.Workers[n]
+				dtx := getTx(dst)
+				rid, err := dst.frags[lower(def.Name)].Insert(dtx, ch.newRow)
+				if err != nil {
+					return fail(err)
+				}
+				if err := dst.maintainIndexes(c.Catalog(), def, ch.newRow, rid, true); err != nil {
+					return fail(err)
+				}
+			}
+			total++
+		}
+	}
+	if len(involved) > 0 {
+		var ids []int
+		for wid := range involved {
+			ids = append(ids, wid)
+		}
+		committed, err := c.Coords[0].XA.CommitGlobal(txid, ids)
+		if err != nil {
+			return nil, err
+		}
+		if !committed {
+			return nil, fmt.Errorf("cluster: transaction %d rolled back", txid)
+		}
+	}
+	return &Result{Message: fmt.Sprintf("%d rows updated", total)}, nil
+}
+
+// reorganizeStmt rewrites every fragment of a table: tombstones compact,
+// clustering order is restored, and skipping caches reset (Section III).
+func (c *Cluster) reorganizeStmt(x *sqlparse.Reorganize) (*Result, error) {
+	def, err := c.Catalog().Table(x.Table)
+	if err != nil {
+		return nil, err
+	}
+	if def.Columnar {
+		return nil, fmt.Errorf("cluster: REORGANIZE supports row tables (reload columnar tables)")
+	}
+	for _, w := range c.Workers {
+		if err := w.frags[lower(def.Name)].Reorganize(); err != nil {
+			return nil, err
+		}
+	}
+	return &Result{Message: fmt.Sprintf("table %s reorganized", def.Name)}, nil
+}
+
+// abortGlobal rolls back a distributed statement's local transactions.
+func (c *Cluster) abortGlobal(txid uint64, ids []int) {
+	for _, wid := range ids {
+		w := c.Workers[c.workerIndex(wid)]
+		if tx, ok := w.Txn.Lookup(txid); ok {
+			_ = w.Txn.Rollback(tx)
+		}
+	}
+}
+
+// analyzeStmt recomputes table statistics from a full scan.
+func (c *Cluster) analyzeStmt(x *sqlparse.Analyze) (*Result, error) {
+	def, err := c.Catalog().Table(x.Table)
+	if err != nil {
+		return nil, err
+	}
+	sel := &sqlparse.Select{
+		Items: []sqlparse.SelectItem{{Star: true}},
+		From:  []sqlparse.TableRef{{Table: def.Name}},
+		Limit: -1,
+	}
+	node, err := plan.Build(sel, c.Catalog())
+	if err != nil {
+		return nil, err
+	}
+	rows, err := c.Run(node)
+	if err != nil {
+		return nil, err
+	}
+	stats := catalog.ComputeStats(def.Schema, rows)
+	for _, cn := range c.Coords {
+		cn.Cat.SetStats(def.Name, stats)
+	}
+	return &Result{Message: fmt.Sprintf("analyzed %s: %d rows", def.Name, stats.RowCount)}, nil
+}

@@ -1,0 +1,242 @@
+package compress
+
+import (
+	"container/heap"
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// Canonical Huffman coding over bytes. The paper uses Huffman encoding of
+// strings inside columnar page sets so that wide string columns do not force
+// page-set underutilization; we use it for the same purpose.
+//
+// The encoded stream is self-describing: a 256-byte code-length table
+// (lengths 0..32), a uvarint original size, then the packed bit stream.
+
+const maxCodeLen = 32
+
+// huffNode is a tree node used only during code construction.
+type huffNode struct {
+	freq        uint64
+	sym         int // symbol for leaves, -1 for internal
+	left, right *huffNode
+}
+
+type huffHeap []*huffNode
+
+func (h huffHeap) Len() int            { return len(h) }
+func (h huffHeap) Less(i, j int) bool  { return h[i].freq < h[j].freq }
+func (h huffHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *huffHeap) Push(x interface{}) { *h = append(*h, x.(*huffNode)) }
+func (h *huffHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// buildCodeLengths computes Huffman code lengths for each byte symbol.
+func buildCodeLengths(freq *[256]uint64) [256]uint8 {
+	var lengths [256]uint8
+	h := huffHeap{}
+	for s, f := range freq {
+		if f > 0 {
+			h = append(h, &huffNode{freq: f, sym: s})
+		}
+	}
+	switch len(h) {
+	case 0:
+		return lengths
+	case 1:
+		lengths[h[0].sym] = 1
+		return lengths
+	}
+	heap.Init(&h)
+	for h.Len() > 1 {
+		a := heap.Pop(&h).(*huffNode)
+		b := heap.Pop(&h).(*huffNode)
+		heap.Push(&h, &huffNode{freq: a.freq + b.freq, sym: -1, left: a, right: b})
+	}
+	root := h[0]
+	var walk func(n *huffNode, depth uint8)
+	walk = func(n *huffNode, depth uint8) {
+		if n.sym >= 0 {
+			if depth == 0 {
+				depth = 1
+			}
+			lengths[n.sym] = depth
+			return
+		}
+		walk(n.left, depth+1)
+		walk(n.right, depth+1)
+	}
+	walk(root, 0)
+	return lengths
+}
+
+// canonicalCodes assigns canonical codes given code lengths: symbols sorted
+// by (length, symbol) get consecutive codes.
+func canonicalCodes(lengths *[256]uint8) (codes [256]uint32) {
+	type sl struct {
+		sym int
+		len uint8
+	}
+	var syms []sl
+	for s, l := range lengths {
+		if l > 0 {
+			syms = append(syms, sl{s, l})
+		}
+	}
+	sort.Slice(syms, func(i, j int) bool {
+		if syms[i].len != syms[j].len {
+			return syms[i].len < syms[j].len
+		}
+		return syms[i].sym < syms[j].sym
+	})
+	code := uint32(0)
+	prevLen := uint8(0)
+	for _, s := range syms {
+		code <<= (s.len - prevLen)
+		codes[s.sym] = code
+		code++
+		prevLen = s.len
+	}
+	return codes
+}
+
+// CompressHuffman encodes src with a canonical Huffman code built from its
+// byte frequencies. Returns a self-describing buffer decodable by
+// DecompressHuffman.
+func CompressHuffman(src []byte) []byte {
+	var freq [256]uint64
+	for _, b := range src {
+		freq[b]++
+	}
+	lengths := buildCodeLengths(&freq)
+	// Pathologically skewed frequency distributions can produce code depths
+	// beyond our 32-bit decode budget; fall back to flat 8-bit codes.
+	for _, l := range lengths {
+		if l > maxCodeLen {
+			for i := range lengths {
+				lengths[i] = 8
+			}
+			break
+		}
+	}
+	codes := canonicalCodes(&lengths)
+
+	out := make([]byte, 0, len(src)/2+300)
+	out = append(out, lengths[:]...)
+	out = binary.AppendUvarint(out, uint64(len(src)))
+
+	var acc uint64
+	var nbits uint
+	for _, b := range src {
+		l := uint(lengths[b])
+		acc = (acc << l) | uint64(codes[b])
+		nbits += l
+		for nbits >= 8 {
+			nbits -= 8
+			out = append(out, byte(acc>>nbits))
+		}
+	}
+	if nbits > 0 {
+		out = append(out, byte(acc<<(8-nbits)))
+	}
+	return out
+}
+
+// DecompressHuffman decodes a buffer produced by CompressHuffman.
+func DecompressHuffman(src []byte) ([]byte, error) {
+	if len(src) < 256 {
+		return nil, fmt.Errorf("compress: huffman header too short (%d bytes)", len(src))
+	}
+	var lengths [256]uint8
+	copy(lengths[:], src[:256])
+	for _, l := range lengths {
+		if l > maxCodeLen {
+			return nil, fmt.Errorf("compress: huffman code length %d too large", l)
+		}
+	}
+	n, consumed := binary.Uvarint(src[256:])
+	if consumed <= 0 {
+		return nil, fmt.Errorf("compress: bad huffman size header")
+	}
+	data := src[256+consumed:]
+	if n == 0 {
+		return []byte{}, nil
+	}
+
+	// Build canonical decode tables: firstCode[len], firstIndex[len], and
+	// symbols sorted by (len, sym).
+	type sl struct {
+		sym int
+		len uint8
+	}
+	var syms []sl
+	for s, l := range lengths {
+		if l > 0 {
+			syms = append(syms, sl{s, l})
+		}
+	}
+	if len(syms) == 0 {
+		return nil, fmt.Errorf("compress: huffman stream with no symbols but size %d", n)
+	}
+	sort.Slice(syms, func(i, j int) bool {
+		if syms[i].len != syms[j].len {
+			return syms[i].len < syms[j].len
+		}
+		return syms[i].sym < syms[j].sym
+	})
+	var firstCode [maxCodeLen + 2]uint32
+	var firstIndex [maxCodeLen + 2]int
+	var countAt [maxCodeLen + 1]int
+	for _, s := range syms {
+		countAt[s.len]++
+	}
+	code := uint32(0)
+	idx := 0
+	for l := 1; l <= maxCodeLen; l++ {
+		firstCode[l] = code
+		firstIndex[l] = idx
+		code = (code + uint32(countAt[l])) << 1
+		idx += countAt[l]
+	}
+
+	out := make([]byte, 0, n)
+	var acc uint64
+	var accLen uint8
+	pos := 0
+	for uint64(len(out)) < n {
+		// Accumulate bits and try to decode one symbol.
+		var matched bool
+		for l := uint8(1); l <= maxCodeLen; l++ {
+			for accLen < l {
+				if pos >= len(data) {
+					return nil, fmt.Errorf("compress: huffman stream truncated at %d/%d symbols", len(out), n)
+				}
+				acc = (acc << 8) | uint64(data[pos])
+				accLen += 8
+				pos++
+			}
+			if countAt[l] == 0 {
+				continue
+			}
+			c := uint32((acc >> (accLen - l)) & ((uint64(1) << l) - 1))
+			if c >= firstCode[l] && c < firstCode[l]+uint32(countAt[l]) {
+				sym := syms[firstIndex[l]+int(c-firstCode[l])].sym
+				out = append(out, byte(sym))
+				accLen -= l
+				acc &= (uint64(1) << accLen) - 1
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			return nil, fmt.Errorf("compress: invalid huffman code in stream")
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,466 @@
+package exec
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/expr"
+	"repro/internal/types"
+)
+
+// AggKind enumerates aggregate functions.
+type AggKind uint8
+
+// Aggregate functions.
+const (
+	AggSum AggKind = iota + 1
+	AggCount
+	AggAvg
+	AggMin
+	AggMax
+)
+
+// ParseAggKind maps a SQL function name to an AggKind.
+func ParseAggKind(name string) (AggKind, bool) {
+	switch strings.ToUpper(name) {
+	case "SUM":
+		return AggSum, true
+	case "COUNT":
+		return AggCount, true
+	case "AVG":
+		return AggAvg, true
+	case "MIN":
+		return AggMin, true
+	case "MAX":
+		return AggMax, true
+	default:
+		return 0, false
+	}
+}
+
+// String names the aggregate.
+func (k AggKind) String() string {
+	switch k {
+	case AggSum:
+		return "SUM"
+	case AggCount:
+		return "COUNT"
+	case AggAvg:
+		return "AVG"
+	case AggMin:
+		return "MIN"
+	case AggMax:
+		return "MAX"
+	default:
+		return "?"
+	}
+}
+
+// AggSpec describes one aggregate output.
+type AggSpec struct {
+	Kind     AggKind
+	Arg      expr.Expr // nil for COUNT(*)
+	Distinct bool
+	Name     string // output column name
+}
+
+// AggMode selects how the operator participates in distributed aggregation.
+type AggMode uint8
+
+// Aggregation modes: Complete computes final values locally; Partial emits
+// mergeable states (the paper's pre-aggregation / MapReduce combiner);
+// Merge combines partial states and can itself be chained up the tree
+// topology; Final merges states and emits final values.
+const (
+	AggComplete AggMode = iota + 1
+	AggPartial
+	AggMerge
+	AggFinal
+)
+
+// aggState is the in-flight accumulator for one (group, spec) pair.
+type aggState struct {
+	sumI     int64
+	sumF     float64
+	isFloat  bool
+	count    int64
+	min, max types.Value
+	distinct map[string]bool
+	seenAny  bool
+}
+
+func newAggState(distinct bool) *aggState {
+	s := &aggState{min: types.Null, max: types.Null}
+	if distinct {
+		s.distinct = map[string]bool{}
+	}
+	return s
+}
+
+// add folds a value into the state (from raw input rows).
+func (s *aggState) add(v types.Value) {
+	if v.IsNull() {
+		return
+	}
+	if s.distinct != nil {
+		key := string(types.AppendValue(nil, v))
+		if s.distinct[key] {
+			return
+		}
+		s.distinct[key] = true
+	}
+	s.seenAny = true
+	s.count++
+	switch v.K {
+	case types.KindInt, types.KindDate, types.KindBool:
+		s.sumI += v.I
+		s.sumF += float64(v.I)
+	case types.KindFloat:
+		s.isFloat = true
+		s.sumF += v.F
+	}
+	if s.min.IsNull() || types.Compare(v, s.min) < 0 {
+		s.min = v
+	}
+	if s.max.IsNull() || types.Compare(v, s.max) > 0 {
+		s.max = v
+	}
+}
+
+// addCountStar counts a row for COUNT(*).
+func (s *aggState) addCountStar() {
+	s.seenAny = true
+	s.count++
+}
+
+// merge folds a partial-state row segment into the state. Partial encoding
+// per spec: sum (float), count (int), min, max — 4 columns.
+const partialCols = 4
+
+func (s *aggState) merge(seg types.Row) {
+	cnt := seg[1].Int()
+	if cnt == 0 {
+		return
+	}
+	s.seenAny = true
+	s.count += cnt
+	if !seg[0].IsNull() {
+		if seg[0].K == types.KindFloat && seg[0].F != float64(int64(seg[0].F)) {
+			s.isFloat = true
+		}
+		s.sumF += seg[0].Float()
+		s.sumI += int64(seg[0].Float())
+	}
+	if !seg[2].IsNull() && (s.min.IsNull() || types.Compare(seg[2], s.min) < 0) {
+		s.min = seg[2]
+	}
+	if !seg[3].IsNull() && (s.max.IsNull() || types.Compare(seg[3], s.max) > 0) {
+		s.max = seg[3]
+	}
+}
+
+// partial emits the mergeable 4-column encoding.
+func (s *aggState) partial() types.Row {
+	var sum types.Value
+	if s.isFloat {
+		sum = types.NewFloat(s.sumF)
+	} else {
+		sum = types.NewInt(s.sumI)
+	}
+	return types.Row{sum, types.NewInt(s.count), s.min, s.max}
+}
+
+// final computes the aggregate's final value.
+func (s *aggState) final(kind AggKind) types.Value {
+	switch kind {
+	case AggCount:
+		return types.NewInt(s.count)
+	case AggSum:
+		if !s.seenAny {
+			return types.Null
+		}
+		if s.isFloat {
+			return types.NewFloat(s.sumF)
+		}
+		return types.NewInt(s.sumI)
+	case AggAvg:
+		if s.count == 0 {
+			return types.Null
+		}
+		return types.NewFloat(s.sumF / float64(s.count))
+	case AggMin:
+		return s.min
+	case AggMax:
+		return s.max
+	default:
+		return types.Null
+	}
+}
+
+// HashAggregate groups rows by key columns and computes aggregates. With
+// a memory budget it spills overflow groups' input rows to disk partitions
+// and processes them after the in-memory pass (the paper's "operators can
+// spill data to disk to limit memory consumption").
+type HashAggregate struct {
+	In       Operator
+	GroupBy  []expr.Expr // group key expressions over the input
+	Specs    []AggSpec
+	Mode     AggMode
+	ctx      *Ctx
+	out      types.Schema
+	results  []types.Row
+	pos      int
+	prepared bool
+}
+
+// NewHashAggregate builds an aggregation operator. For Merge/Final modes
+// the input schema must be groupCols ++ partial states (4 columns per spec).
+func NewHashAggregate(ctx *Ctx, in Operator, groupBy []expr.Expr, specs []AggSpec, mode AggMode) *HashAggregate {
+	h := &HashAggregate{In: in, GroupBy: groupBy, Specs: specs, Mode: mode, ctx: ctx}
+	inSch := in.Schema()
+	var cols []types.Column
+	for gi, g := range groupBy {
+		name := g.String()
+		if c, ok := g.(*expr.Col); ok && c.Name != "" {
+			name = c.Name
+		} else if name == "" {
+			name = fmt.Sprintf("group%d", gi)
+		}
+		cols = append(cols, types.Column{Name: name, Kind: expr.KindOf(g, inSch)})
+	}
+	switch mode {
+	case AggPartial, AggMerge:
+		for _, sp := range specs {
+			base := sp.Name
+			cols = append(cols,
+				types.Column{Name: base + "$sum", Kind: types.KindFloat},
+				types.Column{Name: base + "$cnt", Kind: types.KindInt},
+				types.Column{Name: base + "$min", Kind: types.KindNull},
+				types.Column{Name: base + "$max", Kind: types.KindNull},
+			)
+		}
+	default:
+		for _, sp := range specs {
+			kind := types.KindFloat
+			switch sp.Kind {
+			case AggCount:
+				kind = types.KindInt
+			case AggSum:
+				if sp.Arg != nil && expr.KindOf(sp.Arg, inSch) == types.KindInt {
+					kind = types.KindInt
+				}
+			case AggMin, AggMax:
+				if sp.Arg != nil {
+					kind = expr.KindOf(sp.Arg, inSch)
+				}
+			}
+			cols = append(cols, types.Column{Name: sp.Name, Kind: kind})
+		}
+	}
+	h.out = types.Schema{Cols: cols}
+	return h
+}
+
+// Schema implements Operator.
+func (h *HashAggregate) Schema() types.Schema { return h.out }
+
+// Open implements Operator.
+func (h *HashAggregate) Open() error {
+	h.results = nil
+	h.pos = 0
+	h.prepared = false
+	return h.In.Open()
+}
+
+type aggGroup struct {
+	key    types.Row
+	states []*aggState
+}
+
+// consume drains the input building group states, spilling input rows for
+// groups beyond the budget.
+func (h *HashAggregate) prepare() error {
+	groups := map[string]*aggGroup{}
+	var spill *spillWriter
+	fromStates := h.Mode == AggMerge || h.Mode == AggFinal
+	if fromStates {
+		if err := validateAggSchema(h.In.Schema(), h.GroupBy, h.Specs); err != nil {
+			return err
+		}
+	}
+
+	processRow := func(r types.Row, allowSpill bool) (bool, error) {
+		if h.ctx != nil {
+			h.ctx.RowsProcessed.Add(1)
+		}
+		keyRow, err := EvalKeys(h.GroupBy, r)
+		if err != nil {
+			return true, err
+		}
+		key := string(types.AppendRow(nil, keyRow))
+		g, ok := groups[key]
+		if !ok {
+			if allowSpill && h.ctx != nil && h.ctx.MemRows > 0 && len(groups) >= h.ctx.MemRows {
+				return false, nil // overflow: spill the raw row
+			}
+			g = &aggGroup{key: keyRow.Clone(), states: make([]*aggState, len(h.Specs))}
+			for i, sp := range h.Specs {
+				g.states[i] = newAggState(sp.Distinct && !fromStates)
+			}
+			groups[key] = g
+			if h.ctx != nil {
+				h.ctx.addState(int64(types.RowEncodedSize(keyRow)) + int64(48*len(h.Specs)))
+			}
+		}
+		if fromStates {
+			base := len(h.GroupBy)
+			for i := range h.Specs {
+				g.states[i].merge(r[base+i*partialCols : base+(i+1)*partialCols])
+			}
+			return true, nil
+		}
+		for i, sp := range h.Specs {
+			if sp.Arg == nil {
+				g.states[i].addCountStar()
+				continue
+			}
+			v, err := sp.Arg.Eval(r)
+			if err != nil {
+				return true, err
+			}
+			g.states[i].add(v)
+		}
+		return true, nil
+	}
+
+	emit := func() {
+		for _, g := range groups {
+			out := g.key.Clone()
+			if h.Mode == AggPartial || h.Mode == AggMerge {
+				for _, st := range g.states {
+					out = append(out, st.partial()...)
+				}
+			} else {
+				for i, sp := range h.Specs {
+					out = append(out, g.states[i].final(sp.Kind))
+				}
+			}
+			h.results = append(h.results, out)
+		}
+		groups = map[string]*aggGroup{}
+	}
+
+	for {
+		r, ok, err := h.In.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		accepted, err := processRow(r, true)
+		if err != nil {
+			return err
+		}
+		if !accepted {
+			if spill == nil {
+				var err error
+				spill, err = newSpillWriter(h.ctx, "agg-spill-*")
+				if err != nil {
+					return err
+				}
+			}
+			if err := spill.write(r); err != nil {
+				return err
+			}
+		}
+	}
+	emit()
+
+	// Recursively process spilled rows in passes; each pass handles up to
+	// MemRows groups.
+	for spill != nil {
+		reader, err := spill.finish()
+		if err != nil {
+			return err
+		}
+		spill = nil
+		for {
+			r, ok, err := reader.next()
+			if err != nil {
+				reader.close()
+				return err
+			}
+			if !ok {
+				break
+			}
+			accepted, err := processRow(r, true)
+			if err != nil {
+				reader.close()
+				return err
+			}
+			if !accepted {
+				if spill == nil {
+					spill, err = newSpillWriter(h.ctx, "agg-spill-*")
+					if err != nil {
+						reader.close()
+						return err
+					}
+				}
+				if err := spill.write(r); err != nil {
+					reader.close()
+					return err
+				}
+			}
+		}
+		reader.close()
+		emit()
+	}
+
+	// No GROUP BY: SQL semantics require one output row even on empty input.
+	if len(h.GroupBy) == 0 && len(h.results) == 0 && (h.Mode == AggComplete || h.Mode == AggFinal) {
+		out := types.Row{}
+		for _, sp := range h.Specs {
+			st := newAggState(false)
+			out = append(out, st.final(sp.Kind))
+		}
+		h.results = append(h.results, out)
+	}
+	if len(h.GroupBy) == 0 && len(h.results) == 0 && (h.Mode == AggPartial || h.Mode == AggMerge) {
+		out := types.Row{}
+		st := newAggState(false)
+		for range h.Specs {
+			out = append(out, st.partial()...)
+		}
+		h.results = append(h.results, out)
+	}
+	h.prepared = true
+	return nil
+}
+
+// Next implements Operator.
+func (h *HashAggregate) Next() (types.Row, bool, error) {
+	if !h.prepared {
+		if err := h.prepare(); err != nil {
+			return nil, false, err
+		}
+	}
+	if h.pos >= len(h.results) {
+		return nil, false, nil
+	}
+	r := h.results[h.pos]
+	h.pos++
+	return r, true, nil
+}
+
+// Close implements Operator.
+func (h *HashAggregate) Close() error { return h.In.Close() }
+
+// validateAggSchema asserts partial-state arity for Merge/Final inputs.
+func validateAggSchema(in types.Schema, groupBy []expr.Expr, specs []AggSpec) error {
+	want := len(groupBy) + len(specs)*partialCols
+	if in.Len() != want {
+		return fmt.Errorf("exec: merge aggregate input has %d columns, want %d", in.Len(), want)
+	}
+	return nil
+}

@@ -1,0 +1,102 @@
+package exec
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/types"
+)
+
+func benchRows(n int, keys int) []types.Row {
+	rows := make([]types.Row, n)
+	for i := 0; i < n; i++ {
+		rows[i] = types.Row{
+			types.NewInt(int64(i % keys)),
+			types.NewFloat(float64(i) * 1.5),
+			types.NewString(fmt.Sprintf("payload-%06d", i)),
+		}
+	}
+	return rows
+}
+
+func BenchmarkHashJoinBuildProbe(b *testing.B) {
+	sch := intSchema("k", "v", "s")
+	probeRows := benchRows(50000, 1000)
+	buildRows := benchRows(1000, 1000)
+	b.SetBytes(int64(len(probeRows)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j := NewHashJoin(nil, NewSource(sch, probeRows), NewSource(sch, buildRows),
+			ColRefs(0), ColRefs(0), JoinInner, nil, 2)
+		if _, err := Collect(j); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHashAggregateThroughput(b *testing.B) {
+	sch := intSchema("k", "v", "s")
+	rows := benchRows(100000, 64)
+	specs := []AggSpec{
+		{Kind: AggSum, Arg: ColRefs(1)[0], Name: "s"},
+		{Kind: AggCount, Name: "c"},
+	}
+	b.SetBytes(int64(len(rows)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		agg := NewHashAggregate(nil, NewSource(sch, rows), ColRefs(0), specs, AggComplete)
+		if _, err := Collect(agg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSortInMemory(b *testing.B) {
+	sch := intSchema("k", "v", "s")
+	rows := benchRows(100000, 1<<30)
+	b.SetBytes(int64(len(rows)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := NewSort(nil, NewSource(sch, rows), []SortKey{{Col: 1, Desc: true}})
+		if _, err := Collect(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSortExternal(b *testing.B) {
+	ctx := NewCtx(b.TempDir(), 10000)
+	sch := intSchema("k", "v", "s")
+	rows := benchRows(100000, 1<<30)
+	b.SetBytes(int64(len(rows)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := NewSort(ctx, NewSource(sch, rows), []SortKey{{Col: 1}})
+		if _, err := Collect(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTopKVsFullSort(b *testing.B) {
+	sch := intSchema("k", "v", "s")
+	rows := benchRows(100000, 1<<30)
+	b.Run("topk-10", func(b *testing.B) {
+		b.SetBytes(int64(len(rows)))
+		for i := 0; i < b.N; i++ {
+			tk := NewTopK(nil, NewSource(sch, rows), []SortKey{{Col: 1, Desc: true}}, 10)
+			if _, err := Collect(tk); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("sort-then-limit", func(b *testing.B) {
+		b.SetBytes(int64(len(rows)))
+		for i := 0; i < b.N; i++ {
+			s := NewLimit(NewSort(nil, NewSource(sch, rows), []SortKey{{Col: 1, Desc: true}}), 10, 0)
+			if _, err := Collect(s); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,661 @@
+package exec
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/expr"
+	"repro/internal/network"
+	"repro/internal/topology"
+	"repro/internal/types"
+)
+
+// Exchange operators move rows between nodes. The shuffle comes in two
+// flavors (Section IV): DIRECT, where every sender opens a connection to
+// every receiver (the MPP pattern whose O(n) per-node connection count the
+// paper identifies as a scalability bottleneck), and HIERARCHICAL, where
+// messages are routed over the binomial-graph ring topology so no node
+// talks to more than Nmax neighbors, with intermediate nodes acting as
+// forwarding hubs. Both flavors are non-blocking: rows stream in batches
+// and are never sorted or materialized to disk in transit (the paper's
+// non-blocking shuffle).
+
+// Batch wire format: [1 type][2 origin ring pos][rows...].
+const (
+	msgData byte = 0
+	msgEOF  byte = 1
+)
+
+const shuffleBatchRows = 128
+
+func encodeBatch(msgType byte, origin int, rows []types.Row) []byte {
+	buf := make([]byte, 0, 64)
+	buf = append(buf, msgType)
+	var o [2]byte
+	binary.LittleEndian.PutUint16(o[:], uint16(origin))
+	buf = append(buf, o[:]...)
+	for _, r := range rows {
+		buf = types.AppendRow(buf, r)
+	}
+	return buf
+}
+
+func decodeBatch(b []byte) (msgType byte, origin int, rows []types.Row, err error) {
+	if len(b) < 3 {
+		return 0, 0, nil, fmt.Errorf("exec: short exchange message")
+	}
+	msgType = b[0]
+	origin = int(binary.LittleEndian.Uint16(b[1:]))
+	pos := 3
+	for pos < len(b) {
+		r, n, err := types.DecodeRow(b[pos:])
+		if err != nil {
+			return 0, 0, nil, err
+		}
+		rows = append(rows, r)
+		pos += n
+	}
+	return msgType, origin, rows, nil
+}
+
+// ShuffleSpec describes one shuffle instance shared by all participating
+// nodes of a query plan.
+type ShuffleSpec struct {
+	Channel      string // unique per (query, exchange) pair
+	Nodes        []int  // participating node IDs (all send and all receive)
+	Nmax         int    // neighbor limit; 0 means direct shuffle
+	Hierarchical bool
+}
+
+// ring builds the routing ring over positions 0..len(Nodes)-1.
+func (s ShuffleSpec) ring() (topology.Ring, error) {
+	nmax := s.Nmax
+	if nmax <= 0 {
+		nmax = len(s.Nodes)
+	}
+	return topology.NewRing(len(s.Nodes), nmax)
+}
+
+// position returns the ring position of a node ID.
+func (s ShuffleSpec) position(nodeID int) int {
+	for i, id := range s.Nodes {
+		if id == nodeID {
+			return i
+		}
+	}
+	return -1
+}
+
+// Shuffle is one node's participation in a shuffle: it sends the local
+// input partitioned by key hash and yields the rows whose hash maps to this
+// node. Use NewShuffle on every participating node with the same spec, then
+// treat it as the local input of the downstream operator.
+type Shuffle struct {
+	Spec    ShuffleSpec
+	In      Operator    // local input (may be nil on receive-only nodes)
+	Keys    []expr.Expr // partition key expressions over the input
+	ep      network.Endpoint
+	sch     types.Schema
+	ring    topology.Ring
+	selfPos int
+
+	rows  chan types.Row
+	errCh chan error
+}
+
+// NewShuffle builds the per-node shuffle operator. sch must be provided
+// when in is nil.
+func NewShuffle(ep network.Endpoint, spec ShuffleSpec, in Operator, keys []expr.Expr, sch types.Schema) (*Shuffle, error) {
+	if in != nil {
+		sch = in.Schema()
+	}
+	ring, err := spec.ring()
+	if err != nil {
+		return nil, err
+	}
+	pos := spec.position(ep.NodeID())
+	if pos < 0 {
+		return nil, fmt.Errorf("exec: node %d not in shuffle spec", ep.NodeID())
+	}
+	return &Shuffle{Spec: spec, In: in, Keys: keys, ep: ep, sch: sch, ring: ring, selfPos: pos}, nil
+}
+
+// Schema implements Operator.
+func (s *Shuffle) Schema() types.Schema { return s.sch }
+
+// Open implements Operator.
+func (s *Shuffle) Open() error {
+	if s.In != nil {
+		if err := s.In.Open(); err != nil {
+			return err
+		}
+	}
+	s.rows = make(chan types.Row, 1024)
+	s.errCh = make(chan error, 2)
+	// Start the send/receive/forward loops immediately: a shuffle is a
+	// cluster-wide rendezvous, and peers block until every participant's
+	// loops are live, so lazy start (on first Next) can deadlock plans
+	// that drain another stream before this one.
+	s.start()
+	return nil
+}
+
+// transitPairs computes the (sender, dest) pairs whose route passes through
+// this node (delivery or forwarding), which is the exact set of EOF markers
+// the receive loop must observe before terminating.
+func (s *Shuffle) transitPairs() map[[2]int]bool {
+	pairs := map[[2]int]bool{}
+	n := len(s.Spec.Nodes)
+	for src := 0; src < n; src++ {
+		if src == s.selfPos {
+			continue // own sends leave directly, never re-enter
+		}
+		for dst := 0; dst < n; dst++ {
+			if src == dst {
+				continue
+			}
+			if !s.Spec.Hierarchical {
+				if dst == s.selfPos {
+					pairs[[2]int{src, dst}] = true
+				}
+				continue
+			}
+			for _, hop := range s.ring.Route(src, dst) {
+				if hop == s.selfPos {
+					pairs[[2]int{src, dst}] = true
+					break
+				}
+			}
+		}
+	}
+	return pairs
+}
+
+// send routes a payload toward a destination ring position.
+func (s *Shuffle) send(destPos int, payload []byte) error {
+	to := destPos
+	if s.Spec.Hierarchical && destPos != s.selfPos {
+		to = s.ring.NextHop(s.selfPos, destPos)
+	}
+	return s.ep.Send(s.Spec.Nodes[to], s.Spec.Nodes[destPos], s.Spec.Channel, payload)
+}
+
+// start launches the sender and receiver loops.
+func (s *Shuffle) start() {
+	// Forwarding queue: the receive loop must never block on a network
+	// send, or two hubs with full mailboxes could deadlock each other. The
+	// queue is unbounded; a dedicated goroutine drains it.
+	fq := newForwardQueue()
+	go func() {
+		for {
+			item, ok := fq.pop()
+			if !ok {
+				return
+			}
+			if err := s.ep.Send(item.to, item.dest, s.Spec.Channel, item.payload); err != nil {
+				s.errCh <- err
+				return
+			}
+		}
+	}()
+	// Receive/forward loop.
+	go func() {
+		defer close(s.rows)
+		defer fq.close()
+		pending := s.transitPairs()
+		selfEOFs := 0
+		needSelf := len(s.Spec.Nodes) // one EOF per sender incl. self
+		for selfEOFs < needSelf || len(pending) > 0 {
+			msg, err := s.ep.Recv(s.Spec.Channel)
+			if err != nil {
+				s.errCh <- err
+				return
+			}
+			destPos := s.Spec.position(msg.Dest)
+			if destPos != s.selfPos {
+				// Forward toward the destination (we are a hub).
+				next := s.ring.NextHop(s.selfPos, destPos)
+				fq.push(forwardItem{to: s.Spec.Nodes[next], dest: msg.Dest, payload: msg.Payload})
+				if msg.Payload[0] == msgEOF {
+					origin := int(binary.LittleEndian.Uint16(msg.Payload[1:]))
+					delete(pending, [2]int{origin, destPos})
+				}
+				continue
+			}
+			msgType, origin, rows, err := decodeBatch(msg.Payload)
+			if err != nil {
+				s.errCh <- err
+				return
+			}
+			if msgType == msgEOF {
+				selfEOFs++
+				delete(pending, [2]int{origin, destPos})
+				continue
+			}
+			for _, r := range rows {
+				s.rows <- r
+			}
+		}
+	}()
+	// Send loop: partition the local input.
+	go func() {
+		n := len(s.Spec.Nodes)
+		batches := make([][]types.Row, n)
+		flush := func(dest int) error {
+			if len(batches[dest]) == 0 {
+				return nil
+			}
+			payload := encodeBatch(msgData, s.selfPos, batches[dest])
+			batches[dest] = batches[dest][:0]
+			if dest == s.selfPos {
+				// Local partition: deliver without the network.
+				_, _, rows, err := decodeBatch(payload)
+				if err != nil {
+					return err
+				}
+				for _, r := range rows {
+					s.rows <- r
+				}
+				return nil
+			}
+			return s.send(dest, payload)
+		}
+		fail := func(err error) {
+			s.errCh <- err
+			// Still emit EOFs so peers terminate.
+			for d := 0; d < n; d++ {
+				if d != s.selfPos {
+					_ = s.send(d, encodeBatch(msgEOF, s.selfPos, nil))
+				}
+			}
+		}
+		if s.In != nil {
+			for {
+				r, ok, err := s.In.Next()
+				if err != nil {
+					fail(err)
+					return
+				}
+				if !ok {
+					break
+				}
+				hk, err := HashKeys(s.Keys, r)
+				if err != nil {
+					fail(err)
+					return
+				}
+				dest := int(hk % uint64(n))
+				batches[dest] = append(batches[dest], r)
+				if len(batches[dest]) >= shuffleBatchRows {
+					if err := flush(dest); err != nil {
+						fail(err)
+						return
+					}
+				}
+			}
+		}
+		for d := 0; d < n; d++ {
+			if err := flush(d); err != nil {
+				fail(err)
+				return
+			}
+		}
+		// EOF per destination, own destination handled synchronously.
+		for d := 0; d < n; d++ {
+			if d == s.selfPos {
+				continue
+			}
+			if err := s.send(d, encodeBatch(msgEOF, s.selfPos, nil)); err != nil {
+				s.errCh <- err
+				return
+			}
+		}
+		// Our own EOF: counted directly by the receive loop.
+		if err := s.ep.Send(s.ep.NodeID(), s.ep.NodeID(), s.Spec.Channel, encodeBatch(msgEOF, s.selfPos, nil)); err != nil {
+			s.errCh <- err
+		}
+	}()
+}
+
+// Next implements Operator.
+func (s *Shuffle) Next() (types.Row, bool, error) {
+	select {
+	case err := <-s.errCh:
+		return nil, false, err
+	case r, ok := <-s.rows:
+		if !ok {
+			select {
+			case err := <-s.errCh:
+				return nil, false, err
+			default:
+			}
+			return nil, false, nil
+		}
+		return r, true, nil
+	}
+}
+
+// Close implements Operator.
+func (s *Shuffle) Close() error {
+	if s.In != nil {
+		return s.In.Close()
+	}
+	return nil
+}
+
+// SendAll drains an operator and sends every row to one receiver — the
+// worker side of a gather (workers → coordinator result routing).
+func SendAll(ep network.Endpoint, to int, channel string, in Operator) error {
+	if err := in.Open(); err != nil {
+		return err
+	}
+	defer in.Close()
+	var batch []types.Row
+	flush := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		err := ep.Send(to, to, channel, encodeBatch(msgData, ep.NodeID(), batch))
+		batch = batch[:0]
+		return err
+	}
+	for {
+		r, ok, err := in.Next()
+		if err != nil {
+			_ = flush()
+			_ = ep.Send(to, to, channel, encodeBatch(msgEOF, ep.NodeID(), nil))
+			return err
+		}
+		if !ok {
+			break
+		}
+		batch = append(batch, r)
+		if len(batch) >= shuffleBatchRows {
+			if err := flush(); err != nil {
+				return err
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		return err
+	}
+	return ep.Send(to, to, channel, encodeBatch(msgEOF, ep.NodeID(), nil))
+}
+
+// Recv yields rows arriving on a channel until EOFs from all expected
+// senders — the coordinator side of a gather.
+type Recv struct {
+	Ep       network.Endpoint
+	Channel  string
+	Senders  int
+	Sch      types.Schema
+	buf      []types.Row
+	pos      int
+	eofs     int
+	finished bool
+}
+
+// NewRecv builds the receive operator.
+func NewRecv(ep network.Endpoint, channel string, senders int, sch types.Schema) *Recv {
+	return &Recv{Ep: ep, Channel: channel, Senders: senders, Sch: sch}
+}
+
+// Schema implements Operator.
+func (r *Recv) Schema() types.Schema { return r.Sch }
+
+// Open implements Operator.
+func (r *Recv) Open() error {
+	r.buf, r.pos, r.eofs, r.finished = nil, 0, 0, false
+	return nil
+}
+
+// Next implements Operator.
+func (r *Recv) Next() (types.Row, bool, error) {
+	for {
+		if r.pos < len(r.buf) {
+			row := r.buf[r.pos]
+			r.pos++
+			return row, true, nil
+		}
+		if r.finished {
+			return nil, false, nil
+		}
+		msg, err := r.Ep.Recv(r.Channel)
+		if err != nil {
+			return nil, false, err
+		}
+		msgType, _, rows, err := decodeBatch(msg.Payload)
+		if err != nil {
+			return nil, false, err
+		}
+		if msgType == msgEOF {
+			r.eofs++
+			if r.eofs >= r.Senders {
+				r.finished = true
+			}
+			continue
+		}
+		r.buf, r.pos = rows, 0
+	}
+}
+
+// Close implements Operator.
+func (r *Recv) Close() error { return nil }
+
+// Broadcast sends every input row to all listed nodes (replicated/broadcast
+// join build sides).
+func Broadcast(ep network.Endpoint, nodes []int, channel string, in Operator) error {
+	rows, err := Collect(in)
+	if err != nil {
+		return err
+	}
+	for _, node := range nodes {
+		for i := 0; i < len(rows); i += shuffleBatchRows {
+			end := i + shuffleBatchRows
+			if end > len(rows) {
+				end = len(rows)
+			}
+			if err := ep.Send(node, node, channel, encodeBatch(msgData, ep.NodeID(), rows[i:end])); err != nil {
+				return err
+			}
+		}
+		if err := ep.Send(node, node, channel, encodeBatch(msgEOF, ep.NodeID(), nil)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TreeReduceSpec describes a tree-topology reduction (hierarchical
+// aggregation, distributed merge sort, 2PC-style fan-in).
+type TreeReduceSpec struct {
+	Channel string
+	Nodes   []int // participant IDs; Nodes[0] is the root
+	Nmax    int
+}
+
+// RunTreeReduce executes one node's role in a tree reduction. combine wraps
+// the local input and the child streams into one operator (e.g. a merge
+// aggregate or an ordered merge); non-root nodes drain the combined stream
+// to their parent and return nil; the root returns the combined operator
+// for downstream consumption.
+func RunTreeReduce(ep network.Endpoint, spec TreeReduceSpec, local Operator,
+	combine func(ins []Operator) Operator) (Operator, error) {
+	tree, err := topology.NewTree(len(spec.Nodes), spec.Nmax)
+	if err != nil {
+		return nil, err
+	}
+	pos := -1
+	for i, id := range spec.Nodes {
+		if id == ep.NodeID() {
+			pos = i
+			break
+		}
+	}
+	if pos < 0 {
+		return nil, fmt.Errorf("exec: node %d not in tree spec", ep.NodeID())
+	}
+	// Ordered merges need per-child streams, so each tree edge gets its own
+	// channel with exactly one sender.
+	children := tree.Children(pos)
+	ins := make([]Operator, 0, len(children)+1)
+	for _, c := range children {
+		ins = append(ins, NewRecv(ep, fmt.Sprintf("%s:edge:%d-%d", spec.Channel, c, pos), 1, local.Schema()))
+	}
+	ins = append(ins, local)
+	combined := combine(ins)
+	if pos == 0 {
+		return combined, nil
+	}
+	parent := tree.Parent(pos)
+	ch := fmt.Sprintf("%s:edge:%d-%d", spec.Channel, pos, parent)
+	if err := SendAll(ep, spec.Nodes[parent], ch, combined); err != nil {
+		return nil, err
+	}
+	return nil, nil
+}
+
+// MergeOperators performs an ordered k-way merge of sorted inputs — the
+// non-leaf phase of the distributed merge sort.
+type MergeOperators struct {
+	Ins  []Operator
+	Keys []SortKey
+	cur  []types.Row // head row per input (nil = exhausted)
+	init bool
+}
+
+// NewMergeOperators builds the ordered merge.
+func NewMergeOperators(ins []Operator, keys []SortKey) *MergeOperators {
+	return &MergeOperators{Ins: ins, Keys: keys}
+}
+
+// Schema implements Operator.
+func (m *MergeOperators) Schema() types.Schema {
+	if len(m.Ins) == 0 {
+		return types.Schema{}
+	}
+	return m.Ins[0].Schema()
+}
+
+// Open implements Operator.
+func (m *MergeOperators) Open() error {
+	m.cur = nil
+	m.init = false
+	for _, in := range m.Ins {
+		if err := in.Open(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Next implements Operator.
+func (m *MergeOperators) Next() (types.Row, bool, error) {
+	if !m.init {
+		m.cur = make([]types.Row, len(m.Ins))
+		for i, in := range m.Ins {
+			r, ok, err := in.Next()
+			if err != nil {
+				return nil, false, err
+			}
+			if ok {
+				m.cur[i] = r
+			}
+		}
+		m.init = true
+	}
+	best := -1
+	for i, r := range m.cur {
+		if r == nil {
+			continue
+		}
+		if best < 0 || compareByKeys(r, m.cur[best], m.Keys) < 0 {
+			best = i
+		}
+	}
+	if best < 0 {
+		return nil, false, nil
+	}
+	out := m.cur[best]
+	r, ok, err := m.Ins[best].Next()
+	if err != nil {
+		return nil, false, err
+	}
+	if ok {
+		m.cur[best] = r
+	} else {
+		m.cur[best] = nil
+	}
+	return out, true, nil
+}
+
+// Close implements Operator.
+func (m *MergeOperators) Close() error {
+	var firstErr error
+	for _, in := range m.Ins {
+		if err := in.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// SortedNodeList returns a deterministic participant ordering (callers
+// must agree on Nodes ordering across the cluster).
+func SortedNodeList(ids []int) []int {
+	out := append([]int(nil), ids...)
+	sort.Ints(out)
+	return out
+}
+
+// forwardItem is one queued hub-forwarding send.
+type forwardItem struct {
+	to      int
+	dest    int
+	payload []byte
+}
+
+// forwardQueue is an unbounded MPSC queue: pushes never block, and pop
+// drains remaining items after close before reporting exhaustion.
+type forwardQueue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	items  []forwardItem
+	closed bool
+}
+
+func newForwardQueue() *forwardQueue {
+	q := &forwardQueue{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+func (q *forwardQueue) push(item forwardItem) {
+	q.mu.Lock()
+	q.items = append(q.items, item)
+	q.mu.Unlock()
+	q.cond.Signal()
+}
+
+func (q *forwardQueue) pop() (forwardItem, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.items) == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if len(q.items) == 0 {
+		return forwardItem{}, false
+	}
+	item := q.items[0]
+	q.items = q.items[1:]
+	return item, true
+}
+
+func (q *forwardQueue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}

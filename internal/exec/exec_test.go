@@ -1,0 +1,558 @@
+package exec
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/expr"
+	"repro/internal/types"
+)
+
+func intSchema(names ...string) types.Schema {
+	cols := make([]types.Column, len(names))
+	for i, n := range names {
+		cols[i] = types.Column{Name: n, Kind: types.KindInt}
+	}
+	return types.Schema{Cols: cols}
+}
+
+func intRows(vals ...[]int64) []types.Row {
+	out := make([]types.Row, len(vals))
+	for i, v := range vals {
+		r := make(types.Row, len(v))
+		for j, x := range v {
+			r[j] = types.NewInt(x)
+		}
+		out[i] = r
+	}
+	return out
+}
+
+func col(i int) *expr.Col          { return &expr.Col{Index: i, Name: fmt.Sprintf("c%d", i)} }
+func ci(v int64) *expr.Const       { return &expr.Const{V: types.NewInt(v)} }
+func gt(l, r expr.Expr) *expr.Bin  { return &expr.Bin{Op: expr.OpGt, L: l, R: r} }
+func eq(l, r expr.Expr) *expr.Bin  { return &expr.Bin{Op: expr.OpEq, L: l, R: r} }
+func add(l, r expr.Expr) *expr.Bin { return &expr.Bin{Op: expr.OpAdd, L: l, R: r} }
+
+func TestFilterProject(t *testing.T) {
+	src := NewSource(intSchema("a", "b"), intRows([]int64{1, 10}, []int64{2, 20}, []int64{3, 30}))
+	f := NewFilter(nil, src, gt(col(0), ci(1)))
+	p := NewProject(nil, f, []expr.Expr{add(col(0), col(1))}, []string{"s"})
+	rows, err := Collect(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || rows[0][0].Int() != 22 || rows[1][0].Int() != 33 {
+		t.Fatalf("rows = %v", rows)
+	}
+	if p.Schema().Cols[0].Name != "s" || p.Schema().Cols[0].Kind != types.KindInt {
+		t.Errorf("schema = %v", p.Schema())
+	}
+}
+
+func TestLimitOffset(t *testing.T) {
+	src := NewSource(intSchema("a"), intRows([]int64{1}, []int64{2}, []int64{3}, []int64{4}, []int64{5}))
+	rows, err := Collect(NewLimit(src, 2, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || rows[0][0].Int() != 2 || rows[1][0].Int() != 3 {
+		t.Fatalf("rows = %v", rows)
+	}
+}
+
+func TestUnionDistinct(t *testing.T) {
+	a := NewSource(intSchema("a"), intRows([]int64{1}, []int64{2}))
+	b := NewSource(intSchema("a"), intRows([]int64{2}, []int64{3}))
+	rows, err := Collect(NewDistinct(NewUnion(a, b)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("distinct union = %v", rows)
+	}
+}
+
+func TestHashAggregateComplete(t *testing.T) {
+	src := NewSource(intSchema("g", "v"), intRows(
+		[]int64{1, 10}, []int64{2, 5}, []int64{1, 20}, []int64{2, 7}, []int64{3, 1},
+	))
+	agg := NewHashAggregate(nil, src, ColRefs(0), []AggSpec{
+		{Kind: AggSum, Arg: col(1), Name: "s"},
+		{Kind: AggCount, Arg: nil, Name: "c"},
+		{Kind: AggAvg, Arg: col(1), Name: "a"},
+		{Kind: AggMin, Arg: col(1), Name: "mn"},
+		{Kind: AggMax, Arg: col(1), Name: "mx"},
+	}, AggComplete)
+	rows, err := Collect(agg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("groups = %d", len(rows))
+	}
+	byG := map[int64]types.Row{}
+	for _, r := range rows {
+		byG[r[0].Int()] = r
+	}
+	g1 := byG[1]
+	if g1[1].Int() != 30 || g1[2].Int() != 2 || g1[3].Float() != 15 || g1[4].Int() != 10 || g1[5].Int() != 20 {
+		t.Errorf("group 1 = %v", g1)
+	}
+}
+
+func TestHashAggregateNoGroupByEmptyInput(t *testing.T) {
+	src := NewSource(intSchema("v"), nil)
+	agg := NewHashAggregate(nil, src, nil, []AggSpec{
+		{Kind: AggCount, Name: "c"},
+		{Kind: AggSum, Arg: col(0), Name: "s"},
+	}, AggComplete)
+	rows, err := Collect(agg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("scalar aggregate on empty input must yield one row, got %d", len(rows))
+	}
+	if rows[0][0].Int() != 0 || !rows[0][1].IsNull() {
+		t.Errorf("empty agg = %v (COUNT=0, SUM=NULL expected)", rows[0])
+	}
+}
+
+func TestHashAggregatePartialFinal(t *testing.T) {
+	// Simulate the paper's pre-aggregation: two workers partially
+	// aggregate, the coordinator merges to final.
+	mk := func(rows []types.Row) *HashAggregate {
+		src := NewSource(intSchema("g", "v"), rows)
+		return NewHashAggregate(nil, src, ColRefs(0), []AggSpec{
+			{Kind: AggAvg, Arg: col(1), Name: "a"},
+			{Kind: AggCount, Name: "c"},
+		}, AggPartial)
+	}
+	w1, err := Collect(mk(intRows([]int64{1, 10}, []int64{2, 4})))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := Collect(mk(intRows([]int64{1, 30}, []int64{2, 6}, []int64{1, 20})))
+	if err != nil {
+		t.Fatal(err)
+	}
+	partialSchema := mk(nil).Schema()
+	merged := NewSource(partialSchema, append(w1, w2...))
+	final := NewHashAggregate(nil, merged, ColRefs(0), []AggSpec{
+		{Kind: AggAvg, Name: "a"},
+		{Kind: AggCount, Name: "c"},
+	}, AggFinal)
+	rows, err := Collect(final)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byG := map[int64]types.Row{}
+	for _, r := range rows {
+		byG[r[0].Int()] = r
+	}
+	if byG[1][1].Float() != 20 { // avg(10,30,20)
+		t.Errorf("avg group 1 = %v", byG[1])
+	}
+	if byG[1][2].Int() != 3 || byG[2][2].Int() != 2 {
+		t.Errorf("counts = %v / %v", byG[1], byG[2])
+	}
+}
+
+func TestHashAggregateSpill(t *testing.T) {
+	ctx := NewCtx(t.TempDir(), 10) // only 10 groups in memory
+	var rows []types.Row
+	for i := int64(0); i < 1000; i++ {
+		rows = append(rows, types.Row{types.NewInt(i % 100), types.NewInt(i)})
+	}
+	src := NewSource(intSchema("g", "v"), rows)
+	agg := NewHashAggregate(ctx, src, ColRefs(0), []AggSpec{{Kind: AggCount, Name: "c"}}, AggComplete)
+	out, err := Collect(agg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 100 {
+		t.Fatalf("groups = %d, want 100", len(out))
+	}
+	for _, r := range out {
+		if r[1].Int() != 10 {
+			t.Fatalf("group %d count = %d", r[0].Int(), r[1].Int())
+		}
+	}
+	if ctx.SpillFiles.Load() == 0 {
+		t.Error("expected spilling with tiny budget")
+	}
+}
+
+func TestCountDistinct(t *testing.T) {
+	src := NewSource(intSchema("g", "v"), intRows(
+		[]int64{1, 5}, []int64{1, 5}, []int64{1, 7}, []int64{2, 5},
+	))
+	agg := NewHashAggregate(nil, src, ColRefs(0), []AggSpec{
+		{Kind: AggCount, Arg: col(1), Distinct: true, Name: "cd"},
+	}, AggComplete)
+	rows, err := Collect(agg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byG := map[int64]int64{}
+	for _, r := range rows {
+		byG[r[0].Int()] = r[1].Int()
+	}
+	if byG[1] != 2 || byG[2] != 1 {
+		t.Errorf("count distinct = %v", byG)
+	}
+}
+
+func TestSortInMemory(t *testing.T) {
+	src := NewSource(intSchema("a", "b"), intRows(
+		[]int64{3, 1}, []int64{1, 2}, []int64{2, 3}, []int64{1, 1},
+	))
+	s := NewSort(nil, src, []SortKey{{Col: 0}, {Col: 1, Desc: true}})
+	rows, err := Collect(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][2]int64{{1, 2}, {1, 1}, {2, 3}, {3, 1}}
+	for i, w := range want {
+		if rows[i][0].Int() != w[0] || rows[i][1].Int() != w[1] {
+			t.Fatalf("rows = %v", rows)
+		}
+	}
+}
+
+func TestSortExternalSpill(t *testing.T) {
+	ctx := NewCtx(t.TempDir(), 50)
+	rng := rand.New(rand.NewSource(3))
+	var rows []types.Row
+	for i := 0; i < 1000; i++ {
+		rows = append(rows, types.Row{types.NewInt(int64(rng.Intn(10000)))})
+	}
+	src := NewSource(intSchema("a"), rows)
+	s := NewSort(ctx, src, []SortKey{{Col: 0}})
+	out, err := Collect(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1000 {
+		t.Fatalf("rows = %d", len(out))
+	}
+	for i := 1; i < len(out); i++ {
+		if out[i][0].Int() < out[i-1][0].Int() {
+			t.Fatalf("out of order at %d", i)
+		}
+	}
+	if ctx.SpillFiles.Load() == 0 {
+		t.Error("expected sort runs to spill")
+	}
+}
+
+func TestTopK(t *testing.T) {
+	var rows []types.Row
+	for i := int64(0); i < 100; i++ {
+		rows = append(rows, types.Row{types.NewInt(i)})
+	}
+	rand.New(rand.NewSource(1)).Shuffle(len(rows), func(i, j int) { rows[i], rows[j] = rows[j], rows[i] })
+	src := NewSource(intSchema("a"), rows)
+	// Top 5 by descending a: 99..95.
+	tk := NewTopK(nil, src, []SortKey{{Col: 0, Desc: true}}, 5)
+	out, err := Collect(tk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 5 {
+		t.Fatalf("topk = %v", out)
+	}
+	for i, want := range []int64{99, 98, 97, 96, 95} {
+		if out[i][0].Int() != want {
+			t.Fatalf("topk = %v", out)
+		}
+	}
+}
+
+func TestTopKFewerThanK(t *testing.T) {
+	src := NewSource(intSchema("a"), intRows([]int64{2}, []int64{1}))
+	out, err := Collect(NewTopK(nil, src, []SortKey{{Col: 0}}, 10))
+	if err != nil || len(out) != 2 || out[0][0].Int() != 1 {
+		t.Fatalf("out = %v err=%v", out, err)
+	}
+}
+
+func TestHashJoinInner(t *testing.T) {
+	probe := NewSource(intSchema("pk", "pv"), intRows([]int64{1, 100}, []int64{2, 200}, []int64{3, 300}))
+	build := NewSource(intSchema("bk", "bv"), intRows([]int64{1, 11}, []int64{3, 33}, []int64{3, 34}))
+	j := NewHashJoin(nil, probe, build, ColRefs(0), ColRefs(0), JoinInner, nil, 1)
+	rows, err := Collect(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 { // 1 match + 2 matches for key 3
+		t.Fatalf("join rows = %v", rows)
+	}
+	if j.Schema().Len() != 4 {
+		t.Errorf("join schema = %v", j.Schema())
+	}
+}
+
+func TestHashJoinResidual(t *testing.T) {
+	probe := NewSource(intSchema("pk", "pv"), intRows([]int64{1, 100}, []int64{1, 5}))
+	build := NewSource(intSchema("bk", "bv"), intRows([]int64{1, 50}))
+	// Residual: pv > bv (probe col 1 vs build col 1 = joined col 3).
+	resid := gt(col(1), col(3))
+	j := NewHashJoin(nil, probe, build, ColRefs(0), ColRefs(0), JoinInner, resid, 1)
+	rows, err := Collect(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0][1].Int() != 100 {
+		t.Fatalf("residual join = %v", rows)
+	}
+}
+
+func TestHashJoinSemiAnti(t *testing.T) {
+	probe := NewSource(intSchema("pk"), intRows([]int64{1}, []int64{2}, []int64{3}))
+	buildRows := intRows([]int64{2}, []int64{2}, []int64{3})
+	semi := NewHashJoin(nil, probe, NewSource(intSchema("bk"), buildRows), ColRefs(0), ColRefs(0), JoinSemi, nil, 1)
+	rows, err := Collect(semi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 { // 2 and 3, each ONCE despite duplicate build keys
+		t.Fatalf("semi = %v", rows)
+	}
+	probe2 := NewSource(intSchema("pk"), intRows([]int64{1}, []int64{2}, []int64{3}))
+	anti := NewHashJoin(nil, probe2, NewSource(intSchema("bk"), buildRows), ColRefs(0), ColRefs(0), JoinAnti, nil, 1)
+	rows, err = Collect(anti)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0][0].Int() != 1 {
+		t.Fatalf("anti = %v", rows)
+	}
+}
+
+func TestHashJoinNullKeysNeverMatch(t *testing.T) {
+	probe := NewSource(intSchema("pk"), []types.Row{{types.Null}, {types.NewInt(1)}})
+	build := NewSource(intSchema("bk"), []types.Row{{types.Null}, {types.NewInt(1)}})
+	j := NewHashJoin(nil, probe, build, ColRefs(0), ColRefs(0), JoinInner, nil, 1)
+	rows, err := Collect(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("null keys matched: %v", rows)
+	}
+}
+
+func TestHashJoinParallelProbe(t *testing.T) {
+	var probeRows, buildRows []types.Row
+	for i := int64(0); i < 5000; i++ {
+		probeRows = append(probeRows, types.Row{types.NewInt(i % 100), types.NewInt(i)})
+	}
+	for i := int64(0); i < 100; i += 2 {
+		buildRows = append(buildRows, types.Row{types.NewInt(i)})
+	}
+	probe := NewSource(intSchema("pk", "pv"), probeRows)
+	build := NewSource(intSchema("bk"), buildRows)
+	j := NewHashJoin(nil, probe, build, ColRefs(0), ColRefs(0), JoinInner, nil, 4)
+	rows, err := Collect(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2500 { // even keys: 50 keys × 50 probe rows each
+		t.Fatalf("parallel join rows = %d, want 2500", len(rows))
+	}
+}
+
+func TestHashJoinGraceSpill(t *testing.T) {
+	ctx := NewCtx(t.TempDir(), 64) // build side must spill
+	var probeRows, buildRows []types.Row
+	for i := int64(0); i < 2000; i++ {
+		buildRows = append(buildRows, types.Row{types.NewInt(i), types.NewInt(i * 10)})
+	}
+	for i := int64(0); i < 500; i++ {
+		probeRows = append(probeRows, types.Row{types.NewInt(i * 4)})
+	}
+	probe := NewSource(intSchema("pk"), probeRows)
+	build := NewSource(intSchema("bk", "bv"), buildRows)
+	j := NewHashJoin(ctx, probe, build, ColRefs(0), ColRefs(0), JoinInner, nil, 1)
+	rows, err := Collect(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 500 {
+		t.Fatalf("grace join rows = %d, want 500", len(rows))
+	}
+	if ctx.SpillFiles.Load() == 0 {
+		t.Error("expected grace join to spill")
+	}
+	for _, r := range rows {
+		if r[2].Int() != r[0].Int()*10 {
+			t.Fatalf("bad join pair %v", r)
+		}
+	}
+}
+
+func TestHashJoinGraceAnti(t *testing.T) {
+	ctx := NewCtx(t.TempDir(), 16)
+	var buildRows []types.Row
+	for i := int64(0); i < 100; i++ {
+		buildRows = append(buildRows, types.Row{types.NewInt(i)})
+	}
+	probe := NewSource(intSchema("pk"), intRows([]int64{5}, []int64{500}))
+	build := NewSource(intSchema("bk"), buildRows)
+	j := NewHashJoin(ctx, probe, build, ColRefs(0), ColRefs(0), JoinAnti, nil, 1)
+	rows, err := Collect(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0][0].Int() != 500 {
+		t.Fatalf("grace anti = %v", rows)
+	}
+}
+
+func TestNestedLoopJoin(t *testing.T) {
+	left := NewSource(intSchema("a"), intRows([]int64{1}, []int64{5}))
+	right := NewSource(intSchema("b"), intRows([]int64{2}, []int64{3}))
+	// Non-equi condition a < b.
+	cond := &expr.Bin{Op: expr.OpLt, L: col(0), R: col(1)}
+	j := NewNestedLoopJoin(nil, left, right, cond, JoinInner)
+	rows, err := Collect(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 { // 1<2, 1<3
+		t.Fatalf("nlj = %v", rows)
+	}
+	// Anti: rows with no b > a.
+	left2 := NewSource(intSchema("a"), intRows([]int64{1}, []int64{5}))
+	right2 := NewSource(intSchema("b"), intRows([]int64{2}, []int64{3}))
+	anti := NewNestedLoopJoin(nil, left2, right2, cond, JoinAnti)
+	rows, err = Collect(anti)
+	if err != nil || len(rows) != 1 || rows[0][0].Int() != 5 {
+		t.Fatalf("nlj anti = %v err=%v", rows, err)
+	}
+}
+
+func TestBloom(t *testing.T) {
+	b := NewBloom(1 << 12)
+	for i := uint64(0); i < 100; i++ {
+		b.Add(i * 7919)
+	}
+	for i := uint64(0); i < 100; i++ {
+		if !b.MayContain(i * 7919) {
+			t.Fatalf("bloom false negative for %d", i)
+		}
+	}
+	// False positive rate sanity: mostly absent keys rejected.
+	fp := 0
+	for i := uint64(1); i <= 1000; i++ {
+		if b.MayContain(i*7919 + 3) {
+			fp++
+		}
+	}
+	if fp > 200 {
+		t.Errorf("bloom false positives = %d/1000", fp)
+	}
+	// Round trip encoding.
+	b2, err := DecodeBloom(b.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 100; i++ {
+		if !b2.MayContain(i * 7919) {
+			t.Fatal("decoded bloom lost keys")
+		}
+	}
+	if _, err := DecodeBloom([]byte{1, 2, 3}); err == nil {
+		t.Error("bad length should fail")
+	}
+}
+
+func TestMergeOperators(t *testing.T) {
+	a := NewSource(intSchema("x"), intRows([]int64{1}, []int64{4}, []int64{9}))
+	b := NewSource(intSchema("x"), intRows([]int64{2}, []int64{3}, []int64{10}))
+	c := NewSource(intSchema("x"), intRows([]int64{5}))
+	m := NewMergeOperators([]Operator{a, b, c}, []SortKey{{Col: 0}})
+	rows, err := Collect(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{1, 2, 3, 4, 5, 9, 10}
+	if len(rows) != len(want) {
+		t.Fatalf("merge = %v", rows)
+	}
+	for i, w := range want {
+		if rows[i][0].Int() != w {
+			t.Fatalf("merge = %v", rows)
+		}
+	}
+}
+
+func TestSpillRoundTrip(t *testing.T) {
+	ctx := NewCtx(t.TempDir(), 0)
+	w, err := newSpillWriter(ctx, "t-*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []types.Row{
+		{types.NewInt(1), types.NewString("x")},
+		{types.Null, types.NewFloat(2.5)},
+	}
+	for _, r := range want {
+		if err := w.write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rd, err := w.finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rd.close()
+	for i := range want {
+		r, ok, err := rd.next()
+		if err != nil || !ok {
+			t.Fatalf("read %d: %v %v", i, ok, err)
+		}
+		if types.Compare(r[0], want[i][0]) != 0 {
+			t.Fatalf("row %d = %v", i, r)
+		}
+	}
+	if _, ok, _ := rd.next(); ok {
+		t.Error("extra rows after end")
+	}
+}
+
+func TestParallelBudgetAdaptsDegree(t *testing.T) {
+	ctx := NewCtx(t.TempDir(), 0)
+	ctx.SetParallelBudget(3)
+	// First acquire takes the whole budget beyond the free degree.
+	if got := ctx.AcquireWorkers(8); got != 4 { // 1 free + 3 tokens
+		t.Fatalf("first acquire = %d, want 4", got)
+	}
+	// A concurrent operator degrades to a single thread.
+	if got := ctx.AcquireWorkers(8); got != 1 {
+		t.Fatalf("second acquire under load = %d, want 1", got)
+	}
+	ctx.ReleaseWorkers(4)
+	if got := ctx.AcquireWorkers(2); got != 2 {
+		t.Fatalf("after release = %d, want 2", got)
+	}
+	ctx.ReleaseWorkers(2)
+	// No budget configured: requests granted in full.
+	free := NewCtx(t.TempDir(), 0)
+	if got := free.AcquireWorkers(6); got != 6 {
+		t.Fatalf("unbudgeted acquire = %d", got)
+	}
+	// Joins still work under a zero budget (degrade to 1 thread).
+	zero := NewCtx(t.TempDir(), 0)
+	zero.SetParallelBudget(0)
+	probe := NewSource(intSchema("k"), intRows([]int64{1}, []int64{2}))
+	build := NewSource(intSchema("k"), intRows([]int64{2}))
+	j := NewHashJoin(zero, probe, build, ColRefs(0), ColRefs(0), JoinInner, nil, 8)
+	rows, err := Collect(j)
+	if err != nil || len(rows) != 1 {
+		t.Fatalf("join under zero budget: %v %v", rows, err)
+	}
+}

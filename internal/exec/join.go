@@ -1,0 +1,687 @@
+package exec
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/expr"
+	"repro/internal/types"
+)
+
+// JoinType selects join semantics.
+type JoinType uint8
+
+// Join types. Semi and Anti implement decorrelated EXISTS / NOT EXISTS and
+// IN subqueries; the paper's engine skips outer joins (its TPC-H run omits
+// the one outer-join query), so we do too.
+const (
+	JoinInner JoinType = iota + 1
+	JoinSemi
+	JoinAnti
+)
+
+// String names the join type.
+func (t JoinType) String() string {
+	switch t {
+	case JoinInner:
+		return "INNER"
+	case JoinSemi:
+		return "SEMI"
+	case JoinAnti:
+		return "ANTI"
+	default:
+		return "?"
+	}
+}
+
+// HashJoin joins Build (right) into Probe (left) on equality of the key
+// columns, with an optional residual predicate evaluated over the
+// concatenated row. The build side constructs a Bloom filter over its keys
+// that cheap-rejects probe rows (used by the optimizer to cut shuffle
+// traffic, per Section IV). Probing runs with Parallel worker goroutines —
+// the paper's intra-operator parallelism ("multiple threads reading records
+// from its input, each simultaneously probing the hash table").
+//
+// When the build side exceeds the memory budget, the join degrades to a
+// Grace hash join: both sides are partitioned to spill files by key hash
+// and each partition pair is joined in memory.
+type HashJoin struct {
+	Probe     Operator
+	Build     Operator
+	ProbeKeys []expr.Expr
+	BuildKeys []expr.Expr
+	Residual  expr.Expr // over probe ++ build columns; may be nil
+	Type      JoinType
+	Parallel  int
+	ctx       *Ctx
+
+	out      types.Schema
+	results  chan types.Row
+	errCh    chan error
+	err      error
+	prepared bool
+	done     bool
+}
+
+// NewHashJoin builds a hash join.
+func NewHashJoin(ctx *Ctx, probe, build Operator, probeKeys, buildKeys []expr.Expr, jt JoinType, residual expr.Expr, parallel int) *HashJoin {
+	if parallel < 1 {
+		parallel = 1
+	}
+	h := &HashJoin{
+		Probe: probe, Build: build,
+		ProbeKeys: probeKeys, BuildKeys: buildKeys,
+		Residual: residual, Type: jt, Parallel: parallel, ctx: ctx,
+	}
+	switch jt {
+	case JoinInner:
+		h.out = probe.Schema().Concat(build.Schema())
+	default:
+		h.out = probe.Schema()
+	}
+	return h
+}
+
+// Schema implements Operator.
+func (h *HashJoin) Schema() types.Schema { return h.out }
+
+// Open implements Operator.
+func (h *HashJoin) Open() error {
+	h.results, h.errCh, h.err, h.prepared, h.done = nil, nil, nil, false, false
+	if err := h.Probe.Open(); err != nil {
+		return err
+	}
+	return h.Build.Open()
+}
+
+// prepare drains the build side; if it fits in memory, streams the probe
+// side through worker goroutines; otherwise partitions both sides.
+func (h *HashJoin) prepare() error {
+	budget := 0
+	if h.ctx != nil {
+		budget = h.ctx.MemRows
+	}
+	table := map[uint64][]types.Row{}
+	bloom := NewBloom(1 << 16)
+	overflow := false
+	buildCount := 0
+	var buildSpill *spillWriter
+
+	for {
+		r, ok, err := h.Build.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		if h.ctx != nil {
+			h.ctx.RowsProcessed.Add(1)
+		}
+		keyRow, err := EvalKeys(h.BuildKeys, r)
+		if err != nil {
+			return err
+		}
+		key := types.HashRow(keyRow, allOffsets(len(keyRow)))
+		bloom.Add(key)
+		if !overflow && budget > 0 && buildCount >= budget {
+			overflow = true
+			var err error
+			buildSpill, err = newSpillWriter(h.ctx, "join-build-*")
+			if err != nil {
+				return err
+			}
+			// Move the in-memory table to the spill file too: Grace mode
+			// re-partitions everything uniformly.
+			for _, rows := range table {
+				for _, br := range rows {
+					if err := buildSpill.write(br); err != nil {
+						return err
+					}
+				}
+			}
+			table = nil
+		}
+		if overflow {
+			if err := buildSpill.write(r); err != nil {
+				return err
+			}
+		} else {
+			table[key] = append(table[key], r)
+			if h.ctx != nil {
+				h.ctx.addState(int64(types.RowEncodedSize(r)))
+			}
+		}
+		buildCount++
+	}
+
+	if !overflow {
+		return h.streamProbe(table, bloom)
+	}
+	return h.graceJoin(buildSpill, bloom)
+}
+
+// streamProbe launches probe workers against the shared read-only table.
+// The degree of parallelism adapts to the node's current load through the
+// context's parallel budget (Section I: workers reduce the degree of
+// parallelism for query operators when resources are scarce).
+func (h *HashJoin) streamProbe(table map[uint64][]types.Row, bloom *Bloom) error {
+	degree := h.Parallel
+	if h.ctx != nil {
+		degree = h.ctx.AcquireWorkers(h.Parallel)
+	}
+	h.results = make(chan types.Row, 256)
+	h.errCh = make(chan error, degree+1)
+	probeRows := make(chan types.Row, 256)
+	stop := make(chan struct{})
+	var stopOnce sync.Once
+
+	var wg sync.WaitGroup
+	for w := 0; w < degree; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := range probeRows {
+				if err := h.probeOne(r, table, bloom, h.results); err != nil {
+					h.errCh <- err
+					stopOnce.Do(func() { close(stop) })
+					return
+				}
+			}
+		}()
+	}
+	// Feeder: the probe input is a single iterator, so one goroutine reads
+	// it and fans rows out to the probe workers. It aborts when a worker
+	// reports an error so nothing blocks on a full channel.
+	go func() {
+		defer close(probeRows)
+		for {
+			r, ok, err := h.Probe.Next()
+			if err != nil {
+				h.errCh <- err
+				return
+			}
+			if !ok {
+				return
+			}
+			if h.ctx != nil {
+				h.ctx.RowsProcessed.Add(1)
+			}
+			select {
+			case probeRows <- r:
+			case <-stop:
+				return
+			}
+		}
+	}()
+	go func() {
+		wg.Wait()
+		if h.ctx != nil {
+			h.ctx.ReleaseWorkers(degree)
+		}
+		close(h.results)
+	}()
+	return nil
+}
+
+// probeOne emits the join results for one probe row.
+func (h *HashJoin) probeOne(r types.Row, table map[uint64][]types.Row, bloom *Bloom, out chan<- types.Row) error {
+	keyRow, err := EvalKeys(h.ProbeKeys, r)
+	if err != nil {
+		return err
+	}
+	key := types.HashRow(keyRow, allOffsets(len(keyRow)))
+	matched := false
+	if bloom.MayContain(key) {
+		for _, br := range table[key] {
+			ok, err := h.keysEqual(r, br)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				continue
+			}
+			joined := r.Concat(br)
+			if h.Residual != nil {
+				ok, err := expr.EvalBool(h.Residual, joined)
+				if err != nil {
+					return err
+				}
+				if !ok {
+					continue
+				}
+			}
+			matched = true
+			if h.Type == JoinInner {
+				out <- joined
+			} else if h.Type == JoinSemi {
+				break
+			} else if h.Type == JoinAnti {
+				break
+			}
+		}
+	}
+	if h.Type == JoinSemi && matched {
+		out <- r
+	}
+	if h.Type == JoinAnti && !matched {
+		out <- r
+	}
+	return nil
+}
+
+// keysEqual compares the evaluated key expressions of a probe/build pair.
+// NULL keys never match (SQL join semantics).
+func (h *HashJoin) keysEqual(probe, build types.Row) (bool, error) {
+	for i := range h.ProbeKeys {
+		av, err := h.ProbeKeys[i].Eval(probe)
+		if err != nil {
+			return false, err
+		}
+		bv, err := h.BuildKeys[i].Eval(build)
+		if err != nil {
+			return false, err
+		}
+		if av.IsNull() || bv.IsNull() {
+			return false, nil
+		}
+		if types.Compare(av, bv) != 0 {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// EvalKeys evaluates key expressions over a row into a key row.
+func EvalKeys(keys []expr.Expr, r types.Row) (types.Row, error) {
+	out := make(types.Row, len(keys))
+	for i, k := range keys {
+		v, err := k.Eval(r)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// allOffsets returns [0, 1, ..., n-1].
+func allOffsets(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// HashKeys evaluates and hashes key expressions for partitioning.
+func HashKeys(keys []expr.Expr, r types.Row) (uint64, error) {
+	kr, err := EvalKeys(keys, r)
+	if err != nil {
+		return 0, err
+	}
+	return types.HashRow(kr, allOffsets(len(kr))), nil
+}
+
+// ColRefs builds plain column-reference key expressions.
+func ColRefs(idx ...int) []expr.Expr {
+	out := make([]expr.Expr, len(idx))
+	for i, x := range idx {
+		out[i] = &expr.Col{Index: x}
+	}
+	return out
+}
+
+// graceJoin partitions both sides by key hash into fanout spill partitions
+// and joins each pair in memory.
+func (h *HashJoin) graceJoin(buildSpill *spillWriter, bloom *Bloom) error {
+	const fanout = 16
+	buildReader, err := buildSpill.finish()
+	if err != nil {
+		return err
+	}
+	buildParts := make([]*spillWriter, fanout)
+	probeParts := make([]*spillWriter, fanout)
+	for i := range buildParts {
+		if buildParts[i], err = newSpillWriter(h.ctx, "join-bpart-*"); err != nil {
+			return err
+		}
+		if probeParts[i], err = newSpillWriter(h.ctx, "join-ppart-*"); err != nil {
+			return err
+		}
+	}
+	for {
+		r, ok, err := buildReader.next()
+		if err != nil {
+			buildReader.close()
+			return err
+		}
+		if !ok {
+			break
+		}
+		hk, err := HashKeys(h.BuildKeys, r)
+		if err != nil {
+			buildReader.close()
+			return err
+		}
+		p := hk % fanout
+		if err := buildParts[p].write(r); err != nil {
+			buildReader.close()
+			return err
+		}
+	}
+	buildReader.close()
+	for {
+		r, ok, err := h.Probe.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		key, err := HashKeys(h.ProbeKeys, r)
+		if err != nil {
+			return err
+		}
+		// Bloom filter rejection still applies in Grace mode — except for
+		// anti joins, where unmatched rows must be OUTPUT, not dropped.
+		if !bloom.MayContain(key) && h.Type != JoinAnti {
+			continue
+		}
+		if err := probeParts[key%fanout].write(r); err != nil {
+			return err
+		}
+	}
+
+	h.results = make(chan types.Row, 256)
+	h.errCh = make(chan error, 1)
+	go func() {
+		defer close(h.results)
+		for p := 0; p < fanout; p++ {
+			if err := h.joinPartition(buildParts[p], probeParts[p]); err != nil {
+				h.errCh <- err
+				return
+			}
+		}
+	}()
+	return nil
+}
+
+func (h *HashJoin) joinPartition(bw, pw *spillWriter) error {
+	br, err := bw.finish()
+	if err != nil {
+		return err
+	}
+	table := map[uint64][]types.Row{}
+	for {
+		r, ok, err := br.next()
+		if err != nil {
+			br.close()
+			return err
+		}
+		if !ok {
+			break
+		}
+		hk, err := HashKeys(h.BuildKeys, r)
+		if err != nil {
+			br.close()
+			return err
+		}
+		table[hk] = append(table[hk], r)
+	}
+	br.close()
+	pr, err := pw.finish()
+	if err != nil {
+		return err
+	}
+	defer pr.close()
+	passAll := NewBloom(8) // always-maybe filter for partition probing
+	passAll.SetAll()
+	for {
+		r, ok, err := pr.next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		if err := h.probeOne(r, table, passAll, h.results); err != nil {
+			return err
+		}
+	}
+}
+
+// Next implements Operator.
+func (h *HashJoin) Next() (types.Row, bool, error) {
+	if !h.prepared {
+		if err := h.prepare(); err != nil {
+			return nil, false, err
+		}
+		h.prepared = true
+	}
+	if h.err != nil {
+		return nil, false, h.err
+	}
+	for {
+		select {
+		case err := <-h.errCh:
+			h.err = err
+			return nil, false, err
+		case r, ok := <-h.results:
+			if !ok {
+				// Check for a late error.
+				select {
+				case err := <-h.errCh:
+					h.err = err
+					return nil, false, err
+				default:
+				}
+				return nil, false, nil
+			}
+			return r, true, nil
+		}
+	}
+}
+
+// Close implements Operator.
+func (h *HashJoin) Close() error {
+	err1 := h.Probe.Close()
+	err2 := h.Build.Close()
+	if err1 != nil {
+		return err1
+	}
+	return err2
+}
+
+// NestedLoopJoin evaluates an arbitrary join condition; used when no
+// equality conjunct exists (the paper uses hash joins whenever at least one
+// equality conjunct is present, so this is the fallback).
+type NestedLoopJoin struct {
+	Left, Right Operator
+	Cond        expr.Expr // over left ++ right columns; may be nil (cross product)
+	Type        JoinType
+	ctx         *Ctx
+
+	rightRows []types.Row
+	out       types.Schema
+	cur       types.Row
+	rpos      int
+	matched   bool
+	prepared  bool
+}
+
+// NewNestedLoopJoin builds the fallback join.
+func NewNestedLoopJoin(ctx *Ctx, left, right Operator, cond expr.Expr, jt JoinType) *NestedLoopJoin {
+	j := &NestedLoopJoin{Left: left, Right: right, Cond: cond, Type: jt, ctx: ctx}
+	if jt == JoinInner {
+		j.out = left.Schema().Concat(right.Schema())
+	} else {
+		j.out = left.Schema()
+	}
+	return j
+}
+
+// Schema implements Operator.
+func (j *NestedLoopJoin) Schema() types.Schema { return j.out }
+
+// Open implements Operator.
+func (j *NestedLoopJoin) Open() error {
+	j.rightRows, j.cur, j.rpos, j.matched, j.prepared = nil, nil, 0, false, false
+	if err := j.Left.Open(); err != nil {
+		return err
+	}
+	return j.Right.Open()
+}
+
+// Next implements Operator.
+func (j *NestedLoopJoin) Next() (types.Row, bool, error) {
+	if !j.prepared {
+		var err error
+		j.rightRows, err = drain(j.Right, j.ctx)
+		if err != nil {
+			return nil, false, err
+		}
+		j.prepared = true
+	}
+	for {
+		if j.cur == nil {
+			r, ok, err := j.Left.Next()
+			if err != nil || !ok {
+				return nil, false, err
+			}
+			j.cur, j.rpos, j.matched = r, 0, false
+		}
+		for j.rpos < len(j.rightRows) {
+			rr := j.rightRows[j.rpos]
+			j.rpos++
+			joined := j.cur.Concat(rr)
+			if j.Cond != nil {
+				ok, err := expr.EvalBool(j.Cond, joined)
+				if err != nil {
+					return nil, false, err
+				}
+				if !ok {
+					continue
+				}
+			}
+			j.matched = true
+			switch j.Type {
+			case JoinInner:
+				return joined, true, nil
+			case JoinSemi:
+				r := j.cur
+				j.cur = nil
+				return r, true, nil
+			case JoinAnti:
+				j.rpos = len(j.rightRows)
+			}
+		}
+		// Exhausted right side for this left row.
+		if j.Type == JoinAnti && !j.matched {
+			r := j.cur
+			j.cur = nil
+			return r, true, nil
+		}
+		j.cur = nil
+	}
+}
+
+// Close implements Operator.
+func (j *NestedLoopJoin) Close() error {
+	err1 := j.Left.Close()
+	err2 := j.Right.Close()
+	if err1 != nil {
+		return err1
+	}
+	return err2
+}
+
+func drain(op Operator, ctx *Ctx) ([]types.Row, error) {
+	var out []types.Row
+	for {
+		r, ok, err := op.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return out, nil
+		}
+		if ctx != nil {
+			ctx.RowsProcessed.Add(1)
+		}
+		out = append(out, r)
+	}
+}
+
+// Bloom is a fixed-size Bloom filter over 64-bit key hashes with 3 probes.
+type Bloom struct {
+	bits []uint64
+	mask uint64
+}
+
+// NewBloom creates a filter with at least nBits bits (rounded to a power
+// of two).
+func NewBloom(nBits int) *Bloom {
+	size := 64
+	for size < nBits {
+		size <<= 1
+	}
+	return &Bloom{bits: make([]uint64, size/64), mask: uint64(size - 1)}
+}
+
+func (b *Bloom) positions(h uint64) [3]uint64 {
+	h2 := h * 0x9E3779B97F4A7C15
+	h3 := (h ^ h2) * 0xC2B2AE3D27D4EB4F
+	return [3]uint64{h & b.mask, h2 & b.mask, h3 & b.mask}
+}
+
+// Add inserts a key hash.
+func (b *Bloom) Add(h uint64) {
+	for _, p := range b.positions(h) {
+		b.bits[p/64] |= 1 << (p % 64)
+	}
+}
+
+// MayContain reports whether the key hash may be present.
+func (b *Bloom) MayContain(h uint64) bool {
+	for _, p := range b.positions(h) {
+		if b.bits[p/64]&(1<<(p%64)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// SetAll saturates the filter (always-maybe).
+func (b *Bloom) SetAll() {
+	for i := range b.bits {
+		b.bits[i] = ^uint64(0)
+	}
+}
+
+// Encode serializes the filter for shipping across the network.
+func (b *Bloom) Encode() []byte {
+	out := make([]byte, 8*len(b.bits))
+	for i, w := range b.bits {
+		for j := 0; j < 8; j++ {
+			out[i*8+j] = byte(w >> (8 * j))
+		}
+	}
+	return out
+}
+
+// DecodeBloom restores a filter from Encode output.
+func DecodeBloom(data []byte) (*Bloom, error) {
+	if len(data) == 0 || len(data)%8 != 0 {
+		return nil, fmt.Errorf("exec: bad bloom encoding length %d", len(data))
+	}
+	b := &Bloom{bits: make([]uint64, len(data)/8), mask: uint64(len(data)*8 - 1)}
+	for i := range b.bits {
+		var w uint64
+		for j := 0; j < 8; j++ {
+			w |= uint64(data[i*8+j]) << (8 * j)
+		}
+		b.bits[i] = w
+	}
+	return b, nil
+}

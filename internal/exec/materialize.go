@@ -1,0 +1,112 @@
+package exec
+
+import (
+	"repro/internal/types"
+)
+
+// Materialize is a blocking buffer: Open fully drains the input — to a
+// spill file when a context with a budget is supplied, else to memory —
+// before the first row is served. It models the materialization points of
+// the baseline systems (MapReduce's blocking shuffle, Hive/Spark writing
+// shuffle data to disk); HRDBMS's own plans never insert it.
+type Materialize struct {
+	In     Operator
+	ToDisk bool
+	ctx    *Ctx
+
+	mem      []types.Row
+	reader   *spillReader
+	prepared bool
+	pos      int
+
+	// BytesBuffered reports how much data was materialized (perf model).
+	BytesBuffered int64
+}
+
+// NewMaterialize builds the blocking buffer.
+func NewMaterialize(ctx *Ctx, in Operator, toDisk bool) *Materialize {
+	return &Materialize{In: in, ToDisk: toDisk, ctx: ctx}
+}
+
+// Schema implements Operator.
+func (m *Materialize) Schema() types.Schema { return m.In.Schema() }
+
+// Open implements Operator.
+func (m *Materialize) Open() error {
+	m.mem, m.reader, m.prepared, m.pos, m.BytesBuffered = nil, nil, false, 0, 0
+	return m.In.Open()
+}
+
+func (m *Materialize) prepare() error {
+	var w *spillWriter
+	if m.ToDisk && m.ctx != nil && m.ctx.TempDir != "" {
+		var err error
+		w, err = newSpillWriter(m.ctx, "mat-*")
+		if err != nil {
+			return err
+		}
+	}
+	for {
+		r, ok, err := m.In.Next()
+		if err != nil {
+			if w != nil {
+				w.abort()
+			}
+			return err
+		}
+		if !ok {
+			break
+		}
+		sz := int64(types.RowEncodedSize(r))
+		m.BytesBuffered += sz
+		if w == nil {
+			if m.ctx != nil {
+				m.ctx.addState(sz)
+			}
+		}
+		if w != nil {
+			if err := w.write(r); err != nil {
+				w.abort()
+				return err
+			}
+		} else {
+			m.mem = append(m.mem, r)
+		}
+	}
+	if w != nil {
+		rd, err := w.finish()
+		if err != nil {
+			return err
+		}
+		m.reader = rd
+	}
+	m.prepared = true
+	return nil
+}
+
+// Next implements Operator.
+func (m *Materialize) Next() (types.Row, bool, error) {
+	if !m.prepared {
+		if err := m.prepare(); err != nil {
+			return nil, false, err
+		}
+	}
+	if m.reader != nil {
+		return m.reader.next()
+	}
+	if m.pos >= len(m.mem) {
+		return nil, false, nil
+	}
+	r := m.mem[m.pos]
+	m.pos++
+	return r, true, nil
+}
+
+// Close implements Operator.
+func (m *Materialize) Close() error {
+	if m.reader != nil {
+		m.reader.close()
+		m.reader = nil
+	}
+	return m.In.Close()
+}

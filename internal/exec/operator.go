@@ -1,0 +1,399 @@
+// Package exec implements HRDBMS's execution engine (Section IV): pull-based
+// pipelined relational operators with exchange operators encapsulating
+// intra-operator parallelism and the network edges between nodes. Operators
+// run fully in memory once data is read from disk and spill to temporary
+// files only when their input exceeds the memory budget, as the paper
+// prescribes.
+package exec
+
+import (
+	"fmt"
+	"os"
+	"sync/atomic"
+
+	"repro/internal/expr"
+	"repro/internal/types"
+)
+
+// Operator is a Volcano-style iterator.
+type Operator interface {
+	// Schema describes the rows Next returns.
+	Schema() types.Schema
+	// Open prepares the operator (and its inputs) for iteration.
+	Open() error
+	// Next returns the next row; ok=false signals exhaustion.
+	Next() (row types.Row, ok bool, err error)
+	// Close releases resources. Close is idempotent.
+	Close() error
+}
+
+// Ctx carries per-query execution state shared by the operators of one
+// plan fragment on one node.
+type Ctx struct {
+	// TempDir receives spill files. Empty disables spilling (operators
+	// fail instead of spilling).
+	TempDir string
+	// MemRows is the per-operator in-memory row budget before spilling.
+	// Zero means unlimited.
+	MemRows int
+
+	// Metering for the performance model.
+	RowsProcessed atomic.Int64
+	SpillBytes    atomic.Int64
+	SpillFiles    atomic.Int64
+	// StateBytes accumulates the bytes held by stateful operators (hash
+	// join build sides, aggregation tables, sort buffers) — the memory
+	// working set the paper's OOM discussion is about.
+	StateBytes atomic.Int64
+
+	// parallelBudget, when set, bounds the node's total intra-operator
+	// parallelism: operators acquire worker tokens and degrade gracefully
+	// to fewer threads when the node is busy (the paper's worker-local
+	// resource management: "worker nodes manage memory and degree of
+	// parallelism individually").
+	parallelBudget chan struct{}
+}
+
+// SetParallelBudget installs a node-wide cap on extra operator threads.
+func (c *Ctx) SetParallelBudget(tokens int) {
+	if tokens < 0 {
+		tokens = 0
+	}
+	c.parallelBudget = make(chan struct{}, tokens)
+	for i := 0; i < tokens; i++ {
+		c.parallelBudget <- struct{}{}
+	}
+}
+
+// AcquireWorkers grants between 1 and want degrees of parallelism without
+// blocking: the first degree is always free; extra degrees come from the
+// node budget if available right now.
+func (c *Ctx) AcquireWorkers(want int) int {
+	if want < 1 {
+		want = 1
+	}
+	granted := 1
+	if c == nil || c.parallelBudget == nil {
+		return want
+	}
+	for granted < want {
+		select {
+		case <-c.parallelBudget:
+			granted++
+		default:
+			return granted
+		}
+	}
+	return granted
+}
+
+// ReleaseWorkers returns extra degrees to the node budget.
+func (c *Ctx) ReleaseWorkers(granted int) {
+	if c == nil || c.parallelBudget == nil {
+		return
+	}
+	for i := 1; i < granted; i++ {
+		select {
+		case c.parallelBudget <- struct{}{}:
+		default:
+			return
+		}
+	}
+}
+
+// addState records operator state bytes when a context is present.
+func (c *Ctx) addState(n int64) {
+	if c != nil {
+		c.StateBytes.Add(n)
+	}
+}
+
+// NewCtx builds a context with a temp dir and row budget.
+func NewCtx(tempDir string, memRows int) *Ctx {
+	return &Ctx{TempDir: tempDir, MemRows: memRows}
+}
+
+func (c *Ctx) tempFile(pattern string) (*os.File, error) {
+	if c.TempDir == "" {
+		return nil, fmt.Errorf("exec: operator needs to spill but no temp dir configured")
+	}
+	f, err := os.CreateTemp(c.TempDir, pattern)
+	if err != nil {
+		return nil, fmt.Errorf("exec: create spill file: %w", err)
+	}
+	c.SpillFiles.Add(1)
+	return f, nil
+}
+
+// Source yields rows from a slice; the leaf operator for tests, constant
+// relations, and rebuffered intermediates.
+type Source struct {
+	Sch  types.Schema
+	Rows []types.Row
+	pos  int
+}
+
+// NewSource builds a source operator.
+func NewSource(s types.Schema, rows []types.Row) *Source {
+	return &Source{Sch: s, Rows: rows}
+}
+
+// Schema implements Operator.
+func (s *Source) Schema() types.Schema { return s.Sch }
+
+// Open implements Operator.
+func (s *Source) Open() error { s.pos = 0; return nil }
+
+// Next implements Operator.
+func (s *Source) Next() (types.Row, bool, error) {
+	if s.pos >= len(s.Rows) {
+		return nil, false, nil
+	}
+	r := s.Rows[s.pos]
+	s.pos++
+	return r, true, nil
+}
+
+// Close implements Operator.
+func (s *Source) Close() error { return nil }
+
+// Filter passes rows whose predicate evaluates to (non-null) true.
+type Filter struct {
+	In   Operator
+	Pred expr.Expr
+	ctx  *Ctx
+}
+
+// NewFilter builds a filter; the predicate must already be bound to the
+// input schema.
+func NewFilter(ctx *Ctx, in Operator, pred expr.Expr) *Filter {
+	return &Filter{In: in, Pred: pred, ctx: ctx}
+}
+
+// Schema implements Operator.
+func (f *Filter) Schema() types.Schema { return f.In.Schema() }
+
+// Open implements Operator.
+func (f *Filter) Open() error { return f.In.Open() }
+
+// Next implements Operator.
+func (f *Filter) Next() (types.Row, bool, error) {
+	for {
+		r, ok, err := f.In.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		if f.ctx != nil {
+			f.ctx.RowsProcessed.Add(1)
+		}
+		keep, err := expr.EvalBool(f.Pred, r)
+		if err != nil {
+			return nil, false, err
+		}
+		if keep {
+			return r, true, nil
+		}
+	}
+}
+
+// Close implements Operator.
+func (f *Filter) Close() error { return f.In.Close() }
+
+// Project computes output expressions per row.
+type Project struct {
+	In    Operator
+	Exprs []expr.Expr
+	Out   types.Schema
+	ctx   *Ctx
+}
+
+// NewProject builds a projection; exprs must be bound to the input schema
+// and names gives the output column names.
+func NewProject(ctx *Ctx, in Operator, exprs []expr.Expr, names []string) *Project {
+	cols := make([]types.Column, len(exprs))
+	for i, e := range exprs {
+		cols[i] = types.Column{Name: names[i], Kind: expr.KindOf(e, in.Schema())}
+	}
+	return &Project{In: in, Exprs: exprs, Out: types.Schema{Cols: cols}, ctx: ctx}
+}
+
+// Schema implements Operator.
+func (p *Project) Schema() types.Schema { return p.Out }
+
+// Open implements Operator.
+func (p *Project) Open() error { return p.In.Open() }
+
+// Next implements Operator.
+func (p *Project) Next() (types.Row, bool, error) {
+	r, ok, err := p.In.Next()
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	if p.ctx != nil {
+		p.ctx.RowsProcessed.Add(1)
+	}
+	out := make(types.Row, len(p.Exprs))
+	for i, e := range p.Exprs {
+		v, err := e.Eval(r)
+		if err != nil {
+			return nil, false, err
+		}
+		out[i] = v
+	}
+	return out, true, nil
+}
+
+// Close implements Operator.
+func (p *Project) Close() error { return p.In.Close() }
+
+// Limit stops after n rows (with optional offset).
+type Limit struct {
+	In     Operator
+	N      int64
+	Offset int64
+	seen   int64
+	done   int64
+}
+
+// NewLimit builds a LIMIT operator.
+func NewLimit(in Operator, n, offset int64) *Limit {
+	return &Limit{In: in, N: n, Offset: offset}
+}
+
+// Schema implements Operator.
+func (l *Limit) Schema() types.Schema { return l.In.Schema() }
+
+// Open implements Operator.
+func (l *Limit) Open() error { l.seen, l.done = 0, 0; return l.In.Open() }
+
+// Next implements Operator.
+func (l *Limit) Next() (types.Row, bool, error) {
+	for {
+		if l.done >= l.N {
+			return nil, false, nil
+		}
+		r, ok, err := l.In.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		l.seen++
+		if l.seen <= l.Offset {
+			continue
+		}
+		l.done++
+		return r, true, nil
+	}
+}
+
+// Close implements Operator.
+func (l *Limit) Close() error { return l.In.Close() }
+
+// Union concatenates inputs (UNION ALL and merging fragment scans).
+type Union struct {
+	Ins []Operator
+	cur int
+}
+
+// NewUnion builds a union of same-schema inputs.
+func NewUnion(ins ...Operator) *Union { return &Union{Ins: ins} }
+
+// Schema implements Operator.
+func (u *Union) Schema() types.Schema {
+	if len(u.Ins) == 0 {
+		return types.Schema{}
+	}
+	return u.Ins[0].Schema()
+}
+
+// Open implements Operator.
+func (u *Union) Open() error {
+	u.cur = 0
+	for _, in := range u.Ins {
+		if err := in.Open(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Next implements Operator.
+func (u *Union) Next() (types.Row, bool, error) {
+	for u.cur < len(u.Ins) {
+		r, ok, err := u.Ins[u.cur].Next()
+		if err != nil {
+			return nil, false, err
+		}
+		if ok {
+			return r, true, nil
+		}
+		u.cur++
+	}
+	return nil, false, nil
+}
+
+// Close implements Operator.
+func (u *Union) Close() error {
+	var firstErr error
+	for _, in := range u.Ins {
+		if err := in.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Distinct removes duplicate rows by hashing the full row.
+type Distinct struct {
+	In   Operator
+	seen map[string]bool
+}
+
+// NewDistinct builds a DISTINCT operator.
+func NewDistinct(in Operator) *Distinct { return &Distinct{In: in} }
+
+// Schema implements Operator.
+func (d *Distinct) Schema() types.Schema { return d.In.Schema() }
+
+// Open implements Operator.
+func (d *Distinct) Open() error {
+	d.seen = map[string]bool{}
+	return d.In.Open()
+}
+
+// Next implements Operator.
+func (d *Distinct) Next() (types.Row, bool, error) {
+	for {
+		r, ok, err := d.In.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		key := string(types.AppendRow(nil, r))
+		if d.seen[key] {
+			continue
+		}
+		d.seen[key] = true
+		return r, true, nil
+	}
+}
+
+// Close implements Operator.
+func (d *Distinct) Close() error { return d.In.Close() }
+
+// Collect drains an operator into a slice (Open/Next/Close).
+func Collect(op Operator) ([]types.Row, error) {
+	if err := op.Open(); err != nil {
+		return nil, err
+	}
+	defer op.Close()
+	var out []types.Row
+	for {
+		r, ok, err := op.Next()
+		if err != nil {
+			return out, err
+		}
+		if !ok {
+			return out, nil
+		}
+		out = append(out, r)
+	}
+}

@@ -1,0 +1,250 @@
+package exec
+
+import (
+	"repro/internal/expr"
+	"repro/internal/external"
+	"repro/internal/page"
+	"repro/internal/storage"
+	"repro/internal/types"
+)
+
+// scanFeed adapts a callback-style scan into a pull operator by running the
+// scan in a goroutine (the paper spawns one scan thread per table fragment;
+// this goroutine is that thread).
+type scanFeed struct {
+	sch     types.Schema
+	start   func(out chan<- types.Row, stop <-chan struct{}) error
+	rows    chan types.Row
+	errCh   chan error
+	stop    chan struct{}
+	started bool
+	closed  bool
+}
+
+func (s *scanFeed) Schema() types.Schema { return s.sch }
+
+func (s *scanFeed) Open() error {
+	s.rows = make(chan types.Row, 256)
+	s.errCh = make(chan error, 1)
+	s.stop = make(chan struct{})
+	s.started = false
+	s.closed = false
+	return nil
+}
+
+func (s *scanFeed) launch() {
+	s.started = true
+	go func() {
+		err := s.start(s.rows, s.stop)
+		if err != nil {
+			s.errCh <- err
+		}
+		close(s.rows)
+	}()
+}
+
+func (s *scanFeed) Next() (types.Row, bool, error) {
+	if !s.started {
+		s.launch()
+	}
+	r, ok := <-s.rows
+	if ok {
+		return r, true, nil
+	}
+	select {
+	case err := <-s.errCh:
+		return nil, false, err
+	default:
+		return nil, false, nil
+	}
+}
+
+func (s *scanFeed) Close() error {
+	if !s.closed {
+		s.closed = true
+		if s.stop != nil {
+			close(s.stop)
+		}
+		// Drain so the producer goroutine can exit.
+		if s.rows != nil {
+			go func(ch chan types.Row) {
+				for range ch {
+				}
+			}(s.rows)
+		}
+	}
+	return nil
+}
+
+// sendRow pushes a row unless the consumer has gone away.
+func sendRow(out chan<- types.Row, stop <-chan struct{}, r types.Row) bool {
+	select {
+	case out <- r:
+		return true
+	case <-stop:
+		return false
+	}
+}
+
+// ScanConfig controls predicate pushdown into a fragment scan.
+type ScanConfig struct {
+	// Pred is the scan predicate, bound to the fragment schema; rows not
+	// matching are dropped at the scan (selection pushdown). May be nil.
+	Pred expr.Expr
+	// UseSkipCache / UseMinMax enable the two skipping schemes.
+	UseSkipCache bool
+	UseMinMax    bool
+	// Predeclare enables buffer-manager scan pre-declaration.
+	Predeclare bool
+	// Stats, when non-nil, receives the scan's page/row counters.
+	Stats *storage.ScanStats
+}
+
+func buildScanOptions(cfg ScanConfig) storage.ScanOptions {
+	opts := storage.ScanOptions{
+		UseCache:   cfg.UseSkipCache,
+		UseMinMax:  cfg.UseMinMax,
+		Predeclare: cfg.Predeclare,
+	}
+	if cfg.Pred != nil {
+		conj, complete := expr.ToSkipConj(cfg.Pred)
+		opts.SkipConj = conj
+		opts.SkipComplete = complete
+	}
+	return opts
+}
+
+// FragmentScan is the row-table scan operator.
+type FragmentScan struct {
+	scanFeed
+	fr  *storage.Fragment
+	cfg ScanConfig
+}
+
+// NewRowScan builds a scan over a row fragment.
+func NewRowScan(fr *storage.Fragment, alias string, cfg ScanConfig) *FragmentScan {
+	sch := fr.Def.Schema
+	if alias != "" {
+		sch = sch.Qualify(alias)
+	}
+	fs := &FragmentScan{fr: fr, cfg: cfg}
+	fs.scanFeed.sch = sch
+	fs.scanFeed.start = fs.run
+	return fs
+}
+
+func (fs *FragmentScan) run(out chan<- types.Row, stop <-chan struct{}) error {
+	opts := buildScanOptions(fs.cfg)
+	var evalErr error
+	stats, err := fs.fr.Scan(opts, func(rid page.RID, r types.Row) bool {
+		if fs.cfg.Pred != nil {
+			keep, err := expr.EvalBool(fs.cfg.Pred, r)
+			if err != nil {
+				evalErr = err
+				return false
+			}
+			if !keep {
+				return true
+			}
+		}
+		return sendRow(out, stop, r)
+	})
+	if fs.cfg.Stats != nil {
+		*fs.cfg.Stats = stats
+	}
+	if evalErr != nil {
+		return evalErr
+	}
+	return err
+}
+
+// ColumnarScan is the PAX-table scan operator.
+type ColumnarScan struct {
+	scanFeed
+	fr  *storage.ColumnarFragment
+	cfg ScanConfig
+}
+
+// NewColumnarScan builds a scan over a columnar fragment.
+func NewColumnarScan(fr *storage.ColumnarFragment, alias string, cfg ScanConfig) *ColumnarScan {
+	sch := fr.Def.Schema
+	if alias != "" {
+		sch = sch.Qualify(alias)
+	}
+	cs := &ColumnarScan{fr: fr, cfg: cfg}
+	cs.scanFeed.sch = sch
+	cs.scanFeed.start = cs.run
+	return cs
+}
+
+func (cs *ColumnarScan) run(out chan<- types.Row, stop <-chan struct{}) error {
+	opts := buildScanOptions(cs.cfg)
+	var evalErr error
+	stats, err := cs.fr.Scan(opts, func(r types.Row) bool {
+		if cs.cfg.Pred != nil {
+			keep, err := expr.EvalBool(cs.cfg.Pred, r)
+			if err != nil {
+				evalErr = err
+				return false
+			}
+			if !keep {
+				return true
+			}
+		}
+		return sendRow(out, stop, r)
+	})
+	if cs.cfg.Stats != nil {
+		*cs.cfg.Stats = stats
+	}
+	if evalErr != nil {
+		return evalErr
+	}
+	return err
+}
+
+// ExternalScan reads assigned partitions of an external table.
+type ExternalScan struct {
+	scanFeed
+	tbl   external.Table
+	parts []int
+	pred  expr.Expr
+}
+
+// NewExternalScan builds a scan over the given partitions of an external
+// table.
+func NewExternalScan(tbl external.Table, parts []int, alias string, pred expr.Expr) *ExternalScan {
+	sch := tbl.Schema()
+	if alias != "" {
+		sch = sch.Qualify(alias)
+	}
+	es := &ExternalScan{tbl: tbl, parts: parts, pred: pred}
+	es.scanFeed.sch = sch
+	es.scanFeed.start = es.run
+	return es
+}
+
+func (es *ExternalScan) run(out chan<- types.Row, stop <-chan struct{}) error {
+	var evalErr error
+	for _, p := range es.parts {
+		err := es.tbl.ScanPartition(p, func(r types.Row) bool {
+			if es.pred != nil {
+				keep, err := expr.EvalBool(es.pred, r)
+				if err != nil {
+					evalErr = err
+					return false
+				}
+				if !keep {
+					return true
+				}
+			}
+			return sendRow(out, stop, r)
+		})
+		if evalErr != nil {
+			return evalErr
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,308 @@
+package exec
+
+import (
+	"container/heap"
+	"sort"
+
+	"repro/internal/types"
+)
+
+// SortKey describes one ORDER BY term.
+type SortKey struct {
+	Col  int // input column offset
+	Desc bool
+}
+
+// compareByKeys orders rows by the keys.
+func compareByKeys(a, b types.Row, keys []SortKey) int {
+	for _, k := range keys {
+		c := types.Compare(a[k.Col], b[k.Col])
+		if k.Desc {
+			c = -c
+		}
+		if c != 0 {
+			return c
+		}
+	}
+	return 0
+}
+
+// Sort is an external merge sort: it buffers up to MemRows rows, writes
+// sorted runs to spill files, and merges them with a loser-tree-free k-way
+// heap merge. This is the leaf-level phase of the paper's distributed
+// n-way merge sort; the tree topology's upper levels use MergeReceive.
+type Sort struct {
+	In   Operator
+	Keys []SortKey
+	ctx  *Ctx
+
+	mem      []types.Row
+	runs     []*spillReader
+	merged   *mergeHeap
+	prepared bool
+	pos      int
+}
+
+// NewSort builds a sort operator.
+func NewSort(ctx *Ctx, in Operator, keys []SortKey) *Sort {
+	return &Sort{In: in, Keys: keys, ctx: ctx}
+}
+
+// Schema implements Operator.
+func (s *Sort) Schema() types.Schema { return s.In.Schema() }
+
+// Open implements Operator.
+func (s *Sort) Open() error {
+	s.mem, s.runs, s.merged, s.prepared, s.pos = nil, nil, nil, false, 0
+	return s.In.Open()
+}
+
+func (s *Sort) sortMem() {
+	sort.SliceStable(s.mem, func(i, j int) bool {
+		return compareByKeys(s.mem[i], s.mem[j], s.Keys) < 0
+	})
+}
+
+func (s *Sort) spillRun() error {
+	s.sortMem()
+	w, err := newSpillWriter(s.ctx, "sort-run-*")
+	if err != nil {
+		return err
+	}
+	for _, r := range s.mem {
+		if err := w.write(r); err != nil {
+			w.abort()
+			return err
+		}
+	}
+	rd, err := w.finish()
+	if err != nil {
+		return err
+	}
+	s.runs = append(s.runs, rd)
+	s.mem = s.mem[:0]
+	return nil
+}
+
+func (s *Sort) prepare() error {
+	for {
+		r, ok, err := s.In.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		if s.ctx != nil {
+			s.ctx.RowsProcessed.Add(1)
+			s.ctx.addState(int64(types.RowEncodedSize(r)))
+		}
+		s.mem = append(s.mem, r)
+		if s.ctx != nil && s.ctx.MemRows > 0 && len(s.mem) >= s.ctx.MemRows {
+			if err := s.spillRun(); err != nil {
+				return err
+			}
+		}
+	}
+	if len(s.runs) == 0 {
+		// Pure in-memory sort.
+		s.sortMem()
+		s.prepared = true
+		return nil
+	}
+	// Final in-memory batch becomes one more run (kept in memory).
+	s.sortMem()
+	s.merged = &mergeHeap{keys: s.Keys}
+	for _, run := range s.runs {
+		r, ok, err := run.next()
+		if err != nil {
+			return err
+		}
+		if ok {
+			heap.Push(s.merged, mergeItem{row: r, src: run})
+		} else {
+			run.close()
+		}
+	}
+	s.prepared = true
+	return nil
+}
+
+// Next implements Operator.
+func (s *Sort) Next() (types.Row, bool, error) {
+	if !s.prepared {
+		if err := s.prepare(); err != nil {
+			return nil, false, err
+		}
+	}
+	if s.merged == nil {
+		if s.pos >= len(s.mem) {
+			return nil, false, nil
+		}
+		r := s.mem[s.pos]
+		s.pos++
+		return r, true, nil
+	}
+	// Merge the spill runs with the resident final batch.
+	var memTop types.Row
+	if s.pos < len(s.mem) {
+		memTop = s.mem[s.pos]
+	}
+	if s.merged.Len() == 0 {
+		if memTop == nil {
+			return nil, false, nil
+		}
+		s.pos++
+		return memTop, true, nil
+	}
+	top := s.merged.items[0]
+	if memTop != nil && compareByKeys(memTop, top.row, s.Keys) <= 0 {
+		s.pos++
+		return memTop, true, nil
+	}
+	item := heap.Pop(s.merged).(mergeItem)
+	next, ok, err := item.src.next()
+	if err != nil {
+		return nil, false, err
+	}
+	if ok {
+		heap.Push(s.merged, mergeItem{row: next, src: item.src})
+	} else {
+		item.src.close()
+	}
+	return item.row, true, nil
+}
+
+// Close implements Operator.
+func (s *Sort) Close() error {
+	if s.merged != nil {
+		for _, it := range s.merged.items {
+			it.src.close()
+		}
+		s.merged = nil
+	}
+	return s.In.Close()
+}
+
+type mergeItem struct {
+	row types.Row
+	src *spillReader
+}
+
+type mergeHeap struct {
+	items []mergeItem
+	keys  []SortKey
+}
+
+func (h *mergeHeap) Len() int { return len(h.items) }
+func (h *mergeHeap) Less(i, j int) bool {
+	return compareByKeys(h.items[i].row, h.items[j].row, h.keys) < 0
+}
+func (h *mergeHeap) Swap(i, j int)      { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *mergeHeap) Push(x interface{}) { h.items = append(h.items, x.(mergeItem)) }
+func (h *mergeHeap) Pop() interface{} {
+	old := h.items
+	n := len(old)
+	it := old[n-1]
+	h.items = old[:n-1]
+	return it
+}
+
+// TopK keeps the best k rows by the sort keys using a bounded heap — the
+// paper's LIMIT+ORDER BY implementation: each worker maintains a heap of
+// its local top-k and the coordinator merges them.
+type TopK struct {
+	In   Operator
+	Keys []SortKey
+	K    int
+	ctx  *Ctx
+
+	results  []types.Row
+	pos      int
+	prepared bool
+}
+
+// NewTopK builds a top-k operator.
+func NewTopK(ctx *Ctx, in Operator, keys []SortKey, k int) *TopK {
+	return &TopK{In: in, Keys: keys, K: k, ctx: ctx}
+}
+
+// Schema implements Operator.
+func (t *TopK) Schema() types.Schema { return t.In.Schema() }
+
+// Open implements Operator.
+func (t *TopK) Open() error {
+	t.results, t.pos, t.prepared = nil, 0, false
+	return t.In.Open()
+}
+
+func (t *TopK) prepare() error {
+	// boundedHeap holds the current top-k with the WORST row at the root,
+	// so a newly arriving better row replaces the root — exactly the
+	// paper's description (min-heap for descending order).
+	h := &boundedHeap{keys: t.Keys}
+	for {
+		r, ok, err := t.In.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		if t.ctx != nil {
+			t.ctx.RowsProcessed.Add(1)
+		}
+		if h.Len() < t.K {
+			heap.Push(h, r)
+			continue
+		}
+		if compareByKeys(r, h.rows[0], t.Keys) < 0 {
+			h.rows[0] = r
+			heap.Fix(h, 0)
+		}
+	}
+	t.results = make([]types.Row, h.Len())
+	for i := len(t.results) - 1; i >= 0; i-- {
+		t.results[i] = heap.Pop(h).(types.Row)
+	}
+	t.prepared = true
+	return nil
+}
+
+// Next implements Operator.
+func (t *TopK) Next() (types.Row, bool, error) {
+	if !t.prepared {
+		if err := t.prepare(); err != nil {
+			return nil, false, err
+		}
+	}
+	if t.pos >= len(t.results) {
+		return nil, false, nil
+	}
+	r := t.results[t.pos]
+	t.pos++
+	return r, true, nil
+}
+
+// Close implements Operator.
+func (t *TopK) Close() error { return t.In.Close() }
+
+// boundedHeap orders rows so the WORST (by sort keys) is at the root.
+type boundedHeap struct {
+	rows []types.Row
+	keys []SortKey
+}
+
+func (h *boundedHeap) Len() int { return len(h.rows) }
+func (h *boundedHeap) Less(i, j int) bool {
+	return compareByKeys(h.rows[i], h.rows[j], h.keys) > 0
+}
+func (h *boundedHeap) Swap(i, j int)      { h.rows[i], h.rows[j] = h.rows[j], h.rows[i] }
+func (h *boundedHeap) Push(x interface{}) { h.rows = append(h.rows, x.(types.Row)) }
+func (h *boundedHeap) Pop() interface{} {
+	old := h.rows
+	n := len(old)
+	r := old[n-1]
+	h.rows = old[:n-1]
+	return r
+}

@@ -1,0 +1,98 @@
+package exec
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/types"
+)
+
+// spillWriter streams rows to a temp file (length-prefixed encoded rows).
+type spillWriter struct {
+	ctx   *Ctx
+	f     *os.File
+	w     *bufio.Writer
+	bytes int64
+	rows  int64
+}
+
+func newSpillWriter(ctx *Ctx, pattern string) (*spillWriter, error) {
+	if ctx == nil {
+		return nil, fmt.Errorf("exec: spill without context")
+	}
+	f, err := ctx.tempFile(pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &spillWriter{ctx: ctx, f: f, w: bufio.NewWriterSize(f, 1<<16)}, nil
+}
+
+func (s *spillWriter) write(r types.Row) error {
+	enc := types.AppendRow(nil, r)
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(enc)))
+	if _, err := s.w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := s.w.Write(enc); err != nil {
+		return err
+	}
+	s.bytes += int64(len(enc) + 4)
+	s.rows++
+	s.ctx.SpillBytes.Add(int64(len(enc) + 4))
+	return nil
+}
+
+// finish flushes and rewinds, returning a reader over the written rows.
+// The file is unlinked on reader close.
+func (s *spillWriter) finish() (*spillReader, error) {
+	if err := s.w.Flush(); err != nil {
+		return nil, err
+	}
+	if _, err := s.f.Seek(0, io.SeekStart); err != nil {
+		return nil, err
+	}
+	return &spillReader{f: s.f, r: bufio.NewReaderSize(s.f, 1<<16)}, nil
+}
+
+// abort discards the spill file.
+func (s *spillWriter) abort() {
+	name := s.f.Name()
+	s.f.Close()
+	os.Remove(name)
+}
+
+// spillReader streams rows back from a spill file.
+type spillReader struct {
+	f *os.File
+	r *bufio.Reader
+}
+
+func (s *spillReader) next() (types.Row, bool, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(s.r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return nil, false, nil
+		}
+		return nil, false, fmt.Errorf("exec: spill read: %w", err)
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(s.r, buf); err != nil {
+		return nil, false, fmt.Errorf("exec: spill read body: %w", err)
+	}
+	row, _, err := types.DecodeRow(buf)
+	if err != nil {
+		return nil, false, err
+	}
+	return row, true, nil
+}
+
+func (s *spillReader) close() {
+	name := s.f.Name()
+	s.f.Close()
+	os.Remove(name)
+}

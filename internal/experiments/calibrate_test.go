@@ -1,0 +1,33 @@
+package experiments
+
+import (
+	"os"
+	"testing"
+
+	"repro/internal/tpch"
+)
+
+// TestCalibrationDump is a diagnostic (run explicitly with -run Calibration
+// -v) that prints measured metrics and modeled components per query so the
+// model coefficients can be tuned against the paper's shapes.
+func TestCalibrationDump(t *testing.T) {
+	if os.Getenv("CALIBRATE") == "" {
+		t.Skip("set CALIBRATE=1 to dump calibration data")
+	}
+	r, _ := tinyRunner(t)
+	for _, sys := range []string{"hrdbms", "greenplum"} {
+		m, err := r.measure(sys, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, qid := range tpch.QueryIDs() {
+			mm := m[qid]
+			est := r.estimate(sys, 8, mm, 24<<30)
+			t.Logf("%-10s %-4s work=%-8d state=%-8d net=%-8d spill=%-8d xch=%-2d deg=%-2d | cpu=%-7.0f disk=%-7.0f net=%-7.0f conn=%-5.1f start=%-5.1f oom=%v ws/node=%.1fGB",
+				sys, qid, mm.WorkRows, mm.StateBytes, mm.NetBytes, mm.SpillBytes,
+				mm.Exchanges, mm.MaxDegree,
+				est.CPUSec, est.DiskSec, est.NetSec, est.ConnSec, est.StartupSec, est.OOM,
+				float64(mm.StateBytes)*r.TargetSF/r.SF/8/float64(1<<30))
+		}
+	}
+}

@@ -1,0 +1,150 @@
+// Package external implements HRDBMS's extensible external table framework
+// (Section III): a user-defined external table type (UET) exposes a schema
+// and a horizontal partitioning of an external data source, and the system
+// distributes scans of those partitions across worker nodes without
+// ingesting the data.
+//
+// The CSV table type is the proof-of-concept the paper ships (theirs reads
+// CSV from HDFS; ours reads sharded CSV files from a directory, which
+// exercises the same code path: partition discovery, per-partition scans,
+// and distribution of partitions to workers).
+package external
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/types"
+)
+
+// Table is the user-defined external table (UET) interface.
+type Table interface {
+	// Name returns the table's name as registered in the catalog.
+	Name() string
+	// Schema returns the rows' schema.
+	Schema() types.Schema
+	// Partitions returns the number of horizontal partitions the source
+	// exposes; the system assigns partitions to worker nodes.
+	Partitions() int
+	// ScanPartition iterates the rows of one partition. fn returning false
+	// stops the scan.
+	ScanPartition(i int, fn func(types.Row) bool) error
+}
+
+// Registry maps external table names to implementations.
+type Registry struct {
+	tables map[string]Table
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry { return &Registry{tables: map[string]Table{}} }
+
+// Register adds an external table.
+func (r *Registry) Register(t Table) error {
+	key := strings.ToLower(t.Name())
+	if _, dup := r.tables[key]; dup {
+		return fmt.Errorf("external: table %s already registered", t.Name())
+	}
+	r.tables[key] = t
+	return nil
+}
+
+// Lookup finds an external table by name.
+func (r *Registry) Lookup(name string) (Table, bool) {
+	t, ok := r.tables[strings.ToLower(name)]
+	return t, ok
+}
+
+// CSVTable reads delimiter-separated files from a directory; every file
+// matching the glob is one partition.
+type CSVTable struct {
+	name   string
+	schema types.Schema
+	files  []string
+	delim  byte
+}
+
+// NewCSVTable discovers partitions under dir matching pattern (e.g.
+// "part-*.csv") and serves them as an external table.
+func NewCSVTable(name string, schema types.Schema, dir, pattern string, delim byte) (*CSVTable, error) {
+	matches, err := filepath.Glob(filepath.Join(dir, pattern))
+	if err != nil {
+		return nil, fmt.Errorf("external: glob: %w", err)
+	}
+	if len(matches) == 0 {
+		return nil, fmt.Errorf("external: no files match %s in %s", pattern, dir)
+	}
+	sort.Strings(matches)
+	if delim == 0 {
+		delim = '|'
+	}
+	return &CSVTable{name: name, schema: schema, files: matches, delim: delim}, nil
+}
+
+// Name implements Table.
+func (t *CSVTable) Name() string { return t.name }
+
+// Schema implements Table.
+func (t *CSVTable) Schema() types.Schema { return t.schema }
+
+// Partitions implements Table.
+func (t *CSVTable) Partitions() int { return len(t.files) }
+
+// ScanPartition implements Table, parsing each line into typed values.
+func (t *CSVTable) ScanPartition(i int, fn func(types.Row) bool) error {
+	if i < 0 || i >= len(t.files) {
+		return fmt.Errorf("external: partition %d out of range (%d)", i, len(t.files))
+	}
+	f, err := os.Open(t.files[i])
+	if err != nil {
+		return fmt.Errorf("external: open partition %d: %w", i, err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		fields := strings.Split(line, string(t.delim))
+		// Tolerate a trailing delimiter (TPC-H dbgen style).
+		if len(fields) == t.schema.Len()+1 && fields[len(fields)-1] == "" {
+			fields = fields[:len(fields)-1]
+		}
+		if len(fields) != t.schema.Len() {
+			return fmt.Errorf("external: %s line %d: %d fields, want %d",
+				t.files[i], lineNo, len(fields), t.schema.Len())
+		}
+		row := make(types.Row, len(fields))
+		for ci, field := range fields {
+			v, err := types.ParseValue(t.schema.Cols[ci].Kind, field)
+			if err != nil {
+				return fmt.Errorf("external: %s line %d col %s: %w",
+					t.files[i], lineNo, t.schema.Cols[ci].Name, err)
+			}
+			row[ci] = v
+		}
+		if !fn(row) {
+			return nil
+		}
+	}
+	return sc.Err()
+}
+
+// AssignPartitions distributes partition indexes across numWorkers workers
+// round-robin — how the coordinator spreads external scans (Section III).
+func AssignPartitions(numPartitions, numWorkers int) [][]int {
+	out := make([][]int, numWorkers)
+	for p := 0; p < numPartitions; p++ {
+		w := p % numWorkers
+		out[w] = append(out[w], p)
+	}
+	return out
+}

@@ -1,0 +1,157 @@
+package external
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/types"
+)
+
+func writeShards(t *testing.T, dir string, shards []string) {
+	t.Helper()
+	for i, content := range shards {
+		path := filepath.Join(dir, "part-"+string(rune('0'+i))+".csv")
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func testSchema() types.Schema {
+	return types.NewSchema(
+		types.Column{Name: "id", Kind: types.KindInt},
+		types.Column{Name: "name", Kind: types.KindString},
+		types.Column{Name: "amount", Kind: types.KindFloat},
+		types.Column{Name: "d", Kind: types.KindDate},
+	)
+}
+
+func TestCSVTableScan(t *testing.T) {
+	dir := t.TempDir()
+	writeShards(t, dir, []string{
+		"1|alice|10.5|2019-01-01\n2|bob|20.25|2019-02-01\n",
+		"3|carol|30.0|2019-03-01\n",
+	})
+	tbl, err := NewCSVTable("ext", testSchema(), dir, "part-*.csv", '|')
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Partitions() != 2 {
+		t.Fatalf("partitions = %d", tbl.Partitions())
+	}
+	var all []types.Row
+	for p := 0; p < tbl.Partitions(); p++ {
+		if err := tbl.ScanPartition(p, func(r types.Row) bool {
+			all = append(all, r)
+			return true
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(all) != 3 {
+		t.Fatalf("rows = %d", len(all))
+	}
+	if all[0][0].Int() != 1 || all[0][1].Str() != "alice" || all[0][2].Float() != 10.5 {
+		t.Errorf("row 0 = %v", all[0])
+	}
+	if all[2][3].String() != "2019-03-01" {
+		t.Errorf("date = %v", all[2][3])
+	}
+}
+
+func TestCSVTrailingDelimiter(t *testing.T) {
+	dir := t.TempDir()
+	writeShards(t, dir, []string{"7|x|1.0|2020-01-01|\n"})
+	tbl, err := NewCSVTable("ext", testSchema(), dir, "part-*.csv", '|')
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	if err := tbl.ScanPartition(0, func(r types.Row) bool { count++; return true }); err != nil {
+		t.Fatal(err)
+	}
+	if count != 1 {
+		t.Errorf("rows = %d", count)
+	}
+}
+
+func TestCSVBadRows(t *testing.T) {
+	dir := t.TempDir()
+	writeShards(t, dir, []string{"1|only-two-fields\n"})
+	tbl, _ := NewCSVTable("ext", testSchema(), dir, "part-*.csv", '|')
+	if err := tbl.ScanPartition(0, func(types.Row) bool { return true }); err == nil {
+		t.Error("wrong arity should fail")
+	}
+	dir2 := t.TempDir()
+	writeShards(t, dir2, []string{"notanint|x|1.0|2020-01-01\n"})
+	tbl2, _ := NewCSVTable("ext", testSchema(), dir2, "part-*.csv", '|')
+	if err := tbl2.ScanPartition(0, func(types.Row) bool { return true }); err == nil {
+		t.Error("bad int should fail")
+	}
+}
+
+func TestCSVEarlyStopAndRangeErrors(t *testing.T) {
+	dir := t.TempDir()
+	writeShards(t, dir, []string{"1|a|1|2020-01-01\n2|b|2|2020-01-02\n3|c|3|2020-01-03\n"})
+	tbl, _ := NewCSVTable("ext", testSchema(), dir, "part-*.csv", '|')
+	count := 0
+	tbl.ScanPartition(0, func(types.Row) bool { count++; return count < 2 })
+	if count != 2 {
+		t.Errorf("early stop = %d", count)
+	}
+	if err := tbl.ScanPartition(9, func(types.Row) bool { return true }); err == nil {
+		t.Error("partition out of range should fail")
+	}
+}
+
+func TestNoMatchingFiles(t *testing.T) {
+	if _, err := NewCSVTable("x", testSchema(), t.TempDir(), "*.csv", '|'); err == nil {
+		t.Error("empty dir should fail")
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	dir := t.TempDir()
+	writeShards(t, dir, []string{"1|a|1|2020-01-01\n"})
+	tbl, _ := NewCSVTable("hdfs_sales", testSchema(), dir, "part-*.csv", '|')
+	reg := NewRegistry()
+	if err := reg.Register(tbl); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Register(tbl); err == nil {
+		t.Error("duplicate register should fail")
+	}
+	got, ok := reg.Lookup("HDFS_SALES")
+	if !ok || got.Name() != "hdfs_sales" {
+		t.Errorf("lookup = %v %v", got, ok)
+	}
+	if _, ok := reg.Lookup("missing"); ok {
+		t.Error("missing lookup should fail")
+	}
+}
+
+func TestAssignPartitions(t *testing.T) {
+	assign := AssignPartitions(7, 3)
+	if len(assign) != 3 {
+		t.Fatalf("workers = %d", len(assign))
+	}
+	total := 0
+	seen := map[int]bool{}
+	for _, ps := range assign {
+		for _, p := range ps {
+			if seen[p] {
+				t.Fatalf("partition %d assigned twice", p)
+			}
+			seen[p] = true
+			total++
+		}
+	}
+	if total != 7 {
+		t.Errorf("assigned %d of 7", total)
+	}
+	// Balance within 1.
+	if len(assign[0])-len(assign[2]) > 1 {
+		t.Errorf("unbalanced: %v", assign)
+	}
+}

@@ -1,0 +1,454 @@
+package index
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/page"
+	"repro/internal/types"
+)
+
+// SkipList is HRDBMS's disk-resident skip list: nodes are appended to the
+// current page of an append-only page file and deletes are logical (a
+// tombstone flag), which the paper notes gives reasonable I/O behaviour
+// when data arrives in batches.
+//
+// Node records live in slotted row pages. A record is:
+//
+//	[0]      deleted flag
+//	[1]      level (number of forward pointers)
+//	[2:12]   RID
+//	[12:12+8*level] forward pointers (page uint32 << 16 | slot uint16; 0 = nil)
+//	rest     encoded key row
+//
+// Forward pointers are fixed-size so they can be updated in place without
+// changing the record length. Page 0 is the meta page holding the sentinel
+// head pointer and the allocation high-water mark.
+type SkipList struct {
+	space    Space
+	head     uint64 // pointer to the sentinel node
+	current  uint32 // page receiving appends
+	maxLevel int
+	rngState uint64
+	metaLag  int // inserts since the last meta write
+}
+
+const (
+	slMaxLevel = 12
+	slMetaPage = uint32(0)
+)
+
+func ptr(pageNum uint32, slot int) uint64 { return uint64(pageNum)<<16 | uint64(uint16(slot)) }
+
+func ptrPage(p uint64) uint32 { return uint32(p >> 16) }
+func ptrSlot(p uint64) int    { return int(uint16(p)) }
+
+// CreateSkipList initializes an empty list in a fresh file.
+func CreateSkipList(space Space) (*SkipList, error) {
+	meta, err := space.Allocate()
+	if err != nil {
+		return nil, err
+	}
+	if meta != slMetaPage {
+		return nil, fmt.Errorf("index: skiplist meta allocated as page %d", meta)
+	}
+	first, err := space.Allocate()
+	if err != nil {
+		return nil, err
+	}
+	sl := &SkipList{space: space, current: first, maxLevel: slMaxLevel, rngState: 0x9E3779B97F4A7C15}
+	// Sentinel node: level slMaxLevel, nil key.
+	f, err := space.Fetch(first)
+	if err != nil {
+		return nil, err
+	}
+	page.InitRowPage(f.Buf)
+	rp, _ := page.AsRowPage(f.Buf)
+	rec := encodeSLNode(false, slMaxLevel, page.RID{}, make([]uint64, slMaxLevel), nil)
+	slot, ok := rp.InsertEncoded(rec)
+	if !ok {
+		space.Unpin(f, false)
+		return nil, fmt.Errorf("index: page too small for skiplist sentinel")
+	}
+	space.Unpin(f, true)
+	sl.head = ptr(first, slot)
+	return sl, sl.writeMeta()
+}
+
+// OpenSkipList opens an existing list; returns the list and the allocation
+// high-water mark.
+func OpenSkipList(space Space) (*SkipList, uint32, error) {
+	f, err := space.Fetch(slMetaPage)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer space.Unpin(f, false)
+	if page.TypeOf(f.Buf) != page.TypeMeta {
+		return nil, 0, fmt.Errorf("index: page 0 is not a skiplist meta page")
+	}
+	sl := &SkipList{
+		space:    space,
+		head:     binary.LittleEndian.Uint64(f.Buf[nodeHdrStart:]),
+		current:  binary.LittleEndian.Uint32(f.Buf[nodeHdrStart+8:]),
+		maxLevel: slMaxLevel,
+		rngState: binary.LittleEndian.Uint64(f.Buf[nodeHdrStart+16:]),
+	}
+	next := binary.LittleEndian.Uint32(f.Buf[nodeHdrStart+12:])
+	return sl, next, nil
+}
+
+func (sl *SkipList) writeMeta() error {
+	f, err := sl.space.Fetch(slMetaPage)
+	if err != nil {
+		return err
+	}
+	for i := range f.Buf[:nodeHdrStart+24] {
+		f.Buf[i] = 0
+	}
+	f.Buf[8] = page.TypeMeta
+	binary.LittleEndian.PutUint64(f.Buf[nodeHdrStart:], sl.head)
+	binary.LittleEndian.PutUint32(f.Buf[nodeHdrStart+8:], sl.current)
+	var next uint32
+	if bs, ok := sl.space.(*BufferSpace); ok {
+		next = bs.NextPage()
+	}
+	binary.LittleEndian.PutUint32(f.Buf[nodeHdrStart+12:], next)
+	binary.LittleEndian.PutUint64(f.Buf[nodeHdrStart+16:], sl.rngState)
+	sl.space.Unpin(f, true)
+	return nil
+}
+
+func encodeSLNode(deleted bool, level int, rid page.RID, fwd []uint64, key types.Row) []byte {
+	rec := make([]byte, 0, 12+8*level+32)
+	if deleted {
+		rec = append(rec, 1)
+	} else {
+		rec = append(rec, 0)
+	}
+	rec = append(rec, byte(level))
+	rec = appendRID(rec, rid)
+	for i := 0; i < level; i++ {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], fwd[i])
+		rec = append(rec, b[:]...)
+	}
+	if key != nil {
+		rec = types.AppendRow(rec, key)
+	}
+	return rec
+}
+
+// slNode is a decoded node; raw aliases the page buffer so pointer updates
+// write through.
+type slNode struct {
+	ptr     uint64
+	deleted bool
+	level   int
+	rid     page.RID
+	key     types.Row // nil for the sentinel
+	raw     []byte
+}
+
+func (n *slNode) forward(i int) uint64 {
+	return binary.LittleEndian.Uint64(n.raw[12+8*i:])
+}
+
+// readNode fetches and decodes the node at p. The returned node holds no
+// pin (raw is copied); use updateForward to mutate pointers.
+func (sl *SkipList) readNode(p uint64) (*slNode, error) {
+	f, err := sl.space.Fetch(ptrPage(p))
+	if err != nil {
+		return nil, err
+	}
+	defer sl.space.Unpin(f, false)
+	rp, err := page.AsRowPage(f.Buf)
+	if err != nil {
+		return nil, err
+	}
+	rec := rp.GetEncoded(ptrSlot(p))
+	if rec == nil {
+		return nil, fmt.Errorf("index: skiplist dangling pointer %d:%d", ptrPage(p), ptrSlot(p))
+	}
+	n := &slNode{ptr: p, deleted: rec[0] == 1, level: int(rec[1])}
+	n.rid, err = decodeRID(rec[2:])
+	if err != nil {
+		return nil, err
+	}
+	n.raw = append([]byte(nil), rec...)
+	keyOff := 12 + 8*n.level
+	if keyOff < len(rec) {
+		key, _, err := types.DecodeRow(rec[keyOff:])
+		if err != nil {
+			return nil, fmt.Errorf("index: skiplist node key: %w", err)
+		}
+		n.key = key
+	}
+	return n, nil
+}
+
+// updateForward rewrites forward pointer i of the node at p, in place.
+func (sl *SkipList) updateForward(p uint64, i int, target uint64) error {
+	f, err := sl.space.Fetch(ptrPage(p))
+	if err != nil {
+		return err
+	}
+	rp, err := page.AsRowPage(f.Buf)
+	if err != nil {
+		sl.space.Unpin(f, false)
+		return err
+	}
+	rec := rp.GetEncoded(ptrSlot(p))
+	if rec == nil {
+		sl.space.Unpin(f, false)
+		return fmt.Errorf("index: skiplist update on dangling pointer")
+	}
+	binary.LittleEndian.PutUint64(rec[12+8*i:], target)
+	sl.space.Unpin(f, true)
+	return nil
+}
+
+// setDeleted flips the tombstone flag in place.
+func (sl *SkipList) setDeleted(p uint64) error {
+	f, err := sl.space.Fetch(ptrPage(p))
+	if err != nil {
+		return err
+	}
+	rp, err := page.AsRowPage(f.Buf)
+	if err != nil {
+		sl.space.Unpin(f, false)
+		return err
+	}
+	rec := rp.GetEncoded(ptrSlot(p))
+	if rec == nil {
+		sl.space.Unpin(f, false)
+		return fmt.Errorf("index: skiplist delete on dangling pointer")
+	}
+	rec[0] = 1
+	sl.space.Unpin(f, true)
+	return nil
+}
+
+// randomLevel draws a geometric(1/4) level via xorshift, deterministic per
+// list instance so tests are stable.
+func (sl *SkipList) randomLevel() int {
+	x := sl.rngState
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	sl.rngState = x
+	level := 1
+	for level < sl.maxLevel && x&3 == 0 {
+		level++
+		x >>= 2
+	}
+	return level
+}
+
+// appendNode stores a node record on the current page, allocating a new
+// page when full. Returns the node's pointer.
+func (sl *SkipList) appendNode(rec []byte) (uint64, error) {
+	f, err := sl.space.Fetch(sl.current)
+	if err != nil {
+		return 0, err
+	}
+	rp, err := page.AsRowPage(f.Buf)
+	if err != nil {
+		sl.space.Unpin(f, false)
+		return 0, err
+	}
+	if slot, ok := rp.InsertEncoded(rec); ok {
+		sl.space.Unpin(f, true)
+		return ptr(sl.current, slot), nil
+	}
+	sl.space.Unpin(f, false)
+	// Current page full: allocate the next one (append-only growth).
+	newPage, err := sl.space.Allocate()
+	if err != nil {
+		return 0, err
+	}
+	f2, err := sl.space.Fetch(newPage)
+	if err != nil {
+		return 0, err
+	}
+	page.InitRowPage(f2.Buf)
+	rp2, _ := page.AsRowPage(f2.Buf)
+	slot, ok := rp2.InsertEncoded(rec)
+	if !ok {
+		sl.space.Unpin(f2, false)
+		return 0, fmt.Errorf("index: skiplist record larger than page")
+	}
+	sl.space.Unpin(f2, true)
+	sl.current = newPage
+	return ptr(newPage, slot), nil
+}
+
+// Insert adds a (key, rid) entry.
+func (sl *SkipList) Insert(key types.Row, rid page.RID) error {
+	update := make([]uint64, sl.maxLevel)
+	x, err := sl.readNode(sl.head)
+	if err != nil {
+		return err
+	}
+	for i := sl.maxLevel - 1; i >= 0; i-- {
+		for {
+			nextP := x.forward(i)
+			if nextP == 0 {
+				break
+			}
+			next, err := sl.readNode(nextP)
+			if err != nil {
+				return err
+			}
+			if compareKeys(next.key, key) < 0 {
+				x = next
+				continue
+			}
+			break
+		}
+		update[i] = x.ptr
+	}
+	level := sl.randomLevel()
+	fwd := make([]uint64, level)
+	for i := 0; i < level; i++ {
+		pred, err := sl.readNode(update[i])
+		if err != nil {
+			return err
+		}
+		fwd[i] = pred.forward(i)
+	}
+	before := sl.current
+	nodePtr, err := sl.appendNode(encodeSLNode(false, level, rid, fwd, key))
+	if err != nil {
+		return err
+	}
+	for i := 0; i < level; i++ {
+		if err := sl.updateForward(update[i], i, nodePtr); err != nil {
+			return err
+		}
+	}
+	// Persist the meta page only when the append-only file grew (or every
+	// 64 inserts for the RNG state); the sentinel pointer never moves.
+	sl.metaLag++
+	if sl.current != before || sl.metaLag >= 64 {
+		sl.metaLag = 0
+		return sl.writeMeta()
+	}
+	return nil
+}
+
+// Search returns RIDs of live entries exactly matching key.
+func (sl *SkipList) Search(key types.Row) ([]page.RID, error) {
+	var out []page.RID
+	err := sl.Range(key, key, func(k types.Row, rid page.RID) bool {
+		out = append(out, rid)
+		return true
+	})
+	return out, err
+}
+
+// Range iterates live entries with lo ≤ key ≤ hi in order; nil bounds are
+// open. fn returning false stops early.
+func (sl *SkipList) Range(lo, hi types.Row, fn func(key types.Row, rid page.RID) bool) error {
+	x, err := sl.readNode(sl.head)
+	if err != nil {
+		return err
+	}
+	if lo != nil {
+		for i := sl.maxLevel - 1; i >= 0; i-- {
+			for {
+				nextP := x.forward(i)
+				if nextP == 0 {
+					break
+				}
+				next, err := sl.readNode(nextP)
+				if err != nil {
+					return err
+				}
+				if compareKeys(next.key, lo) < 0 {
+					x = next
+					continue
+				}
+				break
+			}
+		}
+	}
+	// x is the last node < lo (or the sentinel); walk level 0.
+	p := x.forward(0)
+	for p != 0 {
+		n, err := sl.readNode(p)
+		if err != nil {
+			return err
+		}
+		if hi != nil && compareKeys(n.key, hi) > 0 {
+			return nil
+		}
+		if !n.deleted && (lo == nil || compareKeys(n.key, lo) >= 0) {
+			if !fn(n.key, n.rid) {
+				return nil
+			}
+		}
+		p = n.forward(0)
+	}
+	return nil
+}
+
+// Delete tombstones the first live entry matching (key, rid).
+func (sl *SkipList) Delete(key types.Row, rid page.RID) (bool, error) {
+	found := false
+	var target uint64
+	err := sl.rangePtr(key, func(p uint64, n *slNode) bool {
+		if n.rid == rid {
+			found = true
+			target = p
+			return false
+		}
+		return true
+	})
+	if err != nil || !found {
+		return false, err
+	}
+	return true, sl.setDeleted(target)
+}
+
+// rangePtr walks live entries equal to key, exposing node pointers.
+func (sl *SkipList) rangePtr(key types.Row, fn func(p uint64, n *slNode) bool) error {
+	x, err := sl.readNode(sl.head)
+	if err != nil {
+		return err
+	}
+	for i := sl.maxLevel - 1; i >= 0; i-- {
+		for {
+			nextP := x.forward(i)
+			if nextP == 0 {
+				break
+			}
+			next, err := sl.readNode(nextP)
+			if err != nil {
+				return err
+			}
+			if compareKeys(next.key, key) < 0 {
+				x = next
+				continue
+			}
+			break
+		}
+	}
+	p := x.forward(0)
+	for p != 0 {
+		n, err := sl.readNode(p)
+		if err != nil {
+			return err
+		}
+		c := compareKeys(n.key, key)
+		if c > 0 {
+			return nil
+		}
+		if c == 0 && !n.deleted {
+			if !fn(p, n) {
+				return nil
+			}
+		}
+		p = n.forward(0)
+	}
+	return nil
+}

@@ -1,0 +1,283 @@
+// Package network provides the communication fabric between HRDBMS nodes.
+//
+// Two transports implement the same Endpoint interface: an in-process
+// fabric used by the simulated cluster (with full metering of bytes,
+// messages, and distinct connections, which the perfmodel package converts
+// into simulated time), and a TCP transport for real deployments
+// (cmd/hrdbms-server).
+//
+// Messages are addressed datagrams on named logical channels; shuffle,
+// 2PC, and query dispatch each use their own channel namespace. Mailboxes
+// are bounded, so a slow consumer backpressures senders the way the
+// paper's pipelined engine expects.
+package network
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Message is one delivered datagram.
+type Message struct {
+	From    int
+	Dest    int // final destination (differs from the receiving node when forwarded via a hub)
+	Channel string
+	Payload []byte
+}
+
+// ErrClosed is returned by operations on a closed endpoint.
+var ErrClosed = errors.New("network: endpoint closed")
+
+// Endpoint is one node's attachment to the fabric.
+type Endpoint interface {
+	NodeID() int
+	// Send delivers payload to the mailbox (to, channel). It may block for
+	// backpressure. dest is the final destination recorded in the message
+	// (pass to for direct sends).
+	Send(to, dest int, channel string, payload []byte) error
+	// Recv blocks until a message arrives on channel or the endpoint closes.
+	Recv(channel string) (Message, error)
+	// Close shuts the endpoint; blocked Recv/Send calls return ErrClosed.
+	Close() error
+}
+
+// LinkStats accumulates traffic for one directed (from, to) pair.
+type LinkStats struct {
+	Messages int64
+	Bytes    int64
+}
+
+// Meter records fabric-wide communication statistics. It is shared by all
+// endpoints of an in-process cluster and read by the performance model.
+type Meter struct {
+	mu    sync.Mutex
+	links map[[2]int]*LinkStats
+}
+
+// NewMeter creates an empty meter.
+func NewMeter() *Meter { return &Meter{links: map[[2]int]*LinkStats{}} }
+
+func (m *Meter) record(from, to int, bytes int) {
+	if from == to {
+		return // loopback delivery is not a network connection
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	k := [2]int{from, to}
+	ls := m.links[k]
+	if ls == nil {
+		ls = &LinkStats{}
+		m.links[k] = ls
+	}
+	ls.Messages++
+	ls.Bytes += int64(bytes)
+}
+
+// Connections returns the number of distinct directed links used.
+func (m *Meter) Connections() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.links)
+}
+
+// TotalBytes returns the total bytes sent over all links.
+func (m *Meter) TotalBytes() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var total int64
+	for _, ls := range m.links {
+		total += ls.Bytes
+	}
+	return total
+}
+
+// TotalMessages returns the number of messages sent.
+func (m *Meter) TotalMessages() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var total int64
+	for _, ls := range m.links {
+		total += ls.Messages
+	}
+	return total
+}
+
+// MaxNodeDegree returns the largest number of distinct peers any single
+// node communicated with (in either direction) — the quantity HRDBMS's
+// topologies bound by Nmax.
+func (m *Meter) MaxNodeDegree() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	peers := map[int]map[int]bool{}
+	add := func(a, b int) {
+		if peers[a] == nil {
+			peers[a] = map[int]bool{}
+		}
+		peers[a][b] = true
+	}
+	for k := range m.links {
+		add(k[0], k[1])
+		add(k[1], k[0])
+	}
+	max := 0
+	for _, p := range peers {
+		if len(p) > max {
+			max = len(p)
+		}
+	}
+	return max
+}
+
+// PerLink returns a deterministic snapshot of all link stats.
+func (m *Meter) PerLink() []struct {
+	From, To int
+	Stats    LinkStats
+} {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]struct {
+		From, To int
+		Stats    LinkStats
+	}, 0, len(m.links))
+	for k, ls := range m.links {
+		out = append(out, struct {
+			From, To int
+			Stats    LinkStats
+		}{k[0], k[1], *ls})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].From != out[j].From {
+			return out[i].From < out[j].From
+		}
+		return out[i].To < out[j].To
+	})
+	return out
+}
+
+// Reset clears all statistics.
+func (m *Meter) Reset() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.links = map[[2]int]*LinkStats{}
+}
+
+// Fabric is the in-process transport: a set of endpoints with bounded
+// mailboxes, metered centrally.
+type Fabric struct {
+	mu         sync.Mutex
+	endpoints  map[int]*inprocEndpoint
+	meter      *Meter
+	mailboxCap int
+}
+
+// NewFabric creates an in-process fabric for the given node IDs.
+func NewFabric(nodeIDs []int, mailboxCap int) *Fabric {
+	if mailboxCap < 1 {
+		mailboxCap = 1024
+	}
+	f := &Fabric{endpoints: map[int]*inprocEndpoint{}, meter: NewMeter(), mailboxCap: mailboxCap}
+	for _, id := range nodeIDs {
+		f.endpoints[id] = &inprocEndpoint{
+			id:     id,
+			fabric: f,
+			boxes:  map[string]chan Message{},
+			closed: make(chan struct{}),
+		}
+	}
+	return f
+}
+
+// Meter returns the fabric's shared meter.
+func (f *Fabric) Meter() *Meter { return f.meter }
+
+// Endpoint returns the endpoint of the given node.
+func (f *Fabric) Endpoint(id int) (Endpoint, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	e, ok := f.endpoints[id]
+	if !ok {
+		return nil, fmt.Errorf("network: unknown node %d", id)
+	}
+	return e, nil
+}
+
+// CloseAll shuts every endpoint.
+func (f *Fabric) CloseAll() {
+	f.mu.Lock()
+	eps := make([]*inprocEndpoint, 0, len(f.endpoints))
+	for _, e := range f.endpoints {
+		eps = append(eps, e)
+	}
+	f.mu.Unlock()
+	for _, e := range eps {
+		e.Close()
+	}
+}
+
+type inprocEndpoint struct {
+	id     int
+	fabric *Fabric
+	mu     sync.Mutex
+	boxes  map[string]chan Message
+	closed chan struct{}
+	once   sync.Once
+}
+
+func (e *inprocEndpoint) NodeID() int { return e.id }
+
+func (e *inprocEndpoint) box(channel string) chan Message {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	b, ok := e.boxes[channel]
+	if !ok {
+		b = make(chan Message, e.fabric.mailboxCap)
+		e.boxes[channel] = b
+	}
+	return b
+}
+
+func (e *inprocEndpoint) Send(to, dest int, channel string, payload []byte) error {
+	e.fabric.mu.Lock()
+	target, ok := e.fabric.endpoints[to]
+	e.fabric.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("network: send to unknown node %d", to)
+	}
+	select {
+	case <-e.closed:
+		return ErrClosed
+	default:
+	}
+	e.fabric.meter.record(e.id, to, len(payload))
+	msg := Message{From: e.id, Dest: dest, Channel: channel, Payload: payload}
+	select {
+	case target.box(channel) <- msg:
+		return nil
+	case <-target.closed:
+		return ErrClosed
+	case <-e.closed:
+		return ErrClosed
+	}
+}
+
+func (e *inprocEndpoint) Recv(channel string) (Message, error) {
+	select {
+	case msg := <-e.box(channel):
+		return msg, nil
+	case <-e.closed:
+		// Drain anything already delivered before reporting closure.
+		select {
+		case msg := <-e.box(channel):
+			return msg, nil
+		default:
+			return Message{}, ErrClosed
+		}
+	}
+}
+
+func (e *inprocEndpoint) Close() error {
+	e.once.Do(func() { close(e.closed) })
+	return nil
+}

@@ -1,0 +1,469 @@
+// Package opt implements HRDBMS's phase-1 global optimization (Section V):
+// statistics-based cardinality estimation and greedy join enumeration.
+// (Selection/projection pushdown and decorrelation happen during plan
+// building; the dataflow conversion and dataflow optimization phases —
+// operator distribution, shuffle insertion and elimination, pre-aggregation
+// splitting — live in the cluster layer, which owns node placement.)
+package opt
+
+import (
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/catalog"
+	"repro/internal/exec"
+	"repro/internal/expr"
+	"repro/internal/plan"
+)
+
+// Estimator computes cardinalities from catalog statistics.
+type Estimator struct {
+	Cat *catalog.Catalog
+}
+
+// Estimate returns the estimated output row count of a plan node.
+func (e *Estimator) Estimate(n plan.Node) float64 {
+	switch x := n.(type) {
+	case *plan.Scan:
+		base := float64(e.Cat.Stats(x.Table.Name).RowCount)
+		if base < 1 {
+			base = 1
+		}
+		return math.Max(1, base*e.selectivity(x.Pred, x.Table.Name))
+	case *plan.Filter:
+		return math.Max(1, e.Estimate(x.Child)*e.selectivity(x.Pred, ""))
+	case *plan.Project, *plan.Rename:
+		return e.Estimate(n.Children()[0])
+	case *plan.Join:
+		l := e.Estimate(x.Left)
+		r := e.Estimate(x.Right)
+		switch x.Type {
+		case exec.JoinSemi:
+			return math.Max(1, l*0.5)
+		case exec.JoinAnti:
+			return math.Max(1, l*0.5)
+		default:
+			if len(x.EquiLeft) == 0 {
+				return l * r // cross or theta join
+			}
+			// Standard equi-join estimate: |L||R| / max(NDV).
+			ndv := math.Max(e.keyNDV(x.Left, x.EquiLeft), e.keyNDV(x.Right, x.EquiRight))
+			if ndv < 1 {
+				ndv = math.Max(l, r)
+			}
+			sel := e.selectivity(x.Residual, "")
+			return math.Max(1, l*r/ndv*sel)
+		}
+	case *plan.Agg:
+		if len(x.GroupBy) == 0 {
+			return 1
+		}
+		card := e.Estimate(x.Child)
+		groups := 1.0
+		for _, g := range x.GroupBy {
+			groups *= e.exprNDV(x.Child, g)
+		}
+		return math.Max(1, math.Min(card, groups))
+	case *plan.Sort:
+		return e.Estimate(x.Child)
+	case *plan.Limit:
+		return math.Min(float64(x.N), e.Estimate(x.Child))
+	case *plan.Distinct:
+		return math.Max(1, e.Estimate(x.Child)/2)
+	default:
+		if ch := n.Children(); len(ch) == 1 {
+			return e.Estimate(ch[0])
+		}
+		return 1000
+	}
+}
+
+// keyNDV estimates the distinct count of a composite key.
+func (e *Estimator) keyNDV(n plan.Node, keys []expr.Expr) float64 {
+	ndv := 1.0
+	for _, k := range keys {
+		ndv *= e.exprNDV(n, k)
+	}
+	return math.Min(ndv, e.Estimate(n))
+}
+
+// exprNDV estimates the distinct values an expression takes over a node.
+func (e *Estimator) exprNDV(n plan.Node, x expr.Expr) float64 {
+	if c, ok := x.(*expr.Col); ok {
+		if table, col, ok := e.resolveBaseColumn(n, c.Name); ok {
+			if cs, exists := e.Cat.Stats(table).Cols[col]; exists && cs.NDV > 0 {
+				return float64(cs.NDV)
+			}
+		}
+	}
+	// Fallback: a tenth of the input.
+	return math.Max(1, e.Estimate(n)/10)
+}
+
+// resolveBaseColumn finds the base table and bare column name for a
+// (possibly qualified) column reference in a subtree.
+func (e *Estimator) resolveBaseColumn(n plan.Node, name string) (string, string, bool) {
+	bare := strings.ToLower(name)
+	if idx := strings.LastIndexByte(bare, '.'); idx >= 0 {
+		bare = bare[idx+1:]
+	}
+	var table string
+	plan.Walk(n, func(m plan.Node) {
+		if sc, ok := m.(*plan.Scan); ok && table == "" {
+			if sc.Table.Schema.Find(bare) >= 0 {
+				table = sc.Table.Name
+			}
+		}
+	})
+	return table, bare, table != ""
+}
+
+// selectivity estimates the fraction of rows a predicate keeps.
+func (e *Estimator) selectivity(pred expr.Expr, table string) float64 {
+	if pred == nil {
+		return 1
+	}
+	sel := 1.0
+	for _, c := range expr.Conjuncts(pred) {
+		sel *= e.atomSelectivity(c, table)
+	}
+	if sel < 1e-9 {
+		sel = 1e-9
+	}
+	return sel
+}
+
+func (e *Estimator) atomSelectivity(c expr.Expr, table string) float64 {
+	switch x := c.(type) {
+	case *expr.Bin:
+		switch x.Op {
+		case expr.OpEq:
+			// 1/NDV when the column is known.
+			if col, ok := x.L.(*expr.Col); ok && table != "" {
+				bare := strings.ToLower(col.Name)
+				if idx := strings.LastIndexByte(bare, '.'); idx >= 0 {
+					bare = bare[idx+1:]
+				}
+				if cs, exists := e.Cat.Stats(table).Cols[bare]; exists && cs.NDV > 0 {
+					return 1 / float64(cs.NDV)
+				}
+			}
+			return 0.05
+		case expr.OpNe:
+			return 0.9
+		case expr.OpLt, expr.OpLe, expr.OpGt, expr.OpGe:
+			return 1.0 / 3
+		case expr.OpOr:
+			a := e.atomSelectivity(x.L, table)
+			b := e.atomSelectivity(x.R, table)
+			return math.Min(1, a+b-a*b)
+		case expr.OpAnd:
+			return e.atomSelectivity(x.L, table) * e.atomSelectivity(x.R, table)
+		}
+	case *expr.Between:
+		return 0.25
+	case *expr.Like:
+		return 0.1
+	case *expr.InList:
+		return math.Min(1, 0.05*float64(len(x.Vals)))
+	case *expr.IsNull:
+		if x.Negate {
+			return 0.95
+		}
+		return 0.05
+	case *expr.Not:
+		return 1 - e.atomSelectivity(x.E, table)
+	}
+	return 0.5
+}
+
+// Optimize runs phase-1 transformations: greedy join reordering of inner-
+// join clusters using the estimator.
+func Optimize(root plan.Node, cat *catalog.Catalog) (plan.Node, error) {
+	est := &Estimator{Cat: cat}
+	out, err := rewriteJoins(root, est)
+	if err != nil {
+		return nil, err
+	}
+	// Cost-based group-by pushdown through joins (Section V).
+	out = pushGroupByThroughJoins(out, est)
+	// Reordering changes intermediate column order; re-resolve every
+	// bound column reference by name.
+	if err := plan.Rebind(out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// rewriteJoins walks top-down; at the top of each maximal inner-join
+// cluster it reorders the cluster greedily.
+func rewriteJoins(n plan.Node, est *Estimator) (plan.Node, error) {
+	if j, ok := n.(*plan.Join); ok && j.Type == exec.JoinInner {
+		reordered, err := reorderCluster(j, est)
+		if err != nil {
+			return nil, err
+		}
+		n = reordered
+	}
+	// Recurse into children that are not part of a handled cluster.
+	switch x := n.(type) {
+	case *plan.Filter:
+		c, err := rewriteJoins(x.Child, est)
+		if err != nil {
+			return nil, err
+		}
+		x.Child = c
+	case *plan.Project:
+		c, err := rewriteJoins(x.Child, est)
+		if err != nil {
+			return nil, err
+		}
+		x.Child = c
+	case *plan.Agg:
+		c, err := rewriteJoins(x.Child, est)
+		if err != nil {
+			return nil, err
+		}
+		x.Child = c
+	case *plan.Sort:
+		c, err := rewriteJoins(x.Child, est)
+		if err != nil {
+			return nil, err
+		}
+		x.Child = c
+	case *plan.Limit:
+		c, err := rewriteJoins(x.Child, est)
+		if err != nil {
+			return nil, err
+		}
+		x.Child = c
+	case *plan.Distinct:
+		c, err := rewriteJoins(x.Child, est)
+		if err != nil {
+			return nil, err
+		}
+		x.Child = c
+	case *plan.Rename:
+		c, err := rewriteJoins(x.Child, est)
+		if err != nil {
+			return nil, err
+		}
+		x.Child = c
+	case *plan.Join:
+		// Semi/anti joins (or an already-reordered inner cluster root):
+		// recurse into both sides independently.
+		l, err := rewriteJoins(x.Left, est)
+		if err != nil {
+			return nil, err
+		}
+		r, err := rewriteJoins(x.Right, est)
+		if err != nil {
+			return nil, err
+		}
+		x.Left, x.Right = l, r
+	}
+	return n, nil
+}
+
+// reorderCluster flattens a maximal inner-join cluster rooted at j into
+// leaves + conditions and reassembles it in greedy order.
+func reorderCluster(j *plan.Join, est *Estimator) (plan.Node, error) {
+	var leaves []plan.Node
+	var conds []expr.Expr
+	var collect func(n plan.Node) bool
+	collect = func(n plan.Node) bool {
+		jn, ok := n.(*plan.Join)
+		if !ok || jn.Type != exec.JoinInner {
+			leaves = append(leaves, n)
+			return true
+		}
+		collect(jn.Left)
+		collect(jn.Right)
+		for i := range jn.EquiLeft {
+			conds = append(conds, &expr.Bin{Op: expr.OpEq,
+				L: expr.Clone(jn.EquiLeft[i]), R: expr.Clone(jn.EquiRight[i])})
+		}
+		if jn.Residual != nil {
+			conds = append(conds, expr.Clone(jn.Residual))
+		}
+		return true
+	}
+	collect(j)
+	if len(leaves) <= 2 {
+		// Nothing to reorder; but recurse into leaves for nested clusters.
+		for i, l := range leaves {
+			nl, err := rewriteJoins(l, est)
+			if err != nil {
+				return nil, err
+			}
+			leaves[i] = nl
+		}
+		return plan.AssembleJoins(leaves, conds)
+	}
+	for i, l := range leaves {
+		nl, err := rewriteJoins(l, est)
+		if err != nil {
+			return nil, err
+		}
+		leaves[i] = nl
+	}
+	conds = augmentWithEquivalences(conds)
+	order := greedyOrder(leaves, conds, est)
+	return plan.AssembleJoins(order, conds)
+}
+
+// augmentWithEquivalences computes attribute equivalence classes from the
+// equality conditions (Section V phase 1) and adds the derived transitive
+// equalities, so the greedy enumerator can join any two relations whose
+// columns share a class (a=b ∧ b=c lets a⋈c directly). Redundant derived
+// conditions are harmless residual filters.
+func augmentWithEquivalences(conds []expr.Expr) []expr.Expr {
+	parent := map[string]string{}
+	var find func(x string) string
+	find = func(x string) string {
+		p, ok := parent[x]
+		if !ok || p == x {
+			parent[x] = x
+			return x
+		}
+		root := find(p)
+		parent[x] = root
+		return root
+	}
+	union := func(a, b string) { parent[find(a)] = find(b) }
+
+	colName := func(e expr.Expr) (string, bool) {
+		c, ok := e.(*expr.Col)
+		if !ok || c.Name == "" {
+			return "", false
+		}
+		return strings.ToLower(c.Name), true
+	}
+	type member struct {
+		name string
+		ref  *expr.Col
+	}
+	members := map[string]member{}
+	for _, c := range conds {
+		b, ok := c.(*expr.Bin)
+		if !ok || b.Op != expr.OpEq {
+			continue
+		}
+		ln, lok := colName(b.L)
+		rn, rok := colName(b.R)
+		if !lok || !rok {
+			continue
+		}
+		union(ln, rn)
+		members[ln] = member{name: ln, ref: b.L.(*expr.Col)}
+		members[rn] = member{name: rn, ref: b.R.(*expr.Col)}
+	}
+	// Group members per class root.
+	classes := map[string][]member{}
+	for _, m := range members {
+		root := find(m.name)
+		classes[root] = append(classes[root], m)
+	}
+	existing := map[string]bool{}
+	for _, c := range conds {
+		existing[c.String()] = true
+	}
+	out := append([]expr.Expr(nil), conds...)
+	for _, ms := range classes {
+		sort.Slice(ms, func(i, j int) bool { return ms[i].name < ms[j].name })
+		for i := 0; i < len(ms); i++ {
+			for j := i + 1; j < len(ms); j++ {
+				cand := &expr.Bin{Op: expr.OpEq,
+					L: &expr.Col{Index: -1, Name: ms[i].ref.Name},
+					R: &expr.Col{Index: -1, Name: ms[j].ref.Name}}
+				rev := &expr.Bin{Op: expr.OpEq, L: cand.R, R: cand.L}
+				if existing[cand.String()] || existing[rev.String()] {
+					continue
+				}
+				existing[cand.String()] = true
+				out = append(out, cand)
+			}
+		}
+	}
+	return out
+}
+
+// connected reports whether cond links something in the used set with rel.
+func connected(cond expr.Expr, used []plan.Node, rel plan.Node) bool {
+	usedSchema := used[0].Schema()
+	for _, u := range used[1:] {
+		usedSchema = usedSchema.Concat(u.Schema())
+	}
+	joined := usedSchema.Concat(rel.Schema())
+	ok := true
+	for _, c := range expr.Columns(cond) {
+		if joined.Find(c) < 0 {
+			ok = false
+		}
+	}
+	if !ok {
+		return false
+	}
+	// Must reference both sides.
+	refUsed, refRel := false, false
+	for _, c := range expr.Columns(cond) {
+		if rel.Schema().Find(c) >= 0 {
+			refRel = true
+		}
+		if usedSchema.Find(c) >= 0 {
+			refUsed = true
+		}
+	}
+	return refUsed && refRel
+}
+
+// greedyOrder implements the paper's greedy join enumeration: start from
+// the smallest relation, repeatedly joining the connected relation that
+// minimizes the estimated intermediate cardinality.
+func greedyOrder(leaves []plan.Node, conds []expr.Expr, est *Estimator) []plan.Node {
+	remaining := append([]plan.Node(nil), leaves...)
+	// Seed: smallest estimated leaf.
+	best := 0
+	for i := 1; i < len(remaining); i++ {
+		if est.Estimate(remaining[i]) < est.Estimate(remaining[best]) {
+			best = i
+		}
+	}
+	order := []plan.Node{remaining[best]}
+	remaining = append(remaining[:best], remaining[best+1:]...)
+	currentCard := est.Estimate(order[0])
+
+	for len(remaining) > 0 {
+		bestIdx := -1
+		bestCard := math.Inf(1)
+		for i, rel := range remaining {
+			isConnected := false
+			for _, c := range conds {
+				if connected(c, order, rel) {
+					isConnected = true
+					break
+				}
+			}
+			relCard := est.Estimate(rel)
+			var resultCard float64
+			if isConnected {
+				// Join through a key: |cur|*|rel|/max(|cur|,|rel|).
+				resultCard = currentCard * relCard / math.Max(currentCard, relCard)
+			} else {
+				resultCard = currentCard * relCard * 1e6 // punish cross joins
+			}
+			if resultCard < bestCard {
+				bestCard = resultCard
+				bestIdx = i
+			}
+		}
+		order = append(order, remaining[bestIdx])
+		remaining = append(remaining[:bestIdx], remaining[bestIdx+1:]...)
+		currentCard = math.Max(1, bestCard)
+		if currentCard > 1e30 {
+			currentCard = 1e30
+		}
+	}
+	return order
+}

@@ -1,0 +1,246 @@
+// Package perfmodel converts the real, counted quantities of an in-process
+// query execution (rows processed, pages read/skipped, bytes shuffled,
+// bytes materialized, connections opened, exchange boundaries) into
+// simulated wall-clock seconds for a cluster of n physical nodes at an
+// arbitrary scale factor.
+//
+// This is the substitution layer that lets one process regenerate the
+// paper's 96-node figures: all behaviour that the paper attributes to
+// system design — materialization volume, blocking stage count, per-node
+// connection counts under the two shuffle topologies, pages avoided by
+// data skipping — is executed and measured for real; only the mapping from
+// quantities to seconds uses per-system coefficients, calibrated so the
+// 8-node totals land near the paper's reported magnitudes.
+package perfmodel
+
+import (
+	"math"
+
+	"repro/internal/cluster"
+)
+
+// Profile holds the per-system cost coefficients.
+type Profile struct {
+	Name string
+	// RowsPerSec is per-node operator throughput (software efficiency:
+	// JVM/GC overhead for Hive/Spark, native-ish for MPP engines).
+	RowsPerSec float64
+	// DiskBW is per-node effective disk bandwidth (bytes/s).
+	DiskBW float64
+	// LinkBW is per-link network bandwidth (bytes/s).
+	LinkBW float64
+	// ConnCost is the per-connection setup/monitoring cost (seconds),
+	// charged on the busiest node's degree — the paper's O(n) socket
+	// bottleneck.
+	ConnCost float64
+	// StageStartup is the per-exchange-boundary latency (job/stage launch:
+	// ~seconds for MapReduce, sub-second for Spark, ~0 for pipelined MPP).
+	StageStartup float64
+	// SpillPenalty multiplies materialized bytes (they are written AND
+	// read back).
+	SpillPenalty float64
+	// CoordinatorRowsPerSec bounds the single coordinator's merge work.
+	CoordinatorRowsPerSec float64
+	// MemBytes is per-node memory; OOMFails decides whether exceeding it
+	// kills the query (Greenplum, Spark) or the engine spills (HRDBMS,
+	// Hive).
+	MemBytes float64
+	OOMFails bool
+	// MemHeadroom scales the effective memory capacity: engines that
+	// partially offload state (Spark's unified memory manager) tolerate
+	// working sets beyond nominal memory before failing.
+	MemHeadroom float64
+	// GCPressure adds a superlinear penalty as the working set approaches
+	// memory (Spark's JVM garbage collection at low node counts).
+	GCPressure float64
+}
+
+// DegreeExponent makes per-node connection cost superlinear in the number
+// of neighbors a node must talk to.
+const DegreeExponent = 1.7
+
+// ScanSpeedup is how much faster a sequential scan processes rows than
+// stateful operators do.
+const ScanSpeedup = 5
+
+// StateFactor discounts raw operator-state bytes into an effective memory
+// working set (engines hold needed columns, not full rows). Calibrated so
+// Greenplum's OOM set at 8 nodes/24 GB matches the paper's "a couple of
+// heavy queries fail" shape.
+const StateFactor = 0.25
+
+// Estimate is the simulated outcome for one query.
+type Estimate struct {
+	Seconds float64
+	OOM     bool
+	// Components, for the ablation discussion.
+	CPUSec, DiskSec, NetSec, ConnSec, StartupSec float64
+}
+
+// Scale describes the extrapolation from the measured run to the modeled
+// deployment.
+type Scale struct {
+	// DataFactor multiplies measured data-dependent quantities (target SF
+	// over measured SF).
+	DataFactor float64
+	// Nodes is the modeled cluster size. Measured per-node quantities are
+	// re-spread over this many nodes.
+	Nodes int
+	// MeasuredWorkers is the worker count of the metered run.
+	MeasuredWorkers int
+}
+
+// Model evaluates profiles against measured metrics.
+type Model struct {
+	Prof Profile
+}
+
+// Estimate converts metrics into simulated seconds.
+func (mo *Model) Estimate(m cluster.RunMetrics, sc Scale) Estimate {
+	n := float64(sc.Nodes)
+	f := sc.DataFactor
+	var e Estimate
+
+	// CPU: operator row-work plus sequential scan work (scans stream at
+	// ScanSpeedup× the operator rate; pages avoided by data skipping
+	// contribute nothing here).
+	e.CPUSec = float64(m.WorkRows) * f / (n * mo.Prof.RowsPerSec)
+	e.CPUSec += float64(m.ScanRows) * f / (n * mo.Prof.RowsPerSec * ScanSpeedup)
+
+	// Disk: pages read plus spill traffic (write + read back).
+	diskBytes := float64(m.PageBytes)*f + float64(m.SpillBytes)*f*mo.Prof.SpillPenalty
+	e.DiskSec = diskBytes / (n * mo.Prof.DiskBW)
+
+	// Network: shuffle volume over per-node links, plus connection setup
+	// on the busiest node. Connection counts are topology-determined and
+	// measured at the modeled worker count — rescale the busiest-node
+	// degree when the metered cluster size differs.
+	degree := float64(m.MaxDegree)
+	if sc.MeasuredWorkers > 0 && sc.Nodes != sc.MeasuredWorkers {
+		degree = degree * float64(sc.Nodes) / float64(sc.MeasuredWorkers)
+		if degree < 1 && m.MaxDegree > 0 {
+			degree = 1
+		}
+	}
+	e.NetSec = float64(m.NetBytes) * f / (n * mo.Prof.LinkBW)
+	// Socket setup/monitoring cost grows superlinearly with the busiest
+	// node's degree (the paper's O(n)-neighbors bottleneck: resources for
+	// opening and monitoring that many sockets). Bounded-degree topologies
+	// keep this term flat as the cluster grows.
+	e.ConnSec = math.Pow(degree, DegreeExponent) * mo.Prof.ConnCost * float64(m.Exchanges)
+
+	// Stage startup: each exchange boundary costs a launch on blocking
+	// platforms.
+	e.StartupSec = float64(m.Exchanges) * mo.Prof.StageStartup
+
+	// Coordinator bottleneck: result and control-message handling on one
+	// node.
+	coord := (float64(m.ResultRows)*f/10 + float64(m.NetMessages)) / mo.Prof.CoordinatorRowsPerSec
+	e.CPUSec += coord
+
+	// Memory: the per-node working set is the operator state (hash
+	// tables, group tables, sort buffers) each node holds. StateFactor
+	// discounts the raw counter: engines keep only the needed columns of
+	// build rows and pack state tighter than our full-row accounting.
+	headroom := mo.Prof.MemHeadroom
+	if headroom <= 0 {
+		headroom = 1
+	}
+	workingSet := float64(m.StateBytes) * f / n * StateFactor
+	capacity := mo.Prof.MemBytes * headroom
+	if mo.Prof.MemBytes > 0 && workingSet > capacity {
+		if mo.Prof.OOMFails {
+			e.OOM = true
+		} else {
+			// Spill at disk bandwidth instead.
+			e.DiskSec += (workingSet - capacity) * 2 / mo.Prof.DiskBW
+		}
+	}
+	if mo.Prof.GCPressure > 0 && mo.Prof.MemBytes > 0 {
+		pressure := workingSet / mo.Prof.MemBytes
+		if pressure > 0.25 {
+			e.CPUSec *= 1 + mo.Prof.GCPressure*(pressure-0.25)
+		}
+	}
+	e.Seconds = e.CPUSec + e.DiskSec + e.NetSec + e.ConnSec + e.StartupSec
+	if math.IsNaN(e.Seconds) || e.Seconds < 0 {
+		e.Seconds = 0
+	}
+	return e
+}
+
+// Systems returns the four evaluated systems' profiles plus the
+// "current versions" variants (Hive-on-Tez, Spark 2.0) used by the paper's
+// last experiment. Memory defaults to the paper's 24 GB per-node cap.
+func Systems(memBytes float64) map[string]Profile {
+	if memBytes == 0 {
+		memBytes = 24 << 30
+	}
+	return map[string]Profile{
+		"hrdbms": {
+			Name: "HRDBMS", RowsPerSec: 4.0e6, DiskBW: 400e6, LinkBW: 1000e6,
+			ConnCost: 0.004, StageStartup: 0, SpillPenalty: 2,
+			CoordinatorRowsPerSec: 3e6, MemBytes: memBytes, OOMFails: false,
+		},
+		"greenplum": {
+			Name: "Greenplum", RowsPerSec: 5.0e6, DiskBW: 400e6, LinkBW: 1000e6,
+			ConnCost: 0.006, StageStartup: 0, SpillPenalty: 2,
+			CoordinatorRowsPerSec: 1.2e6, MemBytes: memBytes, OOMFails: true,
+		},
+		"sparksql": {
+			Name: "Spark SQL", RowsPerSec: 1.1e6, DiskBW: 350e6, LinkBW: 1000e6,
+			ConnCost: 0.004, StageStartup: 0.6, SpillPenalty: 2.5,
+			CoordinatorRowsPerSec: 2e6, MemBytes: memBytes, OOMFails: true,
+			MemHeadroom: 2.0, GCPressure: 4,
+		},
+		"hive": {
+			Name: "Hive", RowsPerSec: 0.35e6, DiskBW: 250e6, LinkBW: 1000e6,
+			ConnCost: 0.004, StageStartup: 9, SpillPenalty: 3,
+			CoordinatorRowsPerSec: 1.5e6, MemBytes: memBytes, OOMFails: false,
+		},
+		"hive-tez": {
+			Name: "Hive on Tez", RowsPerSec: 1.0e6, DiskBW: 300e6, LinkBW: 1000e6,
+			ConnCost: 0.004, StageStartup: 1.5, SpillPenalty: 2.5,
+			CoordinatorRowsPerSec: 1.5e6, MemBytes: memBytes, OOMFails: false,
+		},
+		"spark2": {
+			Name: "Spark 2.0", RowsPerSec: 0.45e6, DiskBW: 350e6, LinkBW: 1000e6,
+			ConnCost: 0.004, StageStartup: 0.4, SpillPenalty: 2.2,
+			CoordinatorRowsPerSec: 2.5e6, MemBytes: memBytes, OOMFails: true,
+			MemHeadroom: 2.2, GCPressure: 2.5,
+		},
+	}
+}
+
+// ClusterProfile maps a modeled system to the execution-feature toggles
+// its real runs use (the baseline substitution in DESIGN.md).
+func ClusterProfile(system string) cluster.ExecProfile {
+	switch system {
+	case "greenplum":
+		return cluster.ExecProfile{
+			HierarchicalShuffle: false, // direct O(n) interconnect
+			EnforceLocality:     true,
+			// Greenplum 4.3 has no block skipping at all — the paper's
+			// q6/q14/q15/q20 call-outs credit HRDBMS's predicate cache.
+			PreAggTree:       false,
+			ProbeParallelism: 2,
+		}
+	case "sparksql", "spark2":
+		return cluster.ExecProfile{
+			HierarchicalShuffle: false,
+			MaterializeShuffle:  true, // shuffle writes to disk by default
+			EnforceLocality:     false,
+			ProbeParallelism:    2,
+		}
+	case "hive", "hive-tez":
+		return cluster.ExecProfile{
+			HierarchicalShuffle: false,
+			BlockingShuffle:     true, // MapReduce sort-shuffle barrier
+			MaterializeShuffle:  true,
+			EnforceLocality:     false,
+			ProbeParallelism:    1,
+		}
+	default: // hrdbms
+		return cluster.HRDBMSProfile()
+	}
+}

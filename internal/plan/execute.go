@@ -1,0 +1,190 @@
+package plan
+
+import (
+	"fmt"
+
+	"repro/internal/catalog"
+	"repro/internal/exec"
+	"repro/internal/expr"
+	"repro/internal/types"
+)
+
+// TableProvider supplies scan operators for base tables; the cluster layer
+// provides per-fragment scans, tests provide in-memory rows.
+type TableProvider interface {
+	ScanTable(def *catalog.TableDef, alias string, pred expr.Expr) (exec.Operator, error)
+}
+
+// MemProvider serves tables from memory (tests and the query-planning unit
+// of the coordinator).
+type MemProvider struct {
+	Cat  *catalog.Catalog
+	Rows map[string][]types.Row
+}
+
+// ScanTable implements TableProvider with a filtered memory source.
+func (m *MemProvider) ScanTable(def *catalog.TableDef, alias string, pred expr.Expr) (exec.Operator, error) {
+	sch := def.Schema.Qualify(alias)
+	var op exec.Operator = exec.NewSource(sch, m.Rows[def.Name])
+	if pred != nil {
+		op = exec.NewFilter(nil, op, pred)
+	}
+	return op, nil
+}
+
+// Execute compiles a logical plan into a local operator tree. Scalar
+// subqueries are materialized first (depth-first), exactly once per query.
+func Execute(n Node, prov TableProvider, ctx *exec.Ctx) (exec.Operator, error) {
+	if err := materializeScalars(n, prov, ctx); err != nil {
+		return nil, err
+	}
+	return compile(n, prov, ctx)
+}
+
+// materializeScalars runs every uncorrelated scalar subquery plan embedded
+// in filter/scan predicates and freezes its value.
+func materializeScalars(n Node, prov TableProvider, ctx *exec.Ctx) error {
+	var scalars []*ScalarSubquery
+	collect := func(e expr.Expr) {
+		expr.Walk(e, func(x expr.Expr) {
+			if s, ok := x.(*ScalarSubquery); ok && s.Resolved == nil {
+				scalars = append(scalars, s)
+			}
+		})
+	}
+	Walk(n, func(m Node) {
+		switch x := m.(type) {
+		case *Filter:
+			collect(x.Pred)
+		case *Scan:
+			if x.Pred != nil {
+				collect(x.Pred)
+			}
+		case *Project:
+			for _, e := range x.Exprs {
+				collect(e)
+			}
+		case *Join:
+			if x.Residual != nil {
+				collect(x.Residual)
+			}
+		}
+	})
+	for _, s := range scalars {
+		op, err := Execute(s.Plan, prov, ctx)
+		if err != nil {
+			return err
+		}
+		rows, err := exec.Collect(op)
+		if err != nil {
+			return err
+		}
+		v := types.Null
+		switch {
+		case len(rows) == 0:
+		case len(rows) == 1 && len(rows[0]) >= 1:
+			v = rows[0][0]
+		default:
+			return fmt.Errorf("plan: scalar subquery returned %d rows", len(rows))
+		}
+		s.Resolved = &v
+	}
+	return nil
+}
+
+func compile(n Node, prov TableProvider, ctx *exec.Ctx) (exec.Operator, error) {
+	switch x := n.(type) {
+	case *Scan:
+		return prov.ScanTable(x.Table, x.Alias, x.Pred)
+	case *Filter:
+		child, err := compile(x.Child, prov, ctx)
+		if err != nil {
+			return nil, err
+		}
+		return exec.NewFilter(ctx, child, x.Pred), nil
+	case *Project:
+		child, err := compile(x.Child, prov, ctx)
+		if err != nil {
+			return nil, err
+		}
+		names := make([]string, len(x.Names))
+		for i, nm := range x.Names {
+			names[i] = nm
+		}
+		return exec.NewProject(ctx, child, x.Exprs, names), nil
+	case *Rename:
+		child, err := compile(x.Child, prov, ctx)
+		if err != nil {
+			return nil, err
+		}
+		return &renameOp{Operator: child, sch: x.Schema()}, nil
+	case *Join:
+		left, err := compile(x.Left, prov, ctx)
+		if err != nil {
+			return nil, err
+		}
+		right, err := compile(x.Right, prov, ctx)
+		if err != nil {
+			return nil, err
+		}
+		if len(x.EquiLeft) == 0 {
+			return exec.NewNestedLoopJoin(ctx, left, right, x.Residual, x.Type), nil
+		}
+		return exec.NewHashJoin(ctx, left, right, x.EquiLeft, x.EquiRight, x.Type, x.Residual, 1), nil
+	case *Agg:
+		child, err := compile(x.Child, prov, ctx)
+		if err != nil {
+			return nil, err
+		}
+		specs := make([]exec.AggSpec, len(x.Aggs))
+		for i, a := range x.Aggs {
+			specs[i] = exec.AggSpec{Kind: a.Kind, Arg: a.Arg, Distinct: a.Distinct, Name: a.Name}
+		}
+		return exec.NewHashAggregate(ctx, child, x.GroupBy, specs, exec.AggComplete), nil
+	case *Sort:
+		child, err := compile(x.Child, prov, ctx)
+		if err != nil {
+			return nil, err
+		}
+		return exec.NewSort(ctx, child, sortKeys(x.Keys)), nil
+	case *Limit:
+		// Sort+Limit collapses into the heap-based top-k.
+		if s, ok := x.Child.(*Sort); ok && x.Offset == 0 {
+			child, err := compile(s.Child, prov, ctx)
+			if err != nil {
+				return nil, err
+			}
+			return exec.NewTopK(ctx, child, sortKeys(s.Keys), int(x.N)), nil
+		}
+		child, err := compile(x.Child, prov, ctx)
+		if err != nil {
+			return nil, err
+		}
+		return exec.NewLimit(child, x.N, x.Offset), nil
+	case *Distinct:
+		child, err := compile(x.Child, prov, ctx)
+		if err != nil {
+			return nil, err
+		}
+		return exec.NewDistinct(child), nil
+	default:
+		return nil, fmt.Errorf("plan: cannot compile %T", n)
+	}
+}
+
+func sortKeys(keys []SortItem) []exec.SortKey {
+	out := make([]exec.SortKey, len(keys))
+	for i, k := range keys {
+		out[i] = exec.SortKey{Col: k.Col, Desc: k.Desc}
+	}
+	return out
+}
+
+// renameOp adjusts only the reported schema.
+type renameOp struct {
+	exec.Operator
+	sch types.Schema
+}
+
+// Schema overrides the embedded operator's schema.
+func (r *renameOp) Schema() types.Schema { return r.sch }

@@ -1,0 +1,394 @@
+// Package plan defines HRDBMS's logical query plans and the builder that
+// turns parsed SELECT statements into plans: FROM-clause joins, aggregate
+// extraction, and the Kim-style decorrelation of nested subqueries the
+// paper's optimizer performs in its global optimization phase (Section V).
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/catalog"
+	"repro/internal/exec"
+	"repro/internal/expr"
+	"repro/internal/types"
+)
+
+// Node is a logical plan operator.
+type Node interface {
+	// Schema describes the node's output rows (qualified column names).
+	Schema() types.Schema
+	// Children returns input plans.
+	Children() []Node
+	// Describe renders one line for EXPLAIN output.
+	Describe() string
+}
+
+// Scan reads one base table. Pred (bound to the table schema) is pushed
+// into the storage scan where its atoms feed predicate-based skipping.
+type Scan struct {
+	Table *catalog.TableDef
+	Alias string
+	Pred  expr.Expr
+	sch   types.Schema
+}
+
+// NewScan builds a scan node.
+func NewScan(def *catalog.TableDef, alias string) *Scan {
+	sch := def.Schema
+	name := alias
+	if name == "" {
+		name = def.Name
+	}
+	sch = sch.Qualify(strings.ToLower(name))
+	return &Scan{Table: def, Alias: strings.ToLower(name), sch: sch}
+}
+
+// Schema implements Node.
+func (s *Scan) Schema() types.Schema { return s.sch }
+
+// Children implements Node.
+func (s *Scan) Children() []Node { return nil }
+
+// Describe implements Node.
+func (s *Scan) Describe() string {
+	out := fmt.Sprintf("Scan %s", s.Table.Name)
+	if s.Alias != "" && s.Alias != strings.ToLower(s.Table.Name) {
+		out += " AS " + s.Alias
+	}
+	if s.Pred != nil {
+		out += fmt.Sprintf(" [pred: %s]", s.Pred)
+	}
+	return out
+}
+
+// Filter keeps rows matching Pred.
+type Filter struct {
+	Child Node
+	Pred  expr.Expr
+}
+
+// Schema implements Node.
+func (f *Filter) Schema() types.Schema { return f.Child.Schema() }
+
+// Children implements Node.
+func (f *Filter) Children() []Node { return []Node{f.Child} }
+
+// Describe implements Node.
+func (f *Filter) Describe() string { return fmt.Sprintf("Filter [%s]", f.Pred) }
+
+// Project computes output expressions.
+type Project struct {
+	Child Node
+	Exprs []expr.Expr
+	Names []string
+	sch   types.Schema
+}
+
+// NewProject builds a projection, inferring output kinds.
+func NewProject(child Node, exprs []expr.Expr, names []string) *Project {
+	cols := make([]types.Column, len(exprs))
+	for i, e := range exprs {
+		cols[i] = types.Column{Name: strings.ToLower(names[i]), Kind: expr.KindOf(e, child.Schema())}
+	}
+	return &Project{Child: child, Exprs: exprs, Names: names, sch: types.Schema{Cols: cols}}
+}
+
+// Schema implements Node.
+func (p *Project) Schema() types.Schema { return p.sch }
+
+// Children implements Node.
+func (p *Project) Children() []Node { return []Node{p.Child} }
+
+// Describe implements Node.
+func (p *Project) Describe() string {
+	parts := make([]string, len(p.Exprs))
+	for i, e := range p.Exprs {
+		parts[i] = e.String()
+	}
+	return "Project [" + strings.Join(parts, ", ") + "]"
+}
+
+// Join combines two inputs. EquiLeft/EquiRight are the equality key
+// expressions (empty → nested loop over Residual only). Residual holds
+// remaining conditions over the concatenated schema.
+type Join struct {
+	Left, Right Node
+	Type        exec.JoinType
+	EquiLeft    []expr.Expr // bound to Left schema
+	EquiRight   []expr.Expr // bound to Right schema
+	Residual    expr.Expr   // bound to Left ++ Right schema
+}
+
+// Schema implements Node.
+func (j *Join) Schema() types.Schema {
+	if j.Type == exec.JoinInner {
+		return j.Left.Schema().Concat(j.Right.Schema())
+	}
+	return j.Left.Schema()
+}
+
+// Children implements Node.
+func (j *Join) Children() []Node { return []Node{j.Left, j.Right} }
+
+// Describe implements Node.
+func (j *Join) Describe() string {
+	var conds []string
+	for i := range j.EquiLeft {
+		conds = append(conds, fmt.Sprintf("%s = %s", j.EquiLeft[i], j.EquiRight[i]))
+	}
+	if j.Residual != nil {
+		conds = append(conds, j.Residual.String())
+	}
+	return fmt.Sprintf("%s Join [%s]", j.Type, strings.Join(conds, " AND "))
+}
+
+// AggItem is one aggregate output.
+type AggItem struct {
+	Kind     exec.AggKind
+	Arg      expr.Expr // bound to child schema; nil for COUNT(*)
+	Distinct bool
+	Name     string
+}
+
+// Agg groups by the GroupBy expressions and computes aggregates. Output
+// schema: group columns then aggregate columns.
+type Agg struct {
+	Child   Node
+	GroupBy []expr.Expr
+	Aggs    []AggItem
+	sch     types.Schema
+}
+
+// NewAgg builds an aggregate node.
+func NewAgg(child Node, groupBy []expr.Expr, aggs []AggItem, groupNames []string) *Agg {
+	var cols []types.Column
+	for i, g := range groupBy {
+		name := ""
+		if i < len(groupNames) {
+			name = groupNames[i]
+		}
+		if name == "" {
+			name = g.String()
+		}
+		cols = append(cols, types.Column{Name: strings.ToLower(name), Kind: expr.KindOf(g, child.Schema())})
+	}
+	for _, a := range aggs {
+		kind := types.KindFloat
+		switch a.Kind {
+		case exec.AggCount:
+			kind = types.KindInt
+		case exec.AggSum:
+			if a.Arg != nil && expr.KindOf(a.Arg, child.Schema()) == types.KindInt {
+				kind = types.KindInt
+			}
+		case exec.AggMin, exec.AggMax:
+			if a.Arg != nil {
+				kind = expr.KindOf(a.Arg, child.Schema())
+			}
+		}
+		cols = append(cols, types.Column{Name: strings.ToLower(a.Name), Kind: kind})
+	}
+	return &Agg{Child: child, GroupBy: groupBy, Aggs: aggs, sch: types.Schema{Cols: cols}}
+}
+
+// Schema implements Node.
+func (a *Agg) Schema() types.Schema { return a.sch }
+
+// Children implements Node.
+func (a *Agg) Children() []Node { return []Node{a.Child} }
+
+// Describe implements Node.
+func (a *Agg) Describe() string {
+	var gb []string
+	for _, g := range a.GroupBy {
+		gb = append(gb, g.String())
+	}
+	var ag []string
+	for _, x := range a.Aggs {
+		arg := "*"
+		if x.Arg != nil {
+			arg = x.Arg.String()
+		}
+		ag = append(ag, fmt.Sprintf("%s(%s)", x.Kind, arg))
+	}
+	return fmt.Sprintf("Aggregate [group: %s] [aggs: %s]", strings.Join(gb, ", "), strings.Join(ag, ", "))
+}
+
+// SortItem is one ORDER BY key resolved to an output column offset.
+type SortItem struct {
+	Col  int
+	Desc bool
+}
+
+// Sort orders the child output.
+type Sort struct {
+	Child Node
+	Keys  []SortItem
+}
+
+// Schema implements Node.
+func (s *Sort) Schema() types.Schema { return s.Child.Schema() }
+
+// Children implements Node.
+func (s *Sort) Children() []Node { return []Node{s.Child} }
+
+// Describe implements Node.
+func (s *Sort) Describe() string {
+	parts := make([]string, len(s.Keys))
+	for i, k := range s.Keys {
+		dir := "asc"
+		if k.Desc {
+			dir = "desc"
+		}
+		parts[i] = fmt.Sprintf("$%d %s", k.Col, dir)
+	}
+	return "Sort [" + strings.Join(parts, ", ") + "]"
+}
+
+// Limit truncates output; a Limit directly above a Sort is executed as the
+// paper's heap-based top-k.
+type Limit struct {
+	Child  Node
+	N      int64
+	Offset int64
+}
+
+// Schema implements Node.
+func (l *Limit) Schema() types.Schema { return l.Child.Schema() }
+
+// Children implements Node.
+func (l *Limit) Children() []Node { return []Node{l.Child} }
+
+// Describe implements Node.
+func (l *Limit) Describe() string { return fmt.Sprintf("Limit %d offset %d", l.N, l.Offset) }
+
+// Distinct removes duplicates.
+type Distinct struct {
+	Child Node
+}
+
+// Schema implements Node.
+func (d *Distinct) Schema() types.Schema { return d.Child.Schema() }
+
+// Children implements Node.
+func (d *Distinct) Children() []Node { return []Node{d.Child} }
+
+// Describe implements Node.
+func (d *Distinct) Describe() string { return "Distinct" }
+
+// Rename gives a derived table's output new qualified column names.
+type Rename struct {
+	Child Node
+	sch   types.Schema
+}
+
+// NewRename re-qualifies a subquery's schema under its FROM alias.
+func NewRename(child Node, alias string) *Rename {
+	return &Rename{Child: child, sch: child.Schema().Qualify(strings.ToLower(alias))}
+}
+
+// Schema implements Node.
+func (r *Rename) Schema() types.Schema { return r.sch }
+
+// Children implements Node.
+func (r *Rename) Children() []Node { return []Node{r.Child} }
+
+// Describe implements Node.
+func (r *Rename) Describe() string { return "Rename " + r.sch.String() }
+
+// ScalarSubquery wraps an uncorrelated scalar subquery inside an
+// expression; the executor materializes the subplan to a single value
+// before the outer plan runs (the paper notes Greenplum additionally caches
+// these — see Q22 discussion).
+type ScalarSubquery struct {
+	Plan Node
+	// Resolved is set by the executor after materialization.
+	Resolved *types.Value
+}
+
+// Eval returns the materialized value.
+func (s *ScalarSubquery) Eval(types.Row) (types.Value, error) {
+	if s.Resolved == nil {
+		return types.Null, fmt.Errorf("plan: scalar subquery not materialized")
+	}
+	return *s.Resolved, nil
+}
+
+// String renders the placeholder.
+func (s *ScalarSubquery) String() string { return "(scalar subquery)" }
+
+// Explain renders a plan tree as indented text.
+func Explain(n Node) string {
+	var sb strings.Builder
+	var walk func(n Node, depth int)
+	walk = func(n Node, depth int) {
+		sb.WriteString(strings.Repeat("  ", depth))
+		sb.WriteString(n.Describe())
+		sb.WriteByte('\n')
+		for _, c := range n.Children() {
+			walk(c, depth+1)
+		}
+	}
+	walk(n, 0)
+	return sb.String()
+}
+
+// Walk visits the plan tree preorder.
+func Walk(n Node, fn func(Node)) {
+	fn(n)
+	for _, c := range n.Children() {
+		Walk(c, fn)
+	}
+}
+
+// Rebind re-resolves every expression's column indices by name against the
+// current child schemas. Required after transformations (join reordering)
+// that change the column order of intermediate schemas.
+func Rebind(n Node) error {
+	for _, c := range n.Children() {
+		if err := Rebind(c); err != nil {
+			return err
+		}
+	}
+	switch x := n.(type) {
+	case *Scan:
+		if x.Pred != nil {
+			return expr.Bind(x.Pred, x.Schema())
+		}
+	case *Filter:
+		return expr.Bind(x.Pred, x.Child.Schema())
+	case *Project:
+		for _, e := range x.Exprs {
+			if err := expr.Bind(e, x.Child.Schema()); err != nil {
+				return err
+			}
+		}
+	case *Join:
+		for i := range x.EquiLeft {
+			if err := expr.Bind(x.EquiLeft[i], x.Left.Schema()); err != nil {
+				return err
+			}
+			if err := expr.Bind(x.EquiRight[i], x.Right.Schema()); err != nil {
+				return err
+			}
+		}
+		if x.Residual != nil {
+			return expr.Bind(x.Residual, x.Left.Schema().Concat(x.Right.Schema()))
+		}
+	case *Agg:
+		for _, g := range x.GroupBy {
+			if err := expr.Bind(g, x.Child.Schema()); err != nil {
+				return err
+			}
+		}
+		for _, a := range x.Aggs {
+			if a.Arg != nil {
+				if err := expr.Bind(a.Arg, x.Child.Schema()); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,305 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/exec"
+	"repro/internal/sqlparse"
+	"repro/internal/types"
+)
+
+// testEnv builds a mini TPC-H-ish catalog and in-memory data.
+func testEnv(t *testing.T) (*catalog.Catalog, *MemProvider) {
+	t.Helper()
+	cat := catalog.New()
+	mustCreate := func(def *catalog.TableDef) {
+		if err := cat.CreateTable(def); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustCreate(&catalog.TableDef{
+		Name: "nation",
+		Schema: types.NewSchema(
+			types.Column{Name: "n_nationkey", Kind: types.KindInt},
+			types.Column{Name: "n_name", Kind: types.KindString},
+		),
+		Part: catalog.Partitioning{Kind: catalog.PartReplicated},
+	})
+	mustCreate(&catalog.TableDef{
+		Name: "customer",
+		Schema: types.NewSchema(
+			types.Column{Name: "c_custkey", Kind: types.KindInt},
+			types.Column{Name: "c_name", Kind: types.KindString},
+			types.Column{Name: "c_nationkey", Kind: types.KindInt},
+			types.Column{Name: "c_acctbal", Kind: types.KindFloat},
+		),
+		Part: catalog.Partitioning{Kind: catalog.PartHash, Cols: []string{"c_custkey"}},
+	})
+	mustCreate(&catalog.TableDef{
+		Name: "orders",
+		Schema: types.NewSchema(
+			types.Column{Name: "o_orderkey", Kind: types.KindInt},
+			types.Column{Name: "o_custkey", Kind: types.KindInt},
+			types.Column{Name: "o_totalprice", Kind: types.KindFloat},
+			types.Column{Name: "o_orderdate", Kind: types.KindDate},
+		),
+		Part: catalog.Partitioning{Kind: catalog.PartHash, Cols: []string{"o_custkey"}},
+	})
+	mustCreate(&catalog.TableDef{
+		Name: "lineitem",
+		Schema: types.NewSchema(
+			types.Column{Name: "l_orderkey", Kind: types.KindInt},
+			types.Column{Name: "l_partkey", Kind: types.KindInt},
+			types.Column{Name: "l_quantity", Kind: types.KindFloat},
+			types.Column{Name: "l_extendedprice", Kind: types.KindFloat},
+			types.Column{Name: "l_discount", Kind: types.KindFloat},
+			types.Column{Name: "l_shipdate", Kind: types.KindDate},
+		),
+		Part: catalog.Partitioning{Kind: catalog.PartHash, Cols: []string{"l_orderkey"}},
+	})
+
+	prov := &MemProvider{Cat: cat, Rows: map[string][]types.Row{
+		"nation": {
+			{types.NewInt(1), types.NewString("CANADA")},
+			{types.NewInt(2), types.NewString("FRANCE")},
+		},
+		"customer": {
+			{types.NewInt(10), types.NewString("alice"), types.NewInt(1), types.NewFloat(100)},
+			{types.NewInt(20), types.NewString("bob"), types.NewInt(1), types.NewFloat(-5)},
+			{types.NewInt(30), types.NewString("chloe"), types.NewInt(2), types.NewFloat(700)},
+		},
+		"orders": {
+			{types.NewInt(100), types.NewInt(10), types.NewFloat(50), types.MustDate("1995-01-15")},
+			{types.NewInt(101), types.NewInt(10), types.NewFloat(75), types.MustDate("1995-06-10")},
+			{types.NewInt(102), types.NewInt(20), types.NewFloat(20), types.MustDate("1996-03-04")},
+			{types.NewInt(103), types.NewInt(30), types.NewFloat(90), types.MustDate("1996-08-21")},
+		},
+		"lineitem": {
+			{types.NewInt(100), types.NewInt(7), types.NewFloat(5), types.NewFloat(100), types.NewFloat(0.1), types.MustDate("1995-01-20")},
+			{types.NewInt(100), types.NewInt(8), types.NewFloat(2), types.NewFloat(50), types.NewFloat(0.0), types.MustDate("1995-01-25")},
+			{types.NewInt(101), types.NewInt(7), types.NewFloat(10), types.NewFloat(200), types.NewFloat(0.05), types.MustDate("1995-06-15")},
+			{types.NewInt(102), types.NewInt(9), types.NewFloat(1), types.NewFloat(30), types.NewFloat(0.0), types.MustDate("1996-03-09")},
+			{types.NewInt(103), types.NewInt(7), types.NewFloat(8), types.NewFloat(120), types.NewFloat(0.2), types.MustDate("1996-09-01")},
+		},
+	}}
+	return cat, prov
+}
+
+func runSQL(t *testing.T, sql string) []types.Row {
+	t.Helper()
+	cat, prov := testEnv(t)
+	sel, err := sqlparse.ParseSelect(sql)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	node, err := Build(sel, cat)
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	op, err := Execute(node, prov, exec.NewCtx(t.TempDir(), 0))
+	if err != nil {
+		t.Fatalf("execute: %v\nplan:\n%s", err, Explain(node))
+	}
+	rows, err := exec.Collect(op)
+	if err != nil {
+		t.Fatalf("collect: %v\nplan:\n%s", err, Explain(node))
+	}
+	return rows
+}
+
+func TestSimpleProjectionFilter(t *testing.T) {
+	rows := runSQL(t, "SELECT c_name, c_acctbal * 2 AS dbl FROM customer WHERE c_acctbal > 0 ORDER BY c_name")
+	if len(rows) != 2 {
+		t.Fatalf("rows = %v", rows)
+	}
+	if rows[0][0].Str() != "alice" || rows[0][1].Float() != 200 {
+		t.Errorf("row0 = %v", rows[0])
+	}
+	if rows[1][0].Str() != "chloe" {
+		t.Errorf("row1 = %v", rows[1])
+	}
+}
+
+func TestJoinThreeTables(t *testing.T) {
+	rows := runSQL(t, `SELECT sum(o_totalprice)
+		FROM nation, customer, orders
+		WHERE n_nationkey = c_nationkey AND c_custkey = o_custkey AND n_name = 'CANADA'`)
+	if len(rows) != 1 {
+		t.Fatalf("rows = %v", rows)
+	}
+	// CANADA customers: 10, 20 → orders 100+101+102 = 50+75+20 = 145.
+	if rows[0][0].Float() != 145 {
+		t.Errorf("sum = %v", rows[0])
+	}
+}
+
+func TestGroupByHavingOrder(t *testing.T) {
+	rows := runSQL(t, `SELECT o_custkey, count(*) AS cnt, sum(o_totalprice) AS total
+		FROM orders GROUP BY o_custkey HAVING count(*) >= 1 ORDER BY total DESC`)
+	if len(rows) != 3 {
+		t.Fatalf("rows = %v", rows)
+	}
+	if rows[0][0].Int() != 10 || rows[0][1].Int() != 2 || rows[0][2].Float() != 125 {
+		t.Errorf("top group = %v", rows[0])
+	}
+	// Descending by total: 125, 90, 20.
+	if rows[1][2].Float() != 90 || rows[2][2].Float() != 20 {
+		t.Errorf("order = %v", rows)
+	}
+}
+
+func TestAggExpressionOfAggregates(t *testing.T) {
+	rows := runSQL(t, `SELECT sum(l_extendedprice * (1 - l_discount)) / count(*) AS avg_rev FROM lineitem`)
+	if len(rows) != 1 {
+		t.Fatalf("rows = %v", rows)
+	}
+	want := (100*0.9 + 50 + 200*0.95 + 30 + 120*0.8) / 5
+	if got := rows[0][0].Float(); got < want-1e-9 || got > want+1e-9 {
+		t.Errorf("avg_rev = %v, want %v", got, want)
+	}
+}
+
+func TestScalarSubqueryUncorrelated(t *testing.T) {
+	rows := runSQL(t, `SELECT c_name FROM customer
+		WHERE c_acctbal > (SELECT avg(c_acctbal) FROM customer) ORDER BY c_name`)
+	// avg = (100 - 5 + 700)/3 = 265; only chloe (700) exceeds it.
+	if len(rows) != 1 || rows[0][0].Str() != "chloe" {
+		t.Fatalf("rows = %v", rows)
+	}
+}
+
+func TestExistsDecorrelation(t *testing.T) {
+	rows := runSQL(t, `SELECT c_name FROM customer c
+		WHERE EXISTS (SELECT 1 FROM orders o WHERE o.o_custkey = c.c_custkey AND o.o_totalprice > 70)
+		ORDER BY c_name`)
+	// orders > 70: 101 (cust 10, 75), 103 (cust 30, 90) → alice, chloe.
+	if len(rows) != 2 || rows[0][0].Str() != "alice" || rows[1][0].Str() != "chloe" {
+		t.Fatalf("rows = %v", rows)
+	}
+}
+
+func TestNotExistsDecorrelation(t *testing.T) {
+	rows := runSQL(t, `SELECT c_name FROM customer c
+		WHERE NOT EXISTS (SELECT 1 FROM orders o WHERE o.o_custkey = c.c_custkey AND o.o_totalprice > 70)`)
+	if len(rows) != 1 || rows[0][0].Str() != "bob" {
+		t.Fatalf("rows = %v", rows)
+	}
+}
+
+func TestInSubquery(t *testing.T) {
+	rows := runSQL(t, `SELECT o_orderkey FROM orders
+		WHERE o_custkey IN (SELECT c_custkey FROM customer WHERE c_acctbal > 0) ORDER BY o_orderkey`)
+	// customers with positive balance: 10, 30 → orders 100, 101, 103.
+	if len(rows) != 3 || rows[0][0].Int() != 100 || rows[2][0].Int() != 103 {
+		t.Fatalf("rows = %v", rows)
+	}
+	rows = runSQL(t, `SELECT o_orderkey FROM orders
+		WHERE o_custkey NOT IN (SELECT c_custkey FROM customer WHERE c_acctbal > 0)`)
+	if len(rows) != 1 || rows[0][0].Int() != 102 {
+		t.Fatalf("not in rows = %v", rows)
+	}
+}
+
+func TestCorrelatedScalarAgg(t *testing.T) {
+	// Q17-shaped: quantity below the average for that part.
+	rows := runSQL(t, `SELECT l_orderkey FROM lineitem l1
+		WHERE l1.l_partkey = 7
+		  AND l1.l_quantity < (SELECT avg(l2.l_quantity) FROM lineitem l2 WHERE l2.l_partkey = l1.l_partkey)
+		ORDER BY l_orderkey`)
+	// part 7 quantities: 5, 10, 8 → avg 7.667; below: 5 (order 100).
+	if len(rows) != 1 || rows[0][0].Int() != 100 {
+		t.Fatalf("rows = %v", rows)
+	}
+}
+
+func TestAggregatedInSubquery(t *testing.T) {
+	// Q18-shaped: orders whose total lineitem quantity exceeds a threshold.
+	rows := runSQL(t, `SELECT o_orderkey FROM orders
+		WHERE o_orderkey IN (SELECT l_orderkey FROM lineitem GROUP BY l_orderkey HAVING sum(l_quantity) > 6)
+		ORDER BY o_orderkey`)
+	// per-order qty: 100→7, 101→10, 102→1, 103→8 → 100, 101, 103.
+	if len(rows) != 3 || rows[0][0].Int() != 100 || rows[1][0].Int() != 101 || rows[2][0].Int() != 103 {
+		t.Fatalf("rows = %v", rows)
+	}
+}
+
+func TestDerivedTable(t *testing.T) {
+	rows := runSQL(t, `SELECT d.total FROM
+		(SELECT o_custkey, sum(o_totalprice) AS total FROM orders GROUP BY o_custkey) AS d
+		WHERE d.total > 50 ORDER BY d.total`)
+	if len(rows) != 2 || rows[0][0].Float() != 90 || rows[1][0].Float() != 125 {
+		t.Fatalf("rows = %v", rows)
+	}
+}
+
+func TestTopKViaLimitOrder(t *testing.T) {
+	rows := runSQL(t, `SELECT o_orderkey, o_totalprice FROM orders ORDER BY o_totalprice DESC LIMIT 2`)
+	if len(rows) != 2 || rows[0][1].Float() != 90 || rows[1][1].Float() != 75 {
+		t.Fatalf("rows = %v", rows)
+	}
+}
+
+func TestDistinctAndCase(t *testing.T) {
+	rows := runSQL(t, `SELECT DISTINCT CASE WHEN o_totalprice > 60 THEN 'big' ELSE 'small' END AS sz
+		FROM orders ORDER BY sz`)
+	if len(rows) != 2 || rows[0][0].Str() != "big" || rows[1][0].Str() != "small" {
+		t.Fatalf("rows = %v", rows)
+	}
+}
+
+func TestStarExpansion(t *testing.T) {
+	rows := runSQL(t, "SELECT * FROM nation ORDER BY n_nationkey")
+	if len(rows) != 2 || len(rows[0]) != 2 {
+		t.Fatalf("rows = %v", rows)
+	}
+	rows = runSQL(t, "SELECT n.* FROM nation n, customer c WHERE n.n_nationkey = c.c_nationkey AND c.c_custkey = 30")
+	if len(rows) != 1 || len(rows[0]) != 2 || rows[0][1].Str() != "FRANCE" {
+		t.Fatalf("qualified star = %v", rows)
+	}
+}
+
+func TestSemiJoinWithResidualCorrelation(t *testing.T) {
+	// Q21-shaped: inequality correlation becomes a residual on the semi join.
+	rows := runSQL(t, `SELECT l1.l_orderkey FROM lineitem l1
+		WHERE l1.l_partkey = 7
+		  AND EXISTS (SELECT 1 FROM lineitem l2 WHERE l2.l_orderkey = l1.l_orderkey AND l2.l_partkey <> l1.l_partkey)`)
+	// Only order 100 has two lineitems with different parts (7 and 8).
+	if len(rows) != 1 || rows[0][0].Int() != 100 {
+		t.Fatalf("rows = %v", rows)
+	}
+}
+
+func TestExplainOutput(t *testing.T) {
+	cat, _ := testEnv(t)
+	sel, _ := sqlparse.ParseSelect(`SELECT n_name, count(*) FROM nation, customer
+		WHERE n_nationkey = c_nationkey GROUP BY n_name`)
+	node, err := Build(sel, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Explain(node)
+	for _, want := range []string{"Scan nation", "Scan customer", "Join", "Aggregate", "Project"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("explain missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	cat, _ := testEnv(t)
+	for _, sql := range []string{
+		"SELECT missing_col FROM nation",
+		"SELECT n_name FROM missing_table",
+		"SELECT n_name FROM nation ORDER BY not_selected_col",
+	} {
+		sel, err := sqlparse.ParseSelect(sql)
+		if err != nil {
+			t.Fatalf("parse %q: %v", sql, err)
+		}
+		if _, err := Build(sel, cat); err == nil {
+			t.Errorf("expected build error for %q", sql)
+		}
+	}
+}

@@ -1,0 +1,259 @@
+package storage
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/buffer"
+	"repro/internal/catalog"
+	"repro/internal/page"
+	"repro/internal/skipcache"
+	"repro/internal/types"
+)
+
+// ColumnarFragment stores a table fragment PAX-style (Section III): all
+// columns in one file per disk as a sequence of page sets; a set for an
+// n-column table is n consecutive pages, each holding the values of one
+// column for the same run of rows. String pages are Huffman-packed when a
+// set is sealed, and page-level LZ4 (in page.File) plus sparse-file holes
+// absorb the unused space — together these implement the paper's fix for
+// page-set underutilization.
+//
+// Inserts are append-only into the open (in-memory) set of one disk;
+// deletes are not supported on columnar fragments (reload or reorganize
+// instead), matching their OLAP role.
+type ColumnarFragment struct {
+	Node  *NodeStore
+	Def   *catalog.TableDef
+	Files []page.FileID
+
+	PredCache *skipcache.Cache
+	MinMax    *skipcache.MinMax
+
+	open    []page.PageSet // one open set per disk
+	openBuf [][][]byte     // backing buffers for the open sets
+	nextRR  int
+}
+
+// OpenColumnarFragment creates the fragment's per-disk files.
+func OpenColumnarFragment(ns *NodeStore, def *catalog.TableDef) (*ColumnarFragment, error) {
+	fr := &ColumnarFragment{
+		Node:      ns,
+		Def:       def,
+		PredCache: skipcache.NewCache(64),
+		MinMax:    skipcache.NewMinMax(),
+	}
+	for d := range ns.Disks {
+		name := fmt.Sprintf("%s.d%d.col", strings.ToLower(def.Name), d)
+		id, err := ns.OpenFile(d, name, true)
+		if err != nil {
+			return nil, err
+		}
+		fr.Files = append(fr.Files, id)
+	}
+	fr.open = make([]page.PageSet, len(fr.Files))
+	fr.openBuf = make([][][]byte, len(fr.Files))
+	for d := range fr.Files {
+		fr.resetOpen(d)
+	}
+	return fr, nil
+}
+
+func (fr *ColumnarFragment) resetOpen(disk int) {
+	n := fr.Def.Schema.Len()
+	bufs := make([][]byte, n)
+	for i := range bufs {
+		bufs[i] = make([]byte, fr.Node.PageSize())
+	}
+	fr.openBuf[disk] = bufs
+	fr.open[disk] = page.NewPageSet(bufs)
+}
+
+// Append adds one row to the open set of the next disk, flushing the set
+// to disk when full.
+func (fr *ColumnarFragment) Append(r types.Row) error {
+	if len(r) != fr.Def.Schema.Len() {
+		return fmt.Errorf("storage: columnar row arity %d != schema %d", len(r), fr.Def.Schema.Len())
+	}
+	disk := fr.nextRR % len(fr.Files)
+	fr.nextRR++
+	if fr.open[disk].AppendRow(r) {
+		return nil
+	}
+	if err := fr.flushOpen(disk); err != nil {
+		return err
+	}
+	if !fr.open[disk].AppendRow(r) {
+		return fmt.Errorf("storage: columnar row too large for page size %d", fr.Node.PageSize())
+	}
+	return nil
+}
+
+// flushOpen seals and writes the open set of a disk as n consecutive pages.
+func (fr *ColumnarFragment) flushOpen(disk int) error {
+	set := fr.open[disk]
+	if set.NumRows() == 0 {
+		return nil
+	}
+	set.Seal()
+	fileID := fr.Files[disk]
+	n := fr.Def.Schema.Len()
+	base := fr.Node.Allocate(fileID)
+	for i := 1; i < n; i++ {
+		fr.Node.Allocate(fileID)
+	}
+	// Record min-max for the set (keyed by its first page).
+	key := page.Key{File: fileID, Page: base}
+	rows, err := set.Rows()
+	if err != nil {
+		return err
+	}
+	for _, r := range rows {
+		for ci, col := range fr.Def.Schema.Cols {
+			fr.MinMax.Record(key, strings.ToLower(col.Name), r[ci])
+		}
+	}
+	for i := 0; i < n; i++ {
+		f, err := fr.Node.Buf.NewPage(page.Key{File: fileID, Page: base + uint32(i)})
+		if err != nil {
+			return err
+		}
+		copy(f.Buf, fr.openBuf[disk][i])
+		fr.Node.Buf.Unpin(f, true)
+	}
+	fr.resetOpen(disk)
+	return nil
+}
+
+// Flush writes all open sets to disk (call after bulk loading).
+func (fr *ColumnarFragment) Flush() error {
+	for d := range fr.Files {
+		if err := fr.flushOpen(d); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Load bulk-loads rows (sorting by clustering columns) and flushes.
+func (fr *ColumnarFragment) Load(rows []types.Row) (int, error) {
+	if len(fr.Def.ClusterCols) > 0 {
+		offs, err := fr.Def.ColOffsets(fr.Def.ClusterCols)
+		if err != nil {
+			return 0, err
+		}
+		sorted := make([]types.Row, len(rows))
+		copy(sorted, rows)
+		sortRowsBy(sorted, offs)
+		rows = sorted
+	}
+	for i, r := range rows {
+		if err := fr.Append(r); err != nil {
+			return i, err
+		}
+	}
+	return len(rows), fr.Flush()
+}
+
+func sortRowsBy(rows []types.Row, offs []int) {
+	if len(offs) == 0 {
+		return
+	}
+	lessFn := func(i, j int) bool {
+		for _, o := range offs {
+			if c := types.Compare(rows[i][o], rows[j][o]); c != 0 {
+				return c < 0
+			}
+		}
+		return false
+	}
+	sort.SliceStable(rows, lessFn)
+}
+
+// Scan iterates every row of the fragment (flushed sets first, then open
+// sets), with page-set-granular skipping.
+func (fr *ColumnarFragment) Scan(opts ScanOptions, fn func(r types.Row) bool) (ScanStats, error) {
+	var stats ScanStats
+	n := fr.Def.Schema.Len()
+	colIndex := func(name string) int { return fr.Def.Schema.Find(name) }
+	for disk, fileID := range fr.Files {
+		numPages := fr.Node.NumPages(fileID)
+		numSets := int(numPages) / n
+		for s := 0; s < numSets; s++ {
+			base := uint32(s * n)
+			key := page.Key{File: fileID, Page: base}
+			if len(opts.SkipConj) > 0 {
+				if opts.UseCache && fr.PredCache.CanSkip(key, opts.SkipConj) {
+					stats.PagesSkipped += int64(n)
+					continue
+				}
+				if opts.UseMinMax && fr.MinMax.CanSkip(key, opts.SkipConj) {
+					stats.PagesSkipped += int64(n)
+					continue
+				}
+			}
+			frames := make([]*buffer.Frame, 0, n)
+			set := page.PageSet{}
+			bad := false
+			for i := 0; i < n; i++ {
+				f, err := fr.Node.Buf.Fetch(page.Key{File: fileID, Page: base + uint32(i)})
+				if err != nil {
+					for _, pf := range frames {
+						fr.Node.Buf.Unpin(pf, false)
+					}
+					return stats, err
+				}
+				cp, err := page.AsColumnPage(f.Buf)
+				if err != nil {
+					fr.Node.Buf.Unpin(f, false)
+					bad = true
+					break
+				}
+				frames = append(frames, f)
+				set.Pages = append(set.Pages, cp)
+			}
+			if bad {
+				for _, pf := range frames {
+					fr.Node.Buf.Unpin(pf, false)
+				}
+				continue
+			}
+			rows, err := set.Rows()
+			for _, pf := range frames {
+				fr.Node.Buf.Unpin(pf, false)
+			}
+			if err != nil {
+				return stats, err
+			}
+			stats.PagesRead += int64(n)
+			anyMatch := false
+			for _, r := range rows {
+				stats.RowsRead++
+				if len(opts.SkipConj) > 0 && opts.SkipConj.MatchesRow(r, colIndex) {
+					anyMatch = true
+				}
+				if !fn(r) {
+					return stats, nil
+				}
+			}
+			if opts.UseCache && opts.SkipComplete && !anyMatch && len(opts.SkipConj) > 0 {
+				fr.PredCache.Record(key, opts.SkipConj)
+			}
+		}
+		// Open (unflushed) set: never skipped, never recorded.
+		rows, err := fr.open[disk].Rows()
+		if err != nil {
+			return stats, err
+		}
+		for _, r := range rows {
+			stats.RowsRead++
+			if !fn(r) {
+				fr.Node.RowsScanned.Add(stats.RowsRead)
+				return stats, nil
+			}
+		}
+	}
+	fr.Node.RowsScanned.Add(stats.RowsRead)
+	return stats, nil
+}

@@ -1,0 +1,396 @@
+package storage
+
+import (
+	"fmt"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync/atomic"
+
+	"repro/internal/catalog"
+	"repro/internal/page"
+	"repro/internal/skipcache"
+	"repro/internal/types"
+)
+
+// TxHook lets the transaction layer intercept storage mutations: page
+// locking plus WAL logging. A nil TxHook means an untracked bulk operation
+// (loading), which the paper also performs outside transactions.
+type TxHook interface {
+	TxID() uint64
+	// LockPage acquires a page lock (exclusive for mutations). Returns an
+	// error on deadlock/timeout, which aborts the statement.
+	LockPage(k page.Key, exclusive bool) error
+	// LogInsert/LogDelete append WAL records and return the new record's
+	// LSN to stamp into the page.
+	LogInsert(k page.Key, slot uint16, encRow []byte) uint64
+	LogDelete(k page.Key, slot uint16, encRow []byte) uint64
+}
+
+// ScanStats reports what one table scan did, feeding both the predicate
+// cache experiments and the performance model.
+type ScanStats struct {
+	PagesRead    int64
+	PagesSkipped int64
+	RowsRead     int64
+}
+
+// Fragment is the part of one table stored on one node: one page file per
+// disk. Rows are routed to disks by round-robin at load/insert time.
+type Fragment struct {
+	Node  *NodeStore
+	Def   *catalog.TableDef
+	Files []page.FileID // one per disk
+
+	// Skipping state shared across scans of this fragment.
+	PredCache *skipcache.Cache
+	MinMax    *skipcache.MinMax
+
+	insertSeq atomic.Int64 // round-robin disk pointer
+}
+
+// OpenFragment creates (or reopens) the fragment's per-disk page files and
+// reloads any persisted predicate cache (Section III: caches are persisted
+// periodically and loaded at database restart).
+func OpenFragment(ns *NodeStore, def *catalog.TableDef) (*Fragment, error) {
+	fr := &Fragment{
+		Node:      ns,
+		Def:       def,
+		PredCache: skipcache.NewCache(64),
+		MinMax:    skipcache.NewMinMax(),
+	}
+	for d := range ns.Disks {
+		name := fmt.Sprintf("%s.d%d.tbl", strings.ToLower(def.Name), d)
+		id, err := ns.OpenFile(d, name, true)
+		if err != nil {
+			return nil, err
+		}
+		fr.Files = append(fr.Files, id)
+	}
+	if cached, err := skipcache.Load(fr.predCachePath(), 64); err == nil {
+		fr.PredCache = cached
+	}
+	return fr, nil
+}
+
+// predCachePath is the fragment's persisted predicate-cache location.
+func (fr *Fragment) predCachePath() string {
+	return filepath.Join(fr.Node.Disks[0], strings.ToLower(fr.Def.Name)+".predcache")
+}
+
+// PersistPredCache writes the predicate cache to disk for reload at the
+// next restart.
+func (fr *Fragment) PersistPredCache() error {
+	return fr.PredCache.Persist(fr.predCachePath())
+}
+
+// Insert appends a row to the fragment, choosing a disk round-robin, and
+// returns the row's RID. Append-only: the row goes on the last page of the
+// disk's file or a fresh page (the paper's append-only insert rule that
+// keeps predicate caches valid for full pages).
+func (fr *Fragment) Insert(tx TxHook, r types.Row) (page.RID, error) {
+	if len(r) != fr.Def.Schema.Len() {
+		return page.RID{}, fmt.Errorf("storage: row arity %d != schema %d for %s", len(r), fr.Def.Schema.Len(), fr.Def.Name)
+	}
+	disk := int(fr.insertSeq.Add(1)-1) % len(fr.Files)
+	fileID := fr.Files[disk]
+	enc := types.AppendRow(nil, r)
+
+	// Try the last allocated page first.
+	numPages := fr.Node.NumPages(fileID)
+	tryPage := func(pageNum uint32) (page.RID, bool, error) {
+		k := page.Key{File: fileID, Page: pageNum}
+		if tx != nil {
+			if err := tx.LockPage(k, true); err != nil {
+				return page.RID{}, false, err
+			}
+		}
+		f, err := fr.Node.Buf.Fetch(k)
+		if err != nil {
+			return page.RID{}, false, err
+		}
+		if page.TypeOf(f.Buf) == page.TypeFree {
+			page.InitRowPage(f.Buf)
+		}
+		rp, err := page.AsRowPage(f.Buf)
+		if err != nil {
+			fr.Node.Buf.Unpin(f, false)
+			return page.RID{}, false, err
+		}
+		slot, ok := rp.InsertEncoded(enc)
+		if !ok {
+			fr.Node.Buf.Unpin(f, false)
+			return page.RID{}, false, nil
+		}
+		if tx != nil {
+			lsn := tx.LogInsert(k, uint16(slot), enc)
+			page.SetLSN(f.Buf, lsn)
+		}
+		fr.Node.Buf.Unpin(f, true)
+		// Maintain min-max SMA for the page.
+		for ci, col := range fr.Def.Schema.Cols {
+			fr.MinMax.Record(k, strings.ToLower(col.Name), r[ci])
+		}
+		return page.RID{Node: uint16(fr.Node.NodeID), Disk: uint16(disk), Page: pageNum, Slot: uint16(slot)}, true, nil
+	}
+	if numPages > 0 {
+		rid, ok, err := tryPage(numPages - 1)
+		if err != nil {
+			return page.RID{}, err
+		}
+		if ok {
+			return rid, nil
+		}
+	}
+	newPage := fr.Node.Allocate(fileID)
+	rid, ok, err := tryPage(newPage)
+	if err != nil {
+		return page.RID{}, err
+	}
+	if !ok {
+		return page.RID{}, fmt.Errorf("storage: row of %d bytes does not fit an empty page", len(enc))
+	}
+	return rid, nil
+}
+
+// Get fetches a row by RID.
+func (fr *Fragment) Get(rid page.RID) (types.Row, bool, error) {
+	if int(rid.Disk) >= len(fr.Files) {
+		return nil, false, fmt.Errorf("storage: rid disk %d out of range", rid.Disk)
+	}
+	k := page.Key{File: fr.Files[rid.Disk], Page: rid.Page}
+	f, err := fr.Node.Buf.Fetch(k)
+	if err != nil {
+		return nil, false, err
+	}
+	defer fr.Node.Buf.Unpin(f, false)
+	rp, err := page.AsRowPage(f.Buf)
+	if err != nil {
+		return nil, false, err
+	}
+	return rp.Get(int(rid.Slot))
+}
+
+// Delete tombstones a row (out-of-place, as in the paper).
+func (fr *Fragment) Delete(tx TxHook, rid page.RID) (bool, error) {
+	if int(rid.Disk) >= len(fr.Files) {
+		return false, fmt.Errorf("storage: rid disk %d out of range", rid.Disk)
+	}
+	k := page.Key{File: fr.Files[rid.Disk], Page: rid.Page}
+	if tx != nil {
+		if err := tx.LockPage(k, true); err != nil {
+			return false, err
+		}
+	}
+	f, err := fr.Node.Buf.Fetch(k)
+	if err != nil {
+		return false, err
+	}
+	rp, err := page.AsRowPage(f.Buf)
+	if err != nil {
+		fr.Node.Buf.Unpin(f, false)
+		return false, err
+	}
+	var before []byte
+	if enc := rp.GetEncoded(int(rid.Slot)); enc != nil {
+		before = append([]byte(nil), enc...)
+	}
+	ok := rp.Delete(int(rid.Slot))
+	if ok && tx != nil {
+		lsn := tx.LogDelete(k, rid.Slot, before)
+		page.SetLSN(f.Buf, lsn)
+	}
+	fr.Node.Buf.Unpin(f, ok)
+	// A delete invalidates cached absence proofs? No — deletes only remove
+	// rows, so "no rows match θ" stays true. Min-max also stays sound
+	// (ranges may only be wider than reality). Nothing to invalidate.
+	return ok, nil
+}
+
+// ScanOptions configures a fragment scan.
+type ScanOptions struct {
+	// SkipConj is the skippable form of the scan predicate; empty disables
+	// predicate-based skipping for this scan.
+	SkipConj skipcache.Conj
+	// SkipComplete reports whether SkipConj is the COMPLETE predicate (all
+	// conjuncts convertible); only then may the scan record new absence
+	// facts into the predicate cache.
+	SkipComplete bool
+	// UseCache enables consulting/updating the predicate cache.
+	UseCache bool
+	// UseMinMax enables min-max SMA skipping (the baseline scheme).
+	UseMinMax bool
+	// Predeclare pre-declares upcoming pages to the buffer manager.
+	Predeclare bool
+	// Tx, when set, takes page locks for serializable reads (shared by
+	// default; exclusive when LockExclusive is set — the write-intent mode
+	// UPDATE/DELETE scans use so concurrent writers serialize without
+	// upgrade deadlocks).
+	Tx            TxHook
+	LockExclusive bool
+}
+
+// Scan iterates the live rows of every full and partial page of the
+// fragment, honoring predicate-based skipping, and records new absence
+// facts for full pages. fn returning false stops the scan early (skipping
+// bookkeeping for the interrupted page is discarded).
+func (fr *Fragment) Scan(opts ScanOptions, fn func(rid page.RID, r types.Row) bool) (ScanStats, error) {
+	var stats ScanStats
+	lowerCols := make([]string, fr.Def.Schema.Len())
+	for i, c := range fr.Def.Schema.Cols {
+		lowerCols[i] = strings.ToLower(c.Name)
+	}
+	colIndex := func(name string) int { return fr.Def.Schema.Find(name) }
+
+	for disk, fileID := range fr.Files {
+		numPages := fr.Node.NumPages(fileID)
+		if numPages == 0 {
+			continue
+		}
+		// Scan pre-declaration: tell the buffer manager which pages we
+		// will request so the clock protects them (Section III).
+		if opts.Predeclare {
+			keys := make([]page.Key, 0, numPages)
+			for p := uint32(0); p < numPages; p++ {
+				keys = append(keys, page.Key{File: fileID, Page: p})
+			}
+			fr.Node.Buf.Predeclare(keys)
+		}
+		for p := uint32(0); p < numPages; p++ {
+			k := page.Key{File: fileID, Page: p}
+			if len(opts.SkipConj) > 0 {
+				if opts.UseCache && fr.PredCache.CanSkip(k, opts.SkipConj) {
+					stats.PagesSkipped++
+					continue
+				}
+				if opts.UseMinMax && fr.MinMax.CanSkip(k, opts.SkipConj) {
+					stats.PagesSkipped++
+					continue
+				}
+			}
+			if opts.Tx != nil {
+				if err := opts.Tx.LockPage(k, opts.LockExclusive); err != nil {
+					return stats, err
+				}
+			}
+			f, err := fr.Node.Buf.Fetch(k)
+			if err != nil {
+				return stats, err
+			}
+			if page.TypeOf(f.Buf) == page.TypeFree {
+				fr.Node.Buf.Unpin(f, false)
+				continue
+			}
+			rp, err := page.AsRowPage(f.Buf)
+			if err != nil {
+				fr.Node.Buf.Unpin(f, false)
+				return stats, err
+			}
+			stats.PagesRead++
+			anyMatch := false
+			stopped := false
+			err = rp.Scan(func(slot int, r types.Row) bool {
+				stats.RowsRead++
+				if len(opts.SkipConj) > 0 && opts.SkipConj.MatchesRow(r, colIndex) {
+					anyMatch = true
+				}
+				rid := page.RID{Node: uint16(fr.Node.NodeID), Disk: uint16(disk), Page: p, Slot: uint16(slot)}
+				if !fn(rid, r) {
+					stopped = true
+					return false
+				}
+				return true
+			})
+			fr.Node.Buf.Unpin(f, false)
+			if err != nil {
+				return stats, err
+			}
+			if stopped {
+				fr.Node.RowsScanned.Add(stats.RowsRead)
+				return stats, nil
+			}
+			// Record an absence fact for FULL pages only (the last page of
+			// a file may still receive inserts).
+			isFull := p < numPages-1
+			if opts.UseCache && opts.SkipComplete && isFull && !anyMatch && len(opts.SkipConj) > 0 {
+				fr.PredCache.Record(k, opts.SkipConj)
+			}
+		}
+	}
+	fr.Node.RowsScanned.Add(stats.RowsRead)
+	return stats, nil
+}
+
+// Load bulk-loads rows into the fragment, sorting by the table's clustering
+// columns first (Section III: data is sorted during loading to enforce
+// clustering). Returns the number of rows loaded.
+func (fr *Fragment) Load(rows []types.Row) (int, error) {
+	if len(fr.Def.ClusterCols) > 0 {
+		offs, err := fr.Def.ColOffsets(fr.Def.ClusterCols)
+		if err != nil {
+			return 0, err
+		}
+		sorted := make([]types.Row, len(rows))
+		copy(sorted, rows)
+		sort.SliceStable(sorted, func(i, j int) bool {
+			for _, o := range offs {
+				if c := types.Compare(sorted[i][o], sorted[j][o]); c != 0 {
+					return c < 0
+				}
+			}
+			return false
+		})
+		rows = sorted
+	}
+	for i, r := range rows {
+		if _, err := fr.Insert(nil, r); err != nil {
+			return i, err
+		}
+	}
+	return len(rows), nil
+}
+
+// Reorganize rewrites the fragment compacting tombstones and restoring
+// clustering order, and invalidates all skipping state (the paper's table
+// reorganization, which is what makes DML-disturbed clustering recoverable).
+func (fr *Fragment) Reorganize() error {
+	var live []types.Row
+	if _, err := fr.Scan(ScanOptions{}, func(rid page.RID, r types.Row) bool {
+		live = append(live, r.Clone())
+		return true
+	}); err != nil {
+		return err
+	}
+	// Reset files: truncate by reopening allocation at zero and zeroing
+	// pages through the buffer manager.
+	for _, fileID := range fr.Files {
+		numPages := fr.Node.NumPages(fileID)
+		for p := uint32(0); p < numPages; p++ {
+			k := page.Key{File: fileID, Page: p}
+			f, err := fr.Node.Buf.Fetch(k)
+			if err != nil {
+				return err
+			}
+			for i := range f.Buf {
+				f.Buf[i] = 0
+			}
+			page.InitRowPage(f.Buf)
+			fr.Node.Buf.Unpin(f, true)
+		}
+		fr.PredCache.InvalidateFile(fileID)
+		fr.Node.mu.Lock()
+		fr.Node.nextAlloc[fileID] = 0
+		fr.Node.mu.Unlock()
+	}
+	fr.MinMax = skipcache.NewMinMax()
+	fr.insertSeq.Store(0)
+	_, err := fr.Load(live)
+	return err
+}
+
+// RowCount scans and counts live rows (used by ANALYZE and tests).
+func (fr *Fragment) RowCount() (int64, error) {
+	var n int64
+	_, err := fr.Scan(ScanOptions{}, func(page.RID, types.Row) bool { n++; return true })
+	return n, err
+}

@@ -1,0 +1,284 @@
+// Package tpch provides the TPC-H workload the paper evaluates with: table
+// schemas (partitioned the way a shared-nothing deployment would), a
+// deterministic dbgen-style data generator, and the 21 of 22 benchmark
+// queries the paper runs (Q13's outer join is skipped, as in the paper).
+//
+// The generator follows dbgen's row counts and value domains (dates
+// 1992-01-01..1998-12-31, quantities 1..50, discounts 0..0.10, the fixed
+// vocabularies for flags, modes, priorities, segments, brands, types), so
+// query selectivities and group counts track the benchmark's shape at any
+// scale factor.
+package tpch
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/types"
+)
+
+// Sizes returns dbgen's base-table cardinalities at a scale factor.
+type Sizes struct {
+	Supplier, Part, PartSupp, Customer, Orders int
+}
+
+// SizesFor computes table sizes at the scale factor.
+func SizesFor(sf float64) Sizes {
+	atLeast := func(n int) int {
+		if n < 1 {
+			return 1
+		}
+		return n
+	}
+	return Sizes{
+		Supplier: atLeast(int(10000 * sf)),
+		Part:     atLeast(int(200000 * sf)),
+		Customer: atLeast(int(150000 * sf)),
+		Orders:   atLeast(int(1500000 * sf)),
+	}
+}
+
+// Data holds generated rows per table.
+type Data struct {
+	SF float64
+	Region, Nation, Supplier, Part, PartSupp,
+	Customer, Orders, Lineitem []types.Row
+}
+
+// Vocabularies (subset of dbgen's).
+var (
+	regions = []string{"AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"}
+	nations = []struct {
+		name   string
+		region int
+	}{
+		{"ALGERIA", 0}, {"ARGENTINA", 1}, {"BRAZIL", 1}, {"CANADA", 1},
+		{"EGYPT", 4}, {"ETHIOPIA", 0}, {"FRANCE", 3}, {"GERMANY", 3},
+		{"INDIA", 2}, {"INDONESIA", 2}, {"IRAN", 4}, {"IRAQ", 4},
+		{"JAPAN", 2}, {"JORDAN", 4}, {"KENYA", 0}, {"MOROCCO", 0},
+		{"MOZAMBIQUE", 0}, {"PERU", 1}, {"CHINA", 2}, {"ROMANIA", 3},
+		{"SAUDI ARABIA", 4}, {"VIETNAM", 2}, {"RUSSIA", 3},
+		{"UNITED KINGDOM", 3}, {"UNITED STATES", 1},
+	}
+	segments   = []string{"AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"}
+	priorities = []string{"1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"}
+	shipModes  = []string{"REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"}
+	instructs  = []string{"DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"}
+	containers = []string{"SM CASE", "SM BOX", "SM PACK", "SM PKG", "MED BAG", "MED BOX",
+		"MED PKG", "MED PACK", "LG CASE", "LG BOX", "LG PACK", "LG PKG",
+		"JUMBO BOX", "JUMBO CASE", "WRAP BAG", "WRAP BOX"}
+	typeSyl1 = []string{"STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"}
+	typeSyl2 = []string{"ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"}
+	typeSyl3 = []string{"TIN", "NICKEL", "BRASS", "STEEL", "COPPER"}
+	nameNoun = []string{"almond", "antique", "aquamarine", "azure", "beige", "bisque",
+		"black", "blanched", "blue", "blush", "brown", "burlywood", "burnished",
+		"chartreuse", "chiffon", "chocolate", "coral", "cornflower", "cream", "cyan",
+		"green", "forest", "gainsboro", "ghost", "goldenrod", "honeydew"}
+	commentWords = []string{"carefully", "quickly", "furiously", "slyly", "blithely",
+		"deposits", "requests", "packages", "accounts", "instructions", "foxes",
+		"theodolites", "pinto", "beans", "ideas", "dependencies", "platelets",
+		"asymptotes", "somas", "dugouts", "sauternes", "warhorses"}
+)
+
+const (
+	epochStart = "1992-01-01"
+	epochDays  = 2556 // 1992-01-01 .. 1998-12-31
+)
+
+var startDay = types.MustDate(epochStart).I
+
+// Generate produces a deterministic TPC-H dataset at the scale factor.
+func Generate(sf float64, seed int64) *Data {
+	rng := rand.New(rand.NewSource(seed))
+	sz := SizesFor(sf)
+	d := &Data{SF: sf}
+
+	comment := func(n int) string {
+		words := make([]string, n)
+		for i := range words {
+			words[i] = commentWords[rng.Intn(len(commentWords))]
+		}
+		return strings.Join(words, " ")
+	}
+
+	for i, r := range regions {
+		d.Region = append(d.Region, types.Row{
+			types.NewInt(int64(i)), types.NewString(r), types.NewString(comment(4)),
+		})
+	}
+	for i, n := range nations {
+		d.Nation = append(d.Nation, types.Row{
+			types.NewInt(int64(i)), types.NewString(n.name),
+			types.NewInt(int64(n.region)), types.NewString(comment(4)),
+		})
+	}
+	for i := 0; i < sz.Supplier; i++ {
+		cmt := comment(6)
+		// dbgen plants "Customer...Complaints" in ~5 per 10k suppliers (Q16).
+		if rng.Intn(2000) == 0 {
+			cmt += " Customer Complaints " + comment(2)
+		}
+		d.Supplier = append(d.Supplier, types.Row{
+			types.NewInt(int64(i + 1)),
+			types.NewString(fmt.Sprintf("Supplier#%09d", i+1)),
+			types.NewString(comment(2)),
+			types.NewInt(int64(rng.Intn(len(nations)))),
+			types.NewString(phone(rng)),
+			types.NewFloat(float64(rng.Intn(1999900))/100 - 999.99),
+			types.NewString(cmt),
+		})
+	}
+	for i := 0; i < sz.Part; i++ {
+		name := nameNoun[rng.Intn(len(nameNoun))] + " " + nameNoun[rng.Intn(len(nameNoun))] + " " +
+			nameNoun[rng.Intn(len(nameNoun))]
+		brand := fmt.Sprintf("Brand#%d%d", rng.Intn(5)+1, rng.Intn(5)+1)
+		ptype := typeSyl1[rng.Intn(len(typeSyl1))] + " " + typeSyl2[rng.Intn(len(typeSyl2))] + " " +
+			typeSyl3[rng.Intn(len(typeSyl3))]
+		d.Part = append(d.Part, types.Row{
+			types.NewInt(int64(i + 1)),
+			types.NewString(name),
+			types.NewString(fmt.Sprintf("Manufacturer#%d", rng.Intn(5)+1)),
+			types.NewString(brand),
+			types.NewString(ptype),
+			types.NewInt(int64(rng.Intn(50) + 1)),
+			types.NewString(containers[rng.Intn(len(containers))]),
+			types.NewFloat(900 + float64((i+1)%1000)/10),
+			types.NewString(comment(3)),
+		})
+		// 4 partsupp rows per part.
+		for s := 0; s < 4; s++ {
+			supp := (i+s*(sz.Supplier/4+1))%sz.Supplier + 1
+			d.PartSupp = append(d.PartSupp, types.Row{
+				types.NewInt(int64(i + 1)),
+				types.NewInt(int64(supp)),
+				types.NewInt(int64(rng.Intn(9999) + 1)),
+				types.NewFloat(float64(rng.Intn(99900)+100) / 100),
+				types.NewString(comment(8)),
+			})
+		}
+	}
+	for i := 0; i < sz.Customer; i++ {
+		cmt := comment(7)
+		if rng.Intn(40) == 0 {
+			cmt += " special requests " + comment(2)
+		}
+		d.Customer = append(d.Customer, types.Row{
+			types.NewInt(int64(i + 1)),
+			types.NewString(fmt.Sprintf("Customer#%09d", i+1)),
+			types.NewString(comment(2)),
+			types.NewInt(int64(rng.Intn(len(nations)))),
+			types.NewString(phone(rng)),
+			types.NewFloat(float64(rng.Intn(1999900))/100 - 999.99),
+			types.NewString(segments[rng.Intn(len(segments))]),
+			types.NewString(cmt),
+		})
+	}
+	lineNum := 0
+	for i := 0; i < sz.Orders; i++ {
+		okey := int64(i + 1)
+		cust := int64(rng.Intn(sz.Customer) + 1)
+		oDate := startDay + int64(rng.Intn(epochDays-151))
+		nLines := rng.Intn(6) + 1
+		var total float64
+		status := "O"
+		finished := 0
+		var lines []types.Row
+		for l := 0; l < nLines; l++ {
+			partKey := int64(rng.Intn(sz.Part) + 1)
+			suppKey := int64(rng.Intn(sz.Supplier) + 1)
+			qty := float64(rng.Intn(50) + 1)
+			price := (900 + float64(partKey%1000)/10) * qty / 10
+			disc := float64(rng.Intn(11)) / 100
+			tax := float64(rng.Intn(9)) / 100
+			shipDate := oDate + int64(rng.Intn(121)+1)
+			commitDate := oDate + int64(rng.Intn(91)+30)
+			receiptDate := shipDate + int64(rng.Intn(30)+1)
+			retFlag := "N"
+			lineStatus := "O"
+			if receiptDate <= startDay+int64(epochDays)-170 {
+				lineStatus = "F"
+				finished++
+				if rng.Intn(2) == 0 {
+					retFlag = []string{"R", "A"}[rng.Intn(2)]
+				}
+			}
+			total += price * (1 + tax) * (1 - disc)
+			lineNum++
+			lines = append(lines, types.Row{
+				types.NewInt(okey),
+				types.NewInt(partKey),
+				types.NewInt(suppKey),
+				types.NewInt(int64(l + 1)),
+				types.NewFloat(qty),
+				types.NewFloat(price),
+				types.NewFloat(disc),
+				types.NewFloat(tax),
+				types.NewString(retFlag),
+				types.NewString(lineStatus),
+				types.NewDate(shipDate),
+				types.NewDate(commitDate),
+				types.NewDate(receiptDate),
+				types.NewString(instructs[rng.Intn(len(instructs))]),
+				types.NewString(shipModes[rng.Intn(len(shipModes))]),
+				types.NewString(comment(4)),
+			})
+		}
+		if finished == nLines {
+			status = "F"
+		} else if finished > 0 {
+			status = "P"
+		}
+		d.Orders = append(d.Orders, types.Row{
+			types.NewInt(okey),
+			types.NewInt(cust),
+			types.NewString(status),
+			types.NewFloat(total),
+			types.NewDate(oDate),
+			types.NewString(priorities[rng.Intn(len(priorities))]),
+			types.NewString(fmt.Sprintf("Clerk#%09d", rng.Intn(1000)+1)),
+			types.NewInt(0),
+			types.NewString(comment(5)),
+		})
+		d.Lineitem = append(d.Lineitem, lines...)
+	}
+	return d
+}
+
+func phone(rng *rand.Rand) string {
+	return fmt.Sprintf("%d-%03d-%03d-%04d", rng.Intn(25)+10, rng.Intn(1000), rng.Intn(1000), rng.Intn(10000))
+}
+
+// Tables returns the generated rows keyed by table name.
+func (d *Data) Tables() map[string][]types.Row {
+	return map[string][]types.Row{
+		"region":   d.Region,
+		"nation":   d.Nation,
+		"supplier": d.Supplier,
+		"part":     d.Part,
+		"partsupp": d.PartSupp,
+		"customer": d.Customer,
+		"orders":   d.Orders,
+		"lineitem": d.Lineitem,
+	}
+}
+
+// TotalRows counts all generated rows.
+func (d *Data) TotalRows() int {
+	n := 0
+	for _, rows := range d.Tables() {
+		n += len(rows)
+	}
+	return n
+}
+
+// TotalBytes estimates the dataset's encoded size.
+func (d *Data) TotalBytes() int64 {
+	var n int64
+	for _, rows := range d.Tables() {
+		for _, r := range rows {
+			n += int64(types.RowEncodedSize(r))
+		}
+	}
+	return n
+}

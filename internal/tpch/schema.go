@@ -1,0 +1,47 @@
+package tpch
+
+// DDL returns the CREATE TABLE statements for the TPC-H schema with the
+// partitioning the paper's running example uses: small dimension tables
+// replicated, customer/orders co-partitioned on the customer key, and
+// lineitem partitioned on the order key.
+func DDL() []string {
+	return []string{
+		`CREATE TABLE region (
+			r_regionkey INT, r_name VARCHAR(25), r_comment VARCHAR(152)
+		) PARTITION BY REPLICATED`,
+		`CREATE TABLE nation (
+			n_nationkey INT, n_name VARCHAR(25), n_regionkey INT, n_comment VARCHAR(152)
+		) PARTITION BY REPLICATED`,
+		`CREATE TABLE supplier (
+			s_suppkey INT, s_name VARCHAR(25), s_address VARCHAR(40), s_nationkey INT,
+			s_phone VARCHAR(15), s_acctbal DECIMAL(15,2), s_comment VARCHAR(101)
+		) PARTITION BY HASH(s_suppkey)`,
+		`CREATE TABLE part (
+			p_partkey INT, p_name VARCHAR(55), p_mfgr VARCHAR(25), p_brand VARCHAR(10),
+			p_type VARCHAR(25), p_size INT, p_container VARCHAR(10),
+			p_retailprice DECIMAL(15,2), p_comment VARCHAR(23)
+		) PARTITION BY HASH(p_partkey)`,
+		`CREATE TABLE partsupp (
+			ps_partkey INT, ps_suppkey INT, ps_availqty INT,
+			ps_supplycost DECIMAL(15,2), ps_comment VARCHAR(199)
+		) PARTITION BY HASH(ps_partkey)`,
+		`CREATE TABLE customer (
+			c_custkey INT, c_name VARCHAR(25), c_address VARCHAR(40), c_nationkey INT,
+			c_phone VARCHAR(15), c_acctbal DECIMAL(15,2), c_mktsegment VARCHAR(10),
+			c_comment VARCHAR(117)
+		) PARTITION BY HASH(c_custkey)`,
+		`CREATE TABLE orders (
+			o_orderkey INT, o_custkey INT, o_orderstatus VARCHAR(1),
+			o_totalprice DECIMAL(15,2), o_orderdate DATE, o_orderpriority VARCHAR(15),
+			o_clerk VARCHAR(15), o_shippriority INT, o_comment VARCHAR(79)
+		) PARTITION BY HASH(o_custkey)`,
+		`CREATE TABLE lineitem (
+			l_orderkey INT, l_partkey INT, l_suppkey INT, l_linenumber INT,
+			l_quantity DECIMAL(15,2), l_extendedprice DECIMAL(15,2),
+			l_discount DECIMAL(15,2), l_tax DECIMAL(15,2),
+			l_returnflag VARCHAR(1), l_linestatus VARCHAR(1),
+			l_shipdate DATE, l_commitdate DATE, l_receiptdate DATE,
+			l_shipinstruct VARCHAR(25), l_shipmode VARCHAR(10), l_comment VARCHAR(44)
+		) PARTITION BY HASH(l_orderkey) CLUSTER BY (l_shipdate)`,
+	}
+}

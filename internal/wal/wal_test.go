@@ -1,0 +1,429 @@
+package wal
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/buffer"
+	"repro/internal/page"
+	"repro/internal/types"
+)
+
+// memStore is a tiny in-memory page store for recovery tests.
+type memStore struct {
+	mu       sync.Mutex
+	pages    map[page.Key][]byte
+	pageSize int
+}
+
+func newMemStore(size int) *memStore {
+	return &memStore{pages: map[page.Key][]byte{}, pageSize: size}
+}
+
+func (s *memStore) ReadPage(f page.FileID, n uint32) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if b, ok := s.pages[page.Key{File: f, Page: n}]; ok {
+		out := make([]byte, len(b))
+		copy(out, b)
+		return out, nil
+	}
+	return make([]byte, s.pageSize), nil
+}
+
+func (s *memStore) WritePage(f page.FileID, n uint32, buf []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b := make([]byte, len(buf))
+	copy(b, buf)
+	s.pages[page.Key{File: f, Page: n}] = b
+	return nil
+}
+
+func (s *memStore) PageSize() int { return s.pageSize }
+
+func openLog(t *testing.T) (*Log, string) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l, path
+}
+
+func TestAppendFlushScan(t *testing.T) {
+	l, _ := openLog(t)
+	defer l.Close()
+	lsn1 := l.Append(&Record{Type: RecBegin, TxID: 1})
+	lsn2 := l.Append(&Record{Type: RecInsert, TxID: 1, PrevLSN: lsn1,
+		Page: page.Key{File: 3, Page: 9}, Slot: 2, Row: []byte("rowdata")})
+	l.Append(&Record{Type: RecCommit, TxID: 1, PrevLSN: lsn2})
+	if err := l.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	var seen []RecType
+	err := l.Scan(0, func(r *Record) bool { seen = append(seen, r.Type); return true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 3 || seen[0] != RecBegin || seen[1] != RecInsert || seen[2] != RecCommit {
+		t.Fatalf("scan types = %v", seen)
+	}
+	r, err := l.ReadAt(lsn2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.TxID != 1 || r.Slot != 2 || string(r.Row) != "rowdata" || r.Page.Page != 9 {
+		t.Errorf("ReadAt = %+v", r)
+	}
+}
+
+func TestReopenFindsEnd(t *testing.T) {
+	l, path := openLog(t)
+	l.Append(&Record{Type: RecBegin, TxID: 5})
+	lsnLast := l.Append(&Record{Type: RecCommit, TxID: 5})
+	l.Close()
+
+	l2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	next := l2.Append(&Record{Type: RecBegin, TxID: 6})
+	if next <= lsnLast {
+		t.Errorf("reopened log reused LSN space: %d <= %d", next, lsnLast)
+	}
+	count := 0
+	l2.Scan(0, func(r *Record) bool { count++; return true })
+	if count != 3 {
+		t.Errorf("records after reopen = %d, want 3", count)
+	}
+}
+
+func TestTornTailTruncated(t *testing.T) {
+	l, path := openLog(t)
+	l.Append(&Record{Type: RecBegin, TxID: 1})
+	l.Append(&Record{Type: RecCommit, TxID: 1})
+	l.Close()
+	// Append garbage simulating a torn write.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte{9, 0, 0, 0, 1, 2, 3, 4, 5})
+	f.Close()
+
+	l2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	count := 0
+	l2.Scan(0, func(r *Record) bool { count++; return true })
+	if count != 2 {
+		t.Errorf("records after torn tail = %d, want 2", count)
+	}
+}
+
+// logTx appends a begin + n inserts into consecutive slots of one page,
+// applying them to the buffer as a live transaction would. Returns lastLSN.
+func logTx(t *testing.T, l *Log, m *buffer.Manager, tx uint64, key page.Key, rows []types.Row) uint64 {
+	t.Helper()
+	prev := l.Append(&Record{Type: RecBegin, TxID: tx})
+	f, err := m.Fetch(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if page.TypeOf(f.Buf) == page.TypeFree {
+		page.InitRowPage(f.Buf)
+	}
+	rp, err := page.AsRowPage(f.Buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		enc := types.AppendRow(nil, r)
+		slot, ok := rp.InsertEncoded(enc)
+		if !ok {
+			t.Fatal("page full in test")
+		}
+		prev = l.Append(&Record{Type: RecInsert, TxID: tx, PrevLSN: prev, Page: key, Slot: uint16(slot), Row: enc})
+		page.SetLSN(f.Buf, prev)
+	}
+	m.Unpin(f, true)
+	return prev
+}
+
+func TestRecoveryRedoCommitted(t *testing.T) {
+	st := newMemStore(4096)
+	l, _ := openLog(t)
+	defer l.Close()
+	m := buffer.New(st, 16, 2, buffer.WithFlushHook(l.FlushUpTo))
+
+	key := page.Key{File: 1, Page: 0}
+	last := logTx(t, l, m, 1, key, []types.Row{
+		{types.NewInt(10)}, {types.NewInt(20)},
+	})
+	l.Append(&Record{Type: RecCommit, TxID: 1, PrevLSN: last})
+	l.Flush()
+	// Crash before the dirty page reaches the store: new buffer manager on
+	// the same (empty) store.
+	m2 := buffer.New(st, 16, 2, buffer.WithFlushHook(l.FlushUpTo))
+	res, err := Recover(l, m2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RedoneRecords != 2 {
+		t.Errorf("redone = %d, want 2", res.RedoneRecords)
+	}
+	if len(res.LoserTxns) != 0 {
+		t.Errorf("losers = %v", res.LoserTxns)
+	}
+	f, err := m2.Fetch(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp, _ := page.AsRowPage(f.Buf)
+	if rp.LiveRows() != 2 {
+		t.Errorf("live rows after redo = %d, want 2", rp.LiveRows())
+	}
+	m2.Unpin(f, false)
+}
+
+func TestRecoveryUndoLoser(t *testing.T) {
+	st := newMemStore(4096)
+	l, _ := openLog(t)
+	defer l.Close()
+	m := buffer.New(st, 16, 2, buffer.WithFlushHook(l.FlushUpTo))
+
+	key := page.Key{File: 1, Page: 0}
+	// Committed transaction with one row.
+	last := logTx(t, l, m, 1, key, []types.Row{{types.NewInt(1)}})
+	l.Append(&Record{Type: RecCommit, TxID: 1, PrevLSN: last})
+	// Loser transaction with two rows, no commit.
+	logTx(t, l, m, 2, key, []types.Row{{types.NewInt(2)}, {types.NewInt(3)}})
+	// Flush everything (page may hit disk before the crash, per steal).
+	if err := m.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	m2 := buffer.New(st, 16, 2, buffer.WithFlushHook(l.FlushUpTo))
+	res, err := Recover(l, m2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.LoserTxns) != 1 || res.LoserTxns[0] != 2 {
+		t.Fatalf("losers = %v, want [2]", res.LoserTxns)
+	}
+	if res.UndoneRecords != 2 {
+		t.Errorf("undone = %d, want 2", res.UndoneRecords)
+	}
+	f, _ := m2.Fetch(key)
+	rp, _ := page.AsRowPage(f.Buf)
+	if rp.LiveRows() != 1 {
+		t.Errorf("live rows after undo = %d, want 1", rp.LiveRows())
+	}
+	r, ok, _ := rp.Get(0)
+	if !ok || r[0].Int() != 1 {
+		t.Errorf("surviving row = %v ok=%v", r, ok)
+	}
+	m2.Unpin(f, false)
+
+	// Recovery must be idempotent: running it again changes nothing.
+	res2, err := Recover(l, m2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.UndoneRecords != 0 || len(res2.LoserTxns) != 0 {
+		t.Errorf("second recovery did work: %+v", res2)
+	}
+}
+
+func TestRecoveryUndoDelete(t *testing.T) {
+	st := newMemStore(4096)
+	l, _ := openLog(t)
+	defer l.Close()
+	m := buffer.New(st, 16, 2, buffer.WithFlushHook(l.FlushUpTo))
+	key := page.Key{File: 1, Page: 0}
+
+	// Tx1 commits a row.
+	last := logTx(t, l, m, 1, key, []types.Row{{types.NewString("keepme")}})
+	l.Append(&Record{Type: RecCommit, TxID: 1, PrevLSN: last})
+	// Tx2 deletes it and crashes.
+	f, _ := m.Fetch(key)
+	rp, _ := page.AsRowPage(f.Buf)
+	enc := append([]byte(nil), rp.GetEncoded(0)...)
+	prev := l.Append(&Record{Type: RecBegin, TxID: 2})
+	rp.Delete(0)
+	prev = l.Append(&Record{Type: RecDelete, TxID: 2, PrevLSN: prev, Page: key, Slot: 0, Row: enc})
+	page.SetLSN(f.Buf, prev)
+	m.Unpin(f, true)
+	m.FlushAll()
+
+	m2 := buffer.New(st, 16, 2, buffer.WithFlushHook(l.FlushUpTo))
+	if _, err := Recover(l, m2); err != nil {
+		t.Fatal(err)
+	}
+	f2, _ := m2.Fetch(key)
+	rp2, _ := page.AsRowPage(f2.Buf)
+	r, ok, _ := rp2.Get(0)
+	if !ok || r[0].Str() != "keepme" {
+		t.Errorf("deleted row not restored by undo: %v ok=%v", r, ok)
+	}
+	m2.Unpin(f2, false)
+}
+
+func TestRecoveryInDoubtPrepared(t *testing.T) {
+	st := newMemStore(4096)
+	l, _ := openLog(t)
+	defer l.Close()
+	m := buffer.New(st, 16, 2, buffer.WithFlushHook(l.FlushUpTo))
+	key := page.Key{File: 1, Page: 0}
+	last := logTx(t, l, m, 7, key, []types.Row{{types.NewInt(70)}})
+	l.Append(&Record{Type: RecPrepare, TxID: 7, PrevLSN: last, Coordinator: 3})
+	l.Flush()
+	m.FlushAll()
+
+	m2 := buffer.New(st, 16, 2, buffer.WithFlushHook(l.FlushUpTo))
+	res, err := Recover(l, m2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.InDoubt) != 1 || res.InDoubt[0].TxID != 7 || res.InDoubt[0].Coordinator != 3 {
+		t.Fatalf("in-doubt = %+v", res.InDoubt)
+	}
+	// The prepared transaction's effects must still be present (not undone).
+	f, _ := m2.Fetch(key)
+	rp, _ := page.AsRowPage(f.Buf)
+	if rp.LiveRows() != 1 {
+		t.Errorf("prepared txn rows = %d, want 1", rp.LiveRows())
+	}
+	m2.Unpin(f, false)
+}
+
+func TestCheckpointShortensAnalysis(t *testing.T) {
+	st := newMemStore(4096)
+	l, _ := openLog(t)
+	defer l.Close()
+	m := buffer.New(st, 16, 2, buffer.WithFlushHook(l.FlushUpTo))
+	key := page.Key{File: 1, Page: 0}
+	last := logTx(t, l, m, 1, key, []types.Row{{types.NewInt(1)}})
+	l.Append(&Record{Type: RecCommit, TxID: 1, PrevLSN: last})
+	m.FlushAll()
+	if _, err := WriteCheckpoint(l, map[uint64]*TxInfo{}, map[page.Key]uint64{}); err != nil {
+		t.Fatal(err)
+	}
+	// Post-checkpoint loser.
+	logTx(t, l, m, 2, key, []types.Row{{types.NewInt(2)}})
+	m.FlushAll()
+
+	m2 := buffer.New(st, 16, 2, buffer.WithFlushHook(l.FlushUpTo))
+	res, err := Recover(l, m2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.LoserTxns) != 1 || res.LoserTxns[0] != 2 {
+		t.Fatalf("losers = %v", res.LoserTxns)
+	}
+	f, _ := m2.Fetch(key)
+	rp, _ := page.AsRowPage(f.Buf)
+	if rp.LiveRows() != 1 {
+		t.Errorf("live rows = %d, want 1", rp.LiveRows())
+	}
+	m2.Unpin(f, false)
+}
+
+func TestCheckpointEncodeDecode(t *testing.T) {
+	att := map[uint64]*TxInfo{
+		3: {LastLSN: 100, Status: TxActive},
+		9: {LastLSN: 222, Status: TxPrepared, Coordinator: 5},
+	}
+	dpt := map[page.Key]uint64{
+		{File: 1, Page: 2}: 50,
+		{File: 4, Page: 0}: 75,
+	}
+	att2, dpt2 := decodeCheckpoint(encodeCheckpoint(att, dpt))
+	if len(att2) != 2 || att2[9].Coordinator != 5 || att2[9].Status != TxPrepared || att2[3].LastLSN != 100 {
+		t.Errorf("att round trip = %+v", att2)
+	}
+	if len(dpt2) != 2 || dpt2[page.Key{File: 1, Page: 2}] != 50 {
+		t.Errorf("dpt round trip = %+v", dpt2)
+	}
+}
+
+func TestMaxTxIDReported(t *testing.T) {
+	l, _ := openLog(t)
+	defer l.Close()
+	l.Append(&Record{Type: RecBegin, TxID: 41})
+	l.Append(&Record{Type: RecCommit, TxID: 41})
+	st := newMemStore(1024)
+	m := buffer.New(st, 4, 1)
+	res, err := Recover(l, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxTxID != 41 {
+		t.Errorf("MaxTxID = %d", res.MaxTxID)
+	}
+}
+
+// TestRecoveryQuickProperty: random interleavings of committed and
+// uncommitted transactions must recover to exactly the committed set.
+func TestRecoveryQuickProperty(t *testing.T) {
+	for trial := 0; trial < 10; trial++ {
+		st := newMemStore(8192)
+		path := filepath.Join(t.TempDir(), "wal.log")
+		l, err := Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := buffer.New(st, 32, 2, buffer.WithFlushHook(l.FlushUpTo))
+		key := page.Key{File: 1, Page: uint32(trial % 3)}
+
+		rng := trial*7919 + 13
+		committed := map[int64]bool{}
+		for tx := uint64(1); tx <= 6; tx++ {
+			val := int64(tx * 100)
+			last := logTx(t, l, m, tx, key, []types.Row{{types.NewInt(val)}})
+			rng = rng*1103515245 + 12345
+			if (rng>>16)&1 == 0 {
+				l.Append(&Record{Type: RecCommit, TxID: tx, PrevLSN: last})
+				committed[val] = true
+			}
+		}
+		// Random crash point: sometimes flush pages, sometimes not.
+		if trial%2 == 0 {
+			m.FlushAll()
+		}
+		l.Flush()
+		l.Close()
+
+		l2, err := Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m2 := buffer.New(st, 32, 2, buffer.WithFlushHook(l2.FlushUpTo))
+		if _, err := Recover(l2, m2); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		f, err := m2.Fetch(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rp, _ := page.AsRowPage(f.Buf)
+		got := map[int64]bool{}
+		rp.Scan(func(slot int, r types.Row) bool { got[r[0].Int()] = true; return true })
+		m2.Unpin(f, false)
+		if len(got) != len(committed) {
+			t.Fatalf("trial %d: recovered %v, want %v", trial, got, committed)
+		}
+		for v := range committed {
+			if !got[v] {
+				t.Fatalf("trial %d: lost committed %d", trial, v)
+			}
+		}
+		l2.Close()
+	}
+}
