@@ -1,0 +1,216 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one analyzer finding.
+type Diagnostic struct {
+	Pos  token.Position
+	Rule string
+	Msg  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Rule, d.Msg)
+}
+
+// Pass carries one package through every analyzer and collects findings.
+type Pass struct {
+	Pkg   *Package
+	diags []Diagnostic
+}
+
+// Analyzer is one lint rule.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(p *Pass)
+}
+
+// Analyzers is the full rule set, in reporting order.
+var Analyzers = []*Analyzer{
+	pinpairAnalyzer,
+	txnpairAnalyzer,
+	walerrAnalyzer,
+	goleakHintAnalyzer,
+}
+
+// Report records a finding unless a lint:ignore comment suppresses it.
+func (p *Pass) Report(rule string, pos token.Pos, msg string) {
+	position := p.Pkg.Fset.Position(pos)
+	p.diags = append(p.diags, Diagnostic{Pos: position, Rule: rule, Msg: msg})
+}
+
+var ignoreRe = regexp.MustCompile(`^//\s*lint:ignore\s+(\S+)\s+(.+)`)
+
+// suppressions maps filename -> line -> set of suppressed rule names. A
+// `//lint:ignore <rule> <reason>` comment suppresses the rule on its own
+// line (trailing comment) and on the following line.
+func suppressions(fset *token.FileSet, files []*ast.File) map[string]map[int]map[string]bool {
+	sup := map[string]map[int]map[string]bool{}
+	add := func(file string, line int, rule string) {
+		if sup[file] == nil {
+			sup[file] = map[int]map[string]bool{}
+		}
+		if sup[file][line] == nil {
+			sup[file][line] = map[string]bool{}
+		}
+		sup[file][line][rule] = true
+	}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := ignoreRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				add(pos.Filename, pos.Line, m[1])
+				add(pos.Filename, pos.Line+1, m[1])
+			}
+		}
+	}
+	return sup
+}
+
+// filterSuppressed drops diagnostics covered by lint:ignore comments and
+// returns the survivors sorted by position.
+func filterSuppressed(diags []Diagnostic, sup map[string]map[int]map[string]bool) []Diagnostic {
+	var out []Diagnostic
+	for _, d := range diags {
+		if lines, ok := sup[d.Pos.Filename]; ok {
+			if rules, ok := lines[d.Pos.Line]; ok && rules[d.Rule] {
+				continue
+			}
+		}
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Pos.Filename != out[j].Pos.Filename {
+			return out[i].Pos.Filename < out[j].Pos.Filename
+		}
+		if out[i].Pos.Line != out[j].Pos.Line {
+			return out[i].Pos.Line < out[j].Pos.Line
+		}
+		return out[i].Rule < out[j].Rule
+	})
+	return out
+}
+
+// RunAnalyzers applies every analyzer to the package and returns the
+// unsuppressed findings.
+func RunAnalyzers(pkg *Package) []Diagnostic {
+	pass := &Pass{Pkg: pkg}
+	for _, a := range Analyzers {
+		a.Run(pass)
+	}
+	return filterSuppressed(pass.diags, suppressions(pkg.Fset, pkg.Files))
+}
+
+// isTestFile reports whether the position is inside a _test.go file.
+func (p *Pass) isTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(p.Pkg.Fset.Position(pos).Filename, "_test.go")
+}
+
+// parentMap records the enclosing node of every node under root.
+func parentMap(root ast.Node) map[ast.Node]ast.Node {
+	parents := map[ast.Node]ast.Node{}
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return parents
+}
+
+// calleeName returns the bare name of a call's function: the method name
+// for selector calls, the identifier for direct calls, "" otherwise.
+func calleeName(call *ast.CallExpr) string {
+	switch fn := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		return fn.Sel.Name
+	case *ast.Ident:
+		return fn.Name
+	}
+	return ""
+}
+
+// calleeFunc resolves a call's static callee to its types.Func, or nil.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fn := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		obj = info.Uses[fn.Sel]
+	case *ast.Ident:
+		obj = info.Uses[fn]
+	}
+	fn, _ := obj.(*types.Func)
+	return fn
+}
+
+// resultTuple returns the call's result types (handling single and tuple
+// results uniformly), or nil when unknown.
+func resultTuple(info *types.Info, call *ast.CallExpr) []types.Type {
+	tv, ok := info.Types[call]
+	if !ok {
+		return nil
+	}
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		out := make([]types.Type, t.Len())
+		for i := 0; i < t.Len(); i++ {
+			out[i] = t.At(i).Type()
+		}
+		return out
+	default:
+		return []types.Type{t}
+	}
+}
+
+// isNamedPtr reports whether t is a pointer to (or directly) the named type
+// pkgSuffix.name, e.g. ("internal/buffer", "Frame").
+func isNamedPtr(t types.Type, pkgSuffix, name string) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Name() != name || obj.Pkg() == nil {
+		return false
+	}
+	return strings.HasSuffix(obj.Pkg().Path(), pkgSuffix)
+}
+
+// isErrorType reports whether t is the built-in error interface.
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// funcBodies yields every function body in the file with its descriptive
+// name: declared functions/methods and (nested) function literals.
+func funcBodies(f *ast.File, fn func(name string, body *ast.BlockStmt)) {
+	for _, decl := range f.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		fn(fd.Name.Name, fd.Body)
+	}
+}

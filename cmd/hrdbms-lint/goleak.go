@@ -1,0 +1,82 @@
+package main
+
+import (
+	"go/ast"
+	"regexp"
+)
+
+// goleakPkgs are the packages whose goroutines move query data between
+// operators and nodes; an unbounded goroutine there is the exchange-leak
+// pattern (a producer blocked forever on a channel its consumer abandoned).
+var goleakPkgs = map[string]bool{
+	"repro/internal/exec":    true,
+	"repro/internal/cluster": true,
+}
+
+// goleakHintAnalyzer flags `go func` literals in exec/cluster that show no
+// sign of cancellation or completion signalling: no select, no
+// WaitGroup.Done/Wait, and no stop/done/ctx channel in sight.
+var goleakHintAnalyzer = &Analyzer{
+	Name: "goleak-hint",
+	Doc:  "flags goroutines with no visible cancellation or completion signal",
+	Run:  runGoleakHint,
+}
+
+// stopNameRe matches identifiers that by convention carry a cancellation or
+// completion signal.
+// Note: the builtin close() deliberately does not match — `defer close(out)`
+// is part of the classic leaking-producer shape, not a fix for it.
+var stopNameRe = regexp.MustCompile(`(?i)^(stop|done|quit|ctx|cancel|closed)`)
+
+func runGoleakHint(p *Pass) {
+	if !goleakPkgs[p.Pkg.Path] {
+		return
+	}
+	for _, f := range p.Pkg.Files {
+		if p.isTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			lit, ok := g.Call.Fun.(*ast.FuncLit)
+			if !ok {
+				return true
+			}
+			if !hasTerminationSignal(lit.Body) {
+				p.Report("goleak-hint", g.Pos(),
+					"goroutine has no select, WaitGroup signal, or stop/done/ctx channel; "+
+						"it can outlive its operator if the consumer abandons the stream")
+			}
+			return true
+		})
+	}
+}
+
+// hasTerminationSignal scans a goroutine body (including nested literals)
+// for evidence it can terminate when the consumer goes away: a select
+// statement, a WaitGroup Done/Wait, or any mention of a stop-like channel.
+func hasTerminationSignal(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.SelectStmt:
+			found = true
+		case *ast.CallExpr:
+			if name := calleeName(x); name == "Done" || name == "Wait" {
+				found = true
+			}
+		case *ast.Ident:
+			if stopNameRe.MatchString(x.Name) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,163 @@
+package main
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"go/ast"
+)
+
+// exportMap builds the import-path → export-data map for the repo's
+// internal packages and their transitive (stdlib) dependencies, shared by
+// every fixture case.
+func exportMap(t *testing.T) map[string]string {
+	t.Helper()
+	listed, err := goList(".", []string{"repro/internal/..."})
+	if err != nil {
+		t.Fatalf("go list: %v", err)
+	}
+	exports := map[string]string{}
+	for _, p := range listed {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	return exports
+}
+
+var wantRe = regexp.MustCompile(`// want "([^"]+)"`)
+
+// loadFixture parses and type-checks one testdata directory under the given
+// package path, returning the package and the expected diagnostics as
+// "line" → substring.
+func loadFixture(t *testing.T, exports map[string]string, dir, pkgPath string) (*Package, map[int]string) {
+	t.Helper()
+	fset := token.NewFileSet()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var files []*ast.File
+	wants := map[int]string{}
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		src, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(src), "\n") {
+			if m := wantRe.FindStringSubmatch(line); m != nil {
+				wants[i+1] = m[1]
+			}
+		}
+		f, err := parser.ParseFile(fset, path, src, parser.ParseComments)
+		if err != nil {
+			t.Fatal(err)
+		}
+		files = append(files, f)
+	}
+	imp := newExportImporter(fset, exports)
+	typesPkg, info, err := checkFiles(fset, pkgPath, files, imp)
+	if err != nil {
+		t.Fatalf("typecheck fixture %s: %v", dir, err)
+	}
+	return &Package{Path: pkgPath, Fset: fset, Files: files, Types: typesPkg, Info: info}, wants
+}
+
+// TestAnalyzersOnFixtures checks, per analyzer, that every marked violation
+// is caught, that clean and suppressed code produces no findings, and that
+// at least one true positive exists per rule.
+func TestAnalyzersOnFixtures(t *testing.T) {
+	exports := exportMap(t)
+	cases := []struct {
+		dir     string
+		pkgPath string // goleak fixtures masquerade as internal/cluster
+		rule    string
+	}{
+		{"pinpair", "fixtures/pinpair", "pinpair"},
+		{"txnpair", "fixtures/txnpair", "txnpair"},
+		{"walerr", "fixtures/walerr", "walerr"},
+		{"goleak", "repro/internal/cluster", "goleak-hint"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.dir, func(t *testing.T) {
+			pkg, wants := loadFixture(t, exports, filepath.Join("testdata", tc.dir), tc.pkgPath)
+			diags := RunAnalyzers(pkg)
+
+			matched := map[int]bool{}
+			caught := 0
+			for _, d := range diags {
+				want, ok := wants[d.Pos.Line]
+				if !ok {
+					t.Errorf("unexpected diagnostic (suppression or clean code misfired): %s", d)
+					continue
+				}
+				if !strings.Contains(d.Msg, want) {
+					t.Errorf("line %d: diagnostic %q does not contain %q", d.Pos.Line, d.Msg, want)
+				}
+				if d.Rule == tc.rule {
+					caught++
+				}
+				matched[d.Pos.Line] = true
+			}
+			for line, want := range wants {
+				if !matched[line] {
+					t.Errorf("line %d: expected diagnostic containing %q, got none", line, want)
+				}
+			}
+			if caught == 0 {
+				t.Errorf("analyzer %s caught no violations in its fixture", tc.rule)
+			}
+		})
+	}
+}
+
+// TestSuppressionRequiresRuleMatch: a lint:ignore for one rule must not
+// silence another rule on the same line.
+func TestSuppressionRequiresRuleMatch(t *testing.T) {
+	diags := []Diagnostic{
+		{Pos: token.Position{Filename: "x.go", Line: 10}, Rule: "pinpair", Msg: "m"},
+		{Pos: token.Position{Filename: "x.go", Line: 20}, Rule: "walerr", Msg: "m"},
+	}
+	sup := map[string]map[int]map[string]bool{
+		"x.go": {10: {"walerr": true}, 20: {"walerr": true}},
+	}
+	out := filterSuppressed(diags, sup)
+	if len(out) != 1 || out[0].Rule != "pinpair" {
+		t.Fatalf("filterSuppressed = %v, want only the pinpair finding", out)
+	}
+}
+
+// TestLintCleanOnRepo runs the full linter over the repository, pinning the
+// invariant that production code stays lint-clean (CI gate parity).
+func TestLintCleanOnRepo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns go list over the whole module")
+	}
+	pkgs, err := loadPackages("../..", []string{"./..."}, false)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	var all []string
+	for _, pkg := range pkgs {
+		for _, d := range RunAnalyzers(pkg) {
+			all = append(all, d.String())
+		}
+	}
+	if len(all) > 0 {
+		t.Errorf("repo is not lint-clean:\n%s", strings.Join(all, "\n"))
+	}
+	if len(pkgs) < 20 {
+		t.Errorf("loaded only %d packages; loader lost coverage", len(pkgs))
+	}
+	_ = fmt.Sprintf // keep fmt referenced if assertions change
+}

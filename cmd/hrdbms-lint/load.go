@@ -1,0 +1,185 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+)
+
+// Package is one loaded, parsed, and type-checked package ready for
+// analysis.
+type Package struct {
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File // parsed GoFiles (plus test files when requested)
+	Types *types.Package
+	Info  *types.Info
+}
+
+// listedPackage is the subset of `go list -json` output the loader needs.
+type listedPackage struct {
+	ImportPath  string
+	Dir         string
+	Export      string
+	GoFiles     []string
+	TestGoFiles []string
+	TestImports []string
+	Standard    bool
+	Module      *struct{ Path string }
+}
+
+// goList runs `go list -deps -export -json` over the patterns and decodes
+// the package stream. -deps -export makes the go tool write export data for
+// every dependency into the build cache and report the file paths, which is
+// what lets a stdlib-only linter type-check against precompiled imports.
+func goList(dir string, patterns []string) ([]*listedPackage, error) {
+	args := append([]string{"list", "-deps", "-export", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var out, errBuf bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errBuf
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list: %v\n%s", err, errBuf.String())
+	}
+	var pkgs []*listedPackage
+	dec := json.NewDecoder(&out)
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list decode: %v", err)
+		}
+		pkgs = append(pkgs, &p)
+	}
+	return pkgs, nil
+}
+
+// exportImporter resolves imports from the export-data files reported by
+// `go list -export`.
+type exportImporter struct {
+	gc      types.Importer
+	exports map[string]string
+}
+
+func newExportImporter(fset *token.FileSet, exports map[string]string) *exportImporter {
+	ei := &exportImporter{exports: exports}
+	ei.gc = importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := ei.exports[path]
+		if !ok || file == "" {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	return ei
+}
+
+func (ei *exportImporter) Import(path string) (*types.Package, error) {
+	return ei.gc.Import(path)
+}
+
+// loadPackages loads the non-test (plus optionally in-package test) sources
+// of every module-local package matched by patterns, type-checked against
+// export data for all dependencies.
+func loadPackages(dir string, patterns []string, includeTests bool) ([]*Package, error) {
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	exports := map[string]string{}
+	for _, p := range listed {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	if includeTests {
+		// In-package test files import packages (testing, testing/quick, …)
+		// that the non-test dependency closure does not cover; list those too
+		// so the type-checker finds their export data.
+		extra := map[string]bool{}
+		for _, p := range listed {
+			if p.Standard || p.Module == nil {
+				continue
+			}
+			for _, imp := range p.TestImports {
+				if _, have := exports[imp]; !have && imp != "C" && !extra[imp] {
+					extra[imp] = true
+				}
+			}
+		}
+		if len(extra) > 0 {
+			paths := make([]string, 0, len(extra))
+			for imp := range extra {
+				paths = append(paths, imp)
+			}
+			more, err := goList(dir, paths)
+			if err != nil {
+				return nil, err
+			}
+			for _, p := range more {
+				if _, have := exports[p.ImportPath]; !have && p.Export != "" {
+					exports[p.ImportPath] = p.Export
+				}
+			}
+		}
+	}
+	fset := token.NewFileSet()
+	imp := newExportImporter(fset, exports)
+
+	var out []*Package
+	for _, p := range listed {
+		// -deps lists the whole transitive closure; analyze only this
+		// module's packages (everything else is context for type-checking).
+		if p.Standard || p.Module == nil {
+			continue
+		}
+		names := append([]string{}, p.GoFiles...)
+		if includeTests {
+			names = append(names, p.TestGoFiles...)
+		}
+		var files []*ast.File
+		for _, name := range names {
+			f, err := parser.ParseFile(fset, filepath.Join(p.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, err
+			}
+			files = append(files, f)
+		}
+		if len(files) == 0 {
+			continue
+		}
+		pkg, info, err := checkFiles(fset, p.ImportPath, files, imp)
+		if err != nil {
+			return nil, fmt.Errorf("typecheck %s: %v", p.ImportPath, err)
+		}
+		out = append(out, &Package{Path: p.ImportPath, Fset: fset, Files: files, Types: pkg, Info: info})
+	}
+	return out, nil
+}
+
+// checkFiles type-checks one package's parsed files, returning full type
+// information for the analyzers.
+func checkFiles(fset *token.FileSet, path string, files []*ast.File, imp types.Importer) (*types.Package, *types.Info, error) {
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{Importer: imp}
+	pkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, nil, err
+	}
+	return pkg, info, nil
+}

@@ -1,0 +1,43 @@
+// Command hrdbms-lint is HRDBMS's repo-specific static analyzer. It encodes
+// the correctness conventions the compiler cannot see:
+//
+//	pinpair     every buffer.Fetch/NewPage pin must reach an Unpin
+//	txnpair     every txn.Begin must reach Commit/Rollback (SS2PL release)
+//	walerr      errors on WAL/storage write paths must not be discarded
+//	goleak-hint exec/cluster goroutines need a cancellation/completion signal
+//
+// Findings are suppressed with `//lint:ignore <rule> <reason>` on the same
+// or preceding line. Exit status is 1 when any finding survives.
+//
+// Usage: go run ./cmd/hrdbms-lint [-tests] [packages ...]   (default ./...)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+)
+
+func main() {
+	tests := flag.Bool("tests", false, "also analyze in-package _test.go files")
+	flag.Parse()
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := loadPackages(".", patterns, *tests)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hrdbms-lint:", err)
+		os.Exit(2)
+	}
+	bad := false
+	for _, pkg := range pkgs {
+		for _, d := range RunAnalyzers(pkg) {
+			fmt.Println(d)
+			bad = true
+		}
+	}
+	if bad {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,182 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// pairingRule describes an acquire/release discipline: calls to a method in
+// acquireNames producing a resource of resultType must be balanced by
+// passing the resource to a call named in releaseNames (or letting it
+// escape: returned, stored, or handed to another function, in which case
+// the receiver owns the release).
+type pairingRule struct {
+	rule         string
+	acquireNames map[string]bool
+	releaseNames map[string]bool
+	resultPkg    string // package path suffix of the resource's named type
+	resultName   string
+	what         string // human name of the resource, e.g. "pinned frame"
+	mustRelease  string // human name of the release, e.g. "Unpin"
+	skipPkg      string // the package implementing the resource is exempt
+}
+
+// run applies the rule to every function in the package.
+func (r *pairingRule) run(p *Pass) {
+	if r.skipPkg != "" && p.Pkg.Path == r.skipPkg {
+		return
+	}
+	for _, f := range p.Pkg.Files {
+		funcBodies(f, func(name string, body *ast.BlockStmt) {
+			r.checkBody(p, body)
+		})
+	}
+}
+
+// isAcquire reports whether the call acquires this rule's resource.
+func (r *pairingRule) isAcquire(p *Pass, call *ast.CallExpr) bool {
+	if !r.acquireNames[calleeName(call)] {
+		return false
+	}
+	results := resultTuple(p.Pkg.Info, call)
+	if len(results) == 0 {
+		return false
+	}
+	return isNamedPtr(results[0], r.resultPkg, r.resultName)
+}
+
+// checkBody finds acquire sites in one function body and verifies each is
+// balanced within that body.
+func (r *pairingRule) checkBody(p *Pass, body *ast.BlockStmt) {
+	parents := parentMap(body)
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !r.isAcquire(p, call) {
+			return true
+		}
+		switch parent := parents[call].(type) {
+		case *ast.ExprStmt:
+			// Bare call: the resource is dropped on the floor.
+			p.Report(r.rule, call.Pos(), fmt.Sprintf(
+				"result of %s is discarded; the %s is never %s", calleeName(call), r.what, r.mustRelease))
+		case *ast.AssignStmt:
+			if len(parent.Rhs) != 1 || parent.Rhs[0] != call {
+				return true // multi-value tricks; out of scope
+			}
+			id, ok := parent.Lhs[0].(*ast.Ident)
+			if !ok {
+				return true // stored into a field/index: escapes
+			}
+			if id.Name == "_" {
+				p.Report(r.rule, call.Pos(), fmt.Sprintf(
+					"%s from %s assigned to _; it is never %s", r.what, calleeName(call), r.mustRelease))
+				return true
+			}
+			obj := p.Pkg.Info.Defs[id]
+			if obj == nil {
+				obj = p.Pkg.Info.Uses[id] // plain `=` to an existing var
+			}
+			if obj == nil {
+				return true
+			}
+			if !r.balanced(p, body, parents, id, obj) {
+				p.Report(r.rule, call.Pos(), fmt.Sprintf(
+					"%s from %s is never %s on some path (no release, return, or hand-off found)",
+					r.what, calleeName(call), r.mustRelease))
+			}
+		}
+		// Other contexts (return value, call argument) hand the resource to
+		// the caller/callee, which owns the release.
+		return true
+	})
+}
+
+// balanced reports whether the resource object is released or escapes
+// somewhere in the function body.
+func (r *pairingRule) balanced(p *Pass, body *ast.BlockStmt, parents map[ast.Node]ast.Node, def *ast.Ident, obj types.Object) bool {
+	ok := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if ok {
+			return false
+		}
+		id, isIdent := n.(*ast.Ident)
+		if !isIdent || id == def || p.Pkg.Info.Uses[id] != obj {
+			return true
+		}
+		if r.useSatisfies(p, parents, id) {
+			ok = true
+			return false
+		}
+		return true
+	})
+	return ok
+}
+
+// useSatisfies classifies one use of the resource variable: a release call,
+// or any escape (return, hand-off, aliasing, storage) counts as balanced.
+func (r *pairingRule) useSatisfies(p *Pass, parents map[ast.Node]ast.Node, id *ast.Ident) bool {
+	switch parent := parents[id].(type) {
+	case *ast.CallExpr:
+		for _, arg := range parent.Args {
+			if arg == id {
+				return true // release call, or hand-off that transfers ownership
+			}
+		}
+		return false // id is part of the callee expression
+	case *ast.SelectorExpr:
+		return false // field/method access, not a release
+	case *ast.ReturnStmt:
+		return true
+	case *ast.AssignStmt:
+		for _, rhs := range parent.Rhs {
+			if rhs == id {
+				return true // aliased or stored
+			}
+		}
+		return false
+	case *ast.KeyValueExpr:
+		return parent.Value == id
+	case *ast.CompositeLit:
+		return true
+	case *ast.UnaryExpr:
+		return parent.Op.String() == "&"
+	case *ast.IndexExpr:
+		return parent.Index == id
+	}
+	return false
+}
+
+// pinpairAnalyzer: every buffer.Fetch/NewPage pin must reach an Unpin (a
+// leaked pin permanently blocks clock eviction in that stripe).
+var pinpairAnalyzer = &Analyzer{
+	Name: "pinpair",
+	Doc:  "flags Fetch/NewPage call sites whose pinned frame is never Unpinned",
+	Run: (&pairingRule{
+		rule:         "pinpair",
+		acquireNames: map[string]bool{"Fetch": true, "NewPage": true},
+		releaseNames: map[string]bool{"Unpin": true},
+		resultPkg:    "internal/buffer",
+		resultName:   "Frame",
+		what:         "pinned frame",
+		mustRelease:  "Unpinned",
+		skipPkg:      "repro/internal/buffer",
+	}).run,
+}
+
+// txnpairAnalyzer: every Begin/BeginWithID must reach Commit/Rollback (or
+// hand the Tx off); an abandoned Tx holds its SS2PL locks forever.
+var txnpairAnalyzer = &Analyzer{
+	Name: "txnpair",
+	Doc:  "flags Begin/BeginWithID call sites whose transaction is never finished",
+	Run: (&pairingRule{
+		rule:         "txnpair",
+		acquireNames: map[string]bool{"Begin": true, "BeginWithID": true},
+		releaseNames: map[string]bool{"Commit": true, "Rollback": true, "Abort": true, "Prepare": true},
+		resultPkg:    "internal/txn",
+		resultName:   "Tx",
+		what:         "transaction",
+		mustRelease:  "committed or rolled back",
+		skipPkg:      "repro/internal/txn",
+	}).run,
+}

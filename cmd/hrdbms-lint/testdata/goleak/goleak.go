@@ -1,0 +1,45 @@
+// Package fixtures exercises the goleak-hint analyzer. The test loads it
+// under the package path repro/internal/cluster, one of the two packages
+// the rule applies to.
+package fixtures
+
+import "sync"
+
+func leakyProducer(out chan int) {
+	go func() { // want "no select"
+		for i := 0; i < 10; i++ {
+			out <- i
+		}
+		close(out)
+	}()
+}
+
+func okSelect(out chan int, stop chan struct{}) {
+	go func() {
+		select {
+		case out <- 1:
+		case <-stop:
+		}
+	}()
+}
+
+func okWaitGroup(wg *sync.WaitGroup, out chan int) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		out <- 1
+	}()
+}
+
+func okStopChanHandoff(rows chan int, stop chan struct{}, run func(chan int, chan struct{})) {
+	go func() {
+		run(rows, stop)
+	}()
+}
+
+func okSuppressed(out chan int) {
+	//lint:ignore goleak-hint fixture: out is buffered by the caller
+	go func() {
+		out <- 1
+	}()
+}

@@ -1,0 +1,69 @@
+// Package fixtures exercises the pinpair analyzer: true positives carry a
+// want-marker comment; everything else must stay diagnostic-free.
+package fixtures
+
+import (
+	"repro/internal/buffer"
+	"repro/internal/page"
+)
+
+func leakNoUnpin(m *buffer.Manager, k page.Key) {
+	f, err := m.Fetch(k) // want "never"
+	if err != nil {
+		return
+	}
+	_ = f.Buf[0]
+}
+
+func leakDiscarded(m *buffer.Manager, k page.Key) {
+	m.NewPage(k) // want "discarded"
+}
+
+func leakBlank(m *buffer.Manager, k page.Key) {
+	_, err := m.Fetch(k) // want "assigned to _"
+	if err != nil {
+		return
+	}
+}
+
+func okDeferredUnpin(m *buffer.Manager, k page.Key) error {
+	f, err := m.Fetch(k)
+	if err != nil {
+		return err
+	}
+	defer m.Unpin(f, false)
+	_ = f.Buf[0]
+	return nil
+}
+
+func okDirectUnpin(m *buffer.Manager, k page.Key) error {
+	f, err := m.NewPage(k)
+	if err != nil {
+		return err
+	}
+	f.Buf[0] = 1
+	m.Unpin(f, true)
+	return nil
+}
+
+func okEscapesViaReturn(m *buffer.Manager, k page.Key) (*buffer.Frame, error) {
+	return m.Fetch(k)
+}
+
+func okEscapesViaAssign(m *buffer.Manager, k page.Key, frames []*buffer.Frame) error {
+	f, err := m.Fetch(k)
+	if err != nil {
+		return err
+	}
+	frames[0] = f
+	return nil
+}
+
+func okSuppressed(m *buffer.Manager, k page.Key) {
+	//lint:ignore pinpair fixture: leak is intentional to test suppression
+	f, err := m.Fetch(k)
+	if err != nil {
+		return
+	}
+	_ = f.Buf[0]
+}

@@ -1,0 +1,38 @@
+// Package fixtures exercises the txnpair analyzer.
+package fixtures
+
+import "repro/internal/txn"
+
+func leakNoFinish(m *txn.Manager) uint64 {
+	tx := m.Begin() // want "never"
+	return tx.TxID()
+}
+
+func leakDiscarded(m *txn.Manager) {
+	m.BeginWithID(42) // want "discarded"
+}
+
+func okCommit(m *txn.Manager) error {
+	tx := m.Begin()
+	return m.Commit(tx)
+}
+
+func okRollback(m *txn.Manager) error {
+	tx := m.BeginWithID(7)
+	return m.Rollback(tx)
+}
+
+func okHandoff(m *txn.Manager, use func(*txn.Tx) error) error {
+	tx := m.Begin()
+	return use(tx)
+}
+
+func okEscapesViaReturn(m *txn.Manager) *txn.Tx {
+	return m.Begin()
+}
+
+func okSuppressed(m *txn.Manager) uint64 {
+	//lint:ignore txnpair fixture: resolved by a later 2PC decision
+	tx := m.BeginWithID(99)
+	return tx.TxID()
+}

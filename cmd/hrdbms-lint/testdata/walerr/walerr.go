@@ -1,0 +1,41 @@
+// Package fixtures exercises the walerr analyzer.
+package fixtures
+
+import (
+	"repro/internal/buffer"
+	"repro/internal/page"
+	"repro/internal/wal"
+)
+
+func bareFlush(l *wal.Log) {
+	l.Flush() // want "silently discarded"
+}
+
+func blankFlush(l *wal.Log) {
+	_ = l.Flush() // want "discarded with _"
+}
+
+func blankFetch(m *buffer.Manager, k page.Key) *buffer.Frame {
+	f, _ := m.Fetch(k) // want "discarded with _"
+	defer m.Unpin(f, false)
+	return f
+}
+
+func bareFlushAll(m *buffer.Manager) {
+	m.FlushAll() // want "silently discarded"
+}
+
+func okChecked(l *wal.Log) error {
+	return l.Flush()
+}
+
+func okHandled(l *wal.Log) {
+	if err := l.Flush(); err != nil {
+		panic(err)
+	}
+}
+
+func okSuppressed(l *wal.Log) {
+	//lint:ignore walerr fixture: best-effort flush on a shutdown path
+	l.Flush()
+}

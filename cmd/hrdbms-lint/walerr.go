@@ -1,0 +1,94 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"strings"
+)
+
+// walerrPkgs are the durability-critical packages: discarding an error from
+// any of their functions can silently lose the write-ahead guarantee.
+var walerrPkgs = []string{
+	"repro/internal/wal",
+	"repro/internal/storage",
+	"repro/internal/buffer",
+	"repro/internal/txn",
+}
+
+// walerrAnalyzer flags discarded error results from WAL/storage/buffer/txn
+// write paths in non-test code: both bare expression statements and
+// explicit `_ =` discards.
+var walerrAnalyzer = &Analyzer{
+	Name: "walerr",
+	Doc:  "flags discarded errors from WAL/storage write paths",
+	Run:  runWalerr,
+}
+
+func isWalerrTarget(p *Pass, call *ast.CallExpr) (string, bool) {
+	fn := calleeFunc(p.Pkg.Info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return "", false
+	}
+	pkgPath := fn.Pkg().Path()
+	if pkgPath == p.Pkg.Path {
+		// A durability package calling itself may discard where an internal
+		// invariant makes it safe; its own correctness is the tests' job.
+		return "", false
+	}
+	match := false
+	for _, wp := range walerrPkgs {
+		if pkgPath == wp {
+			match = true
+			break
+		}
+	}
+	if !match {
+		return "", false
+	}
+	results := resultTuple(p.Pkg.Info, call)
+	if len(results) == 0 || !isErrorType(results[len(results)-1]) {
+		return "", false
+	}
+	short := pkgPath[strings.LastIndex(pkgPath, "/")+1:]
+	return fmt.Sprintf("%s.%s", short, fn.Name()), true
+}
+
+func runWalerr(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		if p.isTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch stmt := n.(type) {
+			case *ast.ExprStmt:
+				call, ok := stmt.X.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if name, ok := isWalerrTarget(p, call); ok {
+					p.Report("walerr", call.Pos(), fmt.Sprintf(
+						"error from %s is silently discarded (bare call on a durability path)", name))
+				}
+			case *ast.AssignStmt:
+				if len(stmt.Rhs) != 1 {
+					return true
+				}
+				call, ok := stmt.Rhs[0].(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				name, ok := isWalerrTarget(p, call)
+				if !ok {
+					return true
+				}
+				// The error is the last result; flag when its slot is _.
+				last, isIdent := stmt.Lhs[len(stmt.Lhs)-1].(*ast.Ident)
+				if isIdent && last.Name == "_" {
+					p.Report("walerr", call.Pos(), fmt.Sprintf(
+						"error from %s is discarded with _ on a durability path", name))
+				}
+			}
+			return true
+		})
+	}
+}

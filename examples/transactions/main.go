@@ -85,8 +85,14 @@ func main() {
 	}
 	loser := mgr.Begin()
 	writeRow(buf, loser, k, "in-flight")
-	buf.FlushAll() // the dirty page may hit disk before the crash (steal)
-	walLog.Close() // CRASH: the loser never commits
+	// The dirty page may hit disk before the crash (steal).
+	if err := buf.FlushAll(); err != nil {
+		log.Fatal(err)
+	}
+	// CRASH: the loser never commits.
+	if err := walLog.Close(); err != nil {
+		log.Fatal(err)
+	}
 
 	walLog2, err := wal.Open(logPath)
 	if err != nil {
@@ -100,8 +106,14 @@ func main() {
 	}
 	fmt.Printf("  recovery: redone=%d undone=%d losers=%v\n",
 		result.RedoneRecords, result.UndoneRecords, result.LoserTxns)
-	f, _ := buf2.Fetch(k)
-	rp, _ := page.AsRowPage(f.Buf)
+	f, err := buf2.Fetch(k)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rp, err := page.AsRowPage(f.Buf)
+	if err != nil {
+		log.Fatal(err)
+	}
 	rp.Scan(func(slot int, r types.Row) bool {
 		fmt.Printf("  surviving row: %v\n", r)
 		return true

@@ -237,6 +237,7 @@ func (m *Manager) Predeclare(keys []page.Key) {
 // FlushAll writes every dirty frame back to the store (used at checkpoints
 // and clean shutdown).
 func (m *Manager) FlushAll() error {
+	m.assertUnpinned("FlushAll")
 	for _, s := range m.stripes {
 		s.mu.Lock()
 		for _, f := range s.clock {
@@ -259,6 +260,22 @@ func (m *Manager) FlushAll() error {
 		s.mu.Unlock()
 	}
 	return nil
+}
+
+// PinnedFrames counts frames with a nonzero pin count. A steady-state value
+// above zero outside an operation means a Fetch/NewPage leaked its Unpin.
+func (m *Manager) PinnedFrames() int {
+	n := 0
+	for _, s := range m.stripes {
+		s.mu.Lock()
+		for _, f := range s.frames {
+			if f.pins > 0 {
+				n++
+			}
+		}
+		s.mu.Unlock()
+	}
+	return n
 }
 
 // Resident reports whether the page is currently cached (for tests and the

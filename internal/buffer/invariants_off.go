@@ -1,0 +1,9 @@
+//go:build !invariants
+
+package buffer
+
+const invariantsEnabled = false
+
+// assertUnpinned is a no-op in normal builds; build with -tags invariants to
+// arm the pin-balance check at FlushAll.
+func (m *Manager) assertUnpinned(string) {}

@@ -1,0 +1,49 @@
+//go:build invariants
+
+package buffer
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/page"
+)
+
+func TestFlushAllPanicsOnLeakedPin(t *testing.T) {
+	if !invariantsEnabled {
+		t.Fatal("test requires -tags invariants")
+	}
+	st := newMemStore(1024)
+	m := New(st, 8, 2)
+	if _, err := m.NewPage(page.Key{File: 1, Page: 3}); err != nil {
+		t.Fatal(err)
+	}
+	// Deliberately no Unpin: FlushAll must trip the pin-balance assertion.
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("FlushAll did not panic with a leaked pin")
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, "still pinned") {
+			t.Fatalf("unexpected panic: %v", r)
+		}
+	}()
+	_ = m.FlushAll() //lint:ignore walerr the call panics before returning
+}
+
+func TestFlushAllCleanAfterUnpin(t *testing.T) {
+	st := newMemStore(1024)
+	m := New(st, 8, 2)
+	f, err := m.NewPage(page.Key{File: 1, Page: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Buf[0] = 0xAB
+	m.Unpin(f, true)
+	if n := m.PinnedFrames(); n != 0 {
+		t.Fatalf("PinnedFrames = %d after Unpin, want 0", n)
+	}
+	if err := m.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -171,11 +171,15 @@ func New(cfg Config) (*Cluster, error) {
 			// synchronizes them (Section VI).
 			cat = sharedCat.Snapshot()
 		}
+		xa, err := twopc.NewCoordinator(ep, xalog, cfg.Nmax)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: coordinator %d XA log replay: %w", i, err)
+		}
 		cn := &CoordinatorNode{
 			ID:  i,
 			Ep:  ep,
 			Cat: cat,
-			XA:  twopc.NewCoordinator(ep, xalog, cfg.Nmax),
+			XA:  xa,
 		}
 		cn.XA.Serve()
 		c.Coords = append(c.Coords, cn)
@@ -333,6 +337,9 @@ func (c *Cluster) Close() error {
 			firstErr = err
 		}
 		if err := w.Log.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		if err := w.Txn.Close(); err != nil && firstErr == nil {
 			firstErr = err
 		}
 	}

@@ -14,12 +14,16 @@ import (
 	"repro/internal/plan"
 	"repro/internal/sqlparse"
 	"repro/internal/storage"
+	"repro/internal/testutil"
 	"repro/internal/types"
 )
 
 // newCluster spins up an in-process cluster with TPC-H-ish tables loaded.
 func newCluster(t *testing.T, workers int, prof ExecProfile) (*Cluster, map[string][]types.Row) {
 	t.Helper()
+	// Registered before the Close cleanup below so LIFO ordering shuts the
+	// cluster down first and the leak check sees the settled state.
+	testutil.AssertNoGoroutineLeak(t)
 	c, err := New(Config{
 		NumWorkers: workers,
 		BaseDir:    t.TempDir(),

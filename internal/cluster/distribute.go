@@ -778,6 +778,7 @@ func (d *workerDriver) Open() error {
 	d.errs = make(chan error, len(fns))
 	d.pending = len(fns)
 	for _, fn := range fns {
+		//lint:ignore goleak-hint bounded: errs is buffered to len(fns), the send never blocks
 		go func(fn func() error) { d.errs <- fn() }(fn)
 	}
 	return nil

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 
@@ -310,7 +311,9 @@ func (c *Cluster) insertStmt(x *sqlparse.Insert) (*Result, error) {
 		for wid := range involved {
 			w := c.Workers[c.workerIndex(wid)]
 			if tx, ok := w.Txn.Lookup(txid); ok {
-				_ = w.Txn.Rollback(tx)
+				if rerr := w.Txn.Rollback(tx); rerr != nil {
+					e = errors.Join(e, fmt.Errorf("cluster: rollback tx %d on worker %d: %w", txid, wid, rerr))
+				}
 			}
 		}
 		return nil, e
@@ -401,27 +404,23 @@ func (c *Cluster) deleteStmt(x *sqlparse.Delete) (*Result, error) {
 			err = scanErr
 		}
 		if err != nil {
-			c.abortGlobal(txid, ids)
-			return nil, err
+			return nil, errors.Join(err, c.abortGlobal(txid, ids))
 		}
 		for _, rid := range rids {
 			old, hadOld, err := fr.Get(rid)
 			if err != nil {
-				c.abortGlobal(txid, ids)
-				return nil, err
+				return nil, errors.Join(err, c.abortGlobal(txid, ids))
 			}
 			deleted, err := fr.Delete(tx, rid)
 			if err != nil {
-				c.abortGlobal(txid, ids)
-				return nil, err
+				return nil, errors.Join(err, c.abortGlobal(txid, ids))
 			}
 			if !deleted {
 				continue // lost the race to another committed delete
 			}
 			if hadOld {
 				if err := w.maintainIndexes(c.Catalog(), def, old, rid, false); err != nil {
-					c.abortGlobal(txid, ids)
-					return nil, err
+					return nil, errors.Join(err, c.abortGlobal(txid, ids))
 				}
 			}
 			total++
@@ -488,8 +487,7 @@ func (c *Cluster) updateStmt(x *sqlparse.Update) (*Result, error) {
 		for wid := range involved {
 			ids = append(ids, wid)
 		}
-		c.abortGlobal(txid, ids)
-		return nil, err
+		return nil, errors.Join(err, c.abortGlobal(txid, ids))
 	}
 	for _, w := range c.Workers {
 		fr := w.frags[lower(def.Name)]
@@ -604,14 +602,20 @@ func (c *Cluster) reorganizeStmt(x *sqlparse.Reorganize) (*Result, error) {
 	return &Result{Message: fmt.Sprintf("table %s reorganized", def.Name)}, nil
 }
 
-// abortGlobal rolls back a distributed statement's local transactions.
-func (c *Cluster) abortGlobal(txid uint64, ids []int) {
+// abortGlobal rolls back a distributed statement's local transactions,
+// reporting any rollback that itself failed (a worker whose undo failed
+// may hold locks and divergent data until recovery).
+func (c *Cluster) abortGlobal(txid uint64, ids []int) error {
+	var firstErr error
 	for _, wid := range ids {
 		w := c.Workers[c.workerIndex(wid)]
 		if tx, ok := w.Txn.Lookup(txid); ok {
-			_ = w.Txn.Rollback(tx)
+			if err := w.Txn.Rollback(tx); err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("cluster: rollback tx %d on worker %d: %w", txid, wid, err)
+			}
 		}
 	}
+	return firstErr
 }
 
 // analyzeStmt recomputes table statistics from a full scan.

@@ -2,6 +2,7 @@ package exec
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -29,6 +30,10 @@ const (
 )
 
 const shuffleBatchRows = 128
+
+// errShuffleClosed aborts a shuffle's send loop after Close; it never
+// reaches callers (an abandoned stream has no consumer to report to).
+var errShuffleClosed = errors.New("exec: shuffle closed")
 
 func encodeBatch(msgType byte, origin int, rows []types.Row) []byte {
 	buf := make([]byte, 0, 64)
@@ -101,8 +106,10 @@ type Shuffle struct {
 	ring    topology.Ring
 	selfPos int
 
-	rows  chan types.Row
-	errCh chan error
+	rows      chan types.Row
+	errCh     chan error
+	done      chan struct{} // closed by Close; unblocks every channel send
+	closeOnce *sync.Once
 }
 
 // NewShuffle builds the per-node shuffle operator. sch must be provided
@@ -134,6 +141,8 @@ func (s *Shuffle) Open() error {
 	}
 	s.rows = make(chan types.Row, 1024)
 	s.errCh = make(chan error, 2)
+	s.done = make(chan struct{})
+	s.closeOnce = new(sync.Once)
 	// Start the send/receive/forward loops immediately: a shuffle is a
 	// cluster-wide rendezvous, and peers block until every participant's
 	// loops are live, so lazy start (on first Next) can deadlock plans
@@ -195,7 +204,10 @@ func (s *Shuffle) start() {
 				return
 			}
 			if err := s.ep.Send(item.to, item.dest, s.Spec.Channel, item.payload); err != nil {
-				s.errCh <- err
+				select {
+				case s.errCh <- err:
+				case <-s.done:
+				}
 				return
 			}
 		}
@@ -210,7 +222,10 @@ func (s *Shuffle) start() {
 		for selfEOFs < needSelf || len(pending) > 0 {
 			msg, err := s.ep.Recv(s.Spec.Channel)
 			if err != nil {
-				s.errCh <- err
+				select {
+				case s.errCh <- err:
+				case <-s.done:
+				}
 				return
 			}
 			destPos := s.Spec.position(msg.Dest)
@@ -226,7 +241,10 @@ func (s *Shuffle) start() {
 			}
 			msgType, origin, rows, err := decodeBatch(msg.Payload)
 			if err != nil {
-				s.errCh <- err
+				select {
+				case s.errCh <- err:
+				case <-s.done:
+				}
 				return
 			}
 			if msgType == msgEOF {
@@ -235,7 +253,13 @@ func (s *Shuffle) start() {
 				continue
 			}
 			for _, r := range rows {
-				s.rows <- r
+				select {
+				case s.rows <- r:
+				case <-s.done:
+					// Consumer abandoned the stream (early Close); keep
+					// draining the network so peers and hubs are not wedged,
+					// but stop delivering locally.
+				}
 			}
 		}
 	}()
@@ -256,14 +280,23 @@ func (s *Shuffle) start() {
 					return err
 				}
 				for _, r := range rows {
-					s.rows <- r
+					select {
+					case s.rows <- r:
+					case <-s.done:
+						return errShuffleClosed
+					}
 				}
 				return nil
 			}
 			return s.send(dest, payload)
 		}
 		fail := func(err error) {
-			s.errCh <- err
+			if err != errShuffleClosed {
+				select {
+				case s.errCh <- err:
+				case <-s.done:
+				}
+			}
 			// Still emit EOFs so peers terminate.
 			for d := 0; d < n; d++ {
 				if d != s.selfPos {
@@ -308,13 +341,19 @@ func (s *Shuffle) start() {
 				continue
 			}
 			if err := s.send(d, encodeBatch(msgEOF, s.selfPos, nil)); err != nil {
-				s.errCh <- err
+				select {
+				case s.errCh <- err:
+				case <-s.done:
+				}
 				return
 			}
 		}
 		// Our own EOF: counted directly by the receive loop.
 		if err := s.ep.Send(s.ep.NodeID(), s.ep.NodeID(), s.Spec.Channel, encodeBatch(msgEOF, s.selfPos, nil)); err != nil {
-			s.errCh <- err
+			select {
+			case s.errCh <- err:
+			case <-s.done:
+			}
 		}
 	}()
 }
@@ -337,8 +376,13 @@ func (s *Shuffle) Next() (types.Row, bool, error) {
 	}
 }
 
-// Close implements Operator.
+// Close implements Operator. Closing the done channel unblocks any loop
+// goroutine parked on a row delivery, so an abandoned shuffle (e.g. under an
+// error or an early LIMIT) cannot leak its senders.
 func (s *Shuffle) Close() error {
+	if s.closeOnce != nil {
+		s.closeOnce.Do(func() { close(s.done) })
+	}
 	if s.In != nil {
 		return s.In.Close()
 	}

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/network"
+	"repro/internal/testutil"
 	"repro/internal/types"
 )
 
@@ -12,6 +13,7 @@ import (
 // perNode rows keyed 0..keys-1, and returns the rows each node received.
 func runShuffle(t *testing.T, n, perNode, keys, nmax int, hierarchical bool) ([][]types.Row, *network.Meter) {
 	t.Helper()
+	testutil.AssertNoGoroutineLeak(t)
 	ids := make([]int, n)
 	for i := range ids {
 		ids[i] = i

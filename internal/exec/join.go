@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
@@ -61,7 +62,14 @@ type HashJoin struct {
 	err      error
 	prepared bool
 	done     bool
+
+	stop     chan struct{} // closed by Close; unblocks result emission
+	stopOnce *sync.Once
 }
+
+// errJoinStopped aborts probe emission after Close; it never reaches
+// callers (an abandoned stream has no consumer to report to).
+var errJoinStopped = errors.New("exec: hash join closed")
 
 // NewHashJoin builds a hash join.
 func NewHashJoin(ctx *Ctx, probe, build Operator, probeKeys, buildKeys []expr.Expr, jt JoinType, residual expr.Expr, parallel int) *HashJoin {
@@ -88,6 +96,8 @@ func (h *HashJoin) Schema() types.Schema { return h.out }
 // Open implements Operator.
 func (h *HashJoin) Open() error {
 	h.results, h.errCh, h.err, h.prepared, h.done = nil, nil, nil, false, false
+	h.stop = make(chan struct{})
+	h.stopOnce = new(sync.Once)
 	if err := h.Probe.Open(); err != nil {
 		return err
 	}
@@ -183,7 +193,9 @@ func (h *HashJoin) streamProbe(table map[uint64][]types.Row, bloom *Bloom) error
 			defer wg.Done()
 			for r := range probeRows {
 				if err := h.probeOne(r, table, bloom, h.results); err != nil {
-					h.errCh <- err
+					if err != errJoinStopped {
+						h.errCh <- err
+					}
 					stopOnce.Do(func() { close(stop) })
 					return
 				}
@@ -210,6 +222,8 @@ func (h *HashJoin) streamProbe(table map[uint64][]types.Row, bloom *Bloom) error
 			select {
 			case probeRows <- r:
 			case <-stop:
+				return
+			case <-h.stop:
 				return
 			}
 		}
@@ -253,7 +267,9 @@ func (h *HashJoin) probeOne(r types.Row, table map[uint64][]types.Row, bloom *Bl
 			}
 			matched = true
 			if h.Type == JoinInner {
-				out <- joined
+				if err := h.emit(out, joined); err != nil {
+					return err
+				}
 			} else if h.Type == JoinSemi {
 				break
 			} else if h.Type == JoinAnti {
@@ -262,12 +278,23 @@ func (h *HashJoin) probeOne(r types.Row, table map[uint64][]types.Row, bloom *Bl
 		}
 	}
 	if h.Type == JoinSemi && matched {
-		out <- r
+		return h.emit(out, r)
 	}
 	if h.Type == JoinAnti && !matched {
-		out <- r
+		return h.emit(out, r)
 	}
 	return nil
+}
+
+// emit delivers one result row unless the join has been closed, so probe
+// workers cannot block forever on a stream nobody is draining.
+func (h *HashJoin) emit(out chan<- types.Row, r types.Row) error {
+	select {
+	case out <- r:
+		return nil
+	case <-h.stop:
+		return errJoinStopped
+	}
 }
 
 // keysEqual compares the evaluated key expressions of a probe/build pair.
@@ -399,7 +426,12 @@ func (h *HashJoin) graceJoin(buildSpill *spillWriter, bloom *Bloom) error {
 		defer close(h.results)
 		for p := 0; p < fanout; p++ {
 			if err := h.joinPartition(buildParts[p], probeParts[p]); err != nil {
-				h.errCh <- err
+				if err != errJoinStopped {
+					select {
+					case h.errCh <- err:
+					case <-h.stop:
+					}
+				}
 				return
 			}
 		}
@@ -483,8 +515,12 @@ func (h *HashJoin) Next() (types.Row, bool, error) {
 	}
 }
 
-// Close implements Operator.
+// Close implements Operator. Closing the stop channel unblocks workers
+// parked on result emission, so an abandoned join cannot leak goroutines.
 func (h *HashJoin) Close() error {
+	if h.stopOnce != nil {
+		h.stopOnce.Do(func() { close(h.stop) })
+	}
 	err1 := h.Probe.Close()
 	err2 := h.Build.Close()
 	if err1 != nil {

@@ -65,8 +65,11 @@ func (s *scanFeed) Close() error {
 		if s.stop != nil {
 			close(s.stop)
 		}
-		// Drain so the producer goroutine can exit.
+		// Drain so the producer goroutine can exit. Bounded: the producer
+		// observes the closed stop channel via sendRow and closes rows,
+		// which ends this loop.
 		if s.rows != nil {
+			//lint:ignore goleak-hint bounded drain: producer sees closed stop and closes rows
 			go func(ch chan types.Row) {
 				for range ch {
 				}

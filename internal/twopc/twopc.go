@@ -138,6 +138,32 @@ type Participant struct {
 
 	stop chan struct{}
 	wg   sync.WaitGroup
+
+	errMu    sync.Mutex
+	firstErr error
+}
+
+// noteErr records a failure from an async message handler, where there is
+// no caller to return it to. Recovery re-resolves the transaction, but the
+// failure must stay observable (walerr: durability errors are never
+// silently dropped).
+func (p *Participant) noteErr(err error) {
+	if err == nil {
+		return
+	}
+	p.errMu.Lock()
+	if p.firstErr == nil {
+		p.firstErr = err
+	}
+	p.errMu.Unlock()
+}
+
+// Err returns the first failure recorded by the participant's async
+// handlers, if any.
+func (p *Participant) Err() error {
+	p.errMu.Lock()
+	defer p.errMu.Unlock()
+	return p.firstErr
 }
 
 // NewParticipant wires a participant to its node's endpoint and
@@ -214,9 +240,9 @@ func (p *Participant) handle(req msg) {
 			encodeMsg(msgVote, req.txid, allOK, req.coord, req.nmax, nil))
 	case msgCommit, msgRollback:
 		if req.typ == msgCommit {
-			_ = p.Mgr.CommitPrepared(req.txid)
+			p.noteErr(p.Mgr.CommitPrepared(req.txid))
 		} else {
-			_ = p.Mgr.RollbackPrepared(req.txid)
+			p.noteErr(p.Mgr.RollbackPrepared(req.txid))
 		}
 		for range children {
 			if _, err := p.Ep.Recv(ackChannel(req.txid, p.Ep.NodeID())); err != nil {
@@ -265,20 +291,24 @@ type Coordinator struct {
 	wg   sync.WaitGroup
 }
 
-// NewCoordinator builds the XA manager for a coordinator node.
-func NewCoordinator(ep network.Endpoint, xalog *wal.Log, nmax int) *Coordinator {
+// NewCoordinator builds the XA manager for a coordinator node. It fails if
+// the XA log cannot be replayed: losing recorded outcomes would let
+// presumed-abort roll back transactions that actually committed.
+func NewCoordinator(ep network.Endpoint, xalog *wal.Log, nmax int) (*Coordinator, error) {
 	c := &Coordinator{Ep: ep, XALog: xalog, Nmax: nmax, VoteTimeout: 5 * time.Second,
 		outcomes: map[uint64]bool{}, stop: make(chan struct{})}
-	c.loadOutcomes()
-	return c
+	if err := c.loadOutcomes(); err != nil {
+		return nil, err
+	}
+	return c, nil
 }
 
 // loadOutcomes replays the XA log into the outcome table.
-func (c *Coordinator) loadOutcomes() {
+func (c *Coordinator) loadOutcomes() error {
 	if c.XALog == nil {
-		return
+		return nil
 	}
-	_ = c.XALog.Scan(0, func(r *wal.Record) bool {
+	return c.XALog.Scan(0, func(r *wal.Record) bool {
 		switch r.Type {
 		case wal.RecXACommit:
 			c.outcomes[r.TxID] = true

@@ -70,7 +70,10 @@ func cluster(t *testing.T, n int, nmax int) (*Coordinator, []*worker, *network.F
 	}
 	t.Cleanup(func() { xalog.Close() })
 	cep, _ := fabric.Endpoint(0)
-	coord := NewCoordinator(cep, xalog, nmax)
+	coord, err := NewCoordinator(cep, xalog, nmax)
+	if err != nil {
+		t.Fatal(err)
+	}
 	coord.Serve()
 
 	var workers []*worker

@@ -1,0 +1,9 @@
+//go:build !invariants
+
+package txn
+
+const invariantsEnabled = false
+
+// assertQuiescent is a no-op in normal builds; build with -tags invariants
+// to arm the live-transaction check at Close.
+func (m *Manager) assertQuiescent(string) {}

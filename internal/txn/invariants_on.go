@@ -1,0 +1,22 @@
+//go:build invariants
+
+package txn
+
+import "fmt"
+
+const invariantsEnabled = true
+
+// assertQuiescent panics if any transaction is still active (including
+// prepared-but-undecided ones). Closing a manager with live transactions
+// means locks are still held and WAL outcomes are unresolved.
+func (m *Manager) assertQuiescent(context string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.active) > 0 {
+		ids := make([]uint64, 0, len(m.active))
+		for id := range m.active {
+			ids = append(ids, id)
+		}
+		panic(fmt.Sprintf("txn: invariant violated at %s: %d transaction(s) still active: %v", context, len(ids), ids))
+	}
+}

@@ -1,0 +1,39 @@
+//go:build invariants
+
+package txn
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestClosePanicsOnActiveTxn(t *testing.T) {
+	if !invariantsEnabled {
+		t.Fatal("test requires -tags invariants")
+	}
+	m, _ := newManager(t)
+	tx := m.Begin()
+	_ = tx
+	// Deliberately neither committed nor rolled back.
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("Close did not panic with an active transaction")
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, "still active") {
+			t.Fatalf("unexpected panic: %v", r)
+		}
+	}()
+	_ = m.Close() //lint:ignore walerr the call panics before returning
+}
+
+func TestCloseCleanAfterCommit(t *testing.T) {
+	m, _ := newManager(t)
+	tx := m.Begin()
+	if err := m.Commit(tx); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

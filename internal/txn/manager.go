@@ -206,3 +206,11 @@ func (m *Manager) ActiveCount() int {
 	defer m.mu.Unlock()
 	return len(m.active)
 }
+
+// Close retires the manager at clean shutdown. Under the invariants build it
+// panics if any transaction is still active — every Begin must have reached
+// Commit, Rollback, or a 2PC decision by now.
+func (m *Manager) Close() error {
+	m.assertQuiescent("Close")
+	return nil
+}

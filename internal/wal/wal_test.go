@@ -54,6 +54,36 @@ func openLog(t *testing.T) (*Log, string) {
 	return l, path
 }
 
+// mustFetch pins key, failing the test on error.
+func mustFetch(t *testing.T, m *buffer.Manager, k page.Key) *buffer.Frame {
+	t.Helper()
+	f, err := m.Fetch(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// mustRowPage interprets buf as a row page, failing the test on error.
+func mustRowPage(t *testing.T, buf []byte) page.RowPage {
+	t.Helper()
+	rp, err := page.AsRowPage(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rp
+}
+
+// mustGet reads a slot, failing the test on a decode error.
+func mustGet(t *testing.T, rp page.RowPage, slot int) (types.Row, bool) {
+	t.Helper()
+	r, ok, err := rp.Get(slot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r, ok
+}
+
 func TestAppendFlushScan(t *testing.T) {
 	l, _ := openLog(t)
 	defer l.Close()
@@ -85,7 +115,9 @@ func TestReopenFindsEnd(t *testing.T) {
 	l, path := openLog(t)
 	l.Append(&Record{Type: RecBegin, TxID: 5})
 	lsnLast := l.Append(&Record{Type: RecCommit, TxID: 5})
-	l.Close()
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
 
 	l2, err := Open(path)
 	if err != nil {
@@ -97,7 +129,9 @@ func TestReopenFindsEnd(t *testing.T) {
 		t.Errorf("reopened log reused LSN space: %d <= %d", next, lsnLast)
 	}
 	count := 0
-	l2.Scan(0, func(r *Record) bool { count++; return true })
+	if err := l2.Scan(0, func(r *Record) bool { count++; return true }); err != nil {
+		t.Fatal(err)
+	}
 	if count != 3 {
 		t.Errorf("records after reopen = %d, want 3", count)
 	}
@@ -107,14 +141,20 @@ func TestTornTailTruncated(t *testing.T) {
 	l, path := openLog(t)
 	l.Append(&Record{Type: RecBegin, TxID: 1})
 	l.Append(&Record{Type: RecCommit, TxID: 1})
-	l.Close()
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
 	// Append garbage simulating a torn write.
 	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	f.Write([]byte{9, 0, 0, 0, 1, 2, 3, 4, 5})
-	f.Close()
+	if _, err := f.Write([]byte{9, 0, 0, 0, 1, 2, 3, 4, 5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
 
 	l2, err := Open(path)
 	if err != nil {
@@ -122,7 +162,9 @@ func TestTornTailTruncated(t *testing.T) {
 	}
 	defer l2.Close()
 	count := 0
-	l2.Scan(0, func(r *Record) bool { count++; return true })
+	if err := l2.Scan(0, func(r *Record) bool { count++; return true }); err != nil {
+		t.Fatal(err)
+	}
 	if count != 2 {
 		t.Errorf("records after torn tail = %d, want 2", count)
 	}
@@ -168,7 +210,9 @@ func TestRecoveryRedoCommitted(t *testing.T) {
 		{types.NewInt(10)}, {types.NewInt(20)},
 	})
 	l.Append(&Record{Type: RecCommit, TxID: 1, PrevLSN: last})
-	l.Flush()
+	if err := l.Flush(); err != nil {
+		t.Fatal(err)
+	}
 	// Crash before the dirty page reaches the store: new buffer manager on
 	// the same (empty) store.
 	m2 := buffer.New(st, 16, 2, buffer.WithFlushHook(l.FlushUpTo))
@@ -182,11 +226,8 @@ func TestRecoveryRedoCommitted(t *testing.T) {
 	if len(res.LoserTxns) != 0 {
 		t.Errorf("losers = %v", res.LoserTxns)
 	}
-	f, err := m2.Fetch(key)
-	if err != nil {
-		t.Fatal(err)
-	}
-	rp, _ := page.AsRowPage(f.Buf)
+	f := mustFetch(t, m2, key)
+	rp := mustRowPage(t, f.Buf)
 	if rp.LiveRows() != 2 {
 		t.Errorf("live rows after redo = %d, want 2", rp.LiveRows())
 	}
@@ -220,12 +261,12 @@ func TestRecoveryUndoLoser(t *testing.T) {
 	if res.UndoneRecords != 2 {
 		t.Errorf("undone = %d, want 2", res.UndoneRecords)
 	}
-	f, _ := m2.Fetch(key)
-	rp, _ := page.AsRowPage(f.Buf)
+	f := mustFetch(t, m2, key)
+	rp := mustRowPage(t, f.Buf)
 	if rp.LiveRows() != 1 {
 		t.Errorf("live rows after undo = %d, want 1", rp.LiveRows())
 	}
-	r, ok, _ := rp.Get(0)
+	r, ok := mustGet(t, rp, 0)
 	if !ok || r[0].Int() != 1 {
 		t.Errorf("surviving row = %v ok=%v", r, ok)
 	}
@@ -252,23 +293,25 @@ func TestRecoveryUndoDelete(t *testing.T) {
 	last := logTx(t, l, m, 1, key, []types.Row{{types.NewString("keepme")}})
 	l.Append(&Record{Type: RecCommit, TxID: 1, PrevLSN: last})
 	// Tx2 deletes it and crashes.
-	f, _ := m.Fetch(key)
-	rp, _ := page.AsRowPage(f.Buf)
+	f := mustFetch(t, m, key)
+	rp := mustRowPage(t, f.Buf)
 	enc := append([]byte(nil), rp.GetEncoded(0)...)
 	prev := l.Append(&Record{Type: RecBegin, TxID: 2})
 	rp.Delete(0)
 	prev = l.Append(&Record{Type: RecDelete, TxID: 2, PrevLSN: prev, Page: key, Slot: 0, Row: enc})
 	page.SetLSN(f.Buf, prev)
 	m.Unpin(f, true)
-	m.FlushAll()
+	if err := m.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
 
 	m2 := buffer.New(st, 16, 2, buffer.WithFlushHook(l.FlushUpTo))
 	if _, err := Recover(l, m2); err != nil {
 		t.Fatal(err)
 	}
-	f2, _ := m2.Fetch(key)
-	rp2, _ := page.AsRowPage(f2.Buf)
-	r, ok, _ := rp2.Get(0)
+	f2 := mustFetch(t, m2, key)
+	rp2 := mustRowPage(t, f2.Buf)
+	r, ok := mustGet(t, rp2, 0)
 	if !ok || r[0].Str() != "keepme" {
 		t.Errorf("deleted row not restored by undo: %v ok=%v", r, ok)
 	}
@@ -283,8 +326,12 @@ func TestRecoveryInDoubtPrepared(t *testing.T) {
 	key := page.Key{File: 1, Page: 0}
 	last := logTx(t, l, m, 7, key, []types.Row{{types.NewInt(70)}})
 	l.Append(&Record{Type: RecPrepare, TxID: 7, PrevLSN: last, Coordinator: 3})
-	l.Flush()
-	m.FlushAll()
+	if err := l.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
 
 	m2 := buffer.New(st, 16, 2, buffer.WithFlushHook(l.FlushUpTo))
 	res, err := Recover(l, m2)
@@ -295,8 +342,8 @@ func TestRecoveryInDoubtPrepared(t *testing.T) {
 		t.Fatalf("in-doubt = %+v", res.InDoubt)
 	}
 	// The prepared transaction's effects must still be present (not undone).
-	f, _ := m2.Fetch(key)
-	rp, _ := page.AsRowPage(f.Buf)
+	f := mustFetch(t, m2, key)
+	rp := mustRowPage(t, f.Buf)
 	if rp.LiveRows() != 1 {
 		t.Errorf("prepared txn rows = %d, want 1", rp.LiveRows())
 	}
@@ -311,13 +358,17 @@ func TestCheckpointShortensAnalysis(t *testing.T) {
 	key := page.Key{File: 1, Page: 0}
 	last := logTx(t, l, m, 1, key, []types.Row{{types.NewInt(1)}})
 	l.Append(&Record{Type: RecCommit, TxID: 1, PrevLSN: last})
-	m.FlushAll()
+	if err := m.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
 	if _, err := WriteCheckpoint(l, map[uint64]*TxInfo{}, map[page.Key]uint64{}); err != nil {
 		t.Fatal(err)
 	}
 	// Post-checkpoint loser.
 	logTx(t, l, m, 2, key, []types.Row{{types.NewInt(2)}})
-	m.FlushAll()
+	if err := m.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
 
 	m2 := buffer.New(st, 16, 2, buffer.WithFlushHook(l.FlushUpTo))
 	res, err := Recover(l, m2)
@@ -327,8 +378,8 @@ func TestCheckpointShortensAnalysis(t *testing.T) {
 	if len(res.LoserTxns) != 1 || res.LoserTxns[0] != 2 {
 		t.Fatalf("losers = %v", res.LoserTxns)
 	}
-	f, _ := m2.Fetch(key)
-	rp, _ := page.AsRowPage(f.Buf)
+	f := mustFetch(t, m2, key)
+	rp := mustRowPage(t, f.Buf)
 	if rp.LiveRows() != 1 {
 		t.Errorf("live rows = %d, want 1", rp.LiveRows())
 	}
@@ -395,10 +446,16 @@ func TestRecoveryQuickProperty(t *testing.T) {
 		}
 		// Random crash point: sometimes flush pages, sometimes not.
 		if trial%2 == 0 {
-			m.FlushAll()
+			if err := m.FlushAll(); err != nil {
+				t.Fatal(err)
+			}
 		}
-		l.Flush()
-		l.Close()
+		if err := l.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		if err := l.Close(); err != nil {
+			t.Fatal(err)
+		}
 
 		l2, err := Open(path)
 		if err != nil {
@@ -408,11 +465,8 @@ func TestRecoveryQuickProperty(t *testing.T) {
 		if _, err := Recover(l2, m2); err != nil {
 			t.Fatalf("trial %d: %v", trial, err)
 		}
-		f, err := m2.Fetch(key)
-		if err != nil {
-			t.Fatal(err)
-		}
-		rp, _ := page.AsRowPage(f.Buf)
+		f := mustFetch(t, m2, key)
+		rp := mustRowPage(t, f.Buf)
 		got := map[int64]bool{}
 		rp.Scan(func(slot int, r types.Row) bool { got[r[0].Int()] = true; return true })
 		m2.Unpin(f, false)
@@ -424,6 +478,8 @@ func TestRecoveryQuickProperty(t *testing.T) {
 				t.Fatalf("trial %d: lost committed %d", trial, v)
 			}
 		}
-		l2.Close()
+		if err := l2.Close(); err != nil {
+			t.Fatal(err)
+		}
 	}
 }

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Full verification gate: build, vet, repo-specific lint, tests, race tests
+# on the concurrency-heavy packages, and the invariants-tagged assertions.
+# CI runs exactly this script; run it locally before pushing.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> go build"
+go build ./...
+
+echo "==> go vet"
+go vet ./...
+
+echo "==> hrdbms-lint"
+go run ./cmd/hrdbms-lint ./...
+
+echo "==> go test"
+go test ./...
+
+echo "==> go test -race (exec, cluster, buffer, txn)"
+go test -race ./internal/exec ./internal/cluster ./internal/buffer ./internal/txn
+
+echo "==> go test -tags invariants (buffer, txn)"
+go test -tags invariants ./internal/buffer ./internal/txn
+
+echo "OK"
