@@ -15,9 +15,12 @@
 //	hrdbms-bench -exp ablations           # design-choice ablations
 //	hrdbms-bench -exp fig7 -sizes 8,16    # restrict the size sweep
 //	hrdbms-bench -sf 0.002                # larger measured dataset
+//	hrdbms-bench -exp exec -json BENCH_EXEC.json   # raw executed per-query stats
+//	hrdbms-bench -exp exec -trace         # + per-operator span tree per query
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -28,11 +31,13 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all|fig7|fig8|fig9|3tb|current|predcache|ablations")
+	exp := flag.String("exp", "all", "experiment: all|fig7|fig8|fig9|3tb|current|predcache|ablations|exec")
 	sf := flag.Float64("sf", 0.001, "measured scale factor")
 	target := flag.Float64("target", 1000, "modeled scale factor (1000 = 1TB)")
 	sizesFlag := flag.String("sizes", "", "comma-separated cluster sizes for fig7/fig9 (default paper sizes)")
 	dir := flag.String("dir", "", "working directory (default: temp)")
+	jsonOut := flag.String("json", "", "with -exp exec: write per-query stats JSON to this file")
+	trace := flag.Bool("trace", false, "with -exp exec: print the per-operator span tree of every query")
 	flag.Parse()
 
 	baseDir := *dir
@@ -85,6 +90,23 @@ func main() {
 			n = sizes[0]
 		}
 		err = r.Ablations(n)
+	case "exec":
+		n := 4
+		if len(sizes) == 1 {
+			n = sizes[0]
+		}
+		var stats []experiments.QueryExecStat
+		stats, err = r.ExecStats(n, *trace)
+		if err == nil && *jsonOut != "" {
+			var buf []byte
+			buf, err = json.MarshalIndent(stats, "", "  ")
+			if err == nil {
+				err = os.WriteFile(*jsonOut, append(buf, '\n'), 0o644)
+			}
+			if err == nil {
+				fmt.Printf("wrote %s\n", *jsonOut)
+			}
+		}
 	default:
 		err = fmt.Errorf("unknown experiment %q", *exp)
 	}

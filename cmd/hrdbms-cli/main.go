@@ -104,6 +104,15 @@ func runStatement(db *core.DB, sql string) {
 		fmt.Printf("%s (%.3fs)\n", res.Message, elapsed.Seconds())
 		return
 	}
+	// EXPLAIN / EXPLAIN ANALYZE return one "plan" column of preformatted
+	// lines; print them raw instead of as a tab table.
+	if res.Schema.Len() == 1 && res.Schema.Cols[0].Name == "plan" {
+		for _, r := range res.Rows {
+			fmt.Println(r[0].Str())
+		}
+		fmt.Printf("(%.3fs)\n", elapsed.Seconds())
+		return
+	}
 	if res.Schema.Len() > 0 {
 		names := make([]string, res.Schema.Len())
 		for i, c := range res.Schema.Cols {

@@ -11,6 +11,7 @@ import (
 var goleakPkgs = map[string]bool{
 	"repro/internal/exec":    true,
 	"repro/internal/cluster": true,
+	"repro/internal/obs":     true,
 }
 
 // goleakHintAnalyzer flags `go func` literals in exec/cluster that show no

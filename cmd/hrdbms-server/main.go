@@ -6,10 +6,16 @@
 // Protocol: one SQL statement per line; the server answers with
 // tab-separated rows, then a line "OK <n> rows" or "ERR <message>".
 //
+// With -http set, a second listener serves observability endpoints:
+// GET /metrics (plain-text registry) and GET /debug/queries (recent query
+// traces as JSON). -trace records a per-operator trace of every query into
+// the /debug/queries ring.
+//
 // Usage:
 //
-//	hrdbms-server -listen :7432 -workers 8 -dir /var/lib/hrdbms
+//	hrdbms-server -listen :7432 -workers 8 -dir /var/lib/hrdbms -http :7433
 //	echo "SELECT 1 FROM nation LIMIT 1;" | nc localhost 7432
+//	curl localhost:7433/metrics
 package main
 
 import (
@@ -17,15 +23,19 @@ import (
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
 	"os"
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/tpch"
 )
 
 func main() {
 	listen := flag.String("listen", "127.0.0.1:7432", "listen address")
+	httpAddr := flag.String("http", "", "serve /metrics and /debug/queries on this address")
+	trace := flag.Bool("trace", false, "record a per-operator trace of every query")
 	workers := flag.Int("workers", 4, "number of worker nodes")
 	dir := flag.String("dir", "", "data directory (default: temp)")
 	tpchSF := flag.Float64("tpch", 0, "preload TPC-H at this scale factor")
@@ -39,11 +49,24 @@ func main() {
 			fatal(err)
 		}
 	}
-	db, err := core.Open(core.Config{Workers: *workers, Dir: baseDir})
+	db, err := core.Open(core.Config{Workers: *workers, Dir: baseDir, TraceQueries: *trace})
 	if err != nil {
 		fatal(err)
 	}
 	defer db.Close()
+
+	if *httpAddr != "" {
+		hl, err := net.Listen("tcp", *httpAddr)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("observability on http://%s/metrics and /debug/queries\n", hl.Addr())
+		go func() {
+			if err := http.Serve(hl, obs.Handler(db.Registry(), db.Traces())); err != nil {
+				fmt.Fprintln(os.Stderr, "hrdbms-server: http:", err)
+			}
+		}()
+	}
 
 	if *tpchSF > 0 {
 		for _, ddl := range tpch.DDL() {

@@ -3,11 +3,16 @@ package main
 import (
 	"bufio"
 	"fmt"
+	"io"
 	"net"
+	"net/http"
+	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 // TestServeProtocol drives the line protocol over an in-memory pipe.
@@ -61,5 +66,59 @@ func TestServeProtocol(t *testing.T) {
 	out = send("SELECT count(*) FROM t;")
 	if out[0] != "3" {
 		t.Fatalf("after error: %v", out)
+	}
+}
+
+// TestObservabilityEndpoints exercises the -http surface: /metrics renders
+// the registry, /debug/queries returns traced queries as JSON.
+func TestObservabilityEndpoints(t *testing.T) {
+	db, err := core.Open(core.Config{Workers: 2, Dir: t.TempDir(), TraceQueries: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if _, err := db.Exec("CREATE TABLE obs_t (a INT, b FLOAT) PARTITION BY HASH(a)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec("INSERT INTO obs_t VALUES (1, 1.5), (2, 2.5), (3, 3.5)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec("SELECT SUM(b) FROM obs_t"); err != nil {
+		t.Fatal(err)
+	}
+
+	srv := httptest.NewServer(obs.Handler(db.Registry(), db.Traces()))
+	defer srv.Close()
+	get := func(path string) string {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body)
+	}
+
+	metrics := get("/metrics")
+	for _, want := range []string{"buffer.hits", "network.bytes_total", "wal.appends_total",
+		"twopc.commits_total", "query.seconds_count"} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %s:\n%s", want, metrics)
+		}
+	}
+	// The trace store flushes asynchronously; poll for the traced SELECT.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		body := get("/debug/queries")
+		if strings.Contains(body, "obs_t") && strings.Contains(body, `"spans"`) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("/debug/queries never showed the traced query:\n%s", body)
+		}
+		time.Sleep(5 * time.Millisecond)
 	}
 }

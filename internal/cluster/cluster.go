@@ -26,6 +26,7 @@ import (
 	"repro/internal/external"
 	"repro/internal/index"
 	"repro/internal/network"
+	"repro/internal/obs"
 	"repro/internal/storage"
 	"repro/internal/twopc"
 	"repro/internal/txn"
@@ -83,6 +84,10 @@ type Config struct {
 	MemRows         int // per-operator memory budget (rows)
 	LockTimeout     time.Duration
 	Profile         ExecProfile
+	// TraceQueries records a per-operator trace for every query run through
+	// a Session (retained in Traces for /debug/queries). EXPLAIN ANALYZE
+	// traces its own query regardless of this setting.
+	TraceQueries bool
 }
 
 // Worker is one worker node.
@@ -117,6 +122,11 @@ type Cluster struct {
 	Workers  []*Worker
 	Coords   []*CoordinatorNode
 	External *external.Registry
+	// Reg is the cluster's metrics registry: every subsystem's counters are
+	// published into it at New time and read live at snapshot time.
+	Reg *obs.Registry
+	// Traces retains recent query traces for /debug/queries.
+	Traces *obs.TraceStore
 
 	querySeq atomic.Uint64
 	coordSeq atomic.Uint64
@@ -152,6 +162,8 @@ func New(cfg Config) (*Cluster, error) {
 		Cfg:      cfg,
 		Fabric:   network.NewFabric(ids, 1024),
 		External: external.NewRegistry(),
+		Reg:      obs.NewRegistry(),
+		Traces:   obs.NewTraceStore(64),
 	}
 	c.txSeq.Store(1)
 
@@ -225,6 +237,7 @@ func New(cfg Config) (*Cluster, error) {
 		}
 		c.Workers = append(c.Workers, w)
 	}
+	registerClusterMetrics(c)
 	return c, nil
 }
 
@@ -325,6 +338,7 @@ func (c *Cluster) Load(table string, rows []types.Row) (int, error) {
 // Close shuts the cluster down, persisting predicate caches for reload at
 // the next start.
 func (c *Cluster) Close() error {
+	c.Traces.Close()
 	c.Fabric.CloseAll()
 	var firstErr error
 	for _, w := range c.Workers {

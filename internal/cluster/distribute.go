@@ -8,6 +8,8 @@ import (
 	"repro/internal/catalog"
 	"repro/internal/exec"
 	"repro/internal/expr"
+	"repro/internal/network"
+	"repro/internal/obs"
 	"repro/internal/opt"
 	"repro/internal/plan"
 	"repro/internal/types"
@@ -58,6 +60,14 @@ type queryExec struct {
 	qid   uint64
 	xseq  int
 	prof  ExecProfile
+
+	// Tracing state (nil for untraced queries — the zero-overhead path).
+	// tr collects spans; spans maps each wrapped operator to its span so
+	// parents link children across distribute calls; scope attributes the
+	// fabric traffic of this query's channel prefixes.
+	tr    *obs.QueryTrace
+	spans map[exec.Operator]*obs.Span
+	scope *network.MeterScope
 }
 
 func (q *queryExec) channel(tag string) string {
@@ -129,7 +139,7 @@ func (q *queryExec) materializeScalars(root plan.Node) error {
 		}
 	})
 	for _, s := range scalars {
-		rows, err := q.c.Run(s.Plan)
+		rows, err := q.runSubquery(s.Plan)
 		if err != nil {
 			return err
 		}
@@ -146,6 +156,28 @@ func (q *queryExec) materializeScalars(root plan.Node) error {
 	return nil
 }
 
+// runSubquery executes a materialized subquery under its own query ID but
+// sharing the parent query's trace and meter scope, so a traced or metered
+// parent attributes subquery spans and traffic to itself.
+func (q *queryExec) runSubquery(root plan.Node) ([]types.Row, error) {
+	sub := &queryExec{
+		c: q.c, coord: q.coord, qid: q.c.querySeq.Add(1), prof: q.prof,
+		tr: q.tr, spans: q.spans, scope: q.scope,
+	}
+	q.scope.AddPrefix(fmt.Sprintf("q%d.", sub.qid))
+	if err := sub.materializeScalars(root); err != nil {
+		return nil, err
+	}
+	ds, coordOp, err := sub.distribute(root)
+	if err != nil {
+		return nil, err
+	}
+	if coordOp == nil {
+		coordOp = sub.gatherPlain(ds)
+	}
+	return exec.Collect(coordOp)
+}
+
 // distribute returns either a worker-resident stream or a coordinator
 // operator (exactly one non-nil).
 func (q *queryExec) distribute(n plan.Node) (*dstream, exec.Operator, error) {
@@ -158,14 +190,18 @@ func (q *queryExec) distribute(n plan.Node) (*dstream, exec.Operator, error) {
 			return nil, nil, err
 		}
 		if coordOp != nil {
-			return nil, renameSchema(coordOp, x.Schema()), nil
+			r := renameSchema(coordOp, x.Schema())
+			q.adopt(r, coordOp)
+			return nil, r, nil
 		}
 		// Rename columns positionally; partition columns follow.
 		newDist := ds.dist
 		newDist.cols = mapColsByPosition(ds.dist.cols, ds.sch, x.Schema())
 		out := &dstream{sch: x.Schema(), dist: newDist}
 		for _, op := range ds.ops {
-			out.ops = append(out.ops, renameSchema(op, x.Schema()))
+			r := renameSchema(op, x.Schema())
+			q.adopt(r, op)
+			out.ops = append(out.ops, r)
 		}
 		return out, nil, nil
 	case *plan.Filter:
@@ -174,11 +210,12 @@ func (q *queryExec) distribute(n plan.Node) (*dstream, exec.Operator, error) {
 			return nil, nil, err
 		}
 		if coordOp != nil {
-			return nil, exec.NewFilter(nil, coordOp, x.Pred), nil
+			return nil, q.wrap("Filter", q.coord.ID, exec.NewFilter(nil, coordOp, x.Pred), coordOp), nil
 		}
 		out := &dstream{sch: ds.sch, dist: ds.dist}
 		for wi, op := range ds.ops {
-			out.ops = append(out.ops, exec.NewFilter(q.c.Workers[wi].execCtx, op, x.Pred))
+			w := q.c.Workers[wi]
+			out.ops = append(out.ops, q.wrap("Filter", w.ID, exec.NewFilter(w.execCtx, op, x.Pred), op))
 		}
 		return out, nil, nil
 	case *plan.Project:
@@ -187,12 +224,13 @@ func (q *queryExec) distribute(n plan.Node) (*dstream, exec.Operator, error) {
 			return nil, nil, err
 		}
 		if coordOp != nil {
-			return nil, exec.NewProject(nil, coordOp, x.Exprs, x.Names), nil
+			return nil, q.wrap("Project", q.coord.ID, exec.NewProject(nil, coordOp, x.Exprs, x.Names), coordOp), nil
 		}
 		newDist := projectDist(ds.dist, x)
 		out := &dstream{sch: x.Schema(), dist: newDist}
 		for wi, op := range ds.ops {
-			out.ops = append(out.ops, exec.NewProject(q.c.Workers[wi].execCtx, op, x.Exprs, x.Names))
+			w := q.c.Workers[wi]
+			out.ops = append(out.ops, q.wrap("Project", w.ID, exec.NewProject(w.execCtx, op, x.Exprs, x.Names), op))
 		}
 		return out, nil, nil
 	case *plan.Join:
@@ -206,12 +244,13 @@ func (q *queryExec) distribute(n plan.Node) (*dstream, exec.Operator, error) {
 		}
 		keys := planSortKeys(x.Keys)
 		if coordOp != nil {
-			return nil, exec.NewSort(nil, coordOp, keys), nil
+			return nil, q.wrap("Sort", q.coord.ID, exec.NewSort(nil, coordOp, keys), coordOp), nil
 		}
 		// Distributed merge sort: local sorts, ordered merge upward.
 		sorted := make([]exec.Operator, len(ds.ops))
 		for wi, op := range ds.ops {
-			sorted[wi] = exec.NewSort(q.c.Workers[wi].execCtx, op, keys)
+			w := q.c.Workers[wi]
+			sorted[wi] = q.wrap("Sort", w.ID, exec.NewSort(w.execCtx, op, keys), op)
 		}
 		return nil, q.gatherOrdered(&dstream{ops: sorted, sch: ds.sch}, keys), nil
 	case *plan.Limit:
@@ -222,11 +261,12 @@ func (q *queryExec) distribute(n plan.Node) (*dstream, exec.Operator, error) {
 			return nil, nil, err
 		}
 		if coordOp != nil {
-			return nil, exec.NewDistinct(coordOp), nil
+			return nil, q.wrap("Distinct", q.coord.ID, exec.NewDistinct(coordOp), coordOp), nil
 		}
 		if ds.dist.kind == distReplicated {
 			// One replica suffices.
-			return nil, exec.NewDistinct(q.pickOne(ds)), nil
+			one := q.pickOne(ds)
+			return nil, q.wrap("Distinct", q.coord.ID, exec.NewDistinct(one), one), nil
 		}
 		// Shuffle on all columns, then local distinct.
 		allKeys := exec.ColRefs(allIdx(ds.sch.Len())...)
@@ -235,8 +275,8 @@ func (q *queryExec) distribute(n plan.Node) (*dstream, exec.Operator, error) {
 			return nil, nil, err
 		}
 		out := &dstream{sch: ds.sch, dist: shuffled.dist}
-		for _, op := range shuffled.ops {
-			out.ops = append(out.ops, exec.NewDistinct(op))
+		for wi, op := range shuffled.ops {
+			out.ops = append(out.ops, q.wrap("Distinct", q.c.Workers[wi].ID, exec.NewDistinct(op), op))
 		}
 		return out, nil, nil
 	default:
@@ -291,21 +331,26 @@ func (q *queryExec) distributeScan(x *plan.Scan) (*dstream, exec.Operator, error
 	ds := &dstream{sch: x.Schema()}
 	name := lower(x.Table.Name)
 	for _, w := range q.c.Workers {
+		// The scan span is created before the operator so the scan thread
+		// can deposit its page/row stats directly.
+		sp := q.startSpan("Scan "+name, w.ID)
+		wcfg := cfg
+		wcfg.Trace = sp
 		var op exec.Operator
 		if x.Table.Columnar {
 			fr := w.colFrags[name]
 			if fr == nil {
 				return nil, nil, fmt.Errorf("cluster: worker %d has no fragment of %s", w.ID, name)
 			}
-			op = exec.NewColumnarScan(fr, x.Alias, cfg)
+			op = exec.NewColumnarScan(fr, x.Alias, wcfg)
 		} else {
 			fr := w.frags[name]
 			if fr == nil {
 				return nil, nil, fmt.Errorf("cluster: worker %d has no fragment of %s", w.ID, name)
 			}
-			op = exec.NewRowScan(fr, x.Alias, cfg)
+			op = exec.NewRowScan(fr, x.Alias, wcfg)
 		}
-		ds.ops = append(ds.ops, op)
+		ds.ops = append(ds.ops, q.attach(op, sp))
 	}
 	switch {
 	case x.Table.Part.Kind == catalog.PartReplicated:
@@ -380,11 +425,14 @@ func (q *queryExec) distributeJoin(x *plan.Join) (*dstream, exec.Operator, error
 		if rightCoord == nil {
 			rightCoord = q.gatherPlain(right)
 		}
-		return nil, q.makeJoin(nil, leftCoord, rightCoord, x, par), nil
+		jop := q.makeJoin(nil, leftCoord, rightCoord, x, par)
+		return nil, q.wrap(joinLabel(x), q.coord.ID, jop, leftCoord, rightCoord), nil
 	}
 	// No equality keys: non-equi join on the coordinator.
 	if len(x.EquiLeft) == 0 {
-		return nil, exec.NewNestedLoopJoin(nil, q.gatherPlain(left), q.gatherPlain(right), x.Residual, x.Type), nil
+		l, r := q.gatherPlain(left), q.gatherPlain(right)
+		jop := exec.NewNestedLoopJoin(nil, l, r, x.Residual, x.Type)
+		return nil, q.wrap("NestedLoopJoin", q.coord.ID, jop, l, r), nil
 	}
 
 	leftNames, leftPlain := keyNames(x.EquiLeft)
@@ -393,7 +441,9 @@ func (q *queryExec) distributeJoin(x *plan.Join) (*dstream, exec.Operator, error
 	join := func(l, r *dstream, d distInfo) *dstream {
 		out := &dstream{sch: x.Schema(), dist: d}
 		for wi := range q.c.Workers {
-			out.ops = append(out.ops, q.makeJoin(q.c.Workers[wi].execCtx, l.ops[wi], r.ops[wi], x, par))
+			w := q.c.Workers[wi]
+			jop := q.makeJoin(w.execCtx, l.ops[wi], r.ops[wi], x, par)
+			out.ops = append(out.ops, q.wrap(joinLabel(x), w.ID, jop, l.ops[wi], r.ops[wi]))
 		}
 		return out
 	}
@@ -411,7 +461,8 @@ func (q *queryExec) distributeJoin(x *plan.Join) (*dstream, exec.Operator, error
 	case left.dist.kind == distReplicated:
 		// Semi/anti with replicated probe would duplicate output rows;
 		// run on the coordinator (rare).
-		return nil, q.makeJoin(nil, q.gatherPlain(left), q.gatherPlain(right), x, par), nil
+		l, r := q.gatherPlain(left), q.gatherPlain(right)
+		return nil, q.wrap(joinLabel(x), q.coord.ID, q.makeJoin(nil, l, r, x, par), l, r), nil
 	}
 
 	// Both partitioned/random: exploit or create co-location.
@@ -443,6 +494,13 @@ func (q *queryExec) makeJoin(ctx *exec.Ctx, l, r exec.Operator, x *plan.Join, pa
 	return exec.NewHashJoin(ctx, l, r, x.EquiLeft, x.EquiRight, x.Type, x.Residual, par)
 }
 
+func joinLabel(x *plan.Join) string {
+	if len(x.EquiLeft) == 0 {
+		return "NestedLoopJoin"
+	}
+	return "HashJoin"
+}
+
 // shuffle repartitions a stream on key expressions; the result is
 // partitioned on the given column names (nil if keys are computed).
 func (q *queryExec) shuffle(ds *dstream, keys []expr.Expr, names []string) (*dstream, error) {
@@ -463,15 +521,18 @@ func (q *queryExec) shuffle(ds *dstream, keys []expr.Expr, names []string) (*dst
 		if q.prof.BlockingShuffle {
 			// MapReduce-style: materialize (and implicitly sort boundary)
 			// before sending.
-			in = exec.NewMaterialize(w.execCtx, in, true)
+			in = q.wrap("Materialize", w.ID, exec.NewMaterialize(w.execCtx, in, true), in)
 		}
-		sh, err := exec.NewShuffle(w.Ep, spec, in, keys, ds.sch)
+		// The shuffle's sends (including hub forwards) count against its
+		// span, matching the fabric meter's per-link accounting.
+		sp := q.startSpan("Shuffle", w.ID)
+		sh, err := exec.NewShuffle(exec.NewCountingEndpoint(w.Ep, sp), spec, in, keys, ds.sch)
 		if err != nil {
 			return nil, err
 		}
-		var recv exec.Operator = sh
+		recv := q.attach(sh, sp, in)
 		if q.prof.MaterializeShuffle {
-			recv = exec.NewMaterialize(w.execCtx, recv, true)
+			recv = q.wrap("Materialize", w.ID, exec.NewMaterialize(w.execCtx, recv, true), recv)
 		}
 		out.ops = append(out.ops, recv)
 	}
@@ -492,13 +553,16 @@ func (q *queryExec) distributeAgg(x *plan.Agg) (*dstream, exec.Operator, error) 
 		}
 	}
 	if coordOp != nil {
-		return nil, exec.NewHashAggregate(nil, coordOp, x.GroupBy, specs, exec.AggComplete), nil
+		agg := exec.NewHashAggregate(nil, coordOp, x.GroupBy, specs, exec.AggComplete)
+		return nil, q.wrap("HashAgg", q.coord.ID, agg, coordOp), nil
 	}
 	groupNames, groupPlain := keyNames(x.GroupBy)
 
 	// Replicated input: aggregate one replica locally.
 	if ds.dist.kind == distReplicated {
-		return nil, exec.NewHashAggregate(nil, q.pickOne(ds), x.GroupBy, specs, exec.AggComplete), nil
+		one := q.pickOne(ds)
+		agg := exec.NewHashAggregate(nil, one, x.GroupBy, specs, exec.AggComplete)
+		return nil, q.wrap("HashAgg", q.coord.ID, agg, one), nil
 	}
 
 	// Co-located: input partitioned on a prefix/subset of the group key →
@@ -507,7 +571,9 @@ func (q *queryExec) distributeAgg(x *plan.Agg) (*dstream, exec.Operator, error) 
 		coveredBy(ds.dist, groupNames, x.Child.Schema()) {
 		out := &dstream{sch: x.Schema(), dist: distInfo{kind: distPartitioned, cols: aggOutCols(x, groupNames)}}
 		for wi, op := range ds.ops {
-			out.ops = append(out.ops, exec.NewHashAggregate(q.c.Workers[wi].execCtx, op, x.GroupBy, specs, exec.AggComplete))
+			w := q.c.Workers[wi]
+			agg := exec.NewHashAggregate(w.execCtx, op, x.GroupBy, specs, exec.AggComplete)
+			out.ops = append(out.ops, q.wrap("HashAgg", w.ID, agg, op))
 		}
 		return out, nil, nil
 	}
@@ -520,13 +586,17 @@ func (q *queryExec) distributeAgg(x *plan.Agg) (*dstream, exec.Operator, error) 
 		}
 		out := &dstream{sch: x.Schema(), dist: distInfo{kind: distPartitioned, cols: aggOutCols(x, groupNames)}}
 		for wi, op := range shuffled.ops {
-			out.ops = append(out.ops, exec.NewHashAggregate(q.c.Workers[wi].execCtx, op, x.GroupBy, specs, exec.AggComplete))
+			w := q.c.Workers[wi]
+			agg := exec.NewHashAggregate(w.execCtx, op, x.GroupBy, specs, exec.AggComplete)
+			out.ops = append(out.ops, q.wrap("HashAgg", w.ID, agg, op))
 		}
 		return out, nil, nil
 	}
 	if hasDistinct {
 		// Scalar DISTINCT aggregate: gather raw rows.
-		return nil, exec.NewHashAggregate(nil, q.gatherPlain(ds), x.GroupBy, specs, exec.AggComplete), nil
+		gathered := q.gatherPlain(ds)
+		agg := exec.NewHashAggregate(nil, gathered, x.GroupBy, specs, exec.AggComplete)
+		return nil, q.wrap("HashAgg", q.coord.ID, agg, gathered), nil
 	}
 
 	// Scalar aggregates (no GROUP BY) always pre-aggregate per worker and
@@ -538,10 +608,13 @@ func (q *queryExec) distributeAgg(x *plan.Agg) (*dstream, exec.Operator, error) 
 		}
 		partials := make([]exec.Operator, len(ds.ops))
 		for wi, op := range ds.ops {
-			partials[wi] = exec.NewHashAggregate(q.c.Workers[wi].execCtx, op, nil, specs, exec.AggPartial)
+			w := q.c.Workers[wi]
+			agg := exec.NewHashAggregate(w.execCtx, op, nil, specs, exec.AggPartial)
+			partials[wi] = q.wrap("HashAgg partial", w.ID, agg, op)
 		}
 		gathered := q.gatherPlain(&dstream{ops: partials, sch: partials[0].Schema()})
-		return nil, exec.NewHashAggregate(nil, gathered, nil, specs, exec.AggFinal), nil
+		final := exec.NewHashAggregate(nil, gathered, nil, specs, exec.AggFinal)
+		return nil, q.wrap("HashAgg final", q.coord.ID, final, gathered), nil
 	}
 
 	// Cost-based choice (phase 3): pre-aggregation + tree merge when the
@@ -563,7 +636,9 @@ func (q *queryExec) distributeAgg(x *plan.Agg) (*dstream, exec.Operator, error) 
 		out.dist = distInfo{kind: distPartitioned, cols: aggOutCols(x, groupNames)}
 	}
 	for wi, op := range shuffled.ops {
-		out.ops = append(out.ops, exec.NewHashAggregate(q.c.Workers[wi].execCtx, op, x.GroupBy, specs, exec.AggComplete))
+		w := q.c.Workers[wi]
+		agg := exec.NewHashAggregate(w.execCtx, op, x.GroupBy, specs, exec.AggComplete)
+		out.ops = append(out.ops, q.wrap("HashAgg", w.ID, agg, op))
 	}
 	return out, nil, nil
 }
@@ -603,7 +678,9 @@ func coveredBy(d distInfo, groupNames []string, sch types.Schema) bool {
 func (q *queryExec) treeAggregate(ds *dstream, x *plan.Agg, specs []exec.AggSpec) exec.Operator {
 	partials := make([]exec.Operator, len(ds.ops))
 	for wi, op := range ds.ops {
-		partials[wi] = exec.NewHashAggregate(q.c.Workers[wi].execCtx, op, x.GroupBy, specs, exec.AggPartial)
+		w := q.c.Workers[wi]
+		agg := exec.NewHashAggregate(w.execCtx, op, x.GroupBy, specs, exec.AggPartial)
+		partials[wi] = q.wrap("HashAgg partial", w.ID, agg, op)
 	}
 	// Group columns are positional in the partial output.
 	groupRefs := exec.ColRefs(allIdx(len(x.GroupBy))...)
@@ -611,7 +688,8 @@ func (q *queryExec) treeAggregate(ds *dstream, x *plan.Agg, specs []exec.AggSpec
 		return exec.NewHashAggregate(nil, exec.NewUnion(ins...), groupRefs, specs, exec.AggMerge)
 	}
 	tree := q.gatherTree(&dstream{ops: partials, sch: partials[0].Schema()}, combine)
-	return exec.NewHashAggregate(nil, tree, groupRefs, specs, exec.AggFinal)
+	final := exec.NewHashAggregate(nil, tree, groupRefs, specs, exec.AggFinal)
+	return q.wrap("HashAgg final", q.coord.ID, final, tree)
 }
 
 func (q *queryExec) distributeLimit(x *plan.Limit) (*dstream, exec.Operator, error) {
@@ -623,28 +701,30 @@ func (q *queryExec) distributeLimit(x *plan.Limit) (*dstream, exec.Operator, err
 		}
 		keys := planSortKeys(s.Keys)
 		if coordOp != nil {
-			return nil, exec.NewTopK(nil, coordOp, keys, int(x.N)), nil
+			return nil, q.wrap("TopK", q.coord.ID, exec.NewTopK(nil, coordOp, keys, int(x.N)), coordOp), nil
 		}
 		local := make([]exec.Operator, len(ds.ops))
 		for wi, op := range ds.ops {
-			local[wi] = exec.NewTopK(q.c.Workers[wi].execCtx, op, keys, int(x.N))
+			w := q.c.Workers[wi]
+			local[wi] = q.wrap("TopK", w.ID, exec.NewTopK(w.execCtx, op, keys, int(x.N)), op)
 		}
 		merged := q.gatherOrdered(&dstream{ops: local, sch: ds.sch}, keys)
-		return nil, exec.NewLimit(merged, x.N, 0), nil
+		return nil, q.wrap("Limit", q.coord.ID, exec.NewLimit(merged, x.N, 0), merged), nil
 	}
 	ds, coordOp, err := q.distribute(x.Child)
 	if err != nil {
 		return nil, nil, err
 	}
 	if coordOp != nil {
-		return nil, exec.NewLimit(coordOp, x.N, x.Offset), nil
+		return nil, q.wrap("Limit", q.coord.ID, exec.NewLimit(coordOp, x.N, x.Offset), coordOp), nil
 	}
 	// Any N+offset rows per worker suffice; trim on the coordinator.
 	local := make([]exec.Operator, len(ds.ops))
 	for wi, op := range ds.ops {
-		local[wi] = exec.NewLimit(op, x.N+x.Offset, 0)
+		local[wi] = q.wrap("Limit", q.c.Workers[wi].ID, exec.NewLimit(op, x.N+x.Offset, 0), op)
 	}
-	return nil, exec.NewLimit(q.gatherPlain(&dstream{ops: local, sch: ds.sch}), x.N, x.Offset), nil
+	gathered := q.gatherPlain(&dstream{ops: local, sch: ds.sch})
+	return nil, q.wrap("Limit", q.coord.ID, exec.NewLimit(gathered, x.N, x.Offset), gathered), nil
 }
 
 // pickOne selects worker 0's replica of a replicated stream and drops the
@@ -652,14 +732,20 @@ func (q *queryExec) distributeLimit(x *plan.Limit) (*dstream, exec.Operator, err
 func (q *queryExec) pickOne(ds *dstream) exec.Operator {
 	ch := q.channel("one")
 	w := q.c.Workers[0]
-	return &workerDriver{
+	gsp := q.startSpan("Gather", q.coord.ID)
+	ssp := q.startSpan("Send", w.ID)
+	ssp.SetParent(gsp)
+	q.spanOf(ds.ops[0]).SetParent(ssp)
+	ep := exec.NewCountingEndpoint(w.Ep, ssp)
+	d := &workerDriver{
 		coordSide: func() exec.Operator { return exec.NewRecv(q.coord.Ep, ch, 1, ds.sch) },
 		launch: func() []func() error {
 			return []func() error{func() error {
-				return exec.SendAll(w.Ep, q.coord.ID, ch, ds.ops[0])
+				return exec.SendAll(ep, q.coord.ID, ch, ds.ops[0])
 			}}
 		},
 	}
+	return q.attach(d, gsp)
 }
 
 // gatherPlain brings a worker stream to the coordinator, unordered.
@@ -667,22 +753,34 @@ func (q *queryExec) gatherPlain(ds *dstream) exec.Operator {
 	ch := q.channel("g")
 	coordEp := q.coord.Ep
 	coordID := q.coord.ID
-	return &workerDriver{
+	gsp := q.startSpan("Gather", coordID)
+	// Per-worker Send spans chain the gather to each worker's subtree and
+	// count the bytes that worker puts on the wire.
+	eps := make([]network.Endpoint, len(ds.ops))
+	for wi := range ds.ops {
+		w := q.c.Workers[wi]
+		ssp := q.startSpan("Send", w.ID)
+		ssp.SetParent(gsp)
+		q.spanOf(ds.ops[wi]).SetParent(ssp)
+		eps[wi] = exec.NewCountingEndpoint(w.Ep, ssp)
+	}
+	d := &workerDriver{
 		coordSide: func() exec.Operator {
 			return exec.NewRecv(coordEp, ch, len(ds.ops), ds.sch)
 		},
 		launch: func() []func() error {
 			var fns []func() error
 			for wi := range ds.ops {
-				w := q.c.Workers[wi]
 				op := ds.ops[wi]
+				ep := eps[wi]
 				fns = append(fns, func() error {
-					return exec.SendAll(w.Ep, coordID, ch, op)
+					return exec.SendAll(ep, coordID, ch, op)
 				})
 			}
 			return fns
 		},
 	}
+	return q.attach(d, gsp)
 }
 
 // gatherOrdered preserves per-worker order with an ordered merge at the
@@ -691,7 +789,16 @@ func (q *queryExec) gatherOrdered(ds *dstream, keys []exec.SortKey) exec.Operato
 	base := q.channel("m")
 	coordEp := q.coord.Ep
 	coordID := q.coord.ID
-	return &workerDriver{
+	gsp := q.startSpan("GatherMerge", coordID)
+	eps := make([]network.Endpoint, len(ds.ops))
+	for wi := range ds.ops {
+		w := q.c.Workers[wi]
+		ssp := q.startSpan("Send", w.ID)
+		ssp.SetParent(gsp)
+		q.spanOf(ds.ops[wi]).SetParent(ssp)
+		eps[wi] = exec.NewCountingEndpoint(w.Ep, ssp)
+	}
+	d := &workerDriver{
 		coordSide: func() exec.Operator {
 			ins := make([]exec.Operator, len(ds.ops))
 			for wi := range ds.ops {
@@ -702,16 +809,17 @@ func (q *queryExec) gatherOrdered(ds *dstream, keys []exec.SortKey) exec.Operato
 		launch: func() []func() error {
 			var fns []func() error
 			for wi := range ds.ops {
-				w := q.c.Workers[wi]
 				op := ds.ops[wi]
+				ep := eps[wi]
 				ch := fmt.Sprintf("%s.%d", base, wi)
 				fns = append(fns, func() error {
-					return exec.SendAll(w.Ep, coordID, ch, op)
+					return exec.SendAll(ep, coordID, ch, op)
 				})
 			}
 			return fns
 		},
 	}
+	return q.attach(d, gsp)
 }
 
 // gatherTree runs a tree-topology reduction with the coordinator as root
@@ -724,7 +832,16 @@ func (q *queryExec) gatherTree(ds *dstream, combine func([]exec.Operator) exec.O
 		Nmax:    q.c.Cfg.Nmax,
 	}
 	coordEp := q.coord.Ep
-	return &workerDriver{
+	gsp := q.startSpan("TreeReduce", q.coord.ID)
+	eps := make([]network.Endpoint, len(ds.ops))
+	for wi := range ds.ops {
+		w := q.c.Workers[wi]
+		ssp := q.startSpan("TreeSend", w.ID)
+		ssp.SetParent(gsp)
+		q.spanOf(ds.ops[wi]).SetParent(ssp)
+		eps[wi] = exec.NewCountingEndpoint(w.Ep, ssp)
+	}
+	d := &workerDriver{
 		coordSide: func() exec.Operator {
 			op, err := exec.RunTreeReduce(coordEp, spec, exec.NewSource(ds.sch, nil), combine)
 			if err != nil || op == nil {
@@ -735,16 +852,17 @@ func (q *queryExec) gatherTree(ds *dstream, combine func([]exec.Operator) exec.O
 		launch: func() []func() error {
 			var fns []func() error
 			for wi := range ds.ops {
-				w := q.c.Workers[wi]
 				op := ds.ops[wi]
+				ep := eps[wi]
 				fns = append(fns, func() error {
-					_, err := exec.RunTreeReduce(w.Ep, spec, op, combine)
+					_, err := exec.RunTreeReduce(ep, spec, op, combine)
 					return err
 				})
 			}
 			return fns
 		},
 	}
+	return q.attach(d, gsp)
 }
 
 // workerDriver is a coordinator-side operator that launches the worker

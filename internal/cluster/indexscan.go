@@ -155,9 +155,10 @@ func (q *queryExec) indexScan(x *plan.Scan, m *indexMatch) (*dstream, error) {
 	name := lower(x.Table.Name)
 	for _, w := range q.c.Workers {
 		fr := w.frags[name]
-		ds.ops = append(ds.ops, &indexScanOp{
+		op := q.wrap("IndexScan "+m.def.Name, w.ID, &indexScanOp{
 			w: w, fr: fr, def: m.def, key: m.key, pred: x.Pred, sch: x.Schema(),
 		})
+		ds.ops = append(ds.ops, op)
 	}
 	switch {
 	case x.Table.Part.Kind == catalog.PartReplicated:

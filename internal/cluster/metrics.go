@@ -1,6 +1,11 @@
 package cluster
 
 import (
+	"fmt"
+	"time"
+
+	"repro/internal/exec"
+	"repro/internal/obs"
 	"repro/internal/plan"
 	"repro/internal/types"
 )
@@ -8,6 +13,13 @@ import (
 // RunMetrics captures what one query execution did across the cluster —
 // the real, counted quantities the performance model converts into
 // simulated cluster-scale time.
+//
+// Network counters are exact for the query: every exchange channel carries
+// the query id in its name and the fabric meter attributes traffic through
+// a per-query scope, so concurrent queries cannot cross-talk. The worker
+// counters (WorkRows, ScanRows, PagesRead, SpillBytes, StateBytes) are
+// cluster-wide deltas over the query's execution window — under concurrent
+// load they include work done by overlapping queries.
 type RunMetrics struct {
 	// CPU work: rows flowing through operators.
 	WorkRows int64
@@ -32,17 +44,42 @@ type RunMetrics struct {
 	// Plan shape.
 	Exchanges  int // number of exchange (shuffle/gather) boundaries
 	ResultRows int
+	// Wall is the end-to-end execution time at the coordinator.
+	Wall time.Duration
 }
 
-// RunMetered executes a plan and reports metrics. Counters are deltas over
-// this query only (the fabric meter is reset; worker counters are diffed).
+// RunMetered executes a plan and reports metrics for it.
 func (c *Cluster) RunMetered(root plan.Node) ([]types.Row, RunMetrics, error) {
-	c.Fabric.Meter().Reset()
+	rows, m, _, err := c.runMetered(c.Coords[0], root, false, "")
+	return rows, m, err
+}
+
+// RunTraced executes a plan with per-operator tracing and returns the
+// stitched query trace alongside the metrics. sql labels the trace.
+func (c *Cluster) RunTraced(root plan.Node, sql string) ([]types.Row, RunMetrics, *obs.QueryTrace, error) {
+	return c.runMetered(c.Coords[0], root, true, sql)
+}
+
+// runMetered is the shared execution path: it allocates the query id,
+// opens a meter scope on the query's channel prefix (subqueries add their
+// own prefixes), optionally wires a tracer through distribution, runs the
+// dataflow, and assembles the metrics.
+func (c *Cluster) runMetered(coord *CoordinatorNode, root plan.Node, traced bool, sql string) ([]types.Row, RunMetrics, *obs.QueryTrace, error) {
+	qid := c.querySeq.Add(1)
+	scope := c.Fabric.Meter().Scope(fmt.Sprintf("q%d.", qid))
+	defer scope.Close()
+	q := &queryExec{c: c, coord: coord, qid: qid, prof: c.Cfg.Profile, scope: scope}
+	var tr *obs.QueryTrace
+	if traced {
+		tr = obs.NewQueryTrace(qid, sql)
+		q.tr = tr
+		q.spans = map[exec.Operator]*obs.Span{}
+	}
+
 	type snap struct {
 		rows, spill, state, scanned, pagesRead int64
 	}
 	before := make([]snap, len(c.Workers))
-	var skippedBefore int64
 	for i, w := range c.Workers {
 		bs := w.Store.Buf.Stats()
 		before[i] = snap{
@@ -53,30 +90,31 @@ func (c *Cluster) RunMetered(root plan.Node) ([]types.Row, RunMetrics, error) {
 			pagesRead: bs.Hits + bs.Misses, // logical page accesses
 		}
 	}
-	skippedBefore = c.totalSkipped()
+	skippedBefore := c.totalSkipped()
 
-	q := &queryExec{c: c, coord: c.Coords[0], qid: c.querySeq.Add(1), prof: c.Cfg.Profile}
 	var m RunMetrics
+	start := time.Now()
 	if err := q.materializeScalars(root); err != nil {
-		return nil, m, err
+		return nil, m, tr, err
 	}
 	ds, coordOp, err := q.distribute(root)
 	if err != nil {
-		return nil, m, err
+		return nil, m, tr, err
 	}
 	if coordOp == nil {
 		coordOp = q.gatherPlain(ds)
 	}
 	rows, err := collectRows(coordOp)
 	if err != nil {
-		return nil, m, err
+		return nil, m, tr, err
 	}
+	m.Wall = time.Since(start)
+	tr.SetWall(m.Wall)
 
-	meter := c.Fabric.Meter()
-	m.NetBytes = meter.TotalBytes()
-	m.NetMessages = meter.TotalMessages()
-	m.Connections = meter.Connections()
-	m.MaxDegree = meter.MaxNodeDegree()
+	m.NetBytes = scope.TotalBytes()
+	m.NetMessages = scope.TotalMessages()
+	m.Connections = scope.Connections()
+	m.MaxDegree = scope.MaxNodeDegree()
 	m.Exchanges = q.xseq
 	m.ResultRows = len(rows)
 	for i, w := range c.Workers {
@@ -89,7 +127,14 @@ func (c *Cluster) RunMetered(root plan.Node) ([]types.Row, RunMetrics, error) {
 	}
 	m.PagesSkipped = c.totalSkipped() - skippedBefore
 	m.PageBytes = m.PagesRead * int64(c.Cfg.PageSize)
-	return rows, m, nil
+	// Spill and operator state are tracked in per-worker exec contexts
+	// shared by all operators, so they cannot be attributed to a single
+	// span; charge the query-level delta to the trace's root operator.
+	if sp := q.spanOf(coordOp); sp != nil {
+		sp.AddSpill(m.SpillBytes)
+		sp.AddState(m.StateBytes)
+	}
+	return rows, m, tr, nil
 }
 
 // totalSkipped sums predicate-cache skip decisions across fragments.

@@ -1,0 +1,271 @@
+package cluster
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/plan"
+	"repro/internal/sqlparse"
+	"repro/internal/types"
+)
+
+// planFor builds and optimizes a SELECT for direct RunTraced/RunMetered use.
+func planFor(t *testing.T, c *Cluster, sql string) plan.Node {
+	t.Helper()
+	sel, err := sqlparse.ParseSelect(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	node, err := c.Plan(sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return node
+}
+
+// TestTraceSpanSumsMatchRunMetrics runs a distributed join with tracing and
+// checks the acceptance invariant: the per-operator span counters sum to the
+// query's RunMetrics totals. ScanRows and net bytes/messages must match
+// exactly (scans write their own stats into spans; every exchange send goes
+// through a counting endpoint and the meter scope sees the same channels).
+// PagesRead differs by construction — spans count pages scans touched,
+// RunMetrics counts all buffer accesses including headers and index pages —
+// so it is checked as a lower bound.
+func TestTraceSpanSumsMatchRunMetrics(t *testing.T) {
+	c, _ := newCluster(t, 3, HRDBMSProfile())
+	sql := `SELECT c.c_name, SUM(o.o_totalprice)
+		FROM customer c, orders o
+		WHERE c.c_custkey = o.o_custkey AND o.o_totalprice > 50
+		GROUP BY c.c_name`
+	node := planFor(t, c, sql)
+	rows, m, tr, err := c.RunTraced(node, sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 || m.ResultRows != len(rows) {
+		t.Fatalf("rows=%d ResultRows=%d", len(rows), m.ResultRows)
+	}
+	var scanRows, pages, netBytes, netMsgs int64
+	nodes := map[int]bool{}
+	for _, s := range tr.Spans() {
+		scanRows += s.ScanRows
+		pages += s.PagesRead
+		netBytes += s.NetBytes
+		netMsgs += s.NetMsgs
+		nodes[s.Node] = true
+	}
+	if scanRows != m.ScanRows {
+		t.Errorf("span scan rows = %d, metrics = %d", scanRows, m.ScanRows)
+	}
+	if m.ScanRows == 0 {
+		t.Error("join read no rows?")
+	}
+	if netBytes != m.NetBytes {
+		t.Errorf("span net bytes = %d, metrics = %d", netBytes, m.NetBytes)
+	}
+	if netMsgs != m.NetMessages {
+		t.Errorf("span net msgs = %d, metrics = %d", netMsgs, m.NetMessages)
+	}
+	if m.NetBytes == 0 {
+		t.Error("distributed join moved no bytes?")
+	}
+	if pages == 0 || pages > m.PagesRead {
+		t.Errorf("span pages = %d, metrics pages = %d (want 0 < span ≤ metrics)", pages, m.PagesRead)
+	}
+	// The trace must stitch across the exchange boundary: coordinator
+	// (gather/final agg) plus every worker that scanned.
+	if len(nodes) < 1+3 {
+		t.Errorf("trace covers nodes %v, want coordinator + 3 workers", nodes)
+	}
+	if tr.Wall() <= 0 {
+		t.Error("trace wall time not recorded")
+	}
+	// Untraced execution of the same plan returns the same row count and
+	// also meters the network exactly (scope-based, not reset-based).
+	node2 := planFor(t, c, sql)
+	rows2, m2, err := c.RunMetered(node2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows2) != len(rows) {
+		t.Errorf("untraced rows = %d, traced = %d", len(rows2), len(rows))
+	}
+	if m2.NetBytes != m.NetBytes {
+		t.Errorf("untraced net bytes = %d, traced = %d (tracing must not change traffic)", m2.NetBytes, m.NetBytes)
+	}
+}
+
+// TestRunMeteredConcurrentNetIsolation is the regression test for the old
+// Meter().Reset() scheme, where two overlapping RunMetered calls wiped each
+// other's counters. With per-query scopes, each concurrent run must report
+// exactly the bytes a solo run reports.
+func TestRunMeteredConcurrentNetIsolation(t *testing.T) {
+	c, _ := newCluster(t, 3, HRDBMSProfile())
+	sql := `SELECT c.c_nationkey, SUM(o.o_totalprice)
+		FROM customer c, orders o
+		WHERE c.c_custkey = o.o_custkey
+		GROUP BY c.c_nationkey`
+	_, solo, err := c.RunMetered(planFor(t, c, sql))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if solo.NetBytes == 0 {
+		t.Fatal("solo run moved no bytes; test needs a distributed plan")
+	}
+	const runs = 4
+	ms := make([]RunMetrics, runs)
+	errs := make([]error, runs)
+	var wg sync.WaitGroup
+	for i := 0; i < runs; i++ {
+		node := planFor(t, c, sql)
+		wg.Add(1)
+		go func(i int, node plan.Node) {
+			defer wg.Done()
+			_, ms[i], errs[i] = c.RunMetered(node)
+		}(i, node)
+	}
+	wg.Wait()
+	for i := 0; i < runs; i++ {
+		if errs[i] != nil {
+			t.Fatal(errs[i])
+		}
+		if ms[i].NetBytes != solo.NetBytes || ms[i].NetMessages != solo.NetMessages {
+			t.Errorf("concurrent run %d: net=%dB/%d msgs, solo=%dB/%d msgs",
+				i, ms[i].NetBytes, ms[i].NetMessages, solo.NetBytes, solo.NetMessages)
+		}
+	}
+}
+
+// TestExplainAnalyzeSQL drives EXPLAIN ANALYZE end-to-end through ExecSQL
+// and checks the rendered tree is multi-node and carries counters.
+func TestExplainAnalyzeSQL(t *testing.T) {
+	c, _ := newCluster(t, 3, HRDBMSProfile())
+	res, err := c.ExecSQL(`EXPLAIN ANALYZE SELECT c.c_name, o.o_totalprice
+		FROM customer c, orders o
+		WHERE c.c_custkey = o.o_custkey AND o.o_totalprice > 100`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Schema.Len() != 1 || res.Schema.Cols[0].Name != "plan" {
+		t.Fatalf("schema = %v", res.Schema)
+	}
+	var text strings.Builder
+	for _, r := range res.Rows {
+		text.WriteString(r[0].S)
+		text.WriteByte('\n')
+	}
+	out := text.String()
+	for _, want := range []string{"Gather", "Scan", "[node 0]", "[node 1]", "[node 2]", "[node 3]", "rows=", "net=", "Totals:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("EXPLAIN ANALYZE output missing %q:\n%s", want, out)
+		}
+	}
+	// Plain EXPLAIN still renders the logical plan, not a trace.
+	res, err = c.ExecSQL(`EXPLAIN SELECT c_name FROM customer`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) == 0 || strings.Contains(res.Rows[0][0].S, "[node") {
+		t.Errorf("plain EXPLAIN looks traced: %v", res.Rows)
+	}
+}
+
+// TestTraceQueriesConfig checks that the TraceQueries switch records every
+// session query into the trace store for /debug/queries.
+func TestTraceQueriesConfig(t *testing.T) {
+	c, _ := newCluster(t, 2, HRDBMSProfile())
+	c.Cfg.TraceQueries = true
+	if _, err := c.ExecSQL(`SELECT COUNT(*) FROM lineitem`); err != nil {
+		t.Fatal(err)
+	}
+	// The store's flusher is asynchronous; poll briefly.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if ts := c.Traces.Recent(); len(ts) > 0 {
+			snap := ts[len(ts)-1].Snapshot()
+			if !strings.Contains(snap.SQL, "lineitem") {
+				t.Fatalf("stored trace sql = %q", snap.SQL)
+			}
+			if len(snap.Spans) == 0 {
+				t.Fatal("stored trace has no spans")
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("trace never reached the store")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// The registry observed the query latency histogram.
+	if n := c.Reg.Histogram("query.seconds", querySecondsBounds).Total(); n == 0 {
+		t.Error("query.seconds histogram not observed")
+	}
+	// And cluster gauges are live.
+	found := map[string]bool{}
+	for _, m := range c.Reg.Snapshot() {
+		found[m.Name] = true
+	}
+	for _, name := range []string{"buffer.hits", "network.bytes_total", "wal.appends_total", "twopc.commits_total", "txn.active", "storage.rows_scanned_total"} {
+		if !found[name] {
+			t.Errorf("registry missing %s", name)
+		}
+	}
+}
+
+// BenchmarkDistributedQuery compares the untraced path (nil tracer — the
+// default for every query) against full tracing on a distributed join.
+// The untraced arm is the overhead-vs-seed check: with tr == nil no span is
+// allocated, no operator is wrapped, and the only added work per query is
+// one meter-scope registration.
+func BenchmarkDistributedQuery(b *testing.B) {
+	c, err := New(Config{NumWorkers: 3, BaseDir: b.TempDir(), PageSize: 8192, Nmax: 3, Profile: HRDBMSProfile()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	ddl := []string{
+		`CREATE TABLE bk (k INT, grp INT, v FLOAT) PARTITION BY HASH(k)`,
+		`CREATE TABLE bd (k INT, w FLOAT) PARTITION BY HASH(k)`,
+	}
+	for _, stmt := range ddl {
+		if _, err := c.ExecSQL(stmt); err != nil {
+			b.Fatal(err)
+		}
+	}
+	var bkRows, bdRows []types.Row
+	for i := int64(0); i < 2000; i++ {
+		bkRows = append(bkRows, types.Row{types.NewInt(i), types.NewInt(i % 16), types.NewFloat(float64(i % 97))})
+		bdRows = append(bdRows, types.Row{types.NewInt(i), types.NewFloat(float64(i % 13))})
+	}
+	if _, err := c.Load("bk", bkRows); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := c.Load("bd", bdRows); err != nil {
+		b.Fatal(err)
+	}
+	sql := `SELECT bk.grp, SUM(bd.w) FROM bk, bd WHERE bk.k = bd.k GROUP BY bk.grp`
+	sel, err := sqlparse.ParseSelect(sql)
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func(b *testing.B, traced bool) {
+		for i := 0; i < b.N; i++ {
+			node, err := c.Plan(sel)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if traced {
+				_, _, _, err = c.RunTraced(node, sql)
+			} else {
+				_, _, err = c.RunMetered(node)
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("untraced", func(b *testing.B) { run(b, false) })
+	b.Run("traced", func(b *testing.B) { run(b, true) })
+}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"time"
 
 	"repro/internal/catalog"
 	"repro/internal/exec"
@@ -35,8 +36,11 @@ func (c *Cluster) ExecSQL(sql string) (*Result, error) {
 	}
 	switch x := stmt.(type) {
 	case *sqlparse.Select:
-		return c.runSelect(x)
+		return c.runSelect(x, sql)
 	case *sqlparse.Explain:
+		if x.Analyze {
+			return c.explainAnalyze(x.Query, sql)
+		}
 		return c.explain(x.Query)
 	case *sqlparse.CreateTable:
 		return c.createTableStmt(x)
@@ -77,7 +81,11 @@ func (c *Cluster) Plan(sel *sqlparse.Select) (plan.Node, error) {
 	return opt.Optimize(node, c.Catalog())
 }
 
-func (c *Cluster) runSelect(sel *sqlparse.Select) (*Result, error) {
+// querySecondsBounds buckets per-query latency for the query.seconds
+// histogram (seconds, log-ish spacing).
+var querySecondsBounds = []float64{0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 10}
+
+func (c *Cluster) runSelect(sel *sqlparse.Select, sql string) (*Result, error) {
 	// Spread read queries over the coordinators (Section I: multiple
 	// coordinators process requests in parallel; results route through the
 	// coordinator that planned the query).
@@ -90,6 +98,16 @@ func (c *Cluster) runSelect(sel *sqlparse.Select) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	if c.Cfg.TraceQueries {
+		rows, m, tr, err := c.runMetered(coord, node, true, sql)
+		if err != nil {
+			return nil, err
+		}
+		c.Traces.Add(tr)
+		c.Reg.Histogram("query.seconds", querySecondsBounds).Observe(m.Wall.Seconds())
+		return &Result{Schema: node.Schema(), Rows: rows}, nil
+	}
+	start := time.Now()
 	op, err := c.CompileDistributedOn(coord, node)
 	if err != nil {
 		return nil, err
@@ -98,6 +116,7 @@ func (c *Cluster) runSelect(sel *sqlparse.Select) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	c.Reg.Histogram("query.seconds", querySecondsBounds).Observe(time.Since(start).Seconds())
 	return &Result{Schema: node.Schema(), Rows: rows}, nil
 }
 
@@ -113,6 +132,35 @@ func (c *Cluster) explain(sel *sqlparse.Select) (*Result, error) {
 	return &Result{
 		Schema: types.NewSchema(types.Column{Name: "plan", Kind: types.KindString}),
 		Rows:   rows,
+	}, nil
+}
+
+// explainAnalyze executes the query with per-operator tracing and returns
+// the stitched span tree — one line per operator, grouped by node along the
+// exchange boundaries — plus a totals footer from the run metrics.
+func (c *Cluster) explainAnalyze(sel *sqlparse.Select, sql string) (*Result, error) {
+	node, err := c.Plan(sel)
+	if err != nil {
+		return nil, err
+	}
+	rows, m, tr, err := c.RunTraced(node, sql)
+	if err != nil {
+		return nil, err
+	}
+	c.Traces.Add(tr)
+	c.Reg.Histogram("query.seconds", querySecondsBounds).Observe(m.Wall.Seconds())
+	var out []types.Row
+	for _, line := range strings.Split(strings.TrimRight(tr.Render(), "\n"), "\n") {
+		out = append(out, types.Row{types.NewString(line)})
+	}
+	totals := fmt.Sprintf(
+		"Totals: rows=%d scanned=%d pages=%d skipped=%d net=%dB msgs=%d spill=%dB state=%dB wall=%.3fms",
+		len(rows), m.ScanRows, m.PagesRead, m.PagesSkipped, m.NetBytes,
+		m.NetMessages, m.SpillBytes, m.StateBytes, float64(m.Wall.Nanoseconds())/1e6)
+	out = append(out, types.Row{types.NewString(totals)})
+	return &Result{
+		Schema: types.NewSchema(types.Column{Name: "plan", Kind: types.KindString}),
+		Rows:   out,
 	}, nil
 }
 

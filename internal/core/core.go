@@ -10,6 +10,7 @@ import (
 	"repro/internal/catalog"
 	"repro/internal/cluster"
 	"repro/internal/external"
+	"repro/internal/obs"
 	"repro/internal/sqlparse"
 	"repro/internal/types"
 )
@@ -38,6 +39,10 @@ type Config struct {
 	// feature set. Baseline profiles are available via the baseline and
 	// perfmodel packages.
 	Profile *cluster.ExecProfile
+	// TraceQueries records a per-operator trace of every query, retained
+	// for the /debug/queries endpoint. EXPLAIN ANALYZE traces its own
+	// query regardless.
+	TraceQueries bool
 }
 
 // DB is an open HRDBMS instance.
@@ -70,6 +75,7 @@ func Open(cfg Config) (*DB, error) {
 		MemRows:         cfg.MemRows,
 		LockTimeout:     cfg.LockTimeout,
 		Profile:         prof,
+		TraceQueries:    cfg.TraceQueries,
 	})
 	if err != nil {
 		return nil, err
@@ -126,6 +132,12 @@ func (db *DB) QueryExternal(name, where string) ([]types.Row, error) {
 
 // Cluster exposes the underlying cluster for benchmarks and experiments.
 func (db *DB) Cluster() *cluster.Cluster { return db.cluster }
+
+// Registry exposes the instance's metrics registry (the /metrics source).
+func (db *DB) Registry() *obs.Registry { return db.cluster.Reg }
+
+// Traces exposes the recent-query trace store (the /debug/queries source).
+func (db *DB) Traces() *obs.TraceStore { return db.cluster.Traces }
 
 // Close shuts the instance down cleanly.
 func (db *DB) Close() error { return db.cluster.Close() }

@@ -3,6 +3,7 @@ package exec
 import (
 	"repro/internal/expr"
 	"repro/internal/external"
+	"repro/internal/obs"
 	"repro/internal/page"
 	"repro/internal/storage"
 	"repro/internal/types"
@@ -101,6 +102,9 @@ type ScanConfig struct {
 	Predeclare bool
 	// Stats, when non-nil, receives the scan's page/row counters.
 	Stats *storage.ScanStats
+	// Trace, when non-nil, receives the same counters as span annotations
+	// (written once, atomically, when the scan thread finishes).
+	Trace *obs.Span
 }
 
 func buildScanOptions(cfg ScanConfig) storage.ScanOptions {
@@ -155,6 +159,7 @@ func (fs *FragmentScan) run(out chan<- types.Row, stop <-chan struct{}) error {
 	if fs.cfg.Stats != nil {
 		*fs.cfg.Stats = stats
 	}
+	fs.cfg.Trace.AddScan(stats.RowsRead, stats.PagesRead, stats.PagesSkipped)
 	if evalErr != nil {
 		return evalErr
 	}
@@ -199,6 +204,7 @@ func (cs *ColumnarScan) run(out chan<- types.Row, stop <-chan struct{}) error {
 	if cs.cfg.Stats != nil {
 		*cs.cfg.Stats = stats
 	}
+	cs.cfg.Trace.AddScan(stats.RowsRead, stats.PagesRead, stats.PagesSkipped)
 	if evalErr != nil {
 		return evalErr
 	}

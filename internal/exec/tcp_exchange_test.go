@@ -78,6 +78,110 @@ func TestShuffleOverTCP(t *testing.T) {
 	}
 }
 
+// runMeteredShuffle drives the same 4-node hierarchical shuffle over an
+// arbitrary set of endpoints and returns how many rows came out. The row
+// placement and batching are deterministic, so the traffic a meter sees is
+// identical regardless of transport.
+func runMeteredShuffle(t *testing.T, eps []network.Endpoint, channel string) int {
+	t.Helper()
+	n := len(eps)
+	ids := make([]int, n)
+	for i := range ids {
+		ids[i] = i
+	}
+	spec := ShuffleSpec{Channel: channel, Nodes: ids, Nmax: 2, Hierarchical: true}
+	sch := types.NewSchema(
+		types.Column{Name: "k", Kind: types.KindInt},
+		types.Column{Name: "v", Kind: types.KindString},
+	)
+	results := make([][]types.Row, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var rows []types.Row
+			for k := 0; k < 100; k++ {
+				rows = append(rows, types.Row{
+					types.NewInt(int64(i*100 + k)),
+					types.NewString("payload"),
+				})
+			}
+			sh, err := NewShuffle(eps[i], spec, NewSource(sch, rows), ColRefs(0), types.Schema{})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			results[i], errs[i] = Collect(sh)
+		}(i)
+	}
+	wg.Wait()
+	total := 0
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("node %d: %v", i, err)
+		}
+		total += len(results[i])
+	}
+	return total
+}
+
+// TestTCPMeterParityWithInproc is the regression test for TCP endpoints
+// silently bypassing the Meter: RunMetrics.NetBytes/NetMessages/Connections
+// read 0 on a TCP deployment even though the same query metered fine
+// in-process. Both transports must now account identically for the same
+// exchange.
+func TestTCPMeterParityWithInproc(t *testing.T) {
+	const n = 4
+	fabric := network.NewFabric([]int{0, 1, 2, 3}, 1024)
+	defer fabric.CloseAll()
+	inEps := make([]network.Endpoint, n)
+	for i := 0; i < n; i++ {
+		ep, err := fabric.Endpoint(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inEps[i] = ep
+	}
+	inRows := runMeteredShuffle(t, inEps, "q1.par")
+
+	peers := map[int]string{}
+	tcpMeter := network.NewMeter()
+	tcpEps := make([]network.Endpoint, n)
+	for i := 0; i < n; i++ {
+		ep, err := network.NewTCPEndpoint(i, "127.0.0.1:0", peers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer ep.Close()
+		ep.SetMeter(tcpMeter)
+		peers[i] = ep.Addr()
+		tcpEps[i] = ep
+	}
+	tcpRows := runMeteredShuffle(t, tcpEps, "q1.par")
+
+	if inRows != tcpRows || inRows != n*100 {
+		t.Fatalf("rows: inproc=%d tcp=%d want %d", inRows, tcpRows, n*100)
+	}
+	im := fabric.Meter()
+	if tcpMeter.TotalBytes() == 0 || tcpMeter.TotalMessages() == 0 {
+		t.Fatal("TCP endpoints recorded nothing into the meter")
+	}
+	if tcpMeter.TotalBytes() != im.TotalBytes() {
+		t.Errorf("bytes: tcp=%d inproc=%d", tcpMeter.TotalBytes(), im.TotalBytes())
+	}
+	if tcpMeter.TotalMessages() != im.TotalMessages() {
+		t.Errorf("messages: tcp=%d inproc=%d", tcpMeter.TotalMessages(), im.TotalMessages())
+	}
+	if tcpMeter.Connections() != im.Connections() {
+		t.Errorf("connections: tcp=%d inproc=%d", tcpMeter.Connections(), im.Connections())
+	}
+	if tcpMeter.MaxNodeDegree() != im.MaxNodeDegree() {
+		t.Errorf("degree: tcp=%d inproc=%d", tcpMeter.MaxNodeDegree(), im.MaxNodeDegree())
+	}
+}
+
 // TestGatherOverTCP checks SendAll/Recv over sockets.
 func TestGatherOverTCP(t *testing.T) {
 	peers := map[int]string{}

@@ -1,0 +1,96 @@
+package exec
+
+import (
+	"time"
+
+	"repro/internal/network"
+	"repro/internal/obs"
+	"repro/internal/types"
+)
+
+// Traced wraps an operator and charges its Open/Next/Close time and output
+// rows to an obs.Span. Wrappers are only created when a query runs with
+// tracing enabled — the disabled path builds the plain operator tree, so
+// hot loops carry zero tracing cost (see BenchmarkSpanDisabled in obs).
+type Traced struct {
+	in Operator
+	sp *obs.Span
+}
+
+// NewTraced wraps in with span sp. If sp is nil the operator is returned
+// unwrapped.
+func NewTraced(in Operator, sp *obs.Span) Operator {
+	if sp == nil {
+		return in
+	}
+	return &Traced{in: in, sp: sp}
+}
+
+// Unwrap returns the operator beneath a Traced wrapper (or op itself).
+// Plan-shape assertions and re-wrapping logic see through tracing with it.
+func Unwrap(op Operator) Operator {
+	if t, ok := op.(*Traced); ok {
+		return t.in
+	}
+	return op
+}
+
+// Span returns the span this wrapper charges into.
+func (t *Traced) Span() *obs.Span { return t.sp }
+
+// Schema returns the wrapped operator's schema.
+func (t *Traced) Schema() types.Schema { return t.in.Schema() }
+
+// Open opens the wrapped operator, charging the time to the span.
+func (t *Traced) Open() error {
+	start := time.Now()
+	err := t.in.Open()
+	t.sp.AddWall(time.Since(start))
+	return err
+}
+
+// Next pulls one row, charging time and counting output rows.
+func (t *Traced) Next() (types.Row, bool, error) {
+	start := time.Now()
+	row, ok, err := t.in.Next()
+	t.sp.AddWall(time.Since(start))
+	if ok && err == nil {
+		t.sp.AddRowsOut(1)
+	}
+	return row, ok, err
+}
+
+// Close closes the wrapped operator.
+func (t *Traced) Close() error {
+	start := time.Now()
+	err := t.in.Close()
+	t.sp.AddWall(time.Since(start))
+	return err
+}
+
+// CountingEndpoint wraps a network.Endpoint and attributes outbound bytes
+// and messages to a span, mirroring the Meter's semantics (self-delivery
+// is loopback, not network traffic). Exchange operators built for a traced
+// query send through one of these, so per-operator net counters sum to the
+// same total the fabric meter reports for the query.
+type CountingEndpoint struct {
+	network.Endpoint
+	sp *obs.Span
+}
+
+// NewCountingEndpoint wraps ep; with a nil span, ep is returned as-is.
+func NewCountingEndpoint(ep network.Endpoint, sp *obs.Span) network.Endpoint {
+	if sp == nil {
+		return ep
+	}
+	return &CountingEndpoint{Endpoint: ep, sp: sp}
+}
+
+// Send counts the payload against the span, then forwards to the real
+// endpoint.
+func (c *CountingEndpoint) Send(to, dest int, channel string, payload []byte) error {
+	if to != c.Endpoint.NodeID() {
+		c.sp.AddNet(int64(len(payload)), 1)
+	}
+	return c.Endpoint.Send(to, dest, channel, payload)
+}

@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/obs"
+	"repro/internal/sqlparse"
+	"repro/internal/tpch"
+	"repro/internal/types"
+)
+
+// QueryExecStat is one query's measured execution — the raw counted
+// quantities before any performance modeling. hrdbms-bench -exp exec prints
+// these and -json writes them to a machine-readable baseline
+// (BENCH_EXEC.json) so regressions in executed work (rows, pages, network
+// volume, exchanges) are diffable across changes; wall_ns is recorded for
+// orientation but is machine-dependent.
+type QueryExecStat struct {
+	Query        string `json:"query"`
+	ResultRows   int    `json:"result_rows"`
+	WorkRows     int64  `json:"work_rows"`
+	ScanRows     int64  `json:"scan_rows"`
+	PagesRead    int64  `json:"pages_read"`
+	PagesSkipped int64  `json:"pages_skipped"`
+	SpillBytes   int64  `json:"spill_bytes"`
+	StateBytes   int64  `json:"state_bytes"`
+	NetBytes     int64  `json:"net_bytes"`
+	NetMessages  int64  `json:"net_messages"`
+	Exchanges    int    `json:"exchanges"`
+	WallNS       int64  `json:"wall_ns"`
+}
+
+// ExecStats runs the TPC-H suite once on a real hrdbms-profile cluster and
+// returns the executed per-query metrics. With trace set, every query runs
+// under the per-operator tracer and its stitched span tree is printed after
+// the query's stats row.
+func (r *Runner) ExecStats(workers int, trace bool) ([]QueryExecStat, error) {
+	if workers == 0 {
+		workers = 4
+	}
+	c, err := r.newCluster("hrdbms", workers)
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+	queries := tpch.Queries()
+	var out []QueryExecStat
+	r.printf("\n=== Executed per-query stats (%d workers, SF%g, measured not modeled) ===\n", workers, r.SF)
+	r.printf("%-5s %8s %9s %9s %7s %7s %10s %6s %5s %9s\n",
+		"query", "rows", "scanrows", "workrows", "pages", "skip", "net(B)", "msgs", "exch", "wall(ms)")
+	for _, qid := range tpch.QueryIDs() {
+		sql := queries[qid]
+		sel, err := sqlparse.ParseSelect(sql)
+		if err != nil {
+			return nil, fmt.Errorf("%s parse: %w", qid, err)
+		}
+		node, err := c.Plan(sel)
+		if err != nil {
+			return nil, fmt.Errorf("%s plan: %w", qid, err)
+		}
+		var rows []types.Row
+		var m cluster.RunMetrics
+		var tr *obs.QueryTrace
+		if trace {
+			rows, m, tr, err = c.RunTraced(node, sql)
+		} else {
+			rows, m, err = c.RunMetered(node)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("%s run: %w", qid, err)
+		}
+		st := QueryExecStat{
+			Query:        qid,
+			ResultRows:   len(rows),
+			WorkRows:     m.WorkRows,
+			ScanRows:     m.ScanRows,
+			PagesRead:    m.PagesRead,
+			PagesSkipped: m.PagesSkipped,
+			SpillBytes:   m.SpillBytes,
+			StateBytes:   m.StateBytes,
+			NetBytes:     m.NetBytes,
+			NetMessages:  m.NetMessages,
+			Exchanges:    m.Exchanges,
+			WallNS:       int64(m.Wall),
+		}
+		out = append(out, st)
+		r.printf("%-5s %8d %9d %9d %7d %7d %10d %6d %5d %9.2f\n",
+			qid, st.ResultRows, st.ScanRows, st.WorkRows, st.PagesRead, st.PagesSkipped,
+			st.NetBytes, st.NetMessages, st.Exchanges, float64(st.WallNS)/1e6)
+		if tr != nil {
+			r.printf("--- %s operator trace ---\n%s", qid, tr.Render())
+		}
+	}
+	return out, nil
+}

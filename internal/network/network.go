@@ -49,30 +49,184 @@ type LinkStats struct {
 	Bytes    int64
 }
 
+// linkMap is the shared link-statistics table behind both the fabric-wide
+// Meter and per-query MeterScopes. Callers hold the owning mutex.
+type linkMap map[[2]int]*LinkStats
+
+func (l linkMap) record(from, to int, bytes int) {
+	k := [2]int{from, to}
+	ls := l[k]
+	if ls == nil {
+		ls = &LinkStats{}
+		l[k] = ls
+	}
+	ls.Messages++
+	ls.Bytes += int64(bytes)
+}
+
+func (l linkMap) totalBytes() int64 {
+	var total int64
+	for _, ls := range l {
+		total += ls.Bytes
+	}
+	return total
+}
+
+func (l linkMap) totalMessages() int64 {
+	var total int64
+	for _, ls := range l {
+		total += ls.Messages
+	}
+	return total
+}
+
+func (l linkMap) maxNodeDegree() int {
+	peers := map[int]map[int]bool{}
+	add := func(a, b int) {
+		if peers[a] == nil {
+			peers[a] = map[int]bool{}
+		}
+		peers[a][b] = true
+	}
+	for k := range l {
+		add(k[0], k[1])
+		add(k[1], k[0])
+	}
+	max := 0
+	for _, p := range peers {
+		if len(p) > max {
+			max = len(p)
+		}
+	}
+	return max
+}
+
 // Meter records fabric-wide communication statistics. It is shared by all
-// endpoints of an in-process cluster and read by the performance model.
+// endpoints of an in-process cluster (and optionally attached to TCP
+// endpoints) and read by the performance model. Per-query accounting uses
+// Scope, which attributes messages by their channel-name prefix — channels
+// embed the query ID, so concurrent queries meter independently without
+// resetting shared state.
 type Meter struct {
-	mu    sync.Mutex
-	links map[[2]int]*LinkStats
+	mu     sync.Mutex
+	links  linkMap
+	scopes []*MeterScope
 }
 
 // NewMeter creates an empty meter.
-func NewMeter() *Meter { return &Meter{links: map[[2]int]*LinkStats{}} }
+func NewMeter() *Meter { return &Meter{links: linkMap{}} }
 
-func (m *Meter) record(from, to int, bytes int) {
+func (m *Meter) record(from, to int, channel string, bytes int) {
 	if from == to {
 		return // loopback delivery is not a network connection
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	k := [2]int{from, to}
-	ls := m.links[k]
-	if ls == nil {
-		ls = &LinkStats{}
-		m.links[k] = ls
+	m.links.record(from, to, bytes)
+	for _, s := range m.scopes {
+		if s.matches(channel) {
+			s.links.record(from, to, bytes)
+		}
 	}
-	ls.Messages++
-	ls.Bytes += int64(bytes)
+}
+
+// Scope starts per-query metering: every message whose channel name starts
+// with one of the prefixes is additionally recorded into the returned
+// scope until Close. Scopes read exactly their own query's traffic, so
+// concurrent metered queries do not disturb each other.
+func (m *Meter) Scope(prefixes ...string) *MeterScope {
+	s := &MeterScope{m: m, prefixes: append([]string(nil), prefixes...), links: linkMap{}}
+	m.mu.Lock()
+	m.scopes = append(m.scopes, s)
+	m.mu.Unlock()
+	return s
+}
+
+// MeterScope collects the subset of fabric traffic whose channel names
+// match its prefixes (one prefix per query, plus one per materialized
+// subquery). Guarded by the parent meter's mutex.
+type MeterScope struct {
+	m        *Meter
+	prefixes []string
+	links    linkMap
+}
+
+// matches reports whether a channel belongs to this scope. Caller holds
+// m.mu.
+func (s *MeterScope) matches(channel string) bool {
+	for _, p := range s.prefixes {
+		if len(channel) >= len(p) && channel[:len(p)] == p {
+			return true
+		}
+	}
+	return false
+}
+
+// AddPrefix extends the scope to another channel prefix (used when a query
+// materializes scalar subqueries under their own query IDs). Nil-safe.
+func (s *MeterScope) AddPrefix(p string) {
+	if s == nil {
+		return
+	}
+	s.m.mu.Lock()
+	s.prefixes = append(s.prefixes, p)
+	s.m.mu.Unlock()
+}
+
+// TotalBytes returns bytes attributed to this scope.
+func (s *MeterScope) TotalBytes() int64 {
+	if s == nil {
+		return 0
+	}
+	s.m.mu.Lock()
+	defer s.m.mu.Unlock()
+	return s.links.totalBytes()
+}
+
+// TotalMessages returns messages attributed to this scope.
+func (s *MeterScope) TotalMessages() int64 {
+	if s == nil {
+		return 0
+	}
+	s.m.mu.Lock()
+	defer s.m.mu.Unlock()
+	return s.links.totalMessages()
+}
+
+// Connections returns the number of distinct directed links this scope's
+// traffic used.
+func (s *MeterScope) Connections() int {
+	if s == nil {
+		return 0
+	}
+	s.m.mu.Lock()
+	defer s.m.mu.Unlock()
+	return len(s.links)
+}
+
+// MaxNodeDegree returns the largest per-node peer count within the scope.
+func (s *MeterScope) MaxNodeDegree() int {
+	if s == nil {
+		return 0
+	}
+	s.m.mu.Lock()
+	defer s.m.mu.Unlock()
+	return s.links.maxNodeDegree()
+}
+
+// Close detaches the scope from the meter; its totals stay readable.
+func (s *MeterScope) Close() {
+	if s == nil {
+		return
+	}
+	s.m.mu.Lock()
+	defer s.m.mu.Unlock()
+	for i, sc := range s.m.scopes {
+		if sc == s {
+			s.m.scopes = append(s.m.scopes[:i], s.m.scopes[i+1:]...)
+			return
+		}
+	}
 }
 
 // Connections returns the number of distinct directed links used.
@@ -86,22 +240,14 @@ func (m *Meter) Connections() int {
 func (m *Meter) TotalBytes() int64 {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	var total int64
-	for _, ls := range m.links {
-		total += ls.Bytes
-	}
-	return total
+	return m.links.totalBytes()
 }
 
 // TotalMessages returns the number of messages sent.
 func (m *Meter) TotalMessages() int64 {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	var total int64
-	for _, ls := range m.links {
-		total += ls.Messages
-	}
-	return total
+	return m.links.totalMessages()
 }
 
 // MaxNodeDegree returns the largest number of distinct peers any single
@@ -110,24 +256,7 @@ func (m *Meter) TotalMessages() int64 {
 func (m *Meter) MaxNodeDegree() int {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	peers := map[int]map[int]bool{}
-	add := func(a, b int) {
-		if peers[a] == nil {
-			peers[a] = map[int]bool{}
-		}
-		peers[a][b] = true
-	}
-	for k := range m.links {
-		add(k[0], k[1])
-		add(k[1], k[0])
-	}
-	max := 0
-	for _, p := range peers {
-		if len(p) > max {
-			max = len(p)
-		}
-	}
-	return max
+	return m.links.maxNodeDegree()
 }
 
 // PerLink returns a deterministic snapshot of all link stats.
@@ -156,11 +285,12 @@ func (m *Meter) PerLink() []struct {
 	return out
 }
 
-// Reset clears all statistics.
+// Reset clears the cumulative statistics. Active scopes are unaffected:
+// per-query accounting no longer depends on resetting shared state.
 func (m *Meter) Reset() {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	m.links = map[[2]int]*LinkStats{}
+	m.links = linkMap{}
 }
 
 // Fabric is the in-process transport: a set of endpoints with bounded
@@ -250,7 +380,7 @@ func (e *inprocEndpoint) Send(to, dest int, channel string, payload []byte) erro
 		return ErrClosed
 	default:
 	}
-	e.fabric.meter.record(e.id, to, len(payload))
+	e.fabric.meter.record(e.id, to, channel, len(payload))
 	msg := Message{From: e.id, Dest: dest, Channel: channel, Payload: payload}
 	select {
 	case target.box(channel) <- msg:

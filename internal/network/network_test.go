@@ -144,6 +144,85 @@ func TestMeterAccounting(t *testing.T) {
 	}
 }
 
+func TestMeterScope(t *testing.T) {
+	f := NewFabric([]int{0, 1, 2}, 16)
+	defer f.CloseAll()
+	e0, _ := f.Endpoint(0)
+	e1, _ := f.Endpoint(1)
+
+	s1 := f.Meter().Scope("q1.")
+	s2 := f.Meter().Scope("q2.")
+	defer s2.Close()
+
+	e0.Send(1, 1, "q1.shuffle0", make([]byte, 100))
+	e0.Send(2, 2, "q2.shuffle0", make([]byte, 40))
+	e1.Send(0, 0, "q1.gather0", make([]byte, 7))
+	e0.Send(1, 1, "ctl", make([]byte, 1000)) // matches no scope
+
+	if s1.TotalBytes() != 107 || s1.TotalMessages() != 2 {
+		t.Errorf("scope1 = %dB/%d msgs", s1.TotalBytes(), s1.TotalMessages())
+	}
+	if s1.Connections() != 2 || s1.MaxNodeDegree() != 1 {
+		t.Errorf("scope1 links = %d degree = %d", s1.Connections(), s1.MaxNodeDegree())
+	}
+	if s2.TotalBytes() != 40 {
+		t.Errorf("scope2 = %dB", s2.TotalBytes())
+	}
+	// Sub-query prefix joins an existing scope.
+	s1.AddPrefix("q3.")
+	e0.Send(1, 1, "q3.sub", make([]byte, 5))
+	if s1.TotalBytes() != 112 {
+		t.Errorf("scope1 after AddPrefix = %dB", s1.TotalBytes())
+	}
+	// After Close traffic no longer accrues but totals stay readable.
+	s1.Close()
+	e0.Send(1, 1, "q1.late", make([]byte, 99))
+	if s1.TotalBytes() != 112 {
+		t.Errorf("closed scope accrued traffic: %dB", s1.TotalBytes())
+	}
+	// Scopes survive a cumulative Reset.
+	f.Meter().Reset()
+	if s2.TotalBytes() != 40 {
+		t.Errorf("scope2 lost data on Reset: %dB", s2.TotalBytes())
+	}
+	// Nil scope is inert (disabled-metering fast path).
+	var nilScope *MeterScope
+	nilScope.AddPrefix("x")
+	nilScope.Close()
+	if nilScope.TotalBytes() != 0 || nilScope.Connections() != 0 || nilScope.MaxNodeDegree() != 0 {
+		t.Error("nil scope must read zero")
+	}
+}
+
+func TestTCPMeter(t *testing.T) {
+	peers := map[int]string{}
+	e0, err := NewTCPEndpoint(0, "127.0.0.1:0", peers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e0.Close()
+	e1, err := NewTCPEndpoint(1, "127.0.0.1:0", peers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e1.Close()
+	peers[0] = e0.Addr()
+	peers[1] = e1.Addr()
+
+	m := NewMeter()
+	e0.SetMeter(m)
+	e1.SetMeter(m)
+	if err := e0.Send(1, 1, "q1.ch", make([]byte, 64)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e1.Recv("q1.ch"); err != nil {
+		t.Fatal(err)
+	}
+	if m.TotalBytes() != 64 || m.TotalMessages() != 1 || m.Connections() != 1 {
+		t.Errorf("meter = %dB/%d msgs/%d links", m.TotalBytes(), m.TotalMessages(), m.Connections())
+	}
+}
+
 func TestFabricConcurrentTraffic(t *testing.T) {
 	const n = 8
 	ids := make([]int, n)

@@ -20,6 +20,7 @@ type TCPEndpoint struct {
 	id       int
 	listener net.Listener
 	peers    map[int]string // node ID → address
+	meter    *Meter         // optional; set via SetMeter
 	mu       sync.Mutex
 	conns    map[int]net.Conn
 	boxes    map[string]chan Message
@@ -50,6 +51,12 @@ func NewTCPEndpoint(id int, addr string, peers map[int]string) (*TCPEndpoint, er
 
 // Addr returns the bound listen address (useful with ":0").
 func (e *TCPEndpoint) Addr() string { return e.listener.Addr().String() }
+
+// SetMeter attaches a traffic meter. Sends record the payload size (not
+// the frame overhead) so TCP accounting matches the in-process fabric
+// byte-for-byte; self-sends are skipped the same way loopback delivery is.
+// Call before the endpoint is used; the meter is read without e.mu.
+func (e *TCPEndpoint) SetMeter(m *Meter) { e.meter = m }
 
 // NodeID returns this endpoint's node ID.
 func (e *TCPEndpoint) NodeID() int { return e.id }
@@ -137,6 +144,9 @@ func (e *TCPEndpoint) Send(to, dest int, channel string, payload []byte) error {
 	c, err := e.conn(to)
 	if err != nil {
 		return err
+	}
+	if e.meter != nil {
+		e.meter.record(e.id, to, channel, len(payload))
 	}
 	frame := make([]byte, 0, 14+len(channel)+len(payload))
 	var b4 [4]byte

@@ -1,0 +1,39 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkSpanDisabled measures the nil-span fast path — the per-row cost
+// tracing adds to exec hot loops when disabled. CI runs this as a smoke
+// check; it must stay at a branch-and-return (sub-ns, zero allocs).
+func BenchmarkSpanDisabled(b *testing.B) {
+	var sp *Span
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp.AddRowsOut(1)
+		sp.AddWall(time.Nanosecond)
+	}
+}
+
+// BenchmarkSpanEnabled is the enabled counterpart: two atomic adds.
+func BenchmarkSpanEnabled(b *testing.B) {
+	tr := NewQueryTrace(1, "")
+	sp := tr.StartSpan("op", 0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp.AddRowsOut(1)
+		sp.AddWall(time.Nanosecond)
+	}
+}
+
+func BenchmarkRegistryCounterHot(b *testing.B) {
+	r := NewRegistry()
+	c := r.Counter("bench")
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Inc()
+		}
+	})
+}

@@ -1,0 +1,39 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// MetricsHandler serves the registry as plain text (GET /metrics).
+func MetricsHandler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		r.WriteText(w)
+	})
+}
+
+// QueriesHandler serves recent query traces as JSON (GET /debug/queries),
+// newest last. Each trace is the full stitched span tree.
+func QueriesHandler(s *TraceStore) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		traces := s.Recent()
+		out := make([]TraceSnapshot, len(traces))
+		for i, t := range traces {
+			out[i] = t.Snapshot()
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(out)
+	})
+}
+
+// Handler mounts both endpoints on a fresh mux: /metrics and
+// /debug/queries. cmd/hrdbms-server serves this on its -http address.
+func Handler(r *Registry, s *TraceStore) http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", MetricsHandler(r))
+	mux.Handle("/debug/queries", QueriesHandler(s))
+	return mux
+}

@@ -1,0 +1,110 @@
+package obs
+
+import "sync"
+
+// TraceStore keeps the most recent query traces for /debug/queries.
+// Completed traces are handed to a background flusher through a buffered
+// channel so the query path never contends on the ring lock; the flusher
+// owns the ring and exits when Close is called (done channel), dropping
+// nothing that was accepted before Close.
+type TraceStore struct {
+	cap     int
+	in      chan *QueryTrace
+	done    chan struct{}
+	flushed chan struct{}
+
+	mu   sync.Mutex
+	ring []*QueryTrace
+	next int
+}
+
+// NewTraceStore starts a store holding the last capacity traces.
+func NewTraceStore(capacity int) *TraceStore {
+	if capacity < 1 {
+		capacity = 64
+	}
+	s := &TraceStore{
+		cap:     capacity,
+		in:      make(chan *QueryTrace, 64),
+		done:    make(chan struct{}),
+		flushed: make(chan struct{}),
+	}
+	go s.flusher()
+	return s
+}
+
+// flusher drains completed traces into the ring until the done channel
+// closes, then drains whatever was already queued and exits.
+func (s *TraceStore) flusher() {
+	defer close(s.flushed)
+	for {
+		select {
+		case t := <-s.in:
+			s.insert(t)
+		case <-s.done:
+			for {
+				select {
+				case t := <-s.in:
+					s.insert(t)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+func (s *TraceStore) insert(t *QueryTrace) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.ring) < s.cap {
+		s.ring = append(s.ring, t)
+		return
+	}
+	s.ring[s.next] = t
+	s.next = (s.next + 1) % s.cap
+}
+
+// Add records a completed trace. Non-blocking: if the flusher is behind and
+// its queue full, the trace is dropped (observability must not backpressure
+// queries). Nil traces and adds after Close are ignored.
+func (s *TraceStore) Add(t *QueryTrace) {
+	if s == nil || t == nil {
+		return
+	}
+	select {
+	case s.in <- t:
+	case <-s.done:
+	default:
+	}
+}
+
+// Recent returns the stored traces, oldest first.
+func (s *TraceStore) Recent() []*QueryTrace {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*QueryTrace, 0, len(s.ring))
+	out = append(out, s.ring[s.next:]...)
+	out = append(out, s.ring[:s.next]...)
+	return out
+}
+
+// Close stops the flusher goroutine and waits for it to drain.
+func (s *TraceStore) Close() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	select {
+	case <-s.done:
+		s.mu.Unlock()
+		return
+	default:
+		close(s.done)
+	}
+	s.mu.Unlock()
+	<-s.flushed
+}

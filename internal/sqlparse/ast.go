@@ -157,9 +157,12 @@ type Delete struct {
 
 func (*Delete) stmt() {}
 
-// Explain wraps a SELECT for plan display.
+// Explain wraps a SELECT for plan display. With Analyze set (EXPLAIN
+// ANALYZE) the query is executed and the per-operator trace is rendered
+// instead of the logical plan.
 type Explain struct {
-	Query *Select
+	Query   *Select
+	Analyze bool
 }
 
 func (*Explain) stmt() {}

@@ -88,11 +88,16 @@ func (p *Parser) parseStmt() (Stmt, error) {
 		return p.parseSelect()
 	case p.at(TokKeyword, "EXPLAIN"):
 		p.pos++
+		analyze := false
+		if p.at(TokKeyword, "ANALYZE") {
+			p.pos++
+			analyze = true
+		}
 		sel, err := p.parseSelect()
 		if err != nil {
 			return nil, err
 		}
-		return &Explain{Query: sel}, nil
+		return &Explain{Query: sel, Analyze: analyze}, nil
 	case p.at(TokKeyword, "CREATE"):
 		return p.parseCreate()
 	case p.at(TokKeyword, "DROP"):

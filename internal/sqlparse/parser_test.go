@@ -360,8 +360,15 @@ func TestParseExplainAnalyze(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if stmt.(*Explain).Query == nil {
-		t.Error("explain lost query")
+	if ex := stmt.(*Explain); ex.Query == nil || ex.Analyze {
+		t.Error("plain EXPLAIN lost query or gained ANALYZE")
+	}
+	stmt, err = Parse("EXPLAIN ANALYZE SELECT 1 FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex := stmt.(*Explain); ex.Query == nil || !ex.Analyze {
+		t.Error("EXPLAIN ANALYZE lost query or analyze flag")
 	}
 	stmt, err = Parse("ANALYZE t")
 	if err != nil || stmt.(*Analyze).Table != "t" {

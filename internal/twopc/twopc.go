@@ -11,6 +11,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/network"
@@ -287,9 +288,19 @@ type Coordinator struct {
 	mu       sync.Mutex
 	outcomes map[uint64]bool // txid → committed?
 
+	commits atomic.Int64 // global commit decisions (this run, not replayed)
+	aborts  atomic.Int64 // global rollback decisions
+
 	stop chan struct{}
 	wg   sync.WaitGroup
 }
+
+// Commits returns the number of global transactions this coordinator
+// decided to commit since it started (replayed outcomes excluded).
+func (c *Coordinator) Commits() int64 { return c.commits.Load() }
+
+// Aborts returns the number of global rollback decisions since start.
+func (c *Coordinator) Aborts() int64 { return c.aborts.Load() }
 
 // NewCoordinator builds the XA manager for a coordinator node. It fails if
 // the XA log cannot be replayed: losing recorded outcomes would let
@@ -396,6 +407,11 @@ func (c *Coordinator) CommitGlobal(txid uint64, workers []int) (bool, error) {
 	c.mu.Lock()
 	c.outcomes[txid] = allOK
 	c.mu.Unlock()
+	if allOK {
+		c.commits.Add(1)
+	} else {
+		c.aborts.Add(1)
+	}
 	// Phase 2: COMMIT or ROLLBACK down the tree; acks aggregate up.
 	typ := msgRollback
 	if allOK {

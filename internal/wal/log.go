@@ -6,6 +6,7 @@ import (
 	"hash/crc32"
 	"os"
 	"sync"
+	"sync/atomic"
 )
 
 // Log is a node's write-ahead log manager. Records are framed as
@@ -21,6 +22,9 @@ type Log struct {
 	nextOff    uint64 // fileEnd + len(tail)
 	flushedLSN uint64
 	lastCkpt   uint64 // LSN of the most recent checkpoint record
+
+	appends atomic.Int64 // records appended (read by the metrics registry)
+	flushes atomic.Int64 // fsyncs performed
 }
 
 const frameHeader = 8
@@ -101,8 +105,15 @@ func (l *Log) Append(r *Record) uint64 {
 	if r.Type == RecCheckpoint {
 		l.lastCkpt = lsn
 	}
+	l.appends.Add(1)
 	return lsn
 }
+
+// Appends returns the number of records appended since Open.
+func (l *Log) Appends() int64 { return l.appends.Load() }
+
+// Flushes returns the number of fsyncs performed since Open.
+func (l *Log) Flushes() int64 { return l.flushes.Load() }
 
 // Flush forces the whole tail to disk.
 func (l *Log) Flush() error {
@@ -121,6 +132,7 @@ func (l *Log) flushLocked() error {
 	if err := l.f.Sync(); err != nil {
 		return fmt.Errorf("wal: sync: %w", err)
 	}
+	l.flushes.Add(1)
 	l.fileEnd = l.nextOff
 	l.tail = l.tail[:0]
 	l.flushedLSN = l.fileEnd

@@ -17,10 +17,14 @@ go run ./cmd/hrdbms-lint ./...
 echo "==> go test"
 go test ./...
 
-echo "==> go test -race (exec, cluster, buffer, txn)"
-go test -race ./internal/exec ./internal/cluster ./internal/buffer ./internal/txn
+echo "==> go test -race (exec, cluster, buffer, txn, obs, network)"
+go test -race ./internal/exec ./internal/cluster ./internal/buffer ./internal/txn ./internal/obs ./internal/network
 
 echo "==> go test -tags invariants (buffer, txn)"
 go test -tags invariants ./internal/buffer ./internal/txn
+
+echo "==> bench smoke (executed per-query stats + tracing)"
+go run ./cmd/hrdbms-bench -exp exec -json /tmp/bench_exec_smoke.json >/dev/null
+rm -f /tmp/bench_exec_smoke.json
 
 echo "OK"
