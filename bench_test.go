@@ -215,7 +215,7 @@ func BenchmarkShuffleTopology(b *testing.B) {
 						defer wg.Done()
 						ep, _ := fabric.Endpoint(i)
 						src := exec.NewSource(sch, rows)
-						sh, err := exec.NewShuffle(ep, spec, src, exec.ColRefs(0), types.Schema{})
+						sh, err := exec.NewShuffle(nil, ep, spec, src, exec.ColRefs(0), types.Schema{})
 						if err != nil {
 							b.Error(err)
 							return

@@ -40,6 +40,7 @@ var Analyzers = []*Analyzer{
 	txnpairAnalyzer,
 	walerrAnalyzer,
 	goleakHintAnalyzer,
+	rowchanAnalyzer,
 }
 
 // Report records a finding unless a lint:ignore comment suppresses it.

@@ -87,6 +87,7 @@ func TestAnalyzersOnFixtures(t *testing.T) {
 		{"txnpair", "fixtures/txnpair", "txnpair"},
 		{"walerr", "fixtures/walerr", "walerr"},
 		{"goleak", "repro/internal/cluster", "goleak-hint"},
+		{"rowchan", "repro/internal/exec", "rowchan"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.dir, func(t *testing.T) {

@@ -1,0 +1,36 @@
+// Package fixtures exercises the rowchan analyzer. The test loads it
+// under the package path repro/internal/exec, one of the two hot-path
+// packages the rule applies to.
+package fixtures
+
+import "repro/internal/types"
+
+type rowPipe struct {
+	rows chan types.Row // want "slabs"
+}
+
+func makesRowChan() {
+	ch := make(chan types.Row, 256) // want "slabs"
+	_ = ch
+	_ = rowPipe{}
+}
+
+func sendOnlyParam(out chan<- types.Row) { // want "slabs"
+	_ = out
+}
+
+func okBatchChan(out chan []types.Row) {
+	cp := make(chan []types.Row, 16)
+	_ = cp
+	_ = out
+}
+
+func okValueChan(vals chan types.Value) {
+	_ = vals
+}
+
+func okSuppressed() {
+	//lint:ignore rowchan fixture: adapter boundary needs a row channel
+	ch := make(chan types.Row)
+	_ = ch
+}

@@ -82,6 +82,7 @@ type Config struct {
 	BaseDir         string
 	Nmax            int // neighbor limit for tree and ring topologies
 	MemRows         int // per-operator memory budget (rows)
+	BatchRows       int // rows per slab on the vectorized path (0 = defaults)
 	LockTimeout     time.Duration
 	Profile         ExecProfile
 	// TraceQueries records a per-operator trace for every query run through
@@ -228,6 +229,7 @@ func New(cfg Config) (*Cluster, error) {
 			skipIdx:  map[string]*index.SkipList{},
 			execCtx:  exec.NewCtx(filepath.Join(cfg.BaseDir, fmt.Sprintf("tmp%d", nodeID)), cfg.MemRows),
 		}
+		w.execCtx.BatchRows = cfg.BatchRows
 		// Worker-local resource management: a node-wide cap on extra
 		// operator threads; concurrent queries share it and operators
 		// degrade to fewer threads under load (Section I).

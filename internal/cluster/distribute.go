@@ -336,6 +336,7 @@ func (q *queryExec) distributeScan(x *plan.Scan) (*dstream, exec.Operator, error
 		sp := q.startSpan("Scan "+name, w.ID)
 		wcfg := cfg
 		wcfg.Trace = sp
+		wcfg.BatchRows = w.execCtx.BatchRows
 		var op exec.Operator
 		if x.Table.Columnar {
 			fr := w.colFrags[name]
@@ -526,7 +527,7 @@ func (q *queryExec) shuffle(ds *dstream, keys []expr.Expr, names []string) (*dst
 		// The shuffle's sends (including hub forwards) count against its
 		// span, matching the fabric meter's per-link accounting.
 		sp := q.startSpan("Shuffle", w.ID)
-		sh, err := exec.NewShuffle(exec.NewCountingEndpoint(w.Ep, sp), spec, in, keys, ds.sch)
+		sh, err := exec.NewShuffle(w.execCtx, exec.NewCountingEndpoint(w.Ep, sp), spec, in, keys, ds.sch)
 		if err != nil {
 			return nil, err
 		}
@@ -741,7 +742,7 @@ func (q *queryExec) pickOne(ds *dstream) exec.Operator {
 		coordSide: func() exec.Operator { return exec.NewRecv(q.coord.Ep, ch, 1, ds.sch) },
 		launch: func() []func() error {
 			return []func() error{func() error {
-				return exec.SendAll(ep, q.coord.ID, ch, ds.ops[0])
+				return exec.SendAll(w.execCtx, ep, q.coord.ID, ch, ds.ops[0])
 			}}
 		},
 	}
@@ -773,8 +774,9 @@ func (q *queryExec) gatherPlain(ds *dstream) exec.Operator {
 			for wi := range ds.ops {
 				op := ds.ops[wi]
 				ep := eps[wi]
+				ectx := q.c.Workers[wi].execCtx
 				fns = append(fns, func() error {
-					return exec.SendAll(ep, coordID, ch, op)
+					return exec.SendAll(ectx, ep, coordID, ch, op)
 				})
 			}
 			return fns
@@ -812,8 +814,9 @@ func (q *queryExec) gatherOrdered(ds *dstream, keys []exec.SortKey) exec.Operato
 				op := ds.ops[wi]
 				ep := eps[wi]
 				ch := fmt.Sprintf("%s.%d", base, wi)
+				ectx := q.c.Workers[wi].execCtx
 				fns = append(fns, func() error {
-					return exec.SendAll(ep, coordID, ch, op)
+					return exec.SendAll(ectx, ep, coordID, ch, op)
 				})
 			}
 			return fns
@@ -843,7 +846,7 @@ func (q *queryExec) gatherTree(ds *dstream, combine func([]exec.Operator) exec.O
 	}
 	d := &workerDriver{
 		coordSide: func() exec.Operator {
-			op, err := exec.RunTreeReduce(coordEp, spec, exec.NewSource(ds.sch, nil), combine)
+			op, err := exec.RunTreeReduce(nil, coordEp, spec, exec.NewSource(ds.sch, nil), combine)
 			if err != nil || op == nil {
 				return exec.NewSource(ds.sch, nil)
 			}
@@ -854,8 +857,9 @@ func (q *queryExec) gatherTree(ds *dstream, combine func([]exec.Operator) exec.O
 			for wi := range ds.ops {
 				op := ds.ops[wi]
 				ep := eps[wi]
+				ectx := q.c.Workers[wi].execCtx
 				fns = append(fns, func() error {
-					_, err := exec.RunTreeReduce(ep, spec, op, combine)
+					_, err := exec.RunTreeReduce(ectx, ep, spec, op, combine)
 					return err
 				})
 			}
@@ -866,12 +870,16 @@ func (q *queryExec) gatherTree(ds *dstream, combine func([]exec.Operator) exec.O
 }
 
 // workerDriver is a coordinator-side operator that launches the worker
-// goroutines of a gather when opened and surfaces their errors.
+// goroutines of a gather when opened and surfaces their errors. It is also
+// batch-native: the coordinator side of a gather is a Recv (or a merge of
+// Recvs), and serving its wire batches through keeps the batch pipeline
+// intact end-to-end.
 type workerDriver struct {
 	coordSide func() exec.Operator
 	launch    func() []func() error
 
 	op      exec.Operator
+	bop     exec.BatchOperator
 	errs    chan error
 	pending int
 	mu      sync.Mutex
@@ -889,6 +897,7 @@ func (d *workerDriver) Schema() types.Schema {
 // Open implements exec.Operator.
 func (d *workerDriver) Open() error {
 	d.op = d.coordSide()
+	d.bop = nil
 	if err := d.op.Open(); err != nil {
 		return err
 	}
@@ -911,14 +920,35 @@ func (d *workerDriver) Next() (types.Row, bool, error) {
 	if ok {
 		return r, true, nil
 	}
-	// Stream finished: collect worker outcomes.
+	return nil, false, d.finish()
+}
+
+// NextBatch implements exec.BatchOperator, delegating to the coordinator
+// operator's batch path (or an adapter over it).
+func (d *workerDriver) NextBatch() ([]types.Row, bool, error) {
+	if d.bop == nil {
+		d.bop = exec.ToBatch(d.op, 0)
+	}
+	b, ok, err := d.bop.NextBatch()
+	if err != nil {
+		return nil, false, err
+	}
+	if ok {
+		return b, true, nil
+	}
+	return nil, false, d.finish()
+}
+
+// finish collects worker outcomes once the coordinator stream is
+// exhausted.
+func (d *workerDriver) finish() error {
 	for d.pending > 0 {
 		if e := <-d.errs; e != nil && d.firstE == nil {
 			d.firstE = e
 		}
 		d.pending--
 	}
-	return nil, false, d.firstE
+	return d.firstE
 }
 
 // Close implements exec.Operator.
@@ -929,9 +959,15 @@ func (d *workerDriver) Close() error {
 	return nil
 }
 
-// renameSchema overrides an operator's reported schema.
+// renameSchema overrides an operator's reported schema, preserving the
+// operator's batch path when it has one (plain interface embedding would
+// hide NextBatch).
 func renameSchema(op exec.Operator, sch types.Schema) exec.Operator {
-	return &schemaOverride{Operator: op, sch: sch}
+	so := &schemaOverride{Operator: op, sch: sch}
+	if bin, ok := op.(exec.BatchOperator); ok {
+		return &batchSchemaOverride{schemaOverride: so, bin: bin}
+	}
+	return so
 }
 
 type schemaOverride struct {
@@ -940,6 +976,13 @@ type schemaOverride struct {
 }
 
 func (s *schemaOverride) Schema() types.Schema { return s.sch }
+
+type batchSchemaOverride struct {
+	*schemaOverride
+	bin exec.BatchOperator
+}
+
+func (s *batchSchemaOverride) NextBatch() ([]types.Row, bool, error) { return s.bin.NextBatch() }
 
 // mapColsByPosition renames dist columns positionally between two schemas.
 func mapColsByPosition(cols []string, from, to types.Schema) []string {

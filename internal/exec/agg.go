@@ -289,16 +289,26 @@ func (h *HashAggregate) prepare() error {
 		}
 	}
 
+	// Scratch buffers reused across rows: the table build runs once per
+	// input row, and a per-row key allocation dominates its profile. The
+	// groups[string(keyBuf)] lookup does not allocate; the string is only
+	// materialized when a new group is inserted.
+	keyScratch := make(types.Row, len(h.GroupBy))
+	var keyBuf []byte
 	processRow := func(r types.Row, allowSpill bool) (bool, error) {
 		if h.ctx != nil {
 			h.ctx.RowsProcessed.Add(1)
 		}
-		keyRow, err := EvalKeys(h.GroupBy, r)
-		if err != nil {
-			return true, err
+		keyRow := keyScratch
+		for i, k := range h.GroupBy {
+			v, err := k.Eval(r)
+			if err != nil {
+				return true, err
+			}
+			keyRow[i] = v
 		}
-		key := string(types.AppendRow(nil, keyRow))
-		g, ok := groups[key]
+		keyBuf = types.AppendRow(keyBuf[:0], keyRow)
+		g, ok := groups[string(keyBuf)]
 		if !ok {
 			if allowSpill && h.ctx != nil && h.ctx.MemRows > 0 && len(groups) >= h.ctx.MemRows {
 				return false, nil // overflow: spill the raw row
@@ -307,7 +317,7 @@ func (h *HashAggregate) prepare() error {
 			for i, sp := range h.Specs {
 				g.states[i] = newAggState(sp.Distinct && !fromStates)
 			}
-			groups[key] = g
+			groups[string(keyBuf)] = g
 			if h.ctx != nil {
 				h.ctx.addState(int64(types.RowEncodedSize(keyRow)) + int64(48*len(h.Specs)))
 			}
@@ -350,27 +360,53 @@ func (h *HashAggregate) prepare() error {
 		groups = map[string]*aggGroup{}
 	}
 
-	for {
-		r, ok, err := h.In.Next()
-		if err != nil {
-			return err
-		}
-		if !ok {
-			break
-		}
+	ingest := func(r types.Row) error {
 		accepted, err := processRow(r, true)
 		if err != nil {
 			return err
 		}
 		if !accepted {
 			if spill == nil {
-				var err error
 				spill, err = newSpillWriter(h.ctx, "agg-spill-*")
 				if err != nil {
 					return err
 				}
 			}
 			if err := spill.write(r); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	// Drain the input on the batch path when it offers one: the table build
+	// is the hot loop of every aggregation query, and slab-at-a-time input
+	// removes the per-row iterator call.
+	if bin, ok := nativeBatch(h.In); ok {
+		for {
+			batch, ok, err := bin.NextBatch()
+			if err != nil {
+				return err
+			}
+			if !ok {
+				break
+			}
+			for _, r := range batch {
+				if err := ingest(r); err != nil {
+					return err
+				}
+			}
+		}
+	} else {
+		for {
+			r, ok, err := h.In.Next()
+			if err != nil {
+				return err
+			}
+			if !ok {
+				break
+			}
+			if err := ingest(r); err != nil {
 				return err
 			}
 		}
@@ -451,6 +487,27 @@ func (h *HashAggregate) Next() (types.Row, bool, error) {
 	r := h.results[h.pos]
 	h.pos++
 	return r, true, nil
+}
+
+// NextBatch implements BatchOperator, serving the prepared results in
+// slabs. The slab is a window of h.results that iteration has retired by
+// the time the caller holds it, so in-place compaction is safe.
+func (h *HashAggregate) NextBatch() ([]types.Row, bool, error) {
+	if !h.prepared {
+		if err := h.prepare(); err != nil {
+			return nil, false, err
+		}
+	}
+	if h.pos >= len(h.results) {
+		return nil, false, nil
+	}
+	end := h.pos + h.ctx.batchRows()
+	if end > len(h.results) {
+		end = len(h.results)
+	}
+	out := h.results[h.pos:end]
+	h.pos = end
+	return out, true, nil
 }
 
 // Close implements Operator.

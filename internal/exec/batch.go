@@ -1,0 +1,164 @@
+package exec
+
+import (
+	"repro/internal/types"
+)
+
+// This file defines the vectorized execution path. The engine keeps its
+// Volcano Operator interface — every operator still works row-at-a-time —
+// but hot pipeline operators (scans, Filter, Project, HashAggregate,
+// HashJoin, the exchange operators) additionally implement BatchOperator
+// and move rows in slabs of Ctx.BatchRows at a time. Batching amortizes
+// the two dominant per-row costs of the row engine: the channel select in
+// every producer goroutine (scan threads, shuffle receive loops, probe
+// workers) and the three interface calls per row per operator.
+//
+// Consumers pick the batch path with nativeBatch/ToBatch; plans mix both
+// paths freely because the adapters below bridge in either direction.
+
+// Batch size defaults. DefaultBatchRows sizes operator slabs;
+// DefaultWireBatchRows sizes exchange messages (smaller, so a shuffle
+// keeps many destinations' buffers resident without ballooning memory).
+// Both are overridden together by Ctx.BatchRows.
+const (
+	DefaultBatchRows     = 1024
+	DefaultWireBatchRows = 128
+)
+
+// BatchOperator is the vectorized iterator. NextBatch returns a non-empty
+// slab of rows, or ok=false on exhaustion.
+//
+// Ownership contract: the returned slice is valid only until the next
+// NextBatch or Close call, and the CALLER owns it in the meantime — it may
+// compact, reorder, or truncate the slice in place (Filter does). Producers
+// must therefore never return a slice that aliases state they re-read
+// (fresh slabs, retired result regions, and reused scratch slabs are all
+// fine). The row values inside a batch are immutable and may be retained
+// indefinitely.
+type BatchOperator interface {
+	// Schema describes the rows NextBatch returns.
+	Schema() types.Schema
+	// Open prepares the operator (and its inputs) for iteration.
+	Open() error
+	// NextBatch returns the next slab of rows; ok=false signals
+	// exhaustion. Implementations never return an empty slab with ok=true.
+	NextBatch() ([]types.Row, bool, error)
+	// Close releases resources. Close is idempotent.
+	Close() error
+}
+
+// nativeBatch reports whether an operator exposes the batch path directly.
+func nativeBatch(op Operator) (BatchOperator, bool) {
+	b, ok := op.(BatchOperator)
+	return b, ok
+}
+
+// ToBatch adapts a row operator to the batch interface. Operators that are
+// already batch-native are returned unchanged; otherwise rows are pulled
+// one at a time into a reusable slab of the given size (<=0 selects
+// DefaultBatchRows). The adapter itself is row-at-a-time glue — it exists
+// so batch consumers accept any input, not to make the input faster.
+func ToBatch(in Operator, size int) BatchOperator {
+	if b, ok := nativeBatch(in); ok {
+		return b
+	}
+	if size <= 0 {
+		size = DefaultBatchRows
+	}
+	return &rowToBatch{in: in, size: size}
+}
+
+// FromBatch adapts a batch operator to the row interface. Batch operators
+// that already serve rows are returned unchanged; otherwise Next iterates
+// the current slab.
+func FromBatch(in BatchOperator) Operator {
+	if op, ok := in.(Operator); ok {
+		return op
+	}
+	return &batchToRow{in: in}
+}
+
+// RowOnly hides an operator's batch interface, forcing every consumer onto
+// the row path. It exists for tests and benchmarks that need the scalar
+// engine as a baseline; plans never insert it.
+func RowOnly(op Operator) Operator {
+	return rowOnlyOp{op}
+}
+
+// rowOnlyOp embeds the interface value, so its method set carries exactly
+// the Operator methods and a BatchOperator type assertion fails.
+type rowOnlyOp struct {
+	Operator
+}
+
+// rowToBatch is the ToBatch adapter.
+type rowToBatch struct {
+	in   Operator
+	size int
+	slab []types.Row
+}
+
+// Schema implements BatchOperator.
+func (a *rowToBatch) Schema() types.Schema { return a.in.Schema() }
+
+// Open implements BatchOperator.
+func (a *rowToBatch) Open() error { return a.in.Open() }
+
+// NextBatch implements BatchOperator.
+func (a *rowToBatch) NextBatch() ([]types.Row, bool, error) {
+	if a.slab == nil {
+		a.slab = make([]types.Row, 0, a.size)
+	}
+	out := a.slab[:0]
+	for len(out) < a.size {
+		r, ok, err := a.in.Next()
+		if err != nil {
+			return nil, false, err
+		}
+		if !ok {
+			break
+		}
+		out = append(out, r)
+	}
+	a.slab = out
+	if len(out) == 0 {
+		return nil, false, nil
+	}
+	return out, true, nil
+}
+
+// Close implements BatchOperator.
+func (a *rowToBatch) Close() error { return a.in.Close() }
+
+// batchToRow is the FromBatch adapter.
+type batchToRow struct {
+	in  BatchOperator
+	cur []types.Row
+	pos int
+}
+
+// Schema implements Operator.
+func (a *batchToRow) Schema() types.Schema { return a.in.Schema() }
+
+// Open implements Operator.
+func (a *batchToRow) Open() error {
+	a.cur, a.pos = nil, 0
+	return a.in.Open()
+}
+
+// Next implements Operator.
+func (a *batchToRow) Next() (types.Row, bool, error) {
+	for a.pos >= len(a.cur) {
+		b, ok, err := a.in.NextBatch()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		a.cur, a.pos = b, 0
+	}
+	r := a.cur[a.pos]
+	a.pos++
+	return r, true, nil
+}
+
+// Close implements Operator.
+func (a *batchToRow) Close() error { return a.in.Close() }

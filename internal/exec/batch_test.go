@@ -1,0 +1,387 @@
+package exec
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/expr"
+	"repro/internal/network"
+	"repro/internal/obs"
+	"repro/internal/testutil"
+	"repro/internal/tpch"
+	"repro/internal/types"
+)
+
+// schemaFor infers a schema from a sample row (the exec layer only needs
+// names and kinds for metadata; tpch rows carry their kinds in the values).
+func schemaFor(r types.Row) types.Schema {
+	cols := make([]types.Column, len(r))
+	for i, v := range r {
+		cols[i] = types.Column{Name: fmt.Sprintf("c%d", i), Kind: v.K}
+	}
+	return types.Schema{Cols: cols}
+}
+
+// assertSameRows compares two results as multisets, order-insensitive.
+func assertSameRows(t *testing.T, got, want []types.Row) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("row count = %d, want %d", len(got), len(want))
+	}
+	counts := make(map[string]int, len(want))
+	for _, r := range want {
+		counts[r.String()]++
+	}
+	for _, r := range got {
+		counts[r.String()]--
+	}
+	for k, c := range counts {
+		if c != 0 {
+			t.Fatalf("row %q: multiset difference %+d", k, -c)
+		}
+	}
+}
+
+func TestAdaptersRoundTrip(t *testing.T) {
+	rows := intRows([]int64{1}, []int64{2}, []int64{3}, []int64{4}, []int64{5}, []int64{6}, []int64{7})
+	sch := intSchema("a")
+
+	// Passthrough identities: a batch-native operator survives ToBatch
+	// unchanged, and any Operator survives FromBatch unchanged.
+	src := NewSource(sch, rows)
+	if b := ToBatch(src, 4); b != BatchOperator(src) {
+		t.Error("ToBatch must pass a batch-native operator through")
+	}
+	if op := FromBatch(src); op != Operator(src) {
+		t.Error("FromBatch must pass an Operator through")
+	}
+	// RowOnly hides the batch path, forcing the real adapters.
+	ro := RowOnly(NewSource(sch, rows))
+	if _, ok := nativeBatch(ro); ok {
+		t.Fatal("RowOnly operator must not type-assert to BatchOperator")
+	}
+	bin := ToBatch(ro, 3)
+	if err := bin.Open(); err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for {
+		b, ok, err := bin.NextBatch()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		if len(b) == 0 || len(b) > 3 {
+			t.Fatalf("adapter slab size = %d, want 1..3", len(b))
+		}
+		total += len(b)
+	}
+	if total != len(rows) {
+		t.Fatalf("adapter delivered %d rows, want %d", total, len(rows))
+	}
+	if err := bin.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Full round trip through both adapters preserves content and order.
+	round := FromBatch(ToBatch(RowOnly(NewSource(sch, rows)), 3))
+	if _, isSrc := round.(*Source); isSrc {
+		t.Fatal("round trip should go through real adapters, not identity")
+	}
+	out, err := Collect(round)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(rows) {
+		t.Fatalf("round trip = %d rows, want %d", len(out), len(rows))
+	}
+	for i := range out {
+		if out[i][0].Int() != rows[i][0].Int() {
+			t.Fatalf("round trip row %d = %v, want %v", i, out[i], rows[i])
+		}
+	}
+}
+
+// TestBatchRowParityPipeline runs the same scan→filter→project→aggregate
+// pipeline on the scalar engine (RowOnly inputs) and on the batch path at
+// several slab sizes, and demands identical results.
+func TestBatchRowParityPipeline(t *testing.T) {
+	var rows []types.Row
+	for i := int64(0); i < 5000; i++ {
+		rows = append(rows, types.Row{types.NewInt(i % 37), types.NewInt(i)})
+	}
+	sch := intSchema("g", "v")
+	build := func(ctx *Ctx, rowOnly bool) Operator {
+		var in Operator = NewSource(sch, rows)
+		if rowOnly {
+			in = RowOnly(in)
+		}
+		f := NewFilter(ctx, in, gt(col(1), ci(99)))
+		var fin Operator = f
+		if rowOnly {
+			fin = RowOnly(f)
+		}
+		p := NewProject(ctx, fin, []expr.Expr{col(0), add(col(1), ci(1))}, []string{"g", "v1"})
+		var pin Operator = p
+		if rowOnly {
+			pin = RowOnly(p)
+		}
+		return NewHashAggregate(ctx, pin, ColRefs(0), []AggSpec{
+			{Kind: AggSum, Arg: col(1), Name: "s"},
+			{Kind: AggCount, Name: "c"},
+		}, AggComplete)
+	}
+	want, err := Collect(build(NewCtx("", 0), true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) != 37 {
+		t.Fatalf("baseline groups = %d, want 37", len(want))
+	}
+	for _, batchRows := range []int{1, 7, 1024} {
+		ctx := NewCtx("", 0)
+		ctx.BatchRows = batchRows
+		got, err := Collect(build(ctx, false))
+		if err != nil {
+			t.Fatalf("batch=%d: %v", batchRows, err)
+		}
+		assertSameRows(t, got, want)
+	}
+}
+
+// TestGraceJoinAdapterSpillParity feeds a spilling grace hash join through
+// the FromBatch∘ToBatch adapter chain on both inputs and golden-compares
+// against the plain row path on TPC-H SF0.01.
+func TestGraceJoinAdapterSpillParity(t *testing.T) {
+	d := tpch.Generate(0.01, 42)
+	lineSch := schemaFor(d.Lineitem[0])
+	ordSch := schemaFor(d.Orders[0])
+	run := func(adapters bool) ([]types.Row, *Ctx) {
+		ctx := NewCtx(t.TempDir(), 2000) // orders(15000) overflows: grace join
+		probe := Operator(NewSource(lineSch, d.Lineitem))
+		build := Operator(NewSource(ordSch, d.Orders))
+		if adapters {
+			probe = FromBatch(ToBatch(RowOnly(probe), 512))
+			build = FromBatch(ToBatch(RowOnly(build), 512))
+		}
+		j := NewHashJoin(ctx, probe, build, ColRefs(0), ColRefs(0), JoinInner, nil, 2)
+		out, err := Collect(j)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out, ctx
+	}
+	want, rowCtx := run(false)
+	got, adCtx := run(true)
+	if rowCtx.SpillFiles.Load() == 0 || adCtx.SpillFiles.Load() == 0 {
+		t.Fatalf("grace join must spill on both paths (row=%d adapter=%d files)",
+			rowCtx.SpillFiles.Load(), adCtx.SpillFiles.Load())
+	}
+	if len(want) != len(d.Lineitem) {
+		t.Fatalf("join rows = %d, want %d (every lineitem has an order)", len(want), len(d.Lineitem))
+	}
+	assertSameRows(t, got, want)
+}
+
+// TestSortAdapterSpillParity runs an external (spilling) sort whose input
+// arrives through the adapter chain and compares the exact output sequence
+// with the row path.
+func TestSortAdapterSpillParity(t *testing.T) {
+	d := tpch.Generate(0.01, 7)
+	rows := d.Lineitem[:20000]
+	sch := schemaFor(rows[0])
+	keys := []SortKey{{Col: 4, Desc: true}, {Col: 0}, {Col: 3}}
+	run := func(adapters bool) ([]types.Row, *Ctx) {
+		ctx := NewCtx(t.TempDir(), 1000)
+		in := Operator(NewSource(sch, rows))
+		if adapters {
+			in = FromBatch(ToBatch(RowOnly(in), 256))
+		}
+		out, err := Collect(NewSort(ctx, in, keys))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out, ctx
+	}
+	want, rowCtx := run(false)
+	got, adCtx := run(true)
+	if rowCtx.SpillFiles.Load() == 0 || adCtx.SpillFiles.Load() == 0 {
+		t.Fatalf("sort must spill on both paths (row=%d adapter=%d files)",
+			rowCtx.SpillFiles.Load(), adCtx.SpillFiles.Load())
+	}
+	if len(got) != len(want) {
+		t.Fatalf("sorted rows = %d, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i].String() != want[i].String() {
+			t.Fatalf("sorted output diverges at row %d:\n  adapter: %v\n  row:     %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestSendAllHonorsWireBatchRows pins the Ctx.BatchRows knob to the wire:
+// message counts on the fabric meter must match ceil(rows/batch) data
+// messages plus one EOF.
+func TestSendAllHonorsWireBatchRows(t *testing.T) {
+	testutil.AssertNoGoroutineLeak(t)
+	cases := []struct {
+		name     string
+		ctx      *Ctx
+		rows     int
+		wantMsgs int64
+	}{
+		{"explicit-5", func() *Ctx { c := NewCtx("", 0); c.BatchRows = 5; return c }(), 15, 3 + 1},
+		{"explicit-5-remainder", func() *Ctx { c := NewCtx("", 0); c.BatchRows = 5; return c }(), 17, 4 + 1},
+		{"default-128", nil, 300, 3 + 1}, // ceil(300/128)=3 data + EOF
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fabric := network.NewFabric([]int{0, 1}, 64)
+			defer fabric.CloseAll()
+			sch := intSchema("a")
+			var rows []types.Row
+			for i := 0; i < tc.rows; i++ {
+				rows = append(rows, types.Row{types.NewInt(int64(i))})
+			}
+			ep1, _ := fabric.Endpoint(1)
+			if err := SendAll(tc.ctx, ep1, 0, "knob", NewSource(sch, rows)); err != nil {
+				t.Fatal(err)
+			}
+			ep0, _ := fabric.Endpoint(0)
+			got, err := Collect(NewRecv(ep0, "knob", 1, sch))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != tc.rows {
+				t.Fatalf("received %d rows, want %d", len(got), tc.rows)
+			}
+			if n := fabric.Meter().TotalMessages(); n != tc.wantMsgs {
+				t.Errorf("wire messages = %d, want %d", n, tc.wantMsgs)
+			}
+		})
+	}
+}
+
+// TestShuffleTinyBatchRows exercises the batched shuffle with a slab size
+// small enough that every code path crosses slab boundaries repeatedly.
+func TestShuffleTinyBatchRows(t *testing.T) {
+	testutil.AssertNoGoroutineLeak(t)
+	const n, perNode = 3, 100
+	ids := []int{0, 1, 2}
+	fabric := network.NewFabric(ids, 256)
+	defer fabric.CloseAll()
+	spec := ShuffleSpec{Channel: "tiny", Nodes: ids}
+	results := make([][]types.Row, n)
+	errs := make([]error, n)
+	done := make(chan int, n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			defer func() { done <- i }()
+			ctx := NewCtx("", 0)
+			ctx.BatchRows = 3
+			ep, err := fabric.Endpoint(i)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			var rows []types.Row
+			for k := 0; k < perNode; k++ {
+				rows = append(rows, types.Row{
+					types.NewInt(int64((i*perNode + k) % 16)),
+					types.NewInt(int64(i*perNode + k)),
+				})
+			}
+			sh, err := NewShuffle(ctx, ep, spec, NewSource(intSchema("k", "v"), rows), ColRefs(0), types.Schema{})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			results[i], errs[i] = Collect(sh)
+		}(i)
+	}
+	for i := 0; i < n; i++ {
+		<-done
+	}
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("node %d: %v", i, err)
+		}
+	}
+	checkShuffleCorrect(t, results, n, n*perNode)
+}
+
+// TestHashAggregateNextBatchWindows drives the aggregate's batch interface
+// directly: slabs must respect Ctx.BatchRows, never be empty, and cover
+// every group exactly once.
+func TestHashAggregateNextBatchWindows(t *testing.T) {
+	ctx := NewCtx("", 0)
+	ctx.BatchRows = 7
+	var rows []types.Row
+	for i := int64(0); i < 1000; i++ {
+		rows = append(rows, types.Row{types.NewInt(i % 100), types.NewInt(i)})
+	}
+	agg := NewHashAggregate(ctx, NewSource(intSchema("g", "v"), rows), ColRefs(0),
+		[]AggSpec{{Kind: AggCount, Name: "c"}}, AggComplete)
+	if err := agg.Open(); err != nil {
+		t.Fatal(err)
+	}
+	defer agg.Close()
+	seen := map[int64]bool{}
+	for {
+		b, ok, err := agg.NextBatch()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		if len(b) == 0 || len(b) > 7 {
+			t.Fatalf("aggregate slab size = %d, want 1..7", len(b))
+		}
+		for _, r := range b {
+			if seen[r[0].Int()] {
+				t.Fatalf("group %d delivered twice", r[0].Int())
+			}
+			seen[r[0].Int()] = true
+			if r[1].Int() != 10 {
+				t.Fatalf("group %d count = %d, want 10", r[0].Int(), r[1].Int())
+			}
+		}
+	}
+	if len(seen) != 100 {
+		t.Fatalf("groups = %d, want 100", len(seen))
+	}
+}
+
+// TestTracedBatchCounts verifies that the batch path keeps observability:
+// a traced batch-native operator still counts rows and also counts slabs.
+func TestTracedBatchCounts(t *testing.T) {
+	sch := intSchema("x")
+	var rows []types.Row
+	for i := int64(0); i < 3000; i++ {
+		rows = append(rows, types.Row{types.NewInt(i)})
+	}
+	tr := obs.NewQueryTrace(1, "")
+	sp := tr.StartSpan("Source", 0)
+	op := NewTraced(NewSource(sch, rows), sp)
+	if _, ok := nativeBatch(op); !ok {
+		t.Fatal("tracing a batch-native operator must preserve the batch path")
+	}
+	got, err := Collect(op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(rows) {
+		t.Fatalf("collected %d rows", len(got))
+	}
+	snap := tr.Spans()[0]
+	if snap.RowsOut != int64(len(rows)) {
+		t.Errorf("span rows_out = %d, want %d", snap.RowsOut, len(rows))
+	}
+	// 3000 rows at the default 1024-row slab = 3 slabs.
+	if snap.Batches != 3 {
+		t.Errorf("span batches = %d, want 3", snap.Batches)
+	}
+}

@@ -29,8 +29,6 @@ const (
 	msgEOF  byte = 1
 )
 
-const shuffleBatchRows = 128
-
 // errShuffleClosed aborts a shuffle's send loop after Close; it never
 // reaches callers (an abandoned stream has no consumer to report to).
 var errShuffleClosed = errors.New("exec: shuffle closed")
@@ -101,20 +99,24 @@ type Shuffle struct {
 	Spec    ShuffleSpec
 	In      Operator    // local input (may be nil on receive-only nodes)
 	Keys    []expr.Expr // partition key expressions over the input
+	ctx     *Ctx
 	ep      network.Endpoint
 	sch     types.Schema
 	ring    topology.Ring
 	selfPos int
 
-	rows      chan types.Row
+	batches   chan []types.Row
 	errCh     chan error
 	done      chan struct{} // closed by Close; unblocks every channel send
 	closeOnce *sync.Once
+	cur       []types.Row
+	pos       int
 }
 
-// NewShuffle builds the per-node shuffle operator. sch must be provided
-// when in is nil.
-func NewShuffle(ep network.Endpoint, spec ShuffleSpec, in Operator, keys []expr.Expr, sch types.Schema) (*Shuffle, error) {
+// NewShuffle builds the per-node shuffle operator. ctx sizes the wire
+// batches and may be nil (defaults apply); sch must be provided when in is
+// nil.
+func NewShuffle(ctx *Ctx, ep network.Endpoint, spec ShuffleSpec, in Operator, keys []expr.Expr, sch types.Schema) (*Shuffle, error) {
 	if in != nil {
 		sch = in.Schema()
 	}
@@ -126,7 +128,7 @@ func NewShuffle(ep network.Endpoint, spec ShuffleSpec, in Operator, keys []expr.
 	if pos < 0 {
 		return nil, fmt.Errorf("exec: node %d not in shuffle spec", ep.NodeID())
 	}
-	return &Shuffle{Spec: spec, In: in, Keys: keys, ep: ep, sch: sch, ring: ring, selfPos: pos}, nil
+	return &Shuffle{Spec: spec, In: in, Keys: keys, ctx: ctx, ep: ep, sch: sch, ring: ring, selfPos: pos}, nil
 }
 
 // Schema implements Operator.
@@ -139,10 +141,11 @@ func (s *Shuffle) Open() error {
 			return err
 		}
 	}
-	s.rows = make(chan types.Row, 1024)
+	s.batches = make(chan []types.Row, 16)
 	s.errCh = make(chan error, 2)
 	s.done = make(chan struct{})
 	s.closeOnce = new(sync.Once)
+	s.cur, s.pos = nil, 0
 	// Start the send/receive/forward loops immediately: a shuffle is a
 	// cluster-wide rendezvous, and peers block until every participant's
 	// loops are live, so lazy start (on first Next) can deadlock plans
@@ -214,7 +217,7 @@ func (s *Shuffle) start() {
 	}()
 	// Receive/forward loop.
 	go func() {
-		defer close(s.rows)
+		defer close(s.batches)
 		defer fq.close()
 		pending := s.transitPairs()
 		selfEOFs := 0
@@ -252,42 +255,43 @@ func (s *Shuffle) start() {
 				delete(pending, [2]int{origin, destPos})
 				continue
 			}
-			for _, r := range rows {
-				select {
-				case s.rows <- r:
-				case <-s.done:
-					// Consumer abandoned the stream (early Close); keep
-					// draining the network so peers and hubs are not wedged,
-					// but stop delivering locally.
-				}
+			// One decoded message = one slab delivered downstream; the
+			// decode allocated it fresh, so the consumer owns it.
+			select {
+			case s.batches <- rows:
+			case <-s.done:
+				// Consumer abandoned the stream (early Close); keep
+				// draining the network so peers and hubs are not wedged,
+				// but stop delivering locally.
 			}
 		}
 	}()
-	// Send loop: partition the local input.
+	// Send loop: partition the local input, moving it on the batch path
+	// when the input offers one.
 	go func() {
 		n := len(s.Spec.Nodes)
+		wire := s.ctx.wireBatchRows()
 		batches := make([][]types.Row, n)
 		flush := func(dest int) error {
 			if len(batches[dest]) == 0 {
 				return nil
 			}
+			if dest == s.selfPos {
+				// Local partition: deliver without the network (and without
+				// the old encode/decode roundtrip). The buffer is reused, so
+				// hand the consumer a copy.
+				cp := make([]types.Row, len(batches[dest]))
+				copy(cp, batches[dest])
+				batches[dest] = batches[dest][:0]
+				select {
+				case s.batches <- cp:
+					return nil
+				case <-s.done:
+					return errShuffleClosed
+				}
+			}
 			payload := encodeBatch(msgData, s.selfPos, batches[dest])
 			batches[dest] = batches[dest][:0]
-			if dest == s.selfPos {
-				// Local partition: deliver without the network.
-				_, _, rows, err := decodeBatch(payload)
-				if err != nil {
-					return err
-				}
-				for _, r := range rows {
-					select {
-					case s.rows <- r:
-					case <-s.done:
-						return errShuffleClosed
-					}
-				}
-				return nil
-			}
 			return s.send(dest, payload)
 		}
 		fail := func(err error) {
@@ -304,9 +308,22 @@ func (s *Shuffle) start() {
 				}
 			}
 		}
+		route := func(r types.Row) error {
+			hk, err := HashKeys(s.Keys, r)
+			if err != nil {
+				return err
+			}
+			dest := int(hk % uint64(n))
+			batches[dest] = append(batches[dest], r)
+			if len(batches[dest]) >= wire {
+				return flush(dest)
+			}
+			return nil
+		}
 		if s.In != nil {
+			bin := ToBatch(s.In, wire)
 			for {
-				r, ok, err := s.In.Next()
+				b, ok, err := bin.NextBatch()
 				if err != nil {
 					fail(err)
 					return
@@ -314,15 +331,8 @@ func (s *Shuffle) start() {
 				if !ok {
 					break
 				}
-				hk, err := HashKeys(s.Keys, r)
-				if err != nil {
-					fail(err)
-					return
-				}
-				dest := int(hk % uint64(n))
-				batches[dest] = append(batches[dest], r)
-				if len(batches[dest]) >= shuffleBatchRows {
-					if err := flush(dest); err != nil {
+				for _, r := range b {
+					if err := route(r); err != nil {
 						fail(err)
 						return
 					}
@@ -358,12 +368,27 @@ func (s *Shuffle) start() {
 	}()
 }
 
-// Next implements Operator.
+// Next implements Operator, iterating the current delivered slab.
 func (s *Shuffle) Next() (types.Row, bool, error) {
+	for s.pos >= len(s.cur) {
+		b, ok, err := s.NextBatch()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		s.cur, s.pos = b, 0
+	}
+	r := s.cur[s.pos]
+	s.pos++
+	return r, true, nil
+}
+
+// NextBatch implements BatchOperator: one received (or locally routed)
+// wire batch per call.
+func (s *Shuffle) NextBatch() ([]types.Row, bool, error) {
 	select {
 	case err := <-s.errCh:
 		return nil, false, err
-	case r, ok := <-s.rows:
+	case b, ok := <-s.batches:
 		if !ok {
 			select {
 			case err := <-s.errCh:
@@ -372,7 +397,7 @@ func (s *Shuffle) Next() (types.Row, bool, error) {
 			}
 			return nil, false, nil
 		}
-		return r, true, nil
+		return b, true, nil
 	}
 }
 
@@ -390,12 +415,15 @@ func (s *Shuffle) Close() error {
 }
 
 // SendAll drains an operator and sends every row to one receiver — the
-// worker side of a gather (workers → coordinator result routing).
-func SendAll(ep network.Endpoint, to int, channel string, in Operator) error {
+// worker side of a gather (workers → coordinator result routing). ctx
+// sizes the wire batches and may be nil (DefaultWireBatchRows applies);
+// the input moves on its batch path when it offers one.
+func SendAll(ctx *Ctx, ep network.Endpoint, to int, channel string, in Operator) error {
 	if err := in.Open(); err != nil {
 		return err
 	}
 	defer in.Close()
+	wire := ctx.wireBatchRows()
 	var batch []types.Row
 	flush := func() error {
 		if len(batch) == 0 {
@@ -405,8 +433,9 @@ func SendAll(ep network.Endpoint, to int, channel string, in Operator) error {
 		batch = batch[:0]
 		return err
 	}
+	bin := ToBatch(in, wire)
 	for {
-		r, ok, err := in.Next()
+		b, ok, err := bin.NextBatch()
 		if err != nil {
 			_ = flush()
 			_ = ep.Send(to, to, channel, encodeBatch(msgEOF, ep.NodeID(), nil))
@@ -415,10 +444,12 @@ func SendAll(ep network.Endpoint, to int, channel string, in Operator) error {
 		if !ok {
 			break
 		}
-		batch = append(batch, r)
-		if len(batch) >= shuffleBatchRows {
-			if err := flush(); err != nil {
-				return err
+		for _, r := range b {
+			batch = append(batch, r)
+			if len(batch) >= wire {
+				if err := flush(); err != nil {
+					return err
+				}
 			}
 		}
 	}
@@ -485,19 +516,51 @@ func (r *Recv) Next() (types.Row, bool, error) {
 	}
 }
 
+// NextBatch implements BatchOperator: one received wire batch per call
+// (the decode allocated it fresh, so the consumer owns it).
+func (r *Recv) NextBatch() ([]types.Row, bool, error) {
+	for {
+		if r.pos < len(r.buf) {
+			out := r.buf[r.pos:]
+			r.pos = len(r.buf)
+			return out, true, nil
+		}
+		if r.finished {
+			return nil, false, nil
+		}
+		msg, err := r.Ep.Recv(r.Channel)
+		if err != nil {
+			return nil, false, err
+		}
+		msgType, _, rows, err := decodeBatch(msg.Payload)
+		if err != nil {
+			return nil, false, err
+		}
+		if msgType == msgEOF {
+			r.eofs++
+			if r.eofs >= r.Senders {
+				r.finished = true
+			}
+			continue
+		}
+		r.buf, r.pos = rows, 0
+	}
+}
+
 // Close implements Operator.
 func (r *Recv) Close() error { return nil }
 
 // Broadcast sends every input row to all listed nodes (replicated/broadcast
-// join build sides).
-func Broadcast(ep network.Endpoint, nodes []int, channel string, in Operator) error {
+// join build sides). ctx sizes the wire batches and may be nil.
+func Broadcast(ctx *Ctx, ep network.Endpoint, nodes []int, channel string, in Operator) error {
 	rows, err := Collect(in)
 	if err != nil {
 		return err
 	}
+	wire := ctx.wireBatchRows()
 	for _, node := range nodes {
-		for i := 0; i < len(rows); i += shuffleBatchRows {
-			end := i + shuffleBatchRows
+		for i := 0; i < len(rows); i += wire {
+			end := i + wire
 			if end > len(rows) {
 				end = len(rows)
 			}
@@ -525,7 +588,7 @@ type TreeReduceSpec struct {
 // aggregate or an ordered merge); non-root nodes drain the combined stream
 // to their parent and return nil; the root returns the combined operator
 // for downstream consumption.
-func RunTreeReduce(ep network.Endpoint, spec TreeReduceSpec, local Operator,
+func RunTreeReduce(ctx *Ctx, ep network.Endpoint, spec TreeReduceSpec, local Operator,
 	combine func(ins []Operator) Operator) (Operator, error) {
 	tree, err := topology.NewTree(len(spec.Nodes), spec.Nmax)
 	if err != nil {
@@ -555,7 +618,7 @@ func RunTreeReduce(ep network.Endpoint, spec TreeReduceSpec, local Operator,
 	}
 	parent := tree.Parent(pos)
 	ch := fmt.Sprintf("%s:edge:%d-%d", spec.Channel, pos, parent)
-	if err := SendAll(ep, spec.Nodes[parent], ch, combined); err != nil {
+	if err := SendAll(ctx, ep, spec.Nodes[parent], ch, combined); err != nil {
 		return nil, err
 	}
 	return nil, nil

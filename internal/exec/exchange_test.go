@@ -42,7 +42,7 @@ func runShuffle(t *testing.T, n, perNode, keys, nmax int, hierarchical bool) ([]
 				})
 			}
 			src := NewSource(intSchema("k", "v"), rows)
-			sh, err := NewShuffle(ep, spec, src, ColRefs(0), types.Schema{})
+			sh, err := NewShuffle(nil, ep, spec, src, ColRefs(0), types.Schema{})
 			if err != nil {
 				errs[i] = err
 				return
@@ -143,7 +143,7 @@ func TestSendAllRecv(t *testing.T) {
 			defer wg.Done()
 			ep, _ := fabric.Endpoint(w)
 			src := NewSource(sch, intRows([]int64{int64(w * 10)}, []int64{int64(w*10 + 1)}))
-			if err := SendAll(ep, 0, "gather", src); err != nil {
+			if err := SendAll(nil, ep, 0, "gather", src); err != nil {
 				t.Errorf("worker %d: %v", w, err)
 			}
 		}(w)
@@ -167,7 +167,7 @@ func TestBroadcastExchange(t *testing.T) {
 	go func() {
 		ep, _ := fabric.Endpoint(0)
 		src := NewSource(sch, intRows([]int64{7}, []int64{8}))
-		if err := Broadcast(ep, []int{1, 2}, "bc", src); err != nil {
+		if err := Broadcast(nil, ep, []int{1, 2}, "bc", src); err != nil {
 			t.Errorf("broadcast: %v", err)
 		}
 	}()
@@ -211,7 +211,7 @@ func TestTreeReduceAggregation(t *testing.T) {
 				var merged Operator = NewUnion(ins...)
 				return NewHashAggregate(nil, merged, ColRefs(0), aggSpecs, AggMerge)
 			}
-			op, err := RunTreeReduce(ep, spec, local, combine)
+			op, err := RunTreeReduce(nil, ep, spec, local, combine)
 			if err != nil {
 				rootErr = err
 				return
@@ -266,7 +266,7 @@ func TestTreeReduceMergeSort(t *testing.T) {
 			}
 			local := NewSort(nil, NewSource(intSchema("x"), rows), keys)
 			combine := func(ins []Operator) Operator { return NewMergeOperators(ins, keys) }
-			op, err := RunTreeReduce(ep, spec, local, combine)
+			op, err := RunTreeReduce(nil, ep, spec, local, combine)
 			if err != nil {
 				rootErr = err
 				return

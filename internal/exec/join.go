@@ -57,11 +57,13 @@ type HashJoin struct {
 	ctx       *Ctx
 
 	out      types.Schema
-	results  chan types.Row
+	results  chan []types.Row
 	errCh    chan error
 	err      error
 	prepared bool
 	done     bool
+	cur      []types.Row
+	pos      int
 
 	stop     chan struct{} // closed by Close; unblocks result emission
 	stopOnce *sync.Once
@@ -96,6 +98,7 @@ func (h *HashJoin) Schema() types.Schema { return h.out }
 // Open implements Operator.
 func (h *HashJoin) Open() error {
 	h.results, h.errCh, h.err, h.prepared, h.done = nil, nil, nil, false, false
+	h.cur, h.pos = nil, 0
 	h.stop = make(chan struct{})
 	h.stopOnce = new(sync.Once)
 	if err := h.Probe.Open(); err != nil {
@@ -174,15 +177,18 @@ func (h *HashJoin) prepare() error {
 // streamProbe launches probe workers against the shared read-only table.
 // The degree of parallelism adapts to the node's current load through the
 // context's parallel budget (Section I: workers reduce the degree of
-// parallelism for query operators when resources are scarce).
+// parallelism for query operators when resources are scarce). Probe rows
+// and join results both cross goroutine boundaries in slabs; each worker
+// accumulates results in its own emitter so nothing is shared.
 func (h *HashJoin) streamProbe(table map[uint64][]types.Row, bloom *Bloom) error {
 	degree := h.Parallel
 	if h.ctx != nil {
 		degree = h.ctx.AcquireWorkers(h.Parallel)
 	}
-	h.results = make(chan types.Row, 256)
+	batch := h.ctx.batchRows()
+	h.results = make(chan []types.Row, 16)
 	h.errCh = make(chan error, degree+1)
-	probeRows := make(chan types.Row, 256)
+	probeBatches := make(chan []types.Row, 16)
 	stop := make(chan struct{})
 	var stopOnce sync.Once
 
@@ -191,24 +197,33 @@ func (h *HashJoin) streamProbe(table map[uint64][]types.Row, bloom *Bloom) error
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for r := range probeRows {
-				if err := h.probeOne(r, table, bloom, h.results); err != nil {
-					if err != errJoinStopped {
-						h.errCh <- err
+			em := &joinEmitter{h: h, size: batch}
+			for b := range probeBatches {
+				for _, r := range b {
+					if err := h.probeOne(r, table, bloom, em); err != nil {
+						if err != errJoinStopped {
+							h.errCh <- err
+						}
+						stopOnce.Do(func() { close(stop) })
+						return
 					}
-					stopOnce.Do(func() { close(stop) })
-					return
 				}
+			}
+			if err := em.flush(); err != nil && err != errJoinStopped {
+				h.errCh <- err
 			}
 		}()
 	}
 	// Feeder: the probe input is a single iterator, so one goroutine reads
-	// it and fans rows out to the probe workers. It aborts when a worker
-	// reports an error so nothing blocks on a full channel.
+	// it and fans slabs out to the probe workers. Slabs are copied before
+	// the send because the input may reuse its slab, while the workers hold
+	// theirs asynchronously. The feeder aborts when a worker reports an
+	// error so nothing blocks on a full channel.
 	go func() {
-		defer close(probeRows)
+		defer close(probeBatches)
+		bin := ToBatch(h.Probe, batch)
 		for {
-			r, ok, err := h.Probe.Next()
+			b, ok, err := bin.NextBatch()
 			if err != nil {
 				h.errCh <- err
 				return
@@ -217,10 +232,12 @@ func (h *HashJoin) streamProbe(table map[uint64][]types.Row, bloom *Bloom) error
 				return
 			}
 			if h.ctx != nil {
-				h.ctx.RowsProcessed.Add(1)
+				h.ctx.RowsProcessed.Add(int64(len(b)))
 			}
+			cp := make([]types.Row, len(b))
+			copy(cp, b)
 			select {
-			case probeRows <- r:
+			case probeBatches <- cp:
 			case <-stop:
 				return
 			case <-h.stop:
@@ -238,8 +255,45 @@ func (h *HashJoin) streamProbe(table map[uint64][]types.Row, bloom *Bloom) error
 	return nil
 }
 
+// joinEmitter accumulates one worker's result rows into a slab and ships
+// the slab when full. Each worker owns its emitter, so emission is
+// lock-free; the channel select costs once per slab instead of per row.
+type joinEmitter struct {
+	h    *HashJoin
+	slab []types.Row
+	size int
+}
+
+// emit buffers one result row, flushing when the slab is full.
+func (e *joinEmitter) emit(r types.Row) error {
+	if e.slab == nil {
+		e.slab = make([]types.Row, 0, e.size)
+	}
+	e.slab = append(e.slab, r)
+	if len(e.slab) >= e.size {
+		return e.flush()
+	}
+	return nil
+}
+
+// flush ships the slab unless the join has been closed, so probe workers
+// cannot block forever on a stream nobody is draining. A fresh slab is
+// allocated afterwards — the consumer owns shipped slabs.
+func (e *joinEmitter) flush() error {
+	if len(e.slab) == 0 {
+		return nil
+	}
+	select {
+	case e.h.results <- e.slab:
+		e.slab = make([]types.Row, 0, e.size)
+		return nil
+	case <-e.h.stop:
+		return errJoinStopped
+	}
+}
+
 // probeOne emits the join results for one probe row.
-func (h *HashJoin) probeOne(r types.Row, table map[uint64][]types.Row, bloom *Bloom, out chan<- types.Row) error {
+func (h *HashJoin) probeOne(r types.Row, table map[uint64][]types.Row, bloom *Bloom, out *joinEmitter) error {
 	keyRow, err := EvalKeys(h.ProbeKeys, r)
 	if err != nil {
 		return err
@@ -267,7 +321,7 @@ func (h *HashJoin) probeOne(r types.Row, table map[uint64][]types.Row, bloom *Bl
 			}
 			matched = true
 			if h.Type == JoinInner {
-				if err := h.emit(out, joined); err != nil {
+				if err := out.emit(joined); err != nil {
 					return err
 				}
 			} else if h.Type == JoinSemi {
@@ -278,23 +332,12 @@ func (h *HashJoin) probeOne(r types.Row, table map[uint64][]types.Row, bloom *Bl
 		}
 	}
 	if h.Type == JoinSemi && matched {
-		return h.emit(out, r)
+		return out.emit(r)
 	}
 	if h.Type == JoinAnti && !matched {
-		return h.emit(out, r)
+		return out.emit(r)
 	}
 	return nil
-}
-
-// emit delivers one result row unless the join has been closed, so probe
-// workers cannot block forever on a stream nobody is draining.
-func (h *HashJoin) emit(out chan<- types.Row, r types.Row) error {
-	select {
-	case out <- r:
-		return nil
-	case <-h.stop:
-		return errJoinStopped
-	}
 }
 
 // keysEqual compares the evaluated key expressions of a probe/build pair.
@@ -420,26 +463,33 @@ func (h *HashJoin) graceJoin(buildSpill *spillWriter, bloom *Bloom) error {
 		}
 	}
 
-	h.results = make(chan types.Row, 256)
+	h.results = make(chan []types.Row, 16)
 	h.errCh = make(chan error, 1)
 	go func() {
 		defer close(h.results)
-		for p := 0; p < fanout; p++ {
-			if err := h.joinPartition(buildParts[p], probeParts[p]); err != nil {
-				if err != errJoinStopped {
-					select {
-					case h.errCh <- err:
-					case <-h.stop:
-					}
+		em := &joinEmitter{h: h, size: h.ctx.batchRows()}
+		fail := func(err error) {
+			if err != errJoinStopped {
+				select {
+				case h.errCh <- err:
+				case <-h.stop:
 				}
+			}
+		}
+		for p := 0; p < fanout; p++ {
+			if err := h.joinPartition(buildParts[p], probeParts[p], em); err != nil {
+				fail(err)
 				return
 			}
+		}
+		if err := em.flush(); err != nil {
+			fail(err)
 		}
 	}()
 	return nil
 }
 
-func (h *HashJoin) joinPartition(bw, pw *spillWriter) error {
+func (h *HashJoin) joinPartition(bw, pw *spillWriter, em *joinEmitter) error {
 	br, err := bw.finish()
 	if err != nil {
 		return err
@@ -477,14 +527,30 @@ func (h *HashJoin) joinPartition(bw, pw *spillWriter) error {
 		if !ok {
 			return nil
 		}
-		if err := h.probeOne(r, table, passAll, h.results); err != nil {
+		if err := h.probeOne(r, table, passAll, em); err != nil {
 			return err
 		}
 	}
 }
 
-// Next implements Operator.
+// Next implements Operator, iterating the current result slab.
 func (h *HashJoin) Next() (types.Row, bool, error) {
+	for h.pos >= len(h.cur) {
+		b, ok, err := h.NextBatch()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		h.cur, h.pos = b, 0
+	}
+	r := h.cur[h.pos]
+	h.pos++
+	return r, true, nil
+}
+
+// NextBatch implements BatchOperator: receive the next result slab from
+// the probe workers. Workers allocate a fresh slab per flush, so the
+// received slab is the caller's to mutate.
+func (h *HashJoin) NextBatch() ([]types.Row, bool, error) {
 	if !h.prepared {
 		if err := h.prepare(); err != nil {
 			return nil, false, err
@@ -494,24 +560,22 @@ func (h *HashJoin) Next() (types.Row, bool, error) {
 	if h.err != nil {
 		return nil, false, h.err
 	}
-	for {
-		select {
-		case err := <-h.errCh:
-			h.err = err
-			return nil, false, err
-		case r, ok := <-h.results:
-			if !ok {
-				// Check for a late error.
-				select {
-				case err := <-h.errCh:
-					h.err = err
-					return nil, false, err
-				default:
-				}
-				return nil, false, nil
+	select {
+	case err := <-h.errCh:
+		h.err = err
+		return nil, false, err
+	case b, ok := <-h.results:
+		if !ok {
+			// Check for a late error.
+			select {
+			case err := <-h.errCh:
+				h.err = err
+				return nil, false, err
+			default:
 			}
-			return r, true, nil
+			return nil, false, nil
 		}
+		return b, true, nil
 	}
 }
 

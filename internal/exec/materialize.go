@@ -102,6 +102,44 @@ func (m *Materialize) Next() (types.Row, bool, error) {
 	return r, true, nil
 }
 
+// NextBatch implements BatchOperator for the in-memory buffer, serving
+// retired windows of the buffered rows; the spill-file path stays
+// row-at-a-time (each read allocates anyway).
+func (m *Materialize) NextBatch() ([]types.Row, bool, error) {
+	if !m.prepared {
+		if err := m.prepare(); err != nil {
+			return nil, false, err
+		}
+	}
+	if m.reader != nil {
+		var slab []types.Row
+		for len(slab) < DefaultBatchRows {
+			r, ok, err := m.reader.next()
+			if err != nil {
+				return nil, false, err
+			}
+			if !ok {
+				break
+			}
+			slab = append(slab, r)
+		}
+		if len(slab) == 0 {
+			return nil, false, nil
+		}
+		return slab, true, nil
+	}
+	if m.pos >= len(m.mem) {
+		return nil, false, nil
+	}
+	end := m.pos + m.ctx.batchRows()
+	if end > len(m.mem) {
+		end = len(m.mem)
+	}
+	out := m.mem[m.pos:end]
+	m.pos = end
+	return out, true, nil
+}
+
 // Close implements Operator.
 func (m *Materialize) Close() error {
 	if m.reader != nil {

@@ -36,6 +36,11 @@ type Ctx struct {
 	// MemRows is the per-operator in-memory row budget before spilling.
 	// Zero means unlimited.
 	MemRows int
+	// BatchRows sizes the slabs the vectorized path moves between
+	// operators and, for exchanges, the rows per wire message. Zero keeps
+	// the defaults (DefaultBatchRows for operator slabs,
+	// DefaultWireBatchRows for exchange messages).
+	BatchRows int
 
 	// Metering for the performance model.
 	RowsProcessed atomic.Int64
@@ -101,6 +106,25 @@ func (c *Ctx) ReleaseWorkers(granted int) {
 	}
 }
 
+// batchRows resolves the operator slab size; nil-safe.
+func (c *Ctx) batchRows() int {
+	if c == nil || c.BatchRows <= 0 {
+		return DefaultBatchRows
+	}
+	return c.BatchRows
+}
+
+// wireBatchRows resolves the rows per exchange message; nil-safe. The
+// wire default is smaller than the slab default so a shuffle can keep a
+// buffer per destination without ballooning memory, but an explicit
+// Ctx.BatchRows overrides both together (satisfying "one knob").
+func (c *Ctx) wireBatchRows() int {
+	if c == nil || c.BatchRows <= 0 {
+		return DefaultWireBatchRows
+	}
+	return c.BatchRows
+}
+
 // addState records operator state bytes when a context is present.
 func (c *Ctx) addState(n int64) {
 	if c != nil {
@@ -131,6 +155,7 @@ type Source struct {
 	Sch  types.Schema
 	Rows []types.Row
 	pos  int
+	slab []types.Row
 }
 
 // NewSource builds a source operator.
@@ -154,6 +179,27 @@ func (s *Source) Next() (types.Row, bool, error) {
 	return r, true, nil
 }
 
+// NextBatch implements BatchOperator. Rows are copied into a reusable
+// slab rather than sub-sliced out of s.Rows: the batch contract lets the
+// consumer compact the slab in place, and that must not disturb the
+// authoritative backing slice.
+func (s *Source) NextBatch() ([]types.Row, bool, error) {
+	if s.pos >= len(s.Rows) {
+		return nil, false, nil
+	}
+	n := DefaultBatchRows
+	if rest := len(s.Rows) - s.pos; rest < n {
+		n = rest
+	}
+	if cap(s.slab) < n {
+		s.slab = make([]types.Row, n)
+	}
+	out := s.slab[:n]
+	copy(out, s.Rows[s.pos:s.pos+n])
+	s.pos += n
+	return out, true, nil
+}
+
 // Close implements Operator.
 func (s *Source) Close() error { return nil }
 
@@ -162,6 +208,7 @@ type Filter struct {
 	In   Operator
 	Pred expr.Expr
 	ctx  *Ctx
+	bin  BatchOperator
 }
 
 // NewFilter builds a filter; the predicate must already be bound to the
@@ -174,7 +221,10 @@ func NewFilter(ctx *Ctx, in Operator, pred expr.Expr) *Filter {
 func (f *Filter) Schema() types.Schema { return f.In.Schema() }
 
 // Open implements Operator.
-func (f *Filter) Open() error { return f.In.Open() }
+func (f *Filter) Open() error {
+	f.bin = nil
+	return f.In.Open()
+}
 
 // Next implements Operator.
 func (f *Filter) Next() (types.Row, bool, error) {
@@ -196,6 +246,37 @@ func (f *Filter) Next() (types.Row, bool, error) {
 	}
 }
 
+// NextBatch implements BatchOperator: evaluate the predicate over the
+// input slab and compact survivors in place (the slab belongs to us per
+// the batch ownership contract).
+func (f *Filter) NextBatch() ([]types.Row, bool, error) {
+	if f.bin == nil {
+		f.bin = ToBatch(f.In, f.ctx.batchRows())
+	}
+	for {
+		b, ok, err := f.bin.NextBatch()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		if f.ctx != nil {
+			f.ctx.RowsProcessed.Add(int64(len(b)))
+		}
+		out := b[:0]
+		for _, r := range b {
+			keep, err := expr.EvalBool(f.Pred, r)
+			if err != nil {
+				return nil, false, err
+			}
+			if keep {
+				out = append(out, r)
+			}
+		}
+		if len(out) > 0 {
+			return out, true, nil
+		}
+	}
+}
+
 // Close implements Operator.
 func (f *Filter) Close() error { return f.In.Close() }
 
@@ -205,6 +286,8 @@ type Project struct {
 	Exprs []expr.Expr
 	Out   types.Schema
 	ctx   *Ctx
+	bin   BatchOperator
+	slab  []types.Row
 }
 
 // NewProject builds a projection; exprs must be bound to the input schema
@@ -221,7 +304,10 @@ func NewProject(ctx *Ctx, in Operator, exprs []expr.Expr, names []string) *Proje
 func (p *Project) Schema() types.Schema { return p.Out }
 
 // Open implements Operator.
-func (p *Project) Open() error { return p.In.Open() }
+func (p *Project) Open() error {
+	p.bin = nil
+	return p.In.Open()
+}
 
 // Next implements Operator.
 func (p *Project) Next() (types.Row, bool, error) {
@@ -239,6 +325,46 @@ func (p *Project) Next() (types.Row, bool, error) {
 			return nil, false, err
 		}
 		out[i] = v
+	}
+	return out, true, nil
+}
+
+// NextBatch implements BatchOperator: evaluate the output expressions
+// over the input slab into a reusable output slab. The projected rows
+// themselves are freshly allocated (row values may be retained by the
+// consumer); only the slice holding them is reused.
+func (p *Project) NextBatch() ([]types.Row, bool, error) {
+	if p.bin == nil {
+		p.bin = ToBatch(p.In, p.ctx.batchRows())
+	}
+	b, ok, err := p.bin.NextBatch()
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	if p.ctx != nil {
+		p.ctx.RowsProcessed.Add(int64(len(b)))
+	}
+	if cap(p.slab) < len(b) {
+		p.slab = make([]types.Row, len(b))
+	}
+	out := p.slab[:len(b)]
+	// One flat value allocation backs every projected row of the slab
+	// (instead of one allocation per row). A consumer that retains a row
+	// pins its slab's values, which is fine for the retainers we have:
+	// they keep either everything (sort, build sides) or a bounded few
+	// (top-k), never an unbounded selective subset.
+	k := len(p.Exprs)
+	vals := make([]types.Value, len(b)*k)
+	for i, r := range b {
+		row := types.Row(vals[i*k : (i+1)*k : (i+1)*k])
+		for j, e := range p.Exprs {
+			v, err := e.Eval(r)
+			if err != nil {
+				return nil, false, err
+			}
+			row[j] = v
+		}
+		out[i] = row
 	}
 	return out, true, nil
 }
@@ -379,13 +505,26 @@ func (d *Distinct) Next() (types.Row, bool, error) {
 // Close implements Operator.
 func (d *Distinct) Close() error { return d.In.Close() }
 
-// Collect drains an operator into a slice (Open/Next/Close).
+// Collect drains an operator into a slice (Open/Next/Close), using the
+// batch path when the operator supports it.
 func Collect(op Operator) ([]types.Row, error) {
 	if err := op.Open(); err != nil {
 		return nil, err
 	}
 	defer op.Close()
 	var out []types.Row
+	if b, ok := nativeBatch(op); ok {
+		for {
+			batch, ok, err := b.NextBatch()
+			if err != nil {
+				return out, err
+			}
+			if !ok {
+				return out, nil
+			}
+			out = append(out, batch...)
+		}
+	}
 	for {
 		r, ok, err := op.Next()
 		if err != nil {

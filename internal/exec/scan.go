@@ -11,46 +11,72 @@ import (
 
 // scanFeed adapts a callback-style scan into a pull operator by running the
 // scan in a goroutine (the paper spawns one scan thread per table fragment;
-// this goroutine is that thread).
+// this goroutine is that thread). Rows cross the goroutine boundary in
+// slabs — one channel select per batch instead of per row — which is where
+// the scan-side win of the vectorized path comes from.
 type scanFeed struct {
 	sch     types.Schema
-	start   func(out chan<- types.Row, stop <-chan struct{}) error
-	rows    chan types.Row
+	start   func(snd *batchSender) error
+	batches chan []types.Row
 	errCh   chan error
 	stop    chan struct{}
+	batch   int
 	started bool
 	closed  bool
+	cur     []types.Row
+	pos     int
 }
 
 func (s *scanFeed) Schema() types.Schema { return s.sch }
 
 func (s *scanFeed) Open() error {
-	s.rows = make(chan types.Row, 256)
+	if s.batch <= 0 {
+		s.batch = DefaultBatchRows
+	}
+	s.batches = make(chan []types.Row, 4)
 	s.errCh = make(chan error, 1)
 	s.stop = make(chan struct{})
 	s.started = false
 	s.closed = false
+	s.cur, s.pos = nil, 0
 	return nil
 }
 
 func (s *scanFeed) launch() {
 	s.started = true
 	go func() {
-		err := s.start(s.rows, s.stop)
+		snd := &batchSender{out: s.batches, stop: s.stop, size: s.batch}
+		err := s.start(snd)
 		if err != nil {
 			s.errCh <- err
 		}
-		close(s.rows)
+		close(s.batches)
 	}()
 }
 
 func (s *scanFeed) Next() (types.Row, bool, error) {
+	for s.pos >= len(s.cur) {
+		b, ok, err := s.NextBatch()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		s.cur, s.pos = b, 0
+	}
+	r := s.cur[s.pos]
+	s.pos++
+	return r, true, nil
+}
+
+// NextBatch implements BatchOperator. Each received slab was freshly
+// allocated by the scan thread, so handing it to the caller (who may
+// compact it in place) is safe.
+func (s *scanFeed) NextBatch() ([]types.Row, bool, error) {
 	if !s.started {
 		s.launch()
 	}
-	r, ok := <-s.rows
+	b, ok := <-s.batches
 	if ok {
-		return r, true, nil
+		return b, true, nil
 	}
 	select {
 	case err := <-s.errCh:
@@ -67,25 +93,56 @@ func (s *scanFeed) Close() error {
 			close(s.stop)
 		}
 		// Drain so the producer goroutine can exit. Bounded: the producer
-		// observes the closed stop channel via sendRow and closes rows,
-		// which ends this loop.
-		if s.rows != nil {
-			//lint:ignore goleak-hint bounded drain: producer sees closed stop and closes rows
-			go func(ch chan types.Row) {
+		// observes the closed stop channel via batchSender.flush and closes
+		// batches, which ends this loop.
+		if s.batches != nil {
+			//lint:ignore goleak-hint bounded drain: producer sees closed stop and closes batches
+			go func(ch chan []types.Row) {
 				for range ch {
 				}
-			}(s.rows)
+			}(s.batches)
 		}
 	}
 	return nil
 }
 
-// sendRow pushes a row unless the consumer has gone away.
-func sendRow(out chan<- types.Row, stop <-chan struct{}, r types.Row) bool {
-	select {
-	case out <- r:
+// batchSender accumulates rows into a slab and ships the slab when full,
+// unless the consumer has gone away. It replaces the old per-row
+// sendRow select: the channel synchronization now costs one select per
+// size rows.
+type batchSender struct {
+	out  chan<- []types.Row
+	stop <-chan struct{}
+	slab []types.Row
+	size int
+	sent int64
+}
+
+// send buffers one row, flushing when the slab is full. It returns false
+// when the consumer is gone and the scan should abort.
+func (b *batchSender) send(r types.Row) bool {
+	if b.slab == nil {
+		b.slab = make([]types.Row, 0, b.size)
+	}
+	b.slab = append(b.slab, r)
+	if len(b.slab) >= b.size {
+		return b.flush()
+	}
+	return true
+}
+
+// flush ships the current slab (if any). The sender allocates a fresh slab
+// afterwards — the consumer owns shipped slabs per the batch contract.
+func (b *batchSender) flush() bool {
+	if len(b.slab) == 0 {
 		return true
-	case <-stop:
+	}
+	select {
+	case b.out <- b.slab:
+		b.sent++
+		b.slab = make([]types.Row, 0, b.size)
+		return true
+	case <-b.stop:
 		return false
 	}
 }
@@ -100,6 +157,9 @@ type ScanConfig struct {
 	UseMinMax    bool
 	// Predeclare enables buffer-manager scan pre-declaration.
 	Predeclare bool
+	// BatchRows sizes the slabs the scan thread hands downstream; zero
+	// selects DefaultBatchRows.
+	BatchRows int
 	// Stats, when non-nil, receives the scan's page/row counters.
 	Stats *storage.ScanStats
 	// Trace, when non-nil, receives the same counters as span annotations
@@ -137,10 +197,11 @@ func NewRowScan(fr *storage.Fragment, alias string, cfg ScanConfig) *FragmentSca
 	fs := &FragmentScan{fr: fr, cfg: cfg}
 	fs.scanFeed.sch = sch
 	fs.scanFeed.start = fs.run
+	fs.scanFeed.batch = cfg.BatchRows
 	return fs
 }
 
-func (fs *FragmentScan) run(out chan<- types.Row, stop <-chan struct{}) error {
+func (fs *FragmentScan) run(snd *batchSender) error {
 	opts := buildScanOptions(fs.cfg)
 	var evalErr error
 	stats, err := fs.fr.Scan(opts, func(rid page.RID, r types.Row) bool {
@@ -154,12 +215,14 @@ func (fs *FragmentScan) run(out chan<- types.Row, stop <-chan struct{}) error {
 				return true
 			}
 		}
-		return sendRow(out, stop, r)
+		return snd.send(r)
 	})
+	snd.flush()
 	if fs.cfg.Stats != nil {
 		*fs.cfg.Stats = stats
 	}
 	fs.cfg.Trace.AddScan(stats.RowsRead, stats.PagesRead, stats.PagesSkipped)
+	fs.cfg.Trace.AddBatches(snd.sent)
 	if evalErr != nil {
 		return evalErr
 	}
@@ -182,10 +245,11 @@ func NewColumnarScan(fr *storage.ColumnarFragment, alias string, cfg ScanConfig)
 	cs := &ColumnarScan{fr: fr, cfg: cfg}
 	cs.scanFeed.sch = sch
 	cs.scanFeed.start = cs.run
+	cs.scanFeed.batch = cfg.BatchRows
 	return cs
 }
 
-func (cs *ColumnarScan) run(out chan<- types.Row, stop <-chan struct{}) error {
+func (cs *ColumnarScan) run(snd *batchSender) error {
 	opts := buildScanOptions(cs.cfg)
 	var evalErr error
 	stats, err := cs.fr.Scan(opts, func(r types.Row) bool {
@@ -199,12 +263,14 @@ func (cs *ColumnarScan) run(out chan<- types.Row, stop <-chan struct{}) error {
 				return true
 			}
 		}
-		return sendRow(out, stop, r)
+		return snd.send(r)
 	})
+	snd.flush()
 	if cs.cfg.Stats != nil {
 		*cs.cfg.Stats = stats
 	}
 	cs.cfg.Trace.AddScan(stats.RowsRead, stats.PagesRead, stats.PagesSkipped)
+	cs.cfg.Trace.AddBatches(snd.sent)
 	if evalErr != nil {
 		return evalErr
 	}
@@ -232,7 +298,7 @@ func NewExternalScan(tbl external.Table, parts []int, alias string, pred expr.Ex
 	return es
 }
 
-func (es *ExternalScan) run(out chan<- types.Row, stop <-chan struct{}) error {
+func (es *ExternalScan) run(snd *batchSender) error {
 	var evalErr error
 	for _, p := range es.parts {
 		err := es.tbl.ScanPartition(p, func(r types.Row) bool {
@@ -246,7 +312,7 @@ func (es *ExternalScan) run(out chan<- types.Row, stop <-chan struct{}) error {
 					return true
 				}
 			}
-			return sendRow(out, stop, r)
+			return snd.send(r)
 		})
 		if evalErr != nil {
 			return evalErr
@@ -255,5 +321,6 @@ func (es *ExternalScan) run(out chan<- types.Row, stop <-chan struct{}) error {
 			return err
 		}
 	}
+	snd.flush()
 	return nil
 }

@@ -46,7 +46,7 @@ func TestShuffleOverTCP(t *testing.T) {
 					types.NewString("payload"),
 				})
 			}
-			sh, err := NewShuffle(eps[i], spec, NewSource(sch, rows), ColRefs(0), types.Schema{})
+			sh, err := NewShuffle(nil, eps[i], spec, NewSource(sch, rows), ColRefs(0), types.Schema{})
 			if err != nil {
 				errs[i] = err
 				return
@@ -108,7 +108,7 @@ func runMeteredShuffle(t *testing.T, eps []network.Endpoint, channel string) int
 					types.NewString("payload"),
 				})
 			}
-			sh, err := NewShuffle(eps[i], spec, NewSource(sch, rows), ColRefs(0), types.Schema{})
+			sh, err := NewShuffle(nil, eps[i], spec, NewSource(sch, rows), ColRefs(0), types.Schema{})
 			if err != nil {
 				errs[i] = err
 				return
@@ -204,7 +204,7 @@ func TestGatherOverTCP(t *testing.T) {
 		for i := int64(0); i < 500; i++ {
 			rows = append(rows, types.Row{types.NewInt(i)})
 		}
-		_ = SendAll(worker, 0, "tcp-gather", NewSource(sch, rows))
+		_ = SendAll(nil, worker, 0, "tcp-gather", NewSource(sch, rows))
 	}()
 	got, err := Collect(NewRecv(coord, "tcp-gather", 1, sch))
 	if err != nil {

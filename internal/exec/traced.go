@@ -18,17 +18,26 @@ type Traced struct {
 }
 
 // NewTraced wraps in with span sp. If sp is nil the operator is returned
-// unwrapped.
+// unwrapped. A batch-native input gets a wrapper that is itself
+// batch-native — embedding alone would hide NextBatch behind the Operator
+// interface and silently drop the whole plan to the row path.
 func NewTraced(in Operator, sp *obs.Span) Operator {
 	if sp == nil {
 		return in
 	}
-	return &Traced{in: in, sp: sp}
+	t := &Traced{in: in, sp: sp}
+	if bin, ok := nativeBatch(in); ok {
+		return &tracedBatch{Traced: t, bin: bin}
+	}
+	return t
 }
 
 // Unwrap returns the operator beneath a Traced wrapper (or op itself).
 // Plan-shape assertions and re-wrapping logic see through tracing with it.
 func Unwrap(op Operator) Operator {
+	if t, ok := op.(*tracedBatch); ok {
+		return t.in
+	}
 	if t, ok := op.(*Traced); ok {
 		return t.in
 	}
@@ -66,6 +75,26 @@ func (t *Traced) Close() error {
 	err := t.in.Close()
 	t.sp.AddWall(time.Since(start))
 	return err
+}
+
+// tracedBatch is the Traced wrapper for batch-native operators: Next and
+// the lifecycle methods come from Traced; NextBatch charges the slab's
+// rows and counts the slab, so EXPLAIN ANALYZE shows batching in effect.
+type tracedBatch struct {
+	*Traced
+	bin BatchOperator
+}
+
+// NextBatch pulls one slab, charging time and counting rows and batches.
+func (t *tracedBatch) NextBatch() ([]types.Row, bool, error) {
+	start := time.Now()
+	b, ok, err := t.bin.NextBatch()
+	t.sp.AddWall(time.Since(start))
+	if ok && err == nil {
+		t.sp.AddRowsOut(int64(len(b)))
+		t.sp.AddBatches(1)
+	}
+	return b, ok, err
 }
 
 // CountingEndpoint wraps a network.Endpoint and attributes outbound bytes

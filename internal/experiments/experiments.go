@@ -513,7 +513,7 @@ func measureRawShuffle(n, nmax int, hierarchical bool) (shufMeasure, error) {
 				errs <- err
 				return
 			}
-			sh, err := exec.NewShuffle(ep, spec, exec.NewSource(sch, rows), exec.ColRefs(0), types.Schema{})
+			sh, err := exec.NewShuffle(nil, ep, spec, exec.NewSource(sch, rows), exec.ColRefs(0), types.Schema{})
 			if err != nil {
 				errs <- err
 				return

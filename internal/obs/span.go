@@ -41,6 +41,7 @@ type Span struct {
 	PagesSkipped atomic.Int64
 	NetBytes     atomic.Int64 // bytes this operator put on the wire
 	NetMsgs      atomic.Int64
+	Batches      atomic.Int64 // row slabs this operator shipped (vectorized path)
 	SpillBytes   atomic.Int64
 	StateBytes   atomic.Int64
 	WallNS       atomic.Int64 // cumulative time inside Open/Next/Close (includes children)
@@ -93,6 +94,13 @@ func (s *Span) AddNet(bytes int64, msgs int64) {
 	}
 }
 
+// AddBatches counts row slabs moved by the vectorized path. Nil-safe.
+func (s *Span) AddBatches(n int64) {
+	if s != nil {
+		s.Batches.Add(n)
+	}
+}
+
 // AddSpill records spill volume. Nil-safe.
 func (s *Span) AddSpill(n int64) {
 	if s != nil {
@@ -119,6 +127,7 @@ type SpanSnapshot struct {
 	PagesSkipped int64  `json:"pages_skipped,omitempty"`
 	NetBytes     int64  `json:"net_bytes,omitempty"`
 	NetMsgs      int64  `json:"net_msgs,omitempty"`
+	Batches      int64  `json:"batches,omitempty"`
 	SpillBytes   int64  `json:"spill_bytes,omitempty"`
 	StateBytes   int64  `json:"state_bytes,omitempty"`
 	WallNS       int64  `json:"wall_ns"`
@@ -136,6 +145,7 @@ func (s *Span) snapshot() SpanSnapshot {
 		PagesSkipped: s.PagesSkipped.Load(),
 		NetBytes:     s.NetBytes.Load(),
 		NetMsgs:      s.NetMsgs.Load(),
+		Batches:      s.Batches.Load(),
 		SpillBytes:   s.SpillBytes.Load(),
 		StateBytes:   s.StateBytes.Load(),
 		WallNS:       s.WallNS.Load(),
@@ -264,6 +274,9 @@ func (s SpanSnapshot) line() string {
 	}
 	if s.NetBytes > 0 || s.NetMsgs > 0 {
 		fmt.Fprintf(&sb, " net=%dB msgs=%d", s.NetBytes, s.NetMsgs)
+	}
+	if s.Batches > 0 {
+		fmt.Fprintf(&sb, " batches=%d", s.Batches)
 	}
 	if s.SpillBytes > 0 {
 		fmt.Fprintf(&sb, " spill=%dB", s.SpillBytes)

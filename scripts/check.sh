@@ -23,8 +23,16 @@ go test -race ./internal/exec ./internal/cluster ./internal/buffer ./internal/tx
 echo "==> go test -tags invariants (buffer, txn)"
 go test -tags invariants ./internal/buffer ./internal/txn
 
+echo "==> vectorized path: batch exchange under race, batch/row parity"
+go test -race -count=1 \
+  -run 'TestShuffleTinyBatchRows|TestSendAllHonorsWireBatchRows|TestAdaptersRoundTrip|TestBatchRowParityPipeline|TestGraceJoinAdapterSpillParity|TestSortAdapterSpillParity' \
+  ./internal/exec
+
 echo "==> bench smoke (executed per-query stats + tracing)"
 go run ./cmd/hrdbms-bench -exp exec -json /tmp/bench_exec_smoke.json >/dev/null
 rm -f /tmp/bench_exec_smoke.json
+
+echo "==> bench smoke (batch vs row pipeline)"
+go test -run '^$' -bench BenchmarkBatchVsRow -benchtime 1x ./internal/exec >/dev/null
 
 echo "OK"
