@@ -17,6 +17,7 @@
 //	hrdbms-bench -sf 0.002                # larger measured dataset
 //	hrdbms-bench -exp exec -json BENCH_EXEC.json   # raw executed per-query stats
 //	hrdbms-bench -exp exec -trace         # + per-operator span tree per query
+//	hrdbms-bench -exp exec -sweep 1,2,4   # intra-node parallelism sweep
 package main
 
 import (
@@ -38,6 +39,7 @@ func main() {
 	dir := flag.String("dir", "", "working directory (default: temp)")
 	jsonOut := flag.String("json", "", "with -exp exec: write per-query stats JSON to this file")
 	trace := flag.Bool("trace", false, "with -exp exec: print the per-operator span tree of every query")
+	sweep := flag.String("sweep", "", "with -exp exec: comma-separated intra-node parallelism degrees to sweep (e.g. 1,2,4)")
 	flag.Parse()
 
 	baseDir := *dir
@@ -94,6 +96,18 @@ func main() {
 		n := 4
 		if len(sizes) == 1 {
 			n = sizes[0]
+		}
+		if *sweep != "" {
+			var degrees []int
+			for _, s := range strings.Split(*sweep, ",") {
+				d, perr := strconv.Atoi(strings.TrimSpace(s))
+				if perr != nil {
+					fatal(fmt.Errorf("bad -sweep: %w", perr))
+				}
+				degrees = append(degrees, d)
+			}
+			_, err = r.ParallelismSweep(n, degrees)
+			break
 		}
 		var stats []experiments.QueryExecStat
 		stats, err = r.ExecStats(n, *trace)

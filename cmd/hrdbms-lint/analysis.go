@@ -38,6 +38,7 @@ type Analyzer struct {
 var Analyzers = []*Analyzer{
 	pinpairAnalyzer,
 	txnpairAnalyzer,
+	workerpairAnalyzer,
 	walerrAnalyzer,
 	goleakHintAnalyzer,
 	rowchanAnalyzer,

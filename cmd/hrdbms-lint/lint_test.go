@@ -85,6 +85,7 @@ func TestAnalyzersOnFixtures(t *testing.T) {
 	}{
 		{"pinpair", "fixtures/pinpair", "pinpair"},
 		{"txnpair", "fixtures/txnpair", "txnpair"},
+		{"workerpair", "repro/internal/cluster", "workerpair"},
 		{"walerr", "fixtures/walerr", "walerr"},
 		{"goleak", "repro/internal/cluster", "goleak-hint"},
 		{"rowchan", "repro/internal/exec", "rowchan"},

@@ -3,8 +3,10 @@
 //
 //	pinpair     every buffer.Fetch/NewPage pin must reach an Unpin
 //	txnpair     every txn.Begin must reach Commit/Rollback (SS2PL release)
+//	workerpair  every exec.Ctx.AcquireWorkers grant must reach ReleaseWorkers
 //	walerr      errors on WAL/storage write paths must not be discarded
 //	goleak-hint exec/cluster goroutines need a cancellation/completion signal
+//	rowchan     no per-row channels (chan types.Row) on execution hot paths
 //
 // Findings are suppressed with `//lint:ignore <rule> <reason>` on the same
 // or preceding line. Exit status is 1 when any finding survives.

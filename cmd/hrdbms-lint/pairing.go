@@ -20,6 +20,10 @@ type pairingRule struct {
 	what         string // human name of the resource, e.g. "pinned frame"
 	mustRelease  string // human name of the release, e.g. "Unpin"
 	skipPkg      string // the package implementing the resource is exempt
+	// isAcquireFn overrides the default result-type test for rules whose
+	// resource is not a named pointer (a worker grant is a plain int, so the
+	// acquire is recognized by its receiver type instead).
+	isAcquireFn func(p *Pass, call *ast.CallExpr) bool
 }
 
 // run applies the rule to every function in the package.
@@ -38,6 +42,9 @@ func (r *pairingRule) run(p *Pass) {
 func (r *pairingRule) isAcquire(p *Pass, call *ast.CallExpr) bool {
 	if !r.acquireNames[calleeName(call)] {
 		return false
+	}
+	if r.isAcquireFn != nil {
+		return r.isAcquireFn(p, call)
 	}
 	results := resultTuple(p.Pkg.Info, call)
 	if len(results) == 0 {
@@ -162,6 +169,38 @@ var pinpairAnalyzer = &Analyzer{
 		mustRelease:  "Unpinned",
 		skipPkg:      "repro/internal/buffer",
 	}).run,
+}
+
+// workerpairAnalyzer: every Ctx.AcquireWorkers grant must be returned to
+// the node budget with ReleaseWorkers on all paths (or handed off to code
+// that releases it); a leaked grant permanently shrinks the worker pool
+// every later query on that node draws from.
+var workerpairAnalyzer = &Analyzer{
+	Name: "workerpair",
+	Doc:  "flags Ctx.AcquireWorkers call sites whose worker grant never reaches ReleaseWorkers",
+	Run: (&pairingRule{
+		rule:         "workerpair",
+		acquireNames: map[string]bool{"AcquireWorkers": true},
+		releaseNames: map[string]bool{"ReleaseWorkers": true},
+		what:         "worker grant",
+		mustRelease:  "released",
+		isAcquireFn:  isWorkerAcquire,
+	}).run,
+}
+
+// isWorkerAcquire matches calls to (*exec.Ctx).AcquireWorkers by receiver
+// type: the grant is a plain int, so the default named-pointer result test
+// cannot identify the acquire.
+func isWorkerAcquire(p *Pass, call *ast.CallExpr) bool {
+	fn := calleeFunc(p.Pkg.Info, call)
+	if fn == nil {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	return isNamedPtr(sig.Recv().Type(), "internal/exec", "Ctx")
 }
 
 // txnpairAnalyzer: every Begin/BeginWithID must reach Commit/Rollback (or

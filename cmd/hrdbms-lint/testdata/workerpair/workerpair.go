@@ -1,0 +1,59 @@
+// Package fixtures exercises the workerpair analyzer: every worker grant
+// from exec.Ctx.AcquireWorkers must reach ReleaseWorkers (or be handed off
+// to code that owns the release).
+package fixtures
+
+import "repro/internal/exec"
+
+func bareDiscard(ctx *exec.Ctx) {
+	ctx.AcquireWorkers(4) // want "discarded"
+}
+
+func blankAssign(ctx *exec.Ctx) {
+	_ = ctx.AcquireWorkers(4) // want "assigned to _"
+}
+
+func neverReleased(ctx *exec.Ctx) int {
+	granted := ctx.AcquireWorkers(4) // want "never released"
+	total := 0
+	if granted > 1 {
+		total++
+	}
+	return total
+}
+
+func okDeferRelease(ctx *exec.Ctx) {
+	granted := ctx.AcquireWorkers(4)
+	defer ctx.ReleaseWorkers(granted)
+}
+
+// okConditionalAcquire mirrors the engine's pattern: the degree starts
+// serial and is raised by the grant under a parallelism check.
+func okConditionalAcquire(ctx *exec.Ctx, parallel int) int {
+	degree := 1
+	if parallel > 1 {
+		degree = ctx.AcquireWorkers(parallel)
+		defer ctx.ReleaseWorkers(degree)
+	}
+	return degree
+}
+
+// okHandOff transfers ownership of the grant to the callee.
+func okHandOff(ctx *exec.Ctx) {
+	granted := ctx.AcquireWorkers(2)
+	runAndRelease(ctx, granted)
+}
+
+func runAndRelease(ctx *exec.Ctx, granted int) {
+	defer ctx.ReleaseWorkers(granted)
+}
+
+// okReturned hands the grant to the caller.
+func okReturned(ctx *exec.Ctx) int {
+	return ctx.AcquireWorkers(2)
+}
+
+func okSuppressed(ctx *exec.Ctx) {
+	//lint:ignore workerpair fixture: grant is held until process exit
+	ctx.AcquireWorkers(4)
+}

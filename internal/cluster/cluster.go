@@ -59,6 +59,16 @@ type ExecProfile struct {
 	PreAggTree bool
 	// ProbeParallelism is the intra-operator parallelism of join probes.
 	ProbeParallelism int
+	// ScanParallelism is the morsel parallelism of worker fragment scans:
+	// the worker count requested per scan, granted from the node's shared
+	// budget (exec.Ctx.AcquireWorkers). 0/1 = serial.
+	ScanParallelism int
+	// AggParallelism is the worker count requested for hash-aggregate
+	// builds on worker nodes (partitioned parallel aggregation). 0/1 = serial.
+	AggParallelism int
+	// SortParallelism is the worker count requested for parallel sort-run
+	// generation on worker nodes. 0/1 = serial.
+	SortParallelism int
 }
 
 // HRDBMSProfile is the paper's system: everything on.
@@ -70,6 +80,9 @@ func HRDBMSProfile() ExecProfile {
 		EnforceLocality:     true,
 		PreAggTree:          true,
 		ProbeParallelism:    2,
+		ScanParallelism:     4,
+		AggParallelism:      4,
+		SortParallelism:     4,
 	}
 }
 
@@ -83,8 +96,14 @@ type Config struct {
 	Nmax            int // neighbor limit for tree and ring topologies
 	MemRows         int // per-operator memory budget (rows)
 	BatchRows       int // rows per slab on the vectorized path (0 = defaults)
-	LockTimeout     time.Duration
-	Profile         ExecProfile
+	// ParallelBudget is the per-worker pool of extra operator threads that
+	// exec.Ctx.AcquireWorkers grants from. 0 derives it from the host CPU
+	// count; a negative value pins the budget to zero (all operators serial
+	// beyond their free first degree). Explicit values let benchmarks and
+	// sweeps fix the degree independent of the machine they run on.
+	ParallelBudget int
+	LockTimeout    time.Duration
+	Profile        ExecProfile
 	// TraceQueries records a per-operator trace for every query run through
 	// a Session (retained in Traces for /debug/queries). EXPLAIN ANALYZE
 	// traces its own query regardless of this setting.
@@ -233,7 +252,11 @@ func New(cfg Config) (*Cluster, error) {
 		// Worker-local resource management: a node-wide cap on extra
 		// operator threads; concurrent queries share it and operators
 		// degrade to fewer threads under load (Section I).
-		w.execCtx.SetParallelBudget(2 * runtime.NumCPU() / cfg.NumWorkers)
+		budget := cfg.ParallelBudget
+		if budget == 0 {
+			budget = 2 * runtime.NumCPU() / cfg.NumWorkers
+		}
+		w.execCtx.SetParallelBudget(budget) // negative clamps to zero
 		if err := ensureDir(w.execCtx.TempDir); err != nil {
 			return nil, err
 		}

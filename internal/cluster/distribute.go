@@ -246,11 +246,14 @@ func (q *queryExec) distribute(n plan.Node) (*dstream, exec.Operator, error) {
 		if coordOp != nil {
 			return nil, q.wrap("Sort", q.coord.ID, exec.NewSort(nil, coordOp, keys), coordOp), nil
 		}
-		// Distributed merge sort: local sorts, ordered merge upward.
+		// Distributed merge sort: local sorts (parallel run generation per
+		// the profile), ordered merge upward.
 		sorted := make([]exec.Operator, len(ds.ops))
 		for wi, op := range ds.ops {
 			w := q.c.Workers[wi]
-			sorted[wi] = q.wrap("Sort", w.ID, exec.NewSort(w.execCtx, op, keys), op)
+			srt := exec.NewSort(w.execCtx, op, keys)
+			srt.Parallel = q.prof.SortParallelism
+			sorted[wi] = q.wrap("Sort", w.ID, srt, op)
 		}
 		return nil, q.gatherOrdered(&dstream{ops: sorted, sch: ds.sch}, keys), nil
 	case *plan.Limit:
@@ -337,6 +340,10 @@ func (q *queryExec) distributeScan(x *plan.Scan) (*dstream, exec.Operator, error
 		wcfg := cfg
 		wcfg.Trace = sp
 		wcfg.BatchRows = w.execCtx.BatchRows
+		// Morsel parallelism: the scan asks for the profile's degree and the
+		// worker's shared budget decides what it actually gets.
+		wcfg.Parallel = q.prof.ScanParallelism
+		wcfg.Ctx = w.execCtx
 		var op exec.Operator
 		if x.Table.Columnar {
 			fr := w.colFrags[name]
@@ -574,6 +581,7 @@ func (q *queryExec) distributeAgg(x *plan.Agg) (*dstream, exec.Operator, error) 
 		for wi, op := range ds.ops {
 			w := q.c.Workers[wi]
 			agg := exec.NewHashAggregate(w.execCtx, op, x.GroupBy, specs, exec.AggComplete)
+			agg.Parallel = q.prof.AggParallelism
 			out.ops = append(out.ops, q.wrap("HashAgg", w.ID, agg, op))
 		}
 		return out, nil, nil
@@ -589,6 +597,7 @@ func (q *queryExec) distributeAgg(x *plan.Agg) (*dstream, exec.Operator, error) 
 		for wi, op := range shuffled.ops {
 			w := q.c.Workers[wi]
 			agg := exec.NewHashAggregate(w.execCtx, op, x.GroupBy, specs, exec.AggComplete)
+			agg.Parallel = q.prof.AggParallelism
 			out.ops = append(out.ops, q.wrap("HashAgg", w.ID, agg, op))
 		}
 		return out, nil, nil
@@ -611,6 +620,7 @@ func (q *queryExec) distributeAgg(x *plan.Agg) (*dstream, exec.Operator, error) 
 		for wi, op := range ds.ops {
 			w := q.c.Workers[wi]
 			agg := exec.NewHashAggregate(w.execCtx, op, nil, specs, exec.AggPartial)
+			agg.Parallel = q.prof.AggParallelism
 			partials[wi] = q.wrap("HashAgg partial", w.ID, agg, op)
 		}
 		gathered := q.gatherPlain(&dstream{ops: partials, sch: partials[0].Schema()})
@@ -681,6 +691,7 @@ func (q *queryExec) treeAggregate(ds *dstream, x *plan.Agg, specs []exec.AggSpec
 	for wi, op := range ds.ops {
 		w := q.c.Workers[wi]
 		agg := exec.NewHashAggregate(w.execCtx, op, x.GroupBy, specs, exec.AggPartial)
+		agg.Parallel = q.prof.AggParallelism
 		partials[wi] = q.wrap("HashAgg partial", w.ID, agg, op)
 	}
 	// Group columns are positional in the partial output.

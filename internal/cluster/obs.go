@@ -27,6 +27,16 @@ func (q *queryExec) attach(op exec.Operator, sp *obs.Span, children ...exec.Oper
 	if sp == nil {
 		return op
 	}
+	// Operators with intra-operator (morsel) parallelism report the worker
+	// count they were actually granted on their own span.
+	switch o := op.(type) {
+	case *exec.HashAggregate:
+		o.Trace = sp
+	case *exec.Sort:
+		o.Trace = sp
+	case *exec.HashJoin:
+		o.Trace = sp
+	}
 	for _, ch := range children {
 		q.spanOf(ch).SetParent(sp)
 	}

@@ -2,10 +2,15 @@ package exec
 
 import (
 	"fmt"
+	"os"
+	"runtime"
+	"sort"
 	"sync"
 	"testing"
 
+	"repro/internal/catalog"
 	"repro/internal/expr"
+	"repro/internal/storage"
 	"repro/internal/tpch"
 	"repro/internal/types"
 )
@@ -167,6 +172,151 @@ func BenchmarkBatchVsRow(b *testing.B) {
 			})
 		})
 	}
+}
+
+var benchFrag struct {
+	once sync.Once
+	fr   *storage.Fragment
+	err  error
+}
+
+// benchLineitemFragment loads SF0.05 lineitem into a real row fragment once
+// per process, so parallel-vs-serial benchmarks scan actual pages through
+// the buffer manager rather than a resident slice.
+func benchLineitemFragment(b *testing.B) *storage.Fragment {
+	b.Helper()
+	benchFrag.once.Do(func() {
+		rows, sch := benchLineitemData()
+		dir, err := os.MkdirTemp("", "hrdbms-bench-*")
+		if err != nil {
+			benchFrag.err = err
+			return
+		}
+		ns, err := storage.NewNodeStore(storage.NodeConfig{
+			NodeID: 0, BaseDir: dir, NumDisks: 2,
+			PageSize: 4096, BufFrames: 2048, BufStripes: 4,
+		})
+		if err != nil {
+			benchFrag.err = err
+			return
+		}
+		def := &catalog.TableDef{
+			Name:   "lineitem",
+			Schema: sch,
+			Part:   catalog.Partitioning{Kind: catalog.PartHash, Cols: []string{"l0"}},
+		}
+		fr, err := storage.OpenFragment(ns, def)
+		if err != nil {
+			benchFrag.err = err
+			return
+		}
+		if _, err := fr.Load(rows); err != nil {
+			benchFrag.err = err
+			return
+		}
+		benchFrag.fr = fr
+	})
+	if benchFrag.err != nil {
+		b.Fatal(benchFrag.err)
+	}
+	return benchFrag.fr
+}
+
+// BenchmarkParallelVsSerial measures morsel-driven intra-node parallelism
+// on the two hot pipelines the tentpole targets: a fragment scan → filter →
+// hash-aggregate over SF0.05 lineitem, and an external sort of the same
+// table. Each parallel variant first checks its output is byte-identical
+// to serial (the aggregates are order-independent, and the sort key is
+// lineitem's unique primary key), then reports rows/s.
+//
+// The speedup is bounded by min(workers, idle CPUs): on a single-core host
+// (GOMAXPROCS=1) goroutines cannot overlap, so the parallel variants only
+// measure the morsel machinery's overhead there (expect parity to ~15%
+// slower, never a speedup). The cpus metric records the host context so
+// ratios are comparable across machines.
+func BenchmarkParallelVsSerial(b *testing.B) {
+	b.Logf("NumCPU=%d GOMAXPROCS=%d (speedup requires multi-core)", runtime.NumCPU(), runtime.GOMAXPROCS(0))
+	rows, sch := benchLineitemData()
+	fr := benchLineitemFragment(b)
+	pred := func() expr.Expr {
+		return &expr.Bin{Op: expr.OpLt, L: col(4), R: &expr.Const{V: types.NewFloat(25)}}
+	}
+	// Order-independent aggregates (count, int sum, whole-valued float sum,
+	// min/max) keep parallel output byte-identical to serial.
+	specs := func() []AggSpec {
+		return []AggSpec{
+			{Kind: AggCount, Name: "c"},
+			{Kind: AggSum, Arg: col(1), Name: "sk"},
+			{Kind: AggSum, Arg: col(4), Name: "sq"},
+			{Kind: AggMin, Arg: col(10), Name: "mn"},
+			{Kind: AggMax, Arg: col(10), Name: "mx"},
+		}
+	}
+	scanAgg := func(parallel int) Operator {
+		ctx := NewCtx("", 0)
+		ctx.SetParallelBudget(parallel)
+		cfg := ScanConfig{Pred: pred(), Parallel: parallel, Ctx: ctx}
+		agg := NewHashAggregate(ctx, NewRowScan(fr, "l", cfg), ColRefs(8), specs(), AggComplete)
+		agg.Parallel = parallel
+		return agg
+	}
+	sortKeys := []SortKey{{Col: 0}, {Col: 3}}
+	extSort := func(parallel int) Operator {
+		ctx := NewCtx(os.TempDir(), 50000) // ~6 spill runs over SF0.05
+		ctx.SetParallelBudget(parallel)
+		s := NewSort(ctx, NewSource(sch, rows), sortKeys)
+		s.Parallel = parallel
+		return s
+	}
+	golden := func(b *testing.B, build func(parallel int) Operator, ordered bool) {
+		b.Helper()
+		want, err := Collect(build(1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		got, err := Collect(build(4))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(got) != len(want) {
+			b.Fatalf("parallel produced %d rows, serial %d", len(got), len(want))
+		}
+		g := make([]string, len(got))
+		w := make([]string, len(want))
+		for i := range got {
+			g[i], w[i] = got[i].String(), want[i].String()
+		}
+		if !ordered {
+			sort.Strings(g)
+			sort.Strings(w)
+		}
+		for i := range g {
+			if g[i] != w[i] {
+				b.Fatalf("parallel output differs from serial at row %d:\n  got  %s\n  want %s", i, g[i], w[i])
+			}
+		}
+	}
+	run := func(b *testing.B, build func() Operator) {
+		b.Helper()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			out, err := Collect(build())
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(out) == 0 {
+				b.Fatal("empty output")
+			}
+		}
+		b.ReportMetric(float64(len(rows))*float64(b.N)/b.Elapsed().Seconds(), "rows/s")
+		b.ReportMetric(float64(runtime.NumCPU()), "cpus")
+	}
+	golden(b, scanAgg, false)
+	b.Run("scan-agg-serial", func(b *testing.B) { run(b, func() Operator { return scanAgg(1) }) })
+	b.Run("scan-agg-parallel-4", func(b *testing.B) { run(b, func() Operator { return scanAgg(4) }) })
+	golden(b, extSort, true)
+	b.Run("sort-serial", func(b *testing.B) { run(b, func() Operator { return extSort(1) }) })
+	b.Run("sort-parallel-4", func(b *testing.B) { run(b, func() Operator { return extSort(4) }) })
 }
 
 func BenchmarkTopKVsFullSort(b *testing.B) {

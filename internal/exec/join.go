@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"repro/internal/expr"
+	"repro/internal/obs"
 	"repro/internal/types"
 )
 
@@ -54,7 +55,9 @@ type HashJoin struct {
 	Residual  expr.Expr // over probe ++ build columns; may be nil
 	Type      JoinType
 	Parallel  int
-	ctx       *Ctx
+	// Trace, when non-nil, records the granted probe worker count.
+	Trace *obs.Span
+	ctx   *Ctx
 
 	out      types.Schema
 	results  chan []types.Row
@@ -185,6 +188,7 @@ func (h *HashJoin) streamProbe(table map[uint64][]types.Row, bloom *Bloom) error
 	if h.ctx != nil {
 		degree = h.ctx.AcquireWorkers(h.Parallel)
 	}
+	h.Trace.AddWorkers(int64(degree))
 	batch := h.ctx.batchRows()
 	h.results = make(chan []types.Row, 16)
 	h.errCh = make(chan error, degree+1)
@@ -405,7 +409,7 @@ func ColRefs(idx ...int) []expr.Expr {
 // graceJoin partitions both sides by key hash into fanout spill partitions
 // and joins each pair in memory.
 func (h *HashJoin) graceJoin(buildSpill *spillWriter, bloom *Bloom) error {
-	const fanout = 16
+	fanout := h.ctx.graceFanout()
 	buildReader, err := buildSpill.finish()
 	if err != nil {
 		return err
@@ -434,7 +438,7 @@ func (h *HashJoin) graceJoin(buildSpill *spillWriter, bloom *Bloom) error {
 			buildReader.close()
 			return err
 		}
-		p := hk % fanout
+		p := hk % uint64(fanout)
 		if err := buildParts[p].write(r); err != nil {
 			buildReader.close()
 			return err
@@ -458,7 +462,7 @@ func (h *HashJoin) graceJoin(buildSpill *spillWriter, bloom *Bloom) error {
 		if !bloom.MayContain(key) && h.Type != JoinAnti {
 			continue
 		}
-		if err := probeParts[key%fanout].write(r); err != nil {
+		if err := probeParts[key%uint64(fanout)].write(r); err != nil {
 			return err
 		}
 	}

@@ -41,6 +41,16 @@ type Ctx struct {
 	// the defaults (DefaultBatchRows for operator slabs,
 	// DefaultWireBatchRows for exchange messages).
 	BatchRows int
+	// GraceFanout is the number of spill partitions a grace hash join
+	// fans out to; zero selects DefaultGraceFanout.
+	GraceFanout int
+	// ScanFeedDepth is the scan feed's slab channel depth — how many slabs
+	// a scan thread may run ahead of its consumer; zero selects
+	// DefaultScanFeedDepth.
+	ScanFeedDepth int
+	// MorselPages is the page-range granularity of parallel fragment
+	// scans; zero selects storage.DefaultMorselPages.
+	MorselPages int
 
 	// Metering for the performance model.
 	RowsProcessed atomic.Int64
@@ -123,6 +133,38 @@ func (c *Ctx) wireBatchRows() int {
 		return DefaultWireBatchRows
 	}
 	return c.BatchRows
+}
+
+// DefaultGraceFanout is the grace hash join's spill partition count.
+const DefaultGraceFanout = 16
+
+// DefaultScanFeedDepth is how many slabs a scan thread may buffer ahead
+// of its consumer.
+const DefaultScanFeedDepth = 4
+
+// graceFanout resolves the grace join partition fanout; nil-safe.
+func (c *Ctx) graceFanout() int {
+	if c == nil || c.GraceFanout <= 0 {
+		return DefaultGraceFanout
+	}
+	return c.GraceFanout
+}
+
+// scanFeedDepth resolves the scan feed channel depth; nil-safe.
+func (c *Ctx) scanFeedDepth() int {
+	if c == nil || c.ScanFeedDepth <= 0 {
+		return DefaultScanFeedDepth
+	}
+	return c.ScanFeedDepth
+}
+
+// morselPages resolves the parallel-scan morsel granularity; nil-safe.
+// Zero defers to the storage default.
+func (c *Ctx) morselPages() int {
+	if c == nil {
+		return 0
+	}
+	return c.MorselPages
 }
 
 // addState records operator state bytes when a context is present.

@@ -21,6 +21,7 @@ type scanFeed struct {
 	errCh   chan error
 	stop    chan struct{}
 	batch   int
+	depth   int
 	started bool
 	closed  bool
 	cur     []types.Row
@@ -33,7 +34,10 @@ func (s *scanFeed) Open() error {
 	if s.batch <= 0 {
 		s.batch = DefaultBatchRows
 	}
-	s.batches = make(chan []types.Row, 4)
+	if s.depth <= 0 {
+		s.depth = DefaultScanFeedDepth
+	}
+	s.batches = make(chan []types.Row, s.depth)
 	s.errCh = make(chan error, 1)
 	s.stop = make(chan struct{})
 	s.started = false
@@ -165,6 +169,13 @@ type ScanConfig struct {
 	// Trace, when non-nil, receives the same counters as span annotations
 	// (written once, atomically, when the scan thread finishes).
 	Trace *obs.Span
+	// Parallel is the desired scan parallelism. Values above 1 make the
+	// scan thread acquire extra workers from Ctx's budget and run a
+	// morsel-driven parallel scan; 0/1 keep the serial scan.
+	Parallel int
+	// Ctx supplies the worker budget and the morsel/feed-depth knobs for
+	// parallel scans. Nil grants Parallel workers unconditionally.
+	Ctx *Ctx
 }
 
 func buildScanOptions(cfg ScanConfig) storage.ScanOptions {
@@ -198,11 +209,20 @@ func NewRowScan(fr *storage.Fragment, alias string, cfg ScanConfig) *FragmentSca
 	fs.scanFeed.sch = sch
 	fs.scanFeed.start = fs.run
 	fs.scanFeed.batch = cfg.BatchRows
+	fs.scanFeed.depth = cfg.Ctx.scanFeedDepth()
 	return fs
 }
 
 func (fs *FragmentScan) run(snd *batchSender) error {
 	opts := buildScanOptions(fs.cfg)
+	degree := 1
+	if fs.cfg.Parallel > 1 {
+		degree = fs.cfg.Ctx.AcquireWorkers(fs.cfg.Parallel)
+		defer fs.cfg.Ctx.ReleaseWorkers(degree)
+	}
+	if degree > 1 {
+		return fs.runParallel(snd, opts, degree)
+	}
 	var evalErr error
 	stats, err := fs.fr.Scan(opts, func(rid page.RID, r types.Row) bool {
 		if fs.cfg.Pred != nil {
@@ -229,6 +249,48 @@ func (fs *FragmentScan) run(snd *batchSender) error {
 	return err
 }
 
+// runParallel fans the scan out to degree morsel workers. Every worker gets
+// a private batchSender (private slab accumulation) over the shared slab
+// channel, so slabs stay single-producer-built while the consumer sees one
+// merged stream; residual slabs are flushed after the workers join.
+func (fs *FragmentScan) runParallel(snd *batchSender, opts storage.ScanOptions, degree int) error {
+	senders := make([]*batchSender, degree)
+	for i := range senders {
+		senders[i] = &batchSender{out: snd.out, stop: snd.stop, size: snd.size}
+	}
+	evalErrs := make([]error, degree)
+	stats, err := fs.fr.ParallelScan(opts, degree, fs.cfg.Ctx.morselPages(), func(w int, rid page.RID, r types.Row) bool {
+		if fs.cfg.Pred != nil {
+			keep, perr := expr.EvalBool(fs.cfg.Pred, r)
+			if perr != nil {
+				evalErrs[w] = perr
+				return false
+			}
+			if !keep {
+				return true
+			}
+		}
+		return senders[w].send(r)
+	})
+	var sent int64
+	for _, ws := range senders {
+		ws.flush()
+		sent += ws.sent
+	}
+	if fs.cfg.Stats != nil {
+		*fs.cfg.Stats = stats
+	}
+	fs.cfg.Trace.AddScan(stats.RowsRead, stats.PagesRead, stats.PagesSkipped)
+	fs.cfg.Trace.AddBatches(sent)
+	fs.cfg.Trace.AddWorkers(int64(degree))
+	for _, e := range evalErrs {
+		if e != nil {
+			return e
+		}
+	}
+	return err
+}
+
 // ColumnarScan is the PAX-table scan operator.
 type ColumnarScan struct {
 	scanFeed
@@ -246,11 +308,20 @@ func NewColumnarScan(fr *storage.ColumnarFragment, alias string, cfg ScanConfig)
 	cs.scanFeed.sch = sch
 	cs.scanFeed.start = cs.run
 	cs.scanFeed.batch = cfg.BatchRows
+	cs.scanFeed.depth = cfg.Ctx.scanFeedDepth()
 	return cs
 }
 
 func (cs *ColumnarScan) run(snd *batchSender) error {
 	opts := buildScanOptions(cs.cfg)
+	degree := 1
+	if cs.cfg.Parallel > 1 {
+		degree = cs.cfg.Ctx.AcquireWorkers(cs.cfg.Parallel)
+		defer cs.cfg.Ctx.ReleaseWorkers(degree)
+	}
+	if degree > 1 {
+		return cs.runParallel(snd, opts, degree)
+	}
 	var evalErr error
 	stats, err := cs.fr.Scan(opts, func(r types.Row) bool {
 		if cs.cfg.Pred != nil {
@@ -273,6 +344,46 @@ func (cs *ColumnarScan) run(snd *batchSender) error {
 	cs.cfg.Trace.AddBatches(snd.sent)
 	if evalErr != nil {
 		return evalErr
+	}
+	return err
+}
+
+// runParallel fans the columnar scan out to degree page-set workers, one
+// private batchSender per worker over the shared slab channel.
+func (cs *ColumnarScan) runParallel(snd *batchSender, opts storage.ScanOptions, degree int) error {
+	senders := make([]*batchSender, degree)
+	for i := range senders {
+		senders[i] = &batchSender{out: snd.out, stop: snd.stop, size: snd.size}
+	}
+	evalErrs := make([]error, degree)
+	stats, err := cs.fr.ParallelScan(opts, degree, 1, func(w int, r types.Row) bool {
+		if cs.cfg.Pred != nil {
+			keep, perr := expr.EvalBool(cs.cfg.Pred, r)
+			if perr != nil {
+				evalErrs[w] = perr
+				return false
+			}
+			if !keep {
+				return true
+			}
+		}
+		return senders[w].send(r)
+	})
+	var sent int64
+	for _, ws := range senders {
+		ws.flush()
+		sent += ws.sent
+	}
+	if cs.cfg.Stats != nil {
+		*cs.cfg.Stats = stats
+	}
+	cs.cfg.Trace.AddScan(stats.RowsRead, stats.PagesRead, stats.PagesSkipped)
+	cs.cfg.Trace.AddBatches(sent)
+	cs.cfg.Trace.AddWorkers(int64(degree))
+	for _, e := range evalErrs {
+		if e != nil {
+			return e
+		}
 	}
 	return err
 }

@@ -3,7 +3,9 @@ package exec
 import (
 	"container/heap"
 	"sort"
+	"sync"
 
+	"repro/internal/obs"
 	"repro/internal/types"
 )
 
@@ -34,7 +36,15 @@ func compareByKeys(a, b types.Row, keys []SortKey) int {
 type Sort struct {
 	In   Operator
 	Keys []SortKey
-	ctx  *Ctx
+	// Parallel is the desired run-generation parallelism. Values above 1
+	// make prepare acquire extra workers from the Ctx budget and generate
+	// sorted runs concurrently; 0/1 keep the serial sort. The parallel
+	// order equals the serial order except that rows with fully equal sort
+	// keys may tie-break differently (run assignment is nondeterministic).
+	Parallel int
+	// Trace, when non-nil, records the granted worker count.
+	Trace *obs.Span
+	ctx   *Ctx
 
 	mem      []types.Row
 	runs     []*spillReader
@@ -85,6 +95,14 @@ func (s *Sort) spillRun() error {
 }
 
 func (s *Sort) prepare() error {
+	degree := 1
+	if s.Parallel > 1 {
+		degree = s.ctx.AcquireWorkers(s.Parallel)
+		defer s.ctx.ReleaseWorkers(degree)
+	}
+	if degree > 1 {
+		return s.prepareParallel(degree)
+	}
 	for {
 		r, ok, err := s.In.Next()
 		if err != nil {
@@ -184,9 +202,16 @@ func (s *Sort) Close() error {
 	return s.In.Close()
 }
 
+// runSource is one sorted run feeding the k-way merge: a spill file, a
+// worker's resident final batch, or a prefetching decoder over a spill file.
+type runSource interface {
+	next() (types.Row, bool, error)
+	close()
+}
+
 type mergeItem struct {
 	row types.Row
-	src *spillReader
+	src runSource
 }
 
 type mergeHeap struct {
@@ -206,6 +231,247 @@ func (h *mergeHeap) Pop() interface{} {
 	it := old[n-1]
 	h.items = old[:n-1]
 	return it
+}
+
+// memRun serves a sorted resident batch as a merge source.
+type memRun struct {
+	rows []types.Row
+	pos  int
+}
+
+func (m *memRun) next() (types.Row, bool, error) {
+	if m.pos >= len(m.rows) {
+		return nil, false, nil
+	}
+	r := m.rows[m.pos]
+	m.pos++
+	return r, true, nil
+}
+
+func (m *memRun) close() {}
+
+// prefetchRun decodes a spill run ahead of the k-way merge on its own
+// goroutine, shipping slabs through a bounded channel — without it the
+// merge's critical path pays every run's read+decode serially, which eats
+// most of what parallel run generation won.
+type prefetchRun struct {
+	batches chan []types.Row
+	errCh   chan error
+	stop    chan struct{}
+	cur     []types.Row
+	pos     int
+	closed  bool
+}
+
+func newPrefetchRun(src *spillReader, slab int) *prefetchRun {
+	if slab <= 0 {
+		slab = DefaultBatchRows
+	}
+	p := &prefetchRun{
+		batches: make(chan []types.Row, 2),
+		errCh:   make(chan error, 1),
+		stop:    make(chan struct{}),
+	}
+	go func() {
+		defer close(p.batches)
+		defer src.close()
+		buf := make([]types.Row, 0, slab)
+		for {
+			r, ok, err := src.next()
+			if err != nil {
+				p.errCh <- err
+				return
+			}
+			if !ok {
+				break
+			}
+			buf = append(buf, r)
+			if len(buf) >= slab {
+				select {
+				case p.batches <- buf:
+				case <-p.stop:
+					return
+				}
+				buf = make([]types.Row, 0, slab)
+			}
+		}
+		if len(buf) > 0 {
+			select {
+			case p.batches <- buf:
+			case <-p.stop:
+			}
+		}
+	}()
+	return p
+}
+
+func (p *prefetchRun) next() (types.Row, bool, error) {
+	for p.pos >= len(p.cur) {
+		b, ok := <-p.batches
+		if !ok {
+			select {
+			case err := <-p.errCh:
+				return nil, false, err
+			default:
+				return nil, false, nil
+			}
+		}
+		p.cur, p.pos = b, 0
+	}
+	r := p.cur[p.pos]
+	p.pos++
+	return r, true, nil
+}
+
+func (p *prefetchRun) close() {
+	if p.closed {
+		return
+	}
+	p.closed = true
+	close(p.stop)
+	// Drain so the decoder goroutine can exit. Bounded: the decoder
+	// observes the closed stop channel and closes batches.
+	//lint:ignore goleak-hint bounded drain: decoder sees closed stop and closes batches
+	go func(ch chan []types.Row) {
+		for range ch {
+		}
+	}(p.batches)
+}
+
+// sortWorker is one parallel run-generation worker's state.
+type sortWorker struct {
+	runs []*spillReader
+	mem  []types.Row
+}
+
+// prepareParallel generates sorted runs with degree workers: the input is
+// fanned out slab-at-a-time, each worker accumulates its share, spills one
+// sorted run whenever its share of the memory budget fills, and sorts its
+// final resident batch in memory. All runs — spilled ones behind prefetching
+// decoders, resident batches directly — feed the same k-way heap merge the
+// serial path uses; s.mem stays empty so Next's resident-batch special case
+// is inert.
+func (s *Sort) prepareParallel(degree int) error {
+	localBudget := 0
+	if s.ctx != nil && s.ctx.MemRows > 0 {
+		localBudget = s.ctx.MemRows / degree
+		if localBudget < 1 {
+			localBudget = 1
+		}
+	}
+	workers := make([]*sortWorker, degree)
+	batches := make(chan []types.Row, degree)
+	stop := make(chan struct{})
+	var stopOnce sync.Once
+	halt := func() { stopOnce.Do(func() { close(stop) }) }
+	errCh := make(chan error, degree)
+	var wg sync.WaitGroup
+	for w := 0; w < degree; w++ {
+		sw := &sortWorker{}
+		workers[w] = sw
+		wg.Add(1)
+		go func(sw *sortWorker) {
+			defer wg.Done()
+			sortLocal := func() {
+				sort.SliceStable(sw.mem, func(i, j int) bool {
+					return compareByKeys(sw.mem[i], sw.mem[j], s.Keys) < 0
+				})
+			}
+			spillLocal := func() error {
+				sortLocal()
+				sp, err := newSpillWriter(s.ctx, "sort-run-*")
+				if err != nil {
+					return err
+				}
+				for _, r := range sw.mem {
+					if err := sp.write(r); err != nil {
+						sp.abort()
+						return err
+					}
+				}
+				rd, err := sp.finish()
+				if err != nil {
+					return err
+				}
+				sw.runs = append(sw.runs, rd)
+				sw.mem = sw.mem[:0]
+				return nil
+			}
+			for {
+				select {
+				case <-stop:
+					return
+				case batch, ok := <-batches:
+					if !ok {
+						sortLocal()
+						return
+					}
+					for _, r := range batch {
+						if s.ctx != nil {
+							s.ctx.RowsProcessed.Add(1)
+							s.ctx.addState(int64(types.RowEncodedSize(r)))
+						}
+						sw.mem = append(sw.mem, r)
+						if localBudget > 0 && len(sw.mem) >= localBudget {
+							if err := spillLocal(); err != nil {
+								errCh <- err
+								halt()
+								return
+							}
+						}
+					}
+				}
+			}
+		}(sw)
+	}
+	feedErr := feedRowBatches(s.In, s.ctx.batchRows(), batches, stop)
+	close(batches)
+	wg.Wait()
+	var firstErr error
+	select {
+	case firstErr = <-errCh:
+	default:
+		firstErr = feedErr
+	}
+	if firstErr != nil {
+		for _, sw := range workers {
+			for _, rd := range sw.runs {
+				rd.close()
+			}
+		}
+		return firstErr
+	}
+	s.mem = nil
+	s.merged = &mergeHeap{keys: s.Keys}
+	push := func(src runSource) error {
+		r, ok, err := src.next()
+		if err != nil {
+			src.close()
+			return err
+		}
+		if ok {
+			heap.Push(s.merged, mergeItem{row: r, src: src})
+		} else {
+			src.close()
+		}
+		return nil
+	}
+	slab := s.ctx.batchRows()
+	for _, sw := range workers {
+		for _, rd := range sw.runs {
+			if err := push(newPrefetchRun(rd, slab)); err != nil {
+				return err
+			}
+		}
+		if len(sw.mem) > 0 {
+			if err := push(&memRun{rows: sw.mem}); err != nil {
+				return err
+			}
+		}
+	}
+	s.Trace.AddWorkers(int64(degree))
+	s.prepared = true
+	return nil
 }
 
 // TopK keeps the best k rows by the sort keys using a bounded heap — the

@@ -182,6 +182,59 @@ func TestTCPMeterParityWithInproc(t *testing.T) {
 	}
 }
 
+// TestTCPCompressionParityWithInproc runs the metered shuffle over TCP
+// endpoints with LZ4 compression enabled: delivery and metering must stay
+// byte-identical to the in-process fabric (the meter records raw payload
+// sizes), while the wire itself carries fewer bytes than it would raw.
+func TestTCPCompressionParityWithInproc(t *testing.T) {
+	const n = 4
+	fabric := network.NewFabric([]int{0, 1, 2, 3}, 1024)
+	defer fabric.CloseAll()
+	inEps := make([]network.Endpoint, n)
+	for i := 0; i < n; i++ {
+		ep, err := fabric.Endpoint(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inEps[i] = ep
+	}
+	inRows := runMeteredShuffle(t, inEps, "q1.par")
+
+	peers := map[int]string{}
+	tcpMeter := network.NewMeter()
+	tcpEps := make([]network.Endpoint, n)
+	for i := 0; i < n; i++ {
+		ep, err := network.NewTCPEndpoint(i, "127.0.0.1:0", peers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer ep.Close()
+		ep.SetMeter(tcpMeter)
+		ep.EnableCompression()
+		peers[i] = ep.Addr()
+		tcpEps[i] = ep
+	}
+	tcpRows := runMeteredShuffle(t, tcpEps, "q1.par")
+
+	if inRows != tcpRows || inRows != n*100 {
+		t.Fatalf("rows: inproc=%d tcp=%d want %d", inRows, tcpRows, n*100)
+	}
+	im := fabric.Meter()
+	if tcpMeter.TotalBytes() != im.TotalBytes() {
+		t.Errorf("bytes: tcp=%d inproc=%d", tcpMeter.TotalBytes(), im.TotalBytes())
+	}
+	if tcpMeter.TotalMessages() != im.TotalMessages() {
+		t.Errorf("messages: tcp=%d inproc=%d", tcpMeter.TotalMessages(), im.TotalMessages())
+	}
+	raw, wire := tcpMeter.CompressedBytes()
+	if raw == 0 {
+		t.Fatal("no compression accounting recorded")
+	}
+	if wire >= raw {
+		t.Errorf("compression saved nothing: raw=%d wire=%d", raw, wire)
+	}
+}
+
 // TestGatherOverTCP checks SendAll/Recv over sockets.
 func TestGatherOverTCP(t *testing.T) {
 	peers := map[int]string{}

@@ -108,9 +108,11 @@ func (l linkMap) maxNodeDegree() int {
 // embed the query ID, so concurrent queries meter independently without
 // resetting shared state.
 type Meter struct {
-	mu     sync.Mutex
-	links  linkMap
-	scopes []*MeterScope
+	mu       sync.Mutex
+	links    linkMap
+	scopes   []*MeterScope
+	compRaw  int64 // raw payload bytes of frames sent through a compressing endpoint
+	compWire int64 // bytes those frames actually occupied on the wire
 }
 
 // NewMeter creates an empty meter.
@@ -128,6 +130,27 @@ func (m *Meter) record(from, to int, channel string, bytes int) {
 			s.links.record(from, to, bytes)
 		}
 	}
+}
+
+// recordCompression accounts one frame sent through a compressing TCP
+// endpoint: raw is the uncompressed payload size (what links/scopes see),
+// wire what the frame body actually carried. Loopback sends never reach
+// here — TCP endpoints dial even for self-sends, and the in-process fabric
+// does not compress.
+func (m *Meter) recordCompression(raw, wire int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.compRaw += int64(raw)
+	m.compWire += int64(wire)
+}
+
+// CompressedBytes reports compression effectiveness for TCP endpoints with
+// EnableCompression: total raw payload bytes and the wire bytes they
+// shipped as. Both are zero when no compressing endpoint sent traffic.
+func (m *Meter) CompressedBytes() (raw, wire int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.compRaw, m.compWire
 }
 
 // Scope starts per-query metering: every message whose channel name starts
@@ -291,6 +314,7 @@ func (m *Meter) Reset() {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.links = linkMap{}
+	m.compRaw, m.compWire = 0, 0
 }
 
 // Fabric is the in-process transport: a set of endpoints with bounded

@@ -1,6 +1,7 @@
 package network
 
 import (
+	"bytes"
 	"fmt"
 	"sync"
 	"testing"
@@ -220,6 +221,67 @@ func TestTCPMeter(t *testing.T) {
 	}
 	if m.TotalBytes() != 64 || m.TotalMessages() != 1 || m.Connections() != 1 {
 		t.Errorf("meter = %dB/%d msgs/%d links", m.TotalBytes(), m.TotalMessages(), m.Connections())
+	}
+}
+
+// TestTCPCompressedRoundTrip sends compressible, incompressible, and empty
+// payloads through a compressing endpoint to a plain receiver: delivery
+// must be byte-identical, the meter must record raw payload sizes, and
+// only the compressible payload may shrink on the wire.
+func TestTCPCompressedRoundTrip(t *testing.T) {
+	peers := map[int]string{}
+	e0, err := NewTCPEndpoint(0, "127.0.0.1:0", peers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e0.Close()
+	e1, err := NewTCPEndpoint(1, "127.0.0.1:0", peers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e1.Close()
+	peers[0] = e0.Addr()
+	peers[1] = e1.Addr()
+
+	m := NewMeter()
+	e0.SetMeter(m)
+	e0.EnableCompression()
+
+	compressible := bytes.Repeat([]byte("hrdbms shuffle frame "), 100)
+	incompressible := make([]byte, 256)
+	for i := range incompressible {
+		incompressible[i] = byte(i*131 + 17)
+	}
+	payloads := [][]byte{compressible, incompressible, {}}
+	for _, p := range payloads {
+		if err := e0.Send(1, 1, "q1.comp", p); err != nil {
+			t.Fatal(err)
+		}
+		msg, err := e1.Recv("q1.comp")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(msg.Payload, p) {
+			t.Fatalf("payload mismatch: got %d bytes, want %d", len(msg.Payload), len(p))
+		}
+	}
+	wantRaw := int64(len(compressible) + len(incompressible))
+	if m.TotalBytes() != wantRaw {
+		t.Errorf("meter bytes = %d, want raw %d", m.TotalBytes(), wantRaw)
+	}
+	raw, wire := m.CompressedBytes()
+	if raw != wantRaw {
+		t.Errorf("compressed accounting raw = %d, want %d", raw, wantRaw)
+	}
+	if wire >= raw {
+		t.Errorf("wire %d not smaller than raw %d despite compressible payload", wire, raw)
+	}
+	if wire < int64(len(incompressible)) {
+		t.Errorf("incompressible payload must ship raw: wire=%d", wire)
+	}
+	m.Reset()
+	if r, w := m.CompressedBytes(); r != 0 || w != 0 {
+		t.Errorf("Reset left compression counters %d/%d", r, w)
 	}
 }
 

@@ -44,6 +44,7 @@ type Span struct {
 	Batches      atomic.Int64 // row slabs this operator shipped (vectorized path)
 	SpillBytes   atomic.Int64
 	StateBytes   atomic.Int64
+	Workers      atomic.Int64 // intra-operator worker threads granted (morsel parallelism)
 	WallNS       atomic.Int64 // cumulative time inside Open/Next/Close (includes children)
 }
 
@@ -115,6 +116,14 @@ func (s *Span) AddState(n int64) {
 	}
 }
 
+// AddWorkers records the parallel worker threads an operator was granted
+// from the node budget. Nil-safe.
+func (s *Span) AddWorkers(n int64) {
+	if s != nil {
+		s.Workers.Add(n)
+	}
+}
+
 // SpanSnapshot is the JSON-friendly view of a span.
 type SpanSnapshot struct {
 	ID           int64  `json:"id"`
@@ -130,6 +139,7 @@ type SpanSnapshot struct {
 	Batches      int64  `json:"batches,omitempty"`
 	SpillBytes   int64  `json:"spill_bytes,omitempty"`
 	StateBytes   int64  `json:"state_bytes,omitempty"`
+	Workers      int64  `json:"workers,omitempty"`
 	WallNS       int64  `json:"wall_ns"`
 }
 
@@ -148,6 +158,7 @@ func (s *Span) snapshot() SpanSnapshot {
 		Batches:      s.Batches.Load(),
 		SpillBytes:   s.SpillBytes.Load(),
 		StateBytes:   s.StateBytes.Load(),
+		Workers:      s.Workers.Load(),
 		WallNS:       s.WallNS.Load(),
 	}
 }
@@ -283,6 +294,9 @@ func (s SpanSnapshot) line() string {
 	}
 	if s.StateBytes > 0 {
 		fmt.Fprintf(&sb, " state=%dB", s.StateBytes)
+	}
+	if s.Workers > 0 {
+		fmt.Fprintf(&sb, " workers=%d", s.Workers)
 	}
 	sb.WriteByte(')')
 	return sb.String()

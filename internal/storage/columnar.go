@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/buffer"
 	"repro/internal/catalog"
@@ -256,4 +258,173 @@ func (fr *ColumnarFragment) Scan(opts ScanOptions, fn func(r types.Row) bool) (S
 	}
 	fr.Node.RowsScanned.Add(stats.RowsRead)
 	return stats, nil
+}
+
+// setMorsel is a contiguous run of sealed page sets of one disk's file.
+type setMorsel struct {
+	disk  int
+	file  page.FileID
+	start int // first set index
+	end   int // exclusive
+}
+
+// ParallelScan is Scan with N workers over sealed page sets: workers claim
+// runs of morselSets sets from a shared counter, applying the same page-set
+// skipping and absence recording as the serial scan (sealed sets are
+// immutable, so every set records). The open in-memory sets are scanned
+// serially after the workers finish, never skipped or recorded, matching
+// Scan's ordering guarantee that unflushed rows come last per disk. fn runs
+// concurrently from all workers; returning false stops every worker after
+// its current set. workers <= 1 degrades to the serial Scan.
+func (fr *ColumnarFragment) ParallelScan(opts ScanOptions, workers, morselSets int, fn func(worker int, r types.Row) bool) (ScanStats, error) {
+	if workers <= 1 {
+		return fr.Scan(opts, func(r types.Row) bool { return fn(0, r) })
+	}
+	if morselSets <= 0 {
+		morselSets = 1
+	}
+	n := fr.Def.Schema.Len()
+	var morsels []setMorsel
+	for disk, fileID := range fr.Files {
+		numSets := int(fr.Node.NumPages(fileID)) / n
+		for start := 0; start < numSets; start += morselSets {
+			end := start + morselSets
+			if end > numSets {
+				end = numSets
+			}
+			morsels = append(morsels, setMorsel{disk: disk, file: fileID, start: start, end: end})
+		}
+	}
+	var (
+		next     atomic.Int64
+		stop     atomic.Bool
+		mu       sync.Mutex
+		total    ScanStats
+		firstErr error
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var stats ScanStats
+			for !stop.Load() {
+				i := int(next.Add(1) - 1)
+				if i >= len(morsels) {
+					break
+				}
+				if err := fr.scanSetMorsel(opts, morsels[i], &stats, &stop, func(r types.Row) bool {
+					return fn(w, r)
+				}); err != nil {
+					stop.Store(true)
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					break
+				}
+			}
+			mu.Lock()
+			total.PagesRead += stats.PagesRead
+			total.PagesSkipped += stats.PagesSkipped
+			total.RowsRead += stats.RowsRead
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+	if firstErr != nil || stop.Load() {
+		fr.Node.RowsScanned.Add(total.RowsRead)
+		return total, firstErr
+	}
+	// Open (unflushed) sets: serial tail, never skipped, never recorded.
+	for disk := range fr.Files {
+		rows, err := fr.open[disk].Rows()
+		if err != nil {
+			fr.Node.RowsScanned.Add(total.RowsRead)
+			return total, err
+		}
+		for _, r := range rows {
+			total.RowsRead++
+			if !fn(0, r) {
+				fr.Node.RowsScanned.Add(total.RowsRead)
+				return total, nil
+			}
+		}
+	}
+	fr.Node.RowsScanned.Add(total.RowsRead)
+	return total, nil
+}
+
+// scanSetMorsel runs one worker's claimed run of sealed sets with Scan's
+// exact per-set logic.
+func (fr *ColumnarFragment) scanSetMorsel(opts ScanOptions, m setMorsel, stats *ScanStats, stop *atomic.Bool, fn func(r types.Row) bool) error {
+	n := fr.Def.Schema.Len()
+	colIndex := func(name string) int { return fr.Def.Schema.Find(name) }
+	for s := m.start; s < m.end; s++ {
+		if stop.Load() {
+			return nil
+		}
+		base := uint32(s * n)
+		key := page.Key{File: m.file, Page: base}
+		if len(opts.SkipConj) > 0 {
+			if opts.UseCache && fr.PredCache.CanSkip(key, opts.SkipConj) {
+				stats.PagesSkipped += int64(n)
+				continue
+			}
+			if opts.UseMinMax && fr.MinMax.CanSkip(key, opts.SkipConj) {
+				stats.PagesSkipped += int64(n)
+				continue
+			}
+		}
+		frames := make([]*buffer.Frame, 0, n)
+		set := page.PageSet{}
+		bad := false
+		for i := 0; i < n; i++ {
+			f, err := fr.Node.Buf.Fetch(page.Key{File: m.file, Page: base + uint32(i)})
+			if err != nil {
+				for _, pf := range frames {
+					fr.Node.Buf.Unpin(pf, false)
+				}
+				return err
+			}
+			cp, err := page.AsColumnPage(f.Buf)
+			if err != nil {
+				fr.Node.Buf.Unpin(f, false)
+				bad = true
+				break
+			}
+			frames = append(frames, f)
+			set.Pages = append(set.Pages, cp)
+		}
+		if bad {
+			for _, pf := range frames {
+				fr.Node.Buf.Unpin(pf, false)
+			}
+			continue
+		}
+		rows, err := set.Rows()
+		for _, pf := range frames {
+			fr.Node.Buf.Unpin(pf, false)
+		}
+		if err != nil {
+			return err
+		}
+		stats.PagesRead += int64(n)
+		anyMatch := false
+		for _, r := range rows {
+			stats.RowsRead++
+			if len(opts.SkipConj) > 0 && opts.SkipConj.MatchesRow(r, colIndex) {
+				anyMatch = true
+			}
+			if !fn(r) {
+				stop.Store(true)
+				return nil
+			}
+		}
+		if opts.UseCache && opts.SkipComplete && !anyMatch && len(opts.SkipConj) > 0 {
+			fr.PredCache.Record(key, opts.SkipConj)
+		}
+	}
+	return nil
 }

@@ -1,0 +1,205 @@
+package storage
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/page"
+	"repro/internal/skipcache"
+	"repro/internal/types"
+)
+
+// TestParallelScanParity: a morsel-parallel scan must see exactly the rows
+// a serial scan sees (as a multiset) and report identical page statistics,
+// across worker counts and morsel granularities including degenerate ones.
+func TestParallelScanParity(t *testing.T) {
+	ns := newNode(t, 2048)
+	fr, err := OpenFragment(ns, lineitemDef(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := make([]types.Row, 0, 5000)
+	for i := int64(0); i < 5000; i++ {
+		rows = append(rows, liRow(i))
+	}
+	if _, err := fr.Load(rows); err != nil {
+		t.Fatal(err)
+	}
+
+	serial := map[int64]int{}
+	serialStats, err := fr.Scan(ScanOptions{}, func(rid page.RID, r types.Row) bool {
+		serial[r[0].Int()]++
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, tc := range []struct{ workers, morselPages int }{
+		{2, 1}, {4, 2}, {4, 16}, {8, 1}, {16, 4},
+	} {
+		t.Run(fmt.Sprintf("w%d_m%d", tc.workers, tc.morselPages), func(t *testing.T) {
+			var mu sync.Mutex
+			par := map[int64]int{}
+			stats, err := fr.ParallelScan(ScanOptions{}, tc.workers, tc.morselPages,
+				func(worker int, rid page.RID, r types.Row) bool {
+					mu.Lock()
+					par[r[0].Int()]++
+					mu.Unlock()
+					return true
+				})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if stats != serialStats {
+				t.Errorf("stats = %+v, serial %+v", stats, serialStats)
+			}
+			if len(par) != len(serial) {
+				t.Fatalf("saw %d distinct keys, serial %d", len(par), len(serial))
+			}
+			for k, c := range serial {
+				if par[k] != c {
+					t.Fatalf("key %d seen %d times, serial %d", k, par[k], c)
+				}
+			}
+		})
+	}
+}
+
+// TestParallelScanSkipParity: min-max skipping must skip the same pages
+// under parallel and serial scans, and the surviving rows must match.
+func TestParallelScanSkipParity(t *testing.T) {
+	ns := newNode(t, 2048)
+	fr, err := OpenFragment(ns, lineitemDef(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := make([]types.Row, 0, 4000)
+	for i := int64(0); i < 4000; i++ {
+		rows = append(rows, liRow(i))
+	}
+	if _, err := fr.Load(rows); err != nil {
+		t.Fatal(err)
+	}
+	// l_orderkey > 3500 skips most pages via min-max.
+	opts := ScanOptions{
+		SkipConj: skipcache.Conj{{
+			Col: "l_orderkey", Op: skipcache.OpGt, Val: types.NewInt(3500),
+		}},
+		SkipComplete: true,
+		UseMinMax:    true,
+	}
+	serial := map[int64]int{}
+	serialStats, err := fr.Scan(opts, func(rid page.RID, r types.Row) bool {
+		serial[r[0].Int()]++
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serialStats.PagesSkipped == 0 {
+		t.Fatal("test premise broken: serial scan skipped nothing")
+	}
+	var mu sync.Mutex
+	par := map[int64]int{}
+	stats, err := fr.ParallelScan(opts, 4, 2, func(worker int, rid page.RID, r types.Row) bool {
+		mu.Lock()
+		par[r[0].Int()]++
+		mu.Unlock()
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats != serialStats {
+		t.Errorf("stats = %+v, serial %+v", stats, serialStats)
+	}
+	if len(par) != len(serial) {
+		t.Fatalf("saw %d distinct keys, serial %d", len(par), len(serial))
+	}
+}
+
+// TestColumnarParallelScanParity mirrors the row-store parity check for
+// columnar fragments (sealed-set morsels plus the serial open-set tail).
+func TestColumnarParallelScanParity(t *testing.T) {
+	ns := newNode(t, 2048)
+	fr, err := OpenColumnarFragment(ns, lineitemDef(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := make([]types.Row, 0, 5000)
+	for i := int64(0); i < 5000; i++ {
+		rows = append(rows, liRow(i))
+	}
+	if _, err := fr.Load(rows); err != nil {
+		t.Fatal(err)
+	}
+
+	serial := map[int64]int{}
+	serialStats, err := fr.Scan(ScanOptions{}, func(r types.Row) bool {
+		serial[r[0].Int()]++
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 8} {
+		t.Run(fmt.Sprintf("w%d", workers), func(t *testing.T) {
+			var mu sync.Mutex
+			par := map[int64]int{}
+			stats, err := fr.ParallelScan(ScanOptions{}, workers, 1,
+				func(worker int, r types.Row) bool {
+					mu.Lock()
+					par[r[0].Int()]++
+					mu.Unlock()
+					return true
+				})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if stats != serialStats {
+				t.Errorf("stats = %+v, serial %+v", stats, serialStats)
+			}
+			if len(par) != len(serial) {
+				t.Fatalf("saw %d distinct keys, serial %d", len(par), len(serial))
+			}
+			for k, c := range serial {
+				if par[k] != c {
+					t.Fatalf("key %d seen %d times, serial %d", k, par[k], c)
+				}
+			}
+		})
+	}
+}
+
+// TestParallelScanEarlyStop: a consumer returning false must stop the scan
+// promptly without error, like the serial contract.
+func TestParallelScanEarlyStop(t *testing.T) {
+	ns := newNode(t, 2048)
+	fr, err := OpenFragment(ns, lineitemDef(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := make([]types.Row, 0, 2000)
+	for i := int64(0); i < 2000; i++ {
+		rows = append(rows, liRow(i))
+	}
+	if _, err := fr.Load(rows); err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	n := 0
+	_, err = fr.ParallelScan(ScanOptions{}, 4, 1, func(worker int, rid page.RID, r types.Row) bool {
+		mu.Lock()
+		defer mu.Unlock()
+		n++
+		return n < 100
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n < 100 || n >= 2000 {
+		t.Errorf("early stop saw %d rows", n)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/catalog"
@@ -319,6 +320,171 @@ func (fr *Fragment) Scan(opts ScanOptions, fn func(rid page.RID, r types.Row) bo
 	}
 	fr.Node.RowsScanned.Add(stats.RowsRead)
 	return stats, nil
+}
+
+// DefaultMorselPages is the page-range granularity ParallelScan hands to a
+// worker at a time. Small enough that a skipping-heavy scan rebalances, large
+// enough that the shared claim counter is off the per-page path.
+const DefaultMorselPages = 16
+
+// morsel is one contiguous page range of one disk's file, the unit of work a
+// parallel scan worker claims. numPages is the file's page count at scan
+// start, so workers can apply the full-page-only absence-recording rule.
+type morsel struct {
+	disk     int
+	file     page.FileID
+	start    uint32
+	end      uint32 // exclusive
+	numPages uint32
+}
+
+// ParallelScan is Scan with N workers: the fragment's pages are split into
+// morsels (contiguous page ranges) that workers claim from a shared counter,
+// so a worker that skips its pages moves on to the next range instead of
+// idling. Each page is processed exactly as Scan processes it — predicate
+// cache, then min-max, then fetch — and absence facts are recorded for full
+// pages under the same conditions, so skipping behavior and the summed
+// ScanStats match a serial scan of the same data. fn runs concurrently from
+// all workers (worker tells them apart); returning false stops every worker
+// after its current page. workers <= 1 degrades to the serial Scan.
+func (fr *Fragment) ParallelScan(opts ScanOptions, workers, morselPages int, fn func(worker int, rid page.RID, r types.Row) bool) (ScanStats, error) {
+	if workers <= 1 {
+		return fr.Scan(opts, func(rid page.RID, r types.Row) bool { return fn(0, rid, r) })
+	}
+	if morselPages <= 0 {
+		morselPages = DefaultMorselPages
+	}
+	var morsels []morsel
+	for disk, fileID := range fr.Files {
+		numPages := fr.Node.NumPages(fileID)
+		if numPages == 0 {
+			continue
+		}
+		if opts.Predeclare {
+			keys := make([]page.Key, 0, numPages)
+			for p := uint32(0); p < numPages; p++ {
+				keys = append(keys, page.Key{File: fileID, Page: p})
+			}
+			fr.Node.Buf.Predeclare(keys)
+		}
+		for start := uint32(0); start < numPages; start += uint32(morselPages) {
+			end := start + uint32(morselPages)
+			if end > numPages {
+				end = numPages
+			}
+			morsels = append(morsels, morsel{disk: disk, file: fileID, start: start, end: end, numPages: numPages})
+		}
+	}
+	var (
+		next     atomic.Int64
+		stop     atomic.Bool
+		mu       sync.Mutex
+		total    ScanStats
+		firstErr error
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var stats ScanStats
+			for !stop.Load() {
+				i := int(next.Add(1) - 1)
+				if i >= len(morsels) {
+					break
+				}
+				if err := fr.scanMorsel(opts, morsels[i], &stats, &stop, func(rid page.RID, r types.Row) bool {
+					return fn(w, rid, r)
+				}); err != nil {
+					stop.Store(true)
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					break
+				}
+			}
+			mu.Lock()
+			total.PagesRead += stats.PagesRead
+			total.PagesSkipped += stats.PagesSkipped
+			total.RowsRead += stats.RowsRead
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+	fr.Node.RowsScanned.Add(total.RowsRead)
+	return total, firstErr
+}
+
+// scanMorsel runs one worker's claimed page range with Scan's exact per-page
+// logic. stop is checked between pages so a consumer-initiated stop (fn
+// returning false anywhere) ends every worker promptly; bookkeeping for a
+// page interrupted mid-scan is discarded, as in Scan.
+func (fr *Fragment) scanMorsel(opts ScanOptions, m morsel, stats *ScanStats, stop *atomic.Bool, fn func(rid page.RID, r types.Row) bool) error {
+	colIndex := func(name string) int { return fr.Def.Schema.Find(name) }
+	for p := m.start; p < m.end; p++ {
+		if stop.Load() {
+			return nil
+		}
+		k := page.Key{File: m.file, Page: p}
+		if len(opts.SkipConj) > 0 {
+			if opts.UseCache && fr.PredCache.CanSkip(k, opts.SkipConj) {
+				stats.PagesSkipped++
+				continue
+			}
+			if opts.UseMinMax && fr.MinMax.CanSkip(k, opts.SkipConj) {
+				stats.PagesSkipped++
+				continue
+			}
+		}
+		if opts.Tx != nil {
+			if err := opts.Tx.LockPage(k, opts.LockExclusive); err != nil {
+				return err
+			}
+		}
+		f, err := fr.Node.Buf.Fetch(k)
+		if err != nil {
+			return err
+		}
+		if page.TypeOf(f.Buf) == page.TypeFree {
+			fr.Node.Buf.Unpin(f, false)
+			continue
+		}
+		rp, err := page.AsRowPage(f.Buf)
+		if err != nil {
+			fr.Node.Buf.Unpin(f, false)
+			return err
+		}
+		stats.PagesRead++
+		anyMatch := false
+		stopped := false
+		err = rp.Scan(func(slot int, r types.Row) bool {
+			stats.RowsRead++
+			if len(opts.SkipConj) > 0 && opts.SkipConj.MatchesRow(r, colIndex) {
+				anyMatch = true
+			}
+			rid := page.RID{Node: uint16(fr.Node.NodeID), Disk: uint16(m.disk), Page: p, Slot: uint16(slot)}
+			if !fn(rid, r) {
+				stopped = true
+				return false
+			}
+			return true
+		})
+		fr.Node.Buf.Unpin(f, false)
+		if err != nil {
+			return err
+		}
+		if stopped {
+			stop.Store(true)
+			return nil
+		}
+		isFull := p < m.numPages-1
+		if opts.UseCache && opts.SkipComplete && isFull && !anyMatch && len(opts.SkipConj) > 0 {
+			fr.PredCache.Record(k, opts.SkipConj)
+		}
+	}
+	return nil
 }
 
 // Load bulk-loads rows into the fragment, sorting by the table's clustering

@@ -28,11 +28,18 @@ go test -race -count=1 \
   -run 'TestShuffleTinyBatchRows|TestSendAllHonorsWireBatchRows|TestAdaptersRoundTrip|TestBatchRowParityPipeline|TestGraceJoinAdapterSpillParity|TestSortAdapterSpillParity' \
   ./internal/exec
 
+echo "==> morsel parallelism: parallel/serial parity under race, tiny budgets"
+go test -race -count=1 -run 'TestParallel|TestColumnarParallel' \
+  ./internal/exec ./internal/storage
+
 echo "==> bench smoke (executed per-query stats + tracing)"
 go run ./cmd/hrdbms-bench -exp exec -json /tmp/bench_exec_smoke.json >/dev/null
 rm -f /tmp/bench_exec_smoke.json
 
 echo "==> bench smoke (batch vs row pipeline)"
 go test -run '^$' -bench BenchmarkBatchVsRow -benchtime 1x ./internal/exec >/dev/null
+
+echo "==> bench smoke (parallel vs serial, golden parity + throughput)"
+go test -run '^$' -bench BenchmarkParallelVsSerial -benchtime 1x ./internal/exec >/dev/null
 
 echo "OK"
