@@ -10,20 +10,27 @@ import (
 	"strings"
 )
 
-// Diagnostic is one analyzer finding.
+// Diagnostic is one analyzer finding. Path, when set, is the concrete
+// control-flow path the finding is about (path-sensitive rules).
 type Diagnostic struct {
 	Pos  token.Position
 	Rule string
 	Msg  string
+	Path string
 }
 
 func (d Diagnostic) String() string {
-	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Rule, d.Msg)
+	s := fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Rule, d.Msg)
+	if d.Path != "" {
+		s += " [" + d.Path + "]"
+	}
+	return s
 }
 
 // Pass carries one package through every analyzer and collects findings.
 type Pass struct {
 	Pkg   *Package
+	Locks *LockIndex // module-level lock model (lockorder)
 	diags []Diagnostic
 }
 
@@ -39,32 +46,55 @@ var Analyzers = []*Analyzer{
 	pinpairAnalyzer,
 	txnpairAnalyzer,
 	workerpairAnalyzer,
+	spanpairAnalyzer,
+	slabownAnalyzer,
+	lockorderAnalyzer,
 	walerrAnalyzer,
-	goleakHintAnalyzer,
+	sendstopAnalyzer,
 	rowchanAnalyzer,
 }
 
 // Report records a finding unless a lint:ignore comment suppresses it.
 func (p *Pass) Report(rule string, pos token.Pos, msg string) {
+	p.ReportPath(rule, pos, msg, "")
+}
+
+// ReportPath records a finding carrying the concrete control-flow path it
+// was proven on.
+func (p *Pass) ReportPath(rule string, pos token.Pos, msg, path string) {
 	position := p.Pkg.Fset.Position(pos)
-	p.diags = append(p.diags, Diagnostic{Pos: position, Rule: rule, Msg: msg})
+	p.diags = append(p.diags, Diagnostic{Pos: position, Rule: rule, Msg: msg, Path: path})
 }
 
 var ignoreRe = regexp.MustCompile(`^//\s*lint:ignore\s+(\S+)\s+(.+)`)
 
-// suppressions maps filename -> line -> set of suppressed rule names. A
-// `//lint:ignore <rule> <reason>` comment suppresses the rule on its own
-// line (trailing comment) and on the following line.
-func suppressions(fset *token.FileSet, files []*ast.File) map[string]map[int]map[string]bool {
-	sup := map[string]map[int]map[string]bool{}
+// suppressionSet indexes the package's `//lint:ignore <rule> <reason>`
+// comments: a directive suppresses the rule on its own line (trailing
+// comment) and on the following line. The directive list is kept so unused
+// directives can themselves be reported (staleignore).
+type suppressionSet struct {
+	byLine     map[string]map[int]map[string]bool // filename -> line -> rules
+	directives []ignoreDirective
+}
+
+// ignoreDirective is one //lint:ignore comment.
+type ignoreDirective struct {
+	file string
+	line int
+	pos  token.Pos
+	rule string
+}
+
+func suppressions(fset *token.FileSet, files []*ast.File) *suppressionSet {
+	sup := &suppressionSet{byLine: map[string]map[int]map[string]bool{}}
 	add := func(file string, line int, rule string) {
-		if sup[file] == nil {
-			sup[file] = map[int]map[string]bool{}
+		if sup.byLine[file] == nil {
+			sup.byLine[file] = map[int]map[string]bool{}
 		}
-		if sup[file][line] == nil {
-			sup[file][line] = map[string]bool{}
+		if sup.byLine[file][line] == nil {
+			sup.byLine[file][line] = map[string]bool{}
 		}
-		sup[file][line][rule] = true
+		sup.byLine[file][line][rule] = true
 	}
 	for _, f := range files {
 		for _, cg := range f.Comments {
@@ -74,6 +104,8 @@ func suppressions(fset *token.FileSet, files []*ast.File) map[string]map[int]map
 					continue
 				}
 				pos := fset.Position(c.Pos())
+				sup.directives = append(sup.directives, ignoreDirective{
+					file: pos.Filename, line: pos.Line, pos: c.Pos(), rule: m[1]})
 				add(pos.Filename, pos.Line, m[1])
 				add(pos.Filename, pos.Line+1, m[1])
 			}
@@ -82,18 +114,44 @@ func suppressions(fset *token.FileSet, files []*ast.File) map[string]map[int]map
 	return sup
 }
 
-// filterSuppressed drops diagnostics covered by lint:ignore comments and
-// returns the survivors sorted by position.
-func filterSuppressed(diags []Diagnostic, sup map[string]map[int]map[string]bool) []Diagnostic {
+// filterSuppressed drops diagnostics covered by lint:ignore comments,
+// returning the survivors and the set of (file, line, rule) suppression
+// hits that were actually exercised.
+func filterSuppressed(diags []Diagnostic, sup *suppressionSet) ([]Diagnostic, map[string]bool) {
+	used := map[string]bool{}
 	var out []Diagnostic
 	for _, d := range diags {
-		if lines, ok := sup[d.Pos.Filename]; ok {
+		if lines, ok := sup.byLine[d.Pos.Filename]; ok {
 			if rules, ok := lines[d.Pos.Line]; ok && rules[d.Rule] {
+				used[fmt.Sprintf("%s:%d:%s", d.Pos.Filename, d.Pos.Line, d.Rule)] = true
 				continue
 			}
 		}
 		out = append(out, d)
 	}
+	return out, used
+}
+
+// staleSuppressions reports every //lint:ignore directive that silenced
+// nothing this run: suppressions must not outlive the code they excused.
+func staleSuppressions(pkg *Package, sup *suppressionSet, used map[string]bool) []Diagnostic {
+	var out []Diagnostic
+	for _, d := range sup.directives {
+		if used[fmt.Sprintf("%s:%d:%s", d.file, d.line, d.rule)] ||
+			used[fmt.Sprintf("%s:%d:%s", d.file, d.line+1, d.rule)] {
+			continue
+		}
+		out = append(out, Diagnostic{
+			Pos:  pkg.Fset.Position(d.pos),
+			Rule: "staleignore",
+			Msg:  fmt.Sprintf("//lint:ignore %s suppresses nothing here; remove it (or fix the rule name)", d.rule),
+		})
+	}
+	return out
+}
+
+// sortDiags orders diagnostics by position for stable output.
+func sortDiags(out []Diagnostic) []Diagnostic {
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Pos.Filename != out[j].Pos.Filename {
 			return out[i].Pos.Filename < out[j].Pos.Filename
@@ -106,14 +164,25 @@ func filterSuppressed(diags []Diagnostic, sup map[string]map[int]map[string]bool
 	return out
 }
 
-// RunAnalyzers applies every analyzer to the package and returns the
-// unsuppressed findings.
-func RunAnalyzers(pkg *Package) []Diagnostic {
-	pass := &Pass{Pkg: pkg}
+// RunAnalyzersWithIndex applies every analyzer to the package, using a
+// shared module-level lock index, and returns the unsuppressed findings
+// plus the rule names that were actually suppressed per file/line (for
+// stale-suppression detection).
+func RunAnalyzersWithIndex(pkg *Package, locks *LockIndex) []Diagnostic {
+	pass := &Pass{Pkg: pkg, Locks: locks}
 	for _, a := range Analyzers {
 		a.Run(pass)
 	}
-	return filterSuppressed(pass.diags, suppressions(pkg.Fset, pkg.Files))
+	sup := suppressions(pkg.Fset, pkg.Files)
+	out, used := filterSuppressed(pass.diags, sup)
+	out = append(out, staleSuppressions(pkg, sup, used)...)
+	return sortDiags(out)
+}
+
+// RunAnalyzers is RunAnalyzersWithIndex with a lock index built from the
+// single package (fixture tests; self-contained packages).
+func RunAnalyzers(pkg *Package) []Diagnostic {
+	return RunAnalyzersWithIndex(pkg, BuildLockIndex([]*Package{pkg}))
 }
 
 // isTestFile reports whether the position is inside a _test.go file.

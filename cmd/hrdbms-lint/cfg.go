@@ -1,0 +1,589 @@
+package main
+
+// Control-flow graph construction over the typed AST, plus the generic
+// worklist dataflow driver and the leak-path search the path-sensitive
+// rules (pinpair, txnpair, workerpair, spanpair, lockorder, sendstop)
+// run on.
+//
+// Design notes:
+//
+//   - Blocks hold *simple* nodes: plain statements, and the condition /
+//     tag / comm sub-parts of compound statements. Compound statements
+//     (if/for/range/switch/select) are decomposed by the builder, so a
+//     rule scanning a block node's subtree never accidentally sees a
+//     nested body.
+//   - Edges out of an if-condition are labeled with the condition and its
+//     truth value on that edge. The pairing rules use the labels to prune
+//     paths on which the acquire's own error check failed (no resource
+//     was acquired, so an early `return err` there is not a leak).
+//   - defer is modeled as a regular DeferStmt node at its registration
+//     point. Pairing rules treat "the path passed a DeferStmt whose call
+//     satisfies the protocol" as satisfying every later exit on that
+//     path — LIFO order does not matter for release properties.
+//   - panic(...), os.Exit, log.Fatal*, runtime.Goexit terminate the block
+//     with no successors: a path ending in a crash is not a leak path.
+//   - select with no default blocks until a case is ready; edges go to
+//     every clause. A select with a default never blocks.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Edge is one control-flow edge. When Cond is non-nil, the edge is taken
+// exactly when Cond evaluates to !Neg.
+type Edge struct {
+	To   *Block
+	Cond ast.Expr
+	Neg  bool // edge taken when Cond is false
+}
+
+// Block is one basic block: a maximal sequence of simple nodes with a
+// single entry, plus its successor edges.
+type Block struct {
+	Index int
+	Kind  string // "entry", "exit", "if.then", "for.body", ... (debugging)
+	Nodes []ast.Node
+	Succs []Edge
+
+	// SelectCase links a clause block back to the select that guards it
+	// (set on blocks holding a select clause's body).
+	SelectCase *ast.SelectStmt
+}
+
+// CFG is the control-flow graph of one function body.
+type CFG struct {
+	Entry  *Block
+	Exit   *Block
+	Blocks []*Block
+}
+
+// loopFrame tracks break/continue targets while building loop and
+// switch/select bodies.
+type loopFrame struct {
+	label      string
+	breakTo    *Block
+	continueTo *Block // nil inside switch/select frames
+}
+
+type cfgBuilder struct {
+	cfg     *CFG
+	cur     *Block // nil while the current point is unreachable
+	exit    *Block
+	frames  []loopFrame
+	labels  map[string]*Block   // label -> block the labeled statement starts
+	gotos   map[string][]*Block // pending forward gotos by label
+	pending string              // label for an immediately following loop statement
+}
+
+// BuildCFG constructs the control-flow graph of a function body.
+func BuildCFG(body *ast.BlockStmt) *CFG {
+	b := &cfgBuilder{
+		cfg:    &CFG{},
+		labels: map[string]*Block{},
+		gotos:  map[string][]*Block{},
+	}
+	entry := b.newBlock("entry")
+	b.exit = b.newBlock("exit")
+	b.cfg.Entry = entry
+	b.cfg.Exit = b.exit
+	b.cur = entry
+	b.stmtList(body.List)
+	// Falling off the end of the body reaches the exit.
+	b.edgeTo(b.exit)
+	return b.cfg
+}
+
+func (b *cfgBuilder) newBlock(kind string) *Block {
+	blk := &Block{Index: len(b.cfg.Blocks), Kind: kind}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+// edgeTo adds an unlabeled edge from the current block to dst (no-op when
+// the current point is unreachable).
+func (b *cfgBuilder) edgeTo(dst *Block) {
+	b.edge(Edge{To: dst})
+}
+
+// edgeCond adds a labeled edge: taken when cond == !neg.
+func (b *cfgBuilder) edgeCond(dst *Block, cond ast.Expr, neg bool) {
+	b.edge(Edge{To: dst, Cond: cond, Neg: neg})
+}
+
+func (b *cfgBuilder) edge(e Edge) {
+	if b.cur == nil || e.To == nil {
+		return
+	}
+	for _, s := range b.cur.Succs {
+		if s.To == e.To {
+			return
+		}
+	}
+	b.cur.Succs = append(b.cur.Succs, e)
+}
+
+// add appends a simple node to the current block.
+func (b *cfgBuilder) add(n ast.Node) {
+	if b.cur == nil || n == nil {
+		return
+	}
+	b.cur.Nodes = append(b.cur.Nodes, n)
+}
+
+func (b *cfgBuilder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+// findFrame returns the innermost frame matching label ("" = innermost
+// usable frame; continue skips switch/select frames).
+func (b *cfgBuilder) findFrame(label string, forContinue bool) *loopFrame {
+	for i := len(b.frames) - 1; i >= 0; i-- {
+		f := &b.frames[i]
+		if forContinue && f.continueTo == nil {
+			continue
+		}
+		if label == "" || f.label == label {
+			return f
+		}
+	}
+	return nil
+}
+
+// pendingLabel consumes the pending label for a loop statement.
+func (b *cfgBuilder) pendingLabel() string {
+	l := b.pending
+	b.pending = ""
+	return l
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.add(s.Cond)
+		condBlk := b.cur
+		then := b.newBlock("if.then")
+		after := b.newBlock("if.after")
+		b.edgeCond(then, s.Cond, false)
+		b.cur = then
+		b.stmt(s.Body)
+		b.edgeTo(after)
+		if s.Else != nil {
+			els := b.newBlock("if.else")
+			b.cur = condBlk
+			b.edgeCond(els, s.Cond, true)
+			b.cur = els
+			b.stmt(s.Else)
+			b.edgeTo(after)
+		} else {
+			b.cur = condBlk
+			b.edgeCond(after, s.Cond, true)
+		}
+		b.cur = after
+
+	case *ast.ForStmt:
+		label := b.pendingLabel()
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		head := b.newBlock("for.head")
+		body := b.newBlock("for.body")
+		after := b.newBlock("for.after")
+		post := head
+		if s.Post != nil {
+			post = b.newBlock("for.post")
+		}
+		b.edgeTo(head)
+		b.cur = head
+		if s.Cond != nil {
+			b.add(s.Cond)
+			b.edgeCond(after, s.Cond, true)
+			b.edgeCond(body, s.Cond, false)
+		} else {
+			b.edgeTo(body)
+		}
+		b.cur = body
+		b.frames = append(b.frames, loopFrame{label: label, breakTo: after, continueTo: post})
+		b.stmt(s.Body)
+		b.frames = b.frames[:len(b.frames)-1]
+		b.edgeTo(post)
+		if s.Post != nil {
+			b.cur = post
+			b.stmt(s.Post)
+			b.edgeTo(head) // back edge
+		}
+		b.cur = after
+
+	case *ast.RangeStmt:
+		label := b.pendingLabel()
+		head := b.newBlock("range.head")
+		body := b.newBlock("range.body")
+		after := b.newBlock("range.after")
+		b.edgeTo(head)
+		b.cur = head
+		b.add(s.X)
+		b.edgeTo(body)
+		b.edgeTo(after) // exhausted (or empty) range skips the body
+		b.cur = body
+		b.frames = append(b.frames, loopFrame{label: label, breakTo: after, continueTo: head})
+		b.stmt(s.Body)
+		b.frames = b.frames[:len(b.frames)-1]
+		b.edgeTo(head) // back edge
+		b.cur = after
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		if s.Tag != nil {
+			b.add(s.Tag)
+		}
+		b.buildSwitchBody(s.Body, nil)
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.add(s.Assign)
+		b.buildSwitchBody(s.Body, nil)
+
+	case *ast.SelectStmt:
+		b.buildSwitchBody(s.Body, s)
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.edgeTo(b.exit)
+		b.cur = nil
+
+	case *ast.BranchStmt:
+		label := ""
+		if s.Label != nil {
+			label = s.Label.Name
+		}
+		switch s.Tok {
+		case token.BREAK:
+			if f := b.findFrame(label, false); f != nil {
+				b.edgeTo(f.breakTo)
+			}
+			b.cur = nil
+		case token.CONTINUE:
+			if f := b.findFrame(label, true); f != nil {
+				b.edgeTo(f.continueTo)
+			}
+			b.cur = nil
+		case token.GOTO:
+			if dst, ok := b.labels[label]; ok {
+				b.edgeTo(dst)
+			} else if b.cur != nil {
+				b.gotos[label] = append(b.gotos[label], b.cur)
+			}
+			b.cur = nil
+		case token.FALLTHROUGH:
+			// Recorded as a node; buildSwitchBody wires the edge to the
+			// next clause.
+			b.add(s)
+		}
+
+	case *ast.LabeledStmt:
+		dst := b.newBlock("label." + s.Label.Name)
+		b.labels[s.Label.Name] = dst
+		for _, src := range b.gotos[s.Label.Name] {
+			src.Succs = append(src.Succs, Edge{To: dst})
+		}
+		delete(b.gotos, s.Label.Name)
+		b.edgeTo(dst)
+		b.cur = dst
+		b.pending = s.Label.Name
+		b.stmt(s.Stmt)
+		b.pending = ""
+
+	case *ast.ExprStmt:
+		b.add(s)
+		if call, ok := s.X.(*ast.CallExpr); ok && isTerminatingCall(call) {
+			b.cur = nil
+		}
+
+	case *ast.EmptyStmt:
+		// nothing
+
+	default:
+		// Assign, Decl, Defer, Go, Send, IncDec: simple nodes.
+		b.add(s)
+	}
+}
+
+// buildSwitchBody wires the clause blocks of a switch, type switch, or
+// select. sel is non-nil for selects (clause blocks get SelectCase set).
+func (b *cfgBuilder) buildSwitchBody(body *ast.BlockStmt, sel *ast.SelectStmt) {
+	head := b.cur
+	after := b.newBlock("switch.after")
+	hasDefault := false
+	var clauseBlocks []*Block
+	var clauseBodies [][]ast.Stmt
+
+	for _, raw := range body.List {
+		var comm ast.Node
+		var clauseStmts []ast.Stmt
+		var isDefault bool
+		kind := "case"
+		switch c := raw.(type) {
+		case *ast.CaseClause:
+			clauseStmts = c.Body
+			isDefault = c.List == nil
+			if len(c.List) > 0 {
+				comm = c.List[0]
+			}
+		case *ast.CommClause:
+			clauseStmts = c.Body
+			isDefault = c.Comm == nil
+			comm = c.Comm
+		default:
+			continue
+		}
+		if isDefault {
+			hasDefault = true
+			kind = "default"
+		}
+		blk := b.newBlock("switch." + kind)
+		if sel != nil {
+			blk.SelectCase = sel
+		}
+		if comm != nil {
+			blk.Nodes = append(blk.Nodes, comm)
+		}
+		if head != nil {
+			head.Succs = append(head.Succs, Edge{To: blk})
+		}
+		clauseBlocks = append(clauseBlocks, blk)
+		clauseBodies = append(clauseBodies, clauseStmts)
+	}
+
+	// A switch with no matching case (and no default) falls through to
+	// after. A select with no default blocks: no such edge.
+	if head != nil && sel == nil && !hasDefault {
+		head.Succs = append(head.Succs, Edge{To: after})
+	}
+
+	for i, blk := range clauseBlocks {
+		b.cur = blk
+		b.frames = append(b.frames, loopFrame{breakTo: after})
+		b.stmtList(clauseBodies[i])
+		b.frames = b.frames[:len(b.frames)-1]
+		if fellThrough(clauseBodies[i]) && i+1 < len(clauseBlocks) {
+			b.edgeTo(clauseBlocks[i+1])
+			b.cur = nil
+		}
+		b.edgeTo(after)
+	}
+	b.cur = after
+}
+
+// fellThrough reports whether a clause body ends in a fallthrough.
+func fellThrough(body []ast.Stmt) bool {
+	if len(body) == 0 {
+		return false
+	}
+	br, ok := body[len(body)-1].(*ast.BranchStmt)
+	return ok && br.Tok == token.FALLTHROUGH
+}
+
+// isTerminatingCall reports whether a call never returns (panic, os.Exit,
+// log.Fatal*, runtime.Goexit): the path ends rather than reaching exit.
+func isTerminatingCall(call *ast.CallExpr) bool {
+	switch fn := call.Fun.(type) {
+	case *ast.Ident:
+		return fn.Name == "panic"
+	case *ast.SelectorExpr:
+		if x, ok := fn.X.(*ast.Ident); ok {
+			if x.Name == "os" && fn.Sel.Name == "Exit" {
+				return true
+			}
+			if x.Name == "log" && strings.HasPrefix(fn.Sel.Name, "Fatal") {
+				return true
+			}
+			if x.Name == "runtime" && fn.Sel.Name == "Goexit" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// ---------------------------------------------------------------------------
+// Worklist dataflow driver
+
+// Dataflow runs a forward may-analysis to fixpoint. Facts are sets encoded
+// as map[K]bool; join is union. transfer consumes the block's in-set and
+// returns its out-set (it must not mutate in). The returned map holds each
+// block's in-set at fixpoint.
+func Dataflow[K comparable](c *CFG, transfer func(b *Block, in map[K]bool) map[K]bool) map[*Block]map[K]bool {
+	in := map[*Block]map[K]bool{}
+	for _, b := range c.Blocks {
+		in[b] = map[K]bool{}
+	}
+	work := []*Block{c.Entry}
+	queued := map[*Block]bool{c.Entry: true}
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		queued[b] = false
+		out := transfer(b, in[b])
+		for _, e := range b.Succs {
+			s := e.To
+			changed := false
+			for k := range out {
+				if !in[s][k] {
+					in[s][k] = true
+					changed = true
+				}
+			}
+			if changed && !queued[s] {
+				queued[s] = true
+				work = append(work, s)
+			}
+		}
+	}
+	return in
+}
+
+// ---------------------------------------------------------------------------
+// Leak-path search
+
+// PathStep is one node on a concrete CFG path, used to render leak reports.
+type PathStep struct {
+	Node  ast.Node
+	Block *Block
+}
+
+// nodeClass is LeakSearch's classification of one block node.
+type nodeClass int
+
+const (
+	classNone     nodeClass = iota
+	classSatisfy            // releases the resource or lets it escape
+	classDefer              // a defer that will satisfy every later exit
+	classExitLeak           // a return that does not satisfy: leak if reached unarmed
+	classStop               // stop searching through this node (e.g. re-acquire)
+)
+
+// LeakSearch configures FindLeakPath for one acquire site.
+type LeakSearch struct {
+	// Classify maps a block node to its role for this resource.
+	Classify func(n ast.Node) nodeClass
+	// ErrPrune reports whether taking e implies the acquire's error result
+	// was non-nil (no resource exists on that path). Optional.
+	ErrPrune func(e Edge) bool
+	// KillsErr reports whether the node reassigns the acquire's error
+	// variable, after which ErrPrune no longer applies. Optional.
+	KillsErr func(n ast.Node) bool
+}
+
+// pathState is the DFS key: position, whether a satisfying defer has been
+// armed, and whether the acquire's error variable is still live.
+type pathState struct {
+	block   *Block
+	idx     int
+	armed   bool
+	errLive bool
+}
+
+// FindLeakPath searches for a path from just after the node at (start,
+// startIdx) to function exit on which no satisfying node is passed. It
+// returns the path (ending at the offending return, or empty for a
+// fall-off-the-end leak) and whether a leak path was found.
+func FindLeakPath(c *CFG, start *Block, startIdx int, ls LeakSearch) ([]PathStep, bool) {
+	visited := map[pathState]bool{}
+	var dfs func(st pathState, path []PathStep) ([]PathStep, bool)
+	dfs = func(st pathState, path []PathStep) ([]PathStep, bool) {
+		if visited[st] {
+			return nil, false
+		}
+		visited[st] = true
+		for i := st.idx; i < len(st.block.Nodes); i++ {
+			n := st.block.Nodes[i]
+			switch ls.Classify(n) {
+			case classSatisfy:
+				return nil, false // this path is balanced
+			case classDefer:
+				st.armed = true
+			case classStop:
+				return nil, false
+			case classExitLeak:
+				if st.armed {
+					return nil, false
+				}
+				return append(path, PathStep{Node: n, Block: st.block}), true
+			}
+			if st.errLive && ls.KillsErr != nil && ls.KillsErr(n) {
+				st.errLive = false
+			}
+		}
+		if st.block == c.Exit {
+			if st.armed {
+				return nil, false
+			}
+			return path, true
+		}
+		for _, e := range st.block.Succs {
+			if st.errLive && ls.ErrPrune != nil && ls.ErrPrune(e) {
+				continue // the acquire failed on this path; nothing to leak
+			}
+			next := pathState{block: e.To, idx: 0, armed: st.armed, errLive: st.errLive}
+			step := path
+			if len(e.To.Nodes) > 0 {
+				step = append(path, PathStep{Node: e.To.Nodes[0], Block: e.To})
+			}
+			if leak, found := dfs(next, step); found {
+				return leak, true
+			}
+		}
+		return nil, false
+	}
+	return dfs(pathState{block: start, idx: startIdx, errLive: true}, nil)
+}
+
+// Reachable returns the set of blocks reachable from `from`.
+func (c *CFG) Reachable(from *Block) map[*Block]bool {
+	seen := map[*Block]bool{}
+	var walk func(b *Block)
+	walk = func(b *Block) {
+		if seen[b] {
+			return
+		}
+		seen[b] = true
+		for _, e := range b.Succs {
+			walk(e.To)
+		}
+	}
+	walk(from)
+	return seen
+}
+
+// RenderPath formats a leak path as a compact chain of source lines,
+// deduplicating consecutive identical lines.
+func RenderPath(fset *token.FileSet, path []PathStep) string {
+	var parts []string
+	last := -1
+	for _, st := range path {
+		line := fset.Position(st.Node.Pos()).Line
+		if line == last {
+			continue
+		}
+		last = line
+		parts = append(parts, fmt.Sprintf("line %d", line))
+	}
+	if len(parts) == 0 {
+		return "the path falling off the end of the function"
+	}
+	return "the path " + strings.Join(parts, " -> ")
+}

@@ -1,0 +1,272 @@
+package main
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// parseBody parses a file containing one function and returns its body and
+// fileset.
+func parseBody(t *testing.T, src string) (*token.FileSet, *ast.BlockStmt) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "cfg_test_src.go", "package p\n"+src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+			return fset, fd.Body
+		}
+	}
+	t.Fatal("no function in source")
+	return nil, nil
+}
+
+// blocksByKind indexes a CFG's blocks by kind.
+func blocksByKind(c *CFG) map[string][]*Block {
+	m := map[string][]*Block{}
+	for _, b := range c.Blocks {
+		m[b.Kind] = append(m[b.Kind], b)
+	}
+	return m
+}
+
+// hasEdge reports whether from has an edge to to.
+func hasEdge(from, to *Block) bool {
+	for _, e := range from.Succs {
+		if e.To == to {
+			return true
+		}
+	}
+	return false
+}
+
+// classifyByText builds a Classify func from source-text markers: nodes
+// whose rendered source line contains the given substrings map to the
+// class. Good enough for structural tests that have no type info.
+func classifyContains(fset *token.FileSet, src string, satisfy, deferSat, exitLeak string) func(ast.Node) nodeClass {
+	lines := strings.Split(src, "\n")
+	lineOf := func(n ast.Node) string {
+		l := fset.Position(n.Pos()).Line - 2 // minus the injected "package p" line, 1-indexed
+		if l < 0 || l >= len(lines) {
+			return ""
+		}
+		return lines[l]
+	}
+	return func(n ast.Node) nodeClass {
+		text := lineOf(n)
+		switch n.(type) {
+		case *ast.ReturnStmt:
+			if satisfy != "" && strings.Contains(text, satisfy) {
+				return classSatisfy
+			}
+			return classExitLeak
+		case *ast.DeferStmt:
+			if deferSat != "" && strings.Contains(text, deferSat) {
+				return classDefer
+			}
+			return classNone
+		}
+		if satisfy != "" && strings.Contains(text, satisfy) {
+			return classSatisfy
+		}
+		return classNone
+	}
+}
+
+// TestCFGDeferReturn: a defer that satisfies the protocol arms every later
+// exit, so an early return between acquire and release is not a leak; the
+// same function without the defer leaks through the early return.
+func TestCFGDeferReturn(t *testing.T) {
+	src := `func f(err error) {
+	acquire()
+	defer release()
+	if err != nil {
+		return
+	}
+	use()
+}`
+	fset, body := parseBody(t, src)
+	c := BuildCFG(body)
+	if _, found := FindLeakPath(c, c.Entry, 1, LeakSearch{
+		Classify: classifyContains(fset, src, "release", "release", ""),
+	}); found {
+		t.Fatalf("defer release() should satisfy the early return")
+	}
+
+	srcLeak := `func f(err error) {
+	acquire()
+	if err != nil {
+		return
+	}
+	release()
+}`
+	fset, body = parseBody(t, srcLeak)
+	c = BuildCFG(body)
+	path, found := FindLeakPath(c, c.Entry, 1, LeakSearch{
+		Classify: classifyContains(fset, srcLeak, "release", "", ""),
+	})
+	if !found {
+		t.Fatalf("early return before release() must leak")
+	}
+	if got := RenderPath(fset, path); !strings.Contains(got, "line") {
+		t.Fatalf("leak path should name source lines, got %q", got)
+	}
+}
+
+// TestCFGSelectDefault: a select with a default never blocks — the default
+// clause is an ordinary successor of the select head — while a select
+// without one has edges only to its comm clauses. Clause blocks carry
+// their select for the sendstop rule.
+func TestCFGSelectDefault(t *testing.T) {
+	src := `func f(ch chan int) {
+	select {
+	case v := <-ch:
+		use(v)
+	default:
+		idle()
+	}
+	done()
+}`
+	_, body := parseBody(t, src)
+	c := BuildCFG(body)
+	kinds := blocksByKind(c)
+	if len(kinds["switch.case"]) != 1 || len(kinds["switch.default"]) != 1 {
+		t.Fatalf("want 1 case + 1 default clause, got %v", kinds)
+	}
+	for _, blk := range append(kinds["switch.case"], kinds["switch.default"]...) {
+		if blk.SelectCase == nil {
+			t.Errorf("clause block %d lost its SelectCase backlink", blk.Index)
+		}
+	}
+	// Entry reaches both clauses and the join continues to done()/exit.
+	reach := c.Reachable(c.Entry)
+	if !reach[c.Exit] {
+		t.Fatalf("exit unreachable through select")
+	}
+
+	srcNoDefault := `func f(ch chan int, stop chan struct{}) {
+	select {
+	case v := <-ch:
+		use(v)
+	case <-stop:
+		return
+	}
+}`
+	_, body = parseBody(t, srcNoDefault)
+	c = BuildCFG(body)
+	kinds = blocksByKind(c)
+	if len(kinds["switch.case"]) != 2 {
+		t.Fatalf("want 2 comm clauses, got %d", len(kinds["switch.case"]))
+	}
+	// The select head (entry here) must not skip past the clauses: every
+	// successor of the head is a clause.
+	for _, e := range c.Entry.Succs {
+		if e.To.SelectCase == nil {
+			t.Errorf("blocking select has a non-clause successor %q", e.To.Kind)
+		}
+	}
+}
+
+// TestCFGGoto: forward and backward gotos produce the declared edges,
+// including the loop a backward goto forms.
+func TestCFGGoto(t *testing.T) {
+	src := `func f(n int) {
+retry:
+	n--
+	if n > 0 {
+		goto retry
+	}
+	if n < -10 {
+		goto out
+	}
+	use(n)
+out:
+	done()
+}`
+	_, body := parseBody(t, src)
+	c := BuildCFG(body)
+	kinds := blocksByKind(c)
+	retry := kinds["label.retry"][0]
+	out := kinds["label.out"][0]
+	foundBack, foundFwd := false, false
+	// The gotos live in the if.then blocks after the label.
+	for _, b := range kinds["if.then"] {
+		if hasEdge(b, retry) {
+			foundBack = true
+		}
+		if hasEdge(b, out) {
+			foundFwd = true
+		}
+	}
+	if !foundBack {
+		t.Errorf("backward goto edge to label.retry missing")
+	}
+	if !foundFwd {
+		t.Errorf("forward goto edge to label.out missing")
+	}
+	if !c.Reachable(c.Entry)[c.Exit] {
+		t.Errorf("exit unreachable")
+	}
+}
+
+// TestCFGLoopBackEdges: for and range loops close back edges, and a leak
+// search does not diverge on them; a resource acquired each iteration and
+// released only on break leaks through the loop exit.
+func TestCFGLoopBackEdges(t *testing.T) {
+	src := `func f(n int) {
+	for i := 0; i < n; i++ {
+		work(i)
+	}
+	for _, v := range list {
+		work(v)
+	}
+}`
+	_, body := parseBody(t, src)
+	c := BuildCFG(body)
+	kinds := blocksByKind(c)
+	forHead, forPost := kinds["for.head"][0], kinds["for.post"][0]
+	if !hasEdge(forPost, forHead) {
+		t.Errorf("for loop missing post->head back edge")
+	}
+	rangeHead, rangeBody := kinds["range.head"][0], kinds["range.body"][0]
+	if !hasEdge(rangeBody, rangeHead) {
+		t.Errorf("range loop missing body->head back edge")
+	}
+
+	// Leak search across a back edge terminates and finds the loop-exit
+	// leak: acquire in the body, release only under the conditional break.
+	srcLeak := `func f(items []int) {
+	for _, v := range items {
+		acquire(v)
+		if v > 10 {
+			release(v)
+			break
+		}
+	}
+	done()
+}`
+	fset, body := parseBody(t, srcLeak)
+	c = BuildCFG(body)
+	var acq *Block
+	acqIdx := -1
+	for _, b := range c.Blocks {
+		for i, n := range b.Nodes {
+			if fset.Position(n.Pos()).Line == 3 { // acquire(v)
+				acq, acqIdx = b, i
+			}
+		}
+	}
+	if acq == nil {
+		t.Fatal("acquire statement not located")
+	}
+	if _, found := FindLeakPath(c, acq, acqIdx+1, LeakSearch{
+		Classify: classifyContains(fset, srcLeak, "release", "", ""),
+	}); !found {
+		t.Errorf("loop-iteration leak (no release on back edge) not found")
+	}
+}

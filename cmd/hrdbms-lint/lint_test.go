@@ -1,7 +1,6 @@
 package main
 
 import (
-	"fmt"
 	"go/parser"
 	"go/token"
 	"os"
@@ -80,14 +79,17 @@ func TestAnalyzersOnFixtures(t *testing.T) {
 	exports := exportMap(t)
 	cases := []struct {
 		dir     string
-		pkgPath string // goleak fixtures masquerade as internal/cluster
+		pkgPath string // package-gated rules load under the gated path
 		rule    string
 	}{
 		{"pinpair", "fixtures/pinpair", "pinpair"},
 		{"txnpair", "fixtures/txnpair", "txnpair"},
 		{"workerpair", "repro/internal/cluster", "workerpair"},
+		{"spanpair", "fixtures/spanpair", "spanpair"},
+		{"slabown", "fixtures/slabown", "slabown"},
+		{"lockorder", "fixtures/lockorder", "lockorder"},
 		{"walerr", "fixtures/walerr", "walerr"},
-		{"goleak", "repro/internal/cluster", "goleak-hint"},
+		{"sendstop", "repro/internal/cluster", "sendstop"},
 		{"rowchan", "repro/internal/exec", "rowchan"},
 	}
 	for _, tc := range cases {
@@ -123,24 +125,88 @@ func TestAnalyzersOnFixtures(t *testing.T) {
 	}
 }
 
+// TestLeakPathReported pins the path-sensitive half of the pairing rules:
+// a branch leak's diagnostic names the concrete line sequence it was
+// proven on.
+func TestLeakPathReported(t *testing.T) {
+	exports := exportMap(t)
+	pkg, _ := loadFixture(t, exports, filepath.Join("testdata", "pinpair"), "fixtures/pinpair")
+	found := false
+	for _, d := range RunAnalyzers(pkg) {
+		if d.Rule != "pinpair" || !strings.Contains(d.Msg, "reported path") {
+			continue
+		}
+		found = true
+		if !strings.Contains(d.Path, "line ") {
+			t.Errorf("leak diagnostic %s carries no concrete path (Path=%q)", d, d.Path)
+		}
+		if !strings.Contains(d.String(), "["+d.Path+"]") {
+			t.Errorf("String() does not render the path: %s", d)
+		}
+	}
+	if !found {
+		t.Fatal("no path-sensitive pinpair leak found in the fixture")
+	}
+}
+
 // TestSuppressionRequiresRuleMatch: a lint:ignore for one rule must not
-// silence another rule on the same line.
+// silence another rule on the same line, and exercised suppressions are
+// reported back for staleness accounting.
 func TestSuppressionRequiresRuleMatch(t *testing.T) {
 	diags := []Diagnostic{
 		{Pos: token.Position{Filename: "x.go", Line: 10}, Rule: "pinpair", Msg: "m"},
 		{Pos: token.Position{Filename: "x.go", Line: 20}, Rule: "walerr", Msg: "m"},
 	}
-	sup := map[string]map[int]map[string]bool{
+	sup := &suppressionSet{byLine: map[string]map[int]map[string]bool{
 		"x.go": {10: {"walerr": true}, 20: {"walerr": true}},
-	}
-	out := filterSuppressed(diags, sup)
+	}}
+	out, used := filterSuppressed(diags, sup)
 	if len(out) != 1 || out[0].Rule != "pinpair" {
 		t.Fatalf("filterSuppressed = %v, want only the pinpair finding", out)
 	}
+	if !used["x.go:20:walerr"] {
+		t.Fatalf("used = %v, want the exercised walerr suppression recorded", used)
+	}
+	if used["x.go:10:walerr"] {
+		t.Fatalf("used = %v, the rule-mismatched directive must not count as exercised", used)
+	}
 }
 
-// TestLintCleanOnRepo runs the full linter over the repository, pinning the
-// invariant that production code stays lint-clean (CI gate parity).
+// TestStaleSuppressionReported: a //lint:ignore that silences nothing is
+// itself a finding.
+func TestStaleSuppressionReported(t *testing.T) {
+	fset := token.NewFileSet()
+	src := `package p
+
+func f() {
+	//lint:ignore pinpair this excuses nothing
+	_ = 1
+}
+`
+	f, err := parser.ParseFile(fset, "stale.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sup := suppressions(fset, []*ast.File{f})
+	if len(sup.directives) != 1 {
+		t.Fatalf("parsed %d directives, want 1", len(sup.directives))
+	}
+	out, used := filterSuppressed(nil, sup)
+	if len(out) != 0 {
+		t.Fatalf("no diagnostics in, got %v out", out)
+	}
+	stale := staleSuppressions(&Package{Fset: fset}, sup, used)
+	if len(stale) != 1 || stale[0].Rule != "staleignore" {
+		t.Fatalf("staleSuppressions = %v, want one staleignore finding", stale)
+	}
+	if !strings.Contains(stale[0].Msg, "pinpair") {
+		t.Fatalf("stale finding does not name the dead rule: %s", stale[0].Msg)
+	}
+}
+
+// TestLintCleanOnRepo runs the full linter over the repository — with the
+// module-level lock index, exactly as main does — pinning the invariant
+// that production code stays lint-clean (CI gate parity).
 func TestLintCleanOnRepo(t *testing.T) {
 	if testing.Short() {
 		t.Skip("spawns go list over the whole module")
@@ -149,9 +215,10 @@ func TestLintCleanOnRepo(t *testing.T) {
 	if err != nil {
 		t.Fatalf("load: %v", err)
 	}
+	locks := BuildLockIndex(pkgs)
 	var all []string
 	for _, pkg := range pkgs {
-		for _, d := range RunAnalyzers(pkg) {
+		for _, d := range RunAnalyzersWithIndex(pkg, locks) {
 			all = append(all, d.String())
 		}
 	}
@@ -161,5 +228,4 @@ func TestLintCleanOnRepo(t *testing.T) {
 	if len(pkgs) < 20 {
 		t.Errorf("loaded only %d packages; loader lost coverage", len(pkgs))
 	}
-	_ = fmt.Sprintf // keep fmt referenced if assertions change
 }

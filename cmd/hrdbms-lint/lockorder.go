@@ -1,0 +1,429 @@
+package main
+
+// lockorder builds a partial order over the repo's annotated mutexes and
+// flags nested acquisitions the order does not permit.
+//
+// Annotation syntax (docs/STATIC_ANALYSIS.md):
+//
+//	type Log struct {
+//		mu sync.Mutex //lint:lockorder wal.log
+//	}
+//
+// names the lock class of a mutex field. Appending `leaf` declares a
+// leaf-only class: no other annotated mutex may be acquired while it is
+// held. File-level directives declare the permitted nestings:
+//
+//	//lint:lockorder-before txn.lockmgr wal.log
+//
+// means "txn.lockmgr may be held while acquiring wal.log". The relation is
+// transitive; any nested acquisition of two annotated classes NOT covered
+// by the (closed) relation is reported — the partial order is an explicit
+// allowlist, so new nestings must be declared where they are introduced.
+//
+// The analysis is module-aware: BuildLockIndex computes, for every
+// function in the analyzed package set, the set of classes it may acquire
+// (a fixpoint over the static call graph; function literals are excluded
+// from summaries because they run at an unknown time). The per-function
+// check then runs a held-set dataflow over the CFG: direct Lock/RLock
+// calls add a class, Unlock/RUnlock remove it, and every call site is
+// checked against its callee's may-acquire summary — so holding tx.mu
+// across a call chain that eventually locks the WAL is caught without
+// whole-program path explosion. Self-nesting (one class while holding the
+// same class) is permitted: distinct instances of a class are ordered by
+// the code, not by this rule.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+var lockorderAnalyzer = &Analyzer{
+	Name: "lockorder",
+	Doc:  "flags nested mutex acquisitions that violate the annotated lock order",
+	Run:  runLockorder,
+}
+
+var (
+	lockClassRe  = regexp.MustCompile(`//\s*lint:lockorder\s+([\w.-]+)(\s+leaf)?\s*$`)
+	lockBeforeRe = regexp.MustCompile(`//\s*lint:lockorder-before\s+([\w.-]+)\s+([\w.-]+)`)
+)
+
+// LockIndex is the module-level lock model shared by every package's
+// lockorder pass.
+type LockIndex struct {
+	classes map[string]string          // "pkg.Type.field" -> class name
+	leaf    map[string]bool            // class -> leaf-only
+	before  map[string]map[string]bool // transitive closure: outer -> inner allowed
+	may     map[string]map[string]bool // funcKey -> classes the function may acquire
+}
+
+// BuildLockIndex scans every package for lock annotations and computes
+// each function's may-acquire summary to fixpoint over the static call
+// graph.
+func BuildLockIndex(pkgs []*Package) *LockIndex {
+	idx := &LockIndex{
+		classes: map[string]string{},
+		leaf:    map[string]bool{},
+		before:  map[string]map[string]bool{},
+		may:     map[string]map[string]bool{},
+	}
+	for _, pkg := range pkgs {
+		idx.collectAnnotations(pkg)
+	}
+	idx.closeBefore()
+
+	// Direct acquisitions and call edges per function.
+	direct := map[string]map[string]bool{}
+	calls := map[string]map[string]bool{}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+				key := funcKey(fn)
+				if key == "" {
+					continue
+				}
+				d, c := map[string]bool{}, map[string]bool{}
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					if _, ok := n.(*ast.FuncLit); ok {
+						return false // runs at an unknown time; not part of this summary
+					}
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					if class, op := idx.lockOp(pkg.Info, call); class != "" {
+						if op == "lock" {
+							d[class] = true
+						}
+						return true
+					}
+					if ck := funcKey(calleeFunc(pkg.Info, call)); ck != "" {
+						c[ck] = true
+					}
+					return true
+				})
+				direct[key] = d
+				calls[key] = c
+			}
+		}
+	}
+
+	// Fixpoint: may[f] = direct[f] ∪ may[callees(f)].
+	for k, d := range direct {
+		m := map[string]bool{}
+		for c := range d {
+			m[c] = true
+		}
+		idx.may[k] = m
+	}
+	for changed := true; changed; {
+		changed = false
+		for k, cs := range calls {
+			for c := range cs {
+				for class := range idx.may[c] {
+					if !idx.may[k][class] {
+						idx.may[k][class] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	return idx
+}
+
+// collectAnnotations reads the class and before directives of one package.
+func (idx *LockIndex) collectAnnotations(pkg *Package) {
+	pkgPath := pkg.Path
+	for _, f := range pkg.Files {
+		// Before-edges can appear in any comment group.
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if m := lockBeforeRe.FindStringSubmatch(c.Text); m != nil {
+					if idx.before[m[1]] == nil {
+						idx.before[m[1]] = map[string]bool{}
+					}
+					idx.before[m[1]][m[2]] = true
+				}
+			}
+		}
+		// Class annotations live on struct fields.
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				m := fieldLockAnnotation(field)
+				if m == nil {
+					continue
+				}
+				class, isLeaf := m[1], strings.TrimSpace(m[2]) == "leaf"
+				for _, name := range field.Names {
+					key := pkgPath + "." + ts.Name.Name + "." + name.Name
+					idx.classes[key] = class
+					if isLeaf {
+						idx.leaf[class] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// fieldLockAnnotation extracts a lockorder class directive from a struct
+// field's doc or trailing comment.
+func fieldLockAnnotation(field *ast.Field) []string {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			if m := lockClassRe.FindStringSubmatch(c.Text); m != nil {
+				return m
+			}
+		}
+	}
+	return nil
+}
+
+// closeBefore takes the transitive closure of the before relation.
+func (idx *LockIndex) closeBefore() {
+	for changed := true; changed; {
+		changed = false
+		for a, bs := range idx.before {
+			for b := range bs {
+				for c := range idx.before[b] {
+					if !idx.before[a][c] {
+						idx.before[a][c] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+}
+
+// allows reports whether acquiring inner while holding outer is permitted.
+func (idx *LockIndex) allows(outer, inner string) bool {
+	if outer == inner {
+		return true
+	}
+	if idx.leaf[outer] {
+		return false
+	}
+	return idx.before[outer][inner]
+}
+
+// lockOp classifies a call as an acquisition ("lock") or release
+// ("unlock") of an annotated mutex class, or ("", "") otherwise.
+func (idx *LockIndex) lockOp(info *types.Info, call *ast.CallExpr) (string, string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	var op string
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		op = "lock"
+	case "Unlock", "RUnlock":
+		op = "unlock"
+	default:
+		return "", ""
+	}
+	field, ok := sel.X.(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	key := lockFieldKey(info, field)
+	if key == "" {
+		return "", ""
+	}
+	class, ok := idx.classes[key]
+	if !ok {
+		return "", ""
+	}
+	return class, op
+}
+
+// lockFieldKey renders <owner>.<field> as "pkgpath.Type.field" from the
+// selector's type information.
+func lockFieldKey(info *types.Info, sel *ast.SelectorExpr) string {
+	tv, ok := info.Types[sel.X]
+	if !ok {
+		return ""
+	}
+	t := tv.Type
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return ""
+	}
+	return obj.Pkg().Path() + "." + obj.Name() + "." + sel.Sel.Name
+}
+
+// funcKey is the module-stable identity of a function: "pkgpath.Name" or
+// "pkgpath.Recv.Name" for methods. "" for nil or non-module functions.
+func funcKey(fn *types.Func) string {
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	recv := ""
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			recv = named.Obj().Name() + "."
+		}
+	}
+	return fn.Pkg().Path() + "." + recv + fn.Name()
+}
+
+func runLockorder(p *Pass) {
+	idx := p.Locks
+	if idx == nil || len(idx.classes) == 0 {
+		return
+	}
+	for _, f := range p.Pkg.Files {
+		funcBodies(f, func(name string, body *ast.BlockStmt) {
+			checkLockBody(p, idx, body)
+			for _, lit := range nestedFuncLits(body) {
+				checkLockLits(p, idx, lit.Body)
+			}
+		})
+	}
+}
+
+func checkLockLits(p *Pass, idx *LockIndex, body *ast.BlockStmt) {
+	checkLockBody(p, idx, body)
+	for _, lit := range nestedFuncLits(body) {
+		checkLockLits(p, idx, lit.Body)
+	}
+}
+
+// checkLockBody runs the held-set dataflow over one function body and
+// reports order violations at acquisition sites and call sites.
+func checkLockBody(p *Pass, idx *LockIndex, body *ast.BlockStmt) {
+	// Violations require this function to hold something: a direct Lock.
+	anyLock := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if anyLock {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if class, op := idx.lockOp(p.Pkg.Info, call); class != "" && op == "lock" {
+				anyLock = true
+			}
+		}
+		return true
+	})
+	if !anyLock {
+		return
+	}
+
+	cfg := BuildCFG(body)
+	transfer := func(b *Block, in map[string]bool) map[string]bool {
+		held := map[string]bool{}
+		for k := range in {
+			held[k] = true
+		}
+		for _, n := range b.Nodes {
+			applyLockNode(p, idx, n, held, false)
+		}
+		return held
+	}
+	fixpoint := Dataflow(cfg, transfer)
+	for _, b := range cfg.Blocks {
+		held := map[string]bool{}
+		for k := range fixpoint[b] {
+			held[k] = true
+		}
+		for _, n := range b.Nodes {
+			applyLockNode(p, idx, n, held, true)
+		}
+	}
+}
+
+// applyLockNode updates the held set across one block node, reporting
+// violations when report is set. Defer bodies are skipped (a deferred
+// Unlock releases at exit, so the lock is treated as held for the rest of
+// the function — the conservative direction). Function literals are
+// skipped (analyzed as their own functions).
+func applyLockNode(p *Pass, idx *LockIndex, node ast.Node, held map[string]bool, report bool) {
+	if _, ok := node.(*ast.DeferStmt); ok {
+		return
+	}
+	ast.Inspect(node, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if class, op := idx.lockOp(p.Pkg.Info, call); class != "" {
+			switch op {
+			case "lock":
+				if report {
+					for h := range held {
+						if !idx.allows(h, class) {
+							p.Report("lockorder", call.Pos(), lockViolationMsg(idx, h, class, ""))
+						}
+					}
+				}
+				held[class] = true
+			case "unlock":
+				delete(held, class)
+			}
+			return true
+		}
+		if !report || len(held) == 0 {
+			return true
+		}
+		ck := funcKey(calleeFunc(p.Pkg.Info, call))
+		for class := range idx.may[ck] {
+			for h := range held {
+				if !idx.allows(h, class) {
+					p.Report("lockorder", call.Pos(), lockViolationMsg(idx, h, class, calleeName(call)))
+				}
+			}
+		}
+		return true
+	})
+}
+
+func lockViolationMsg(idx *LockIndex, outer, inner, via string) string {
+	how := fmt.Sprintf("acquiring %s", inner)
+	if via != "" {
+		how = fmt.Sprintf("calling %s (which may acquire %s)", via, inner)
+	}
+	if idx.leaf[outer] {
+		return fmt.Sprintf("%s while holding leaf-only %s: leaf mutexes must not nest over anything", how, outer)
+	}
+	return fmt.Sprintf("%s while holding %s is not covered by the declared lock order; declare `//lint:lockorder-before %s %s` where this nesting is introduced, or restructure",
+		how, outer, outer, inner)
+}

@@ -1,27 +1,71 @@
 // Command hrdbms-lint is HRDBMS's repo-specific static analyzer. It encodes
-// the correctness conventions the compiler cannot see:
+// the correctness conventions the compiler cannot see, proving the
+// path-sensitive ones on a per-function control-flow graph:
 //
 //	pinpair     every buffer.Fetch/NewPage pin must reach an Unpin
 //	txnpair     every txn.Begin must reach Commit/Rollback (SS2PL release)
 //	workerpair  every exec.Ctx.AcquireWorkers grant must reach ReleaseWorkers
+//	spanpair    every obs.QueryTrace.StartSpan must reach Finish on all paths
+//	slabown     NextBatch slabs must not be stored beyond the batch lifetime
+//	lockorder   nested mutex acquisitions must respect the declared partial order
 //	walerr      errors on WAL/storage write paths must not be discarded
-//	goleak-hint exec/cluster goroutines need a cancellation/completion signal
+//	sendstop    exec/cluster goroutine sends need a proven non-blocking exit
 //	rowchan     no per-row channels (chan types.Row) on execution hot paths
+//	staleignore a //lint:ignore that suppresses nothing is itself a finding
 //
 // Findings are suppressed with `//lint:ignore <rule> <reason>` on the same
 // or preceding line. Exit status is 1 when any finding survives.
 //
-// Usage: go run ./cmd/hrdbms-lint [-tests] [packages ...]   (default ./...)
+// With -json, each finding is printed as one JSON object per line with
+// file/line/col/rule/message/path fields. When GITHUB_ACTIONS=1, findings
+// are additionally emitted as ::error workflow annotations.
+//
+// Usage: go run ./cmd/hrdbms-lint [-tests] [-json] [packages ...]   (default ./...)
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 )
 
+// jsonDiagnostic is the -json wire format, one object per line.
+type jsonDiagnostic struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Rule    string `json:"rule"`
+	Message string `json:"message"`
+	Path    string `json:"path,omitempty"`
+}
+
+func emit(d Diagnostic, asJSON bool, ghActions bool) {
+	if asJSON {
+		b, err := json.Marshal(jsonDiagnostic{
+			File: d.Pos.Filename, Line: d.Pos.Line, Col: d.Pos.Column,
+			Rule: d.Rule, Message: d.Msg, Path: d.Path,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hrdbms-lint:", err)
+			os.Exit(2)
+		}
+		fmt.Println(string(b))
+	} else {
+		fmt.Println(d)
+	}
+	if ghActions {
+		msg := d.Rule + ": " + d.Msg
+		if d.Path != "" {
+			msg += " [" + d.Path + "]"
+		}
+		fmt.Printf("::error file=%s,line=%d,col=%d::%s\n", d.Pos.Filename, d.Pos.Line, d.Pos.Column, msg)
+	}
+}
+
 func main() {
 	tests := flag.Bool("tests", false, "also analyze in-package _test.go files")
+	asJSON := flag.Bool("json", false, "emit findings as JSON, one object per line")
 	flag.Parse()
 	patterns := flag.Args()
 	if len(patterns) == 0 {
@@ -32,10 +76,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, "hrdbms-lint:", err)
 		os.Exit(2)
 	}
+	ghActions := os.Getenv("GITHUB_ACTIONS") == "1" || os.Getenv("GITHUB_ACTIONS") == "true"
+	locks := BuildLockIndex(pkgs)
 	bad := false
 	for _, pkg := range pkgs {
-		for _, d := range RunAnalyzers(pkg) {
-			fmt.Println(d)
+		for _, d := range RunAnalyzersWithIndex(pkg, locks) {
+			emit(d, *asJSON, ghActions)
 			bad = true
 		}
 	}

@@ -7,10 +7,17 @@ import (
 )
 
 // pairingRule describes an acquire/release discipline: calls to a method in
-// acquireNames producing a resource of resultType must be balanced by
-// passing the resource to a call named in releaseNames (or letting it
-// escape: returned, stored, or handed to another function, in which case
-// the receiver owns the release).
+// acquireNames producing a resource of resultType must reach a release (a
+// call named in releaseNames taking the resource as argument or receiver)
+// on every control-flow path, or the resource must escape (returned,
+// stored, or handed to another function, in which case the receiver owns
+// the release).
+//
+// The check is path-sensitive: each acquire site's CFG is searched for a
+// concrete path from the acquire to function exit that passes no release
+// or escape, and the diagnostic prints that path. Paths on which the
+// acquire's own error result was non-nil are pruned — `return err` right
+// after a failed Fetch is not a leak.
 type pairingRule struct {
 	rule         string
 	acquireNames map[string]bool
@@ -18,7 +25,7 @@ type pairingRule struct {
 	resultPkg    string // package path suffix of the resource's named type
 	resultName   string
 	what         string // human name of the resource, e.g. "pinned frame"
-	mustRelease  string // human name of the release, e.g. "Unpin"
+	mustRelease  string // human name of the release, e.g. "Unpinned"
 	skipPkg      string // the package implementing the resource is exempt
 	// isAcquireFn overrides the default result-type test for rules whose
 	// resource is not a named pointer (a worker grant is a plain int, so the
@@ -26,15 +33,25 @@ type pairingRule struct {
 	isAcquireFn func(p *Pass, call *ast.CallExpr) bool
 }
 
-// run applies the rule to every function in the package.
+// run applies the rule to every function (and function literal) in the
+// package.
 func (r *pairingRule) run(p *Pass) {
 	if r.skipPkg != "" && p.Pkg.Path == r.skipPkg {
 		return
 	}
 	for _, f := range p.Pkg.Files {
 		funcBodies(f, func(name string, body *ast.BlockStmt) {
-			r.checkBody(p, body)
+			r.checkFunc(p, body)
 		})
+	}
+}
+
+// checkFunc analyzes one function body, then each nested function literal
+// as its own function (a literal's body is a separate CFG).
+func (r *pairingRule) checkFunc(p *Pass, body *ast.BlockStmt) {
+	r.checkBody(p, body)
+	for _, lit := range nestedFuncLits(body) {
+		r.checkFunc(p, lit.Body)
 	}
 }
 
@@ -53,62 +70,147 @@ func (r *pairingRule) isAcquire(p *Pass, call *ast.CallExpr) bool {
 	return isNamedPtr(results[0], r.resultPkg, r.resultName)
 }
 
-// checkBody finds acquire sites in one function body and verifies each is
-// balanced within that body.
-func (r *pairingRule) checkBody(p *Pass, body *ast.BlockStmt) {
-	parents := parentMap(body)
-	ast.Inspect(body, func(n ast.Node) bool {
-		call, ok := n.(*ast.CallExpr)
-		if !ok || !r.isAcquire(p, call) {
-			return true
+// acquireIn finds an acquire call in the subtree of one block node,
+// without descending into nested function literals (those are analyzed as
+// their own functions).
+func (r *pairingRule) acquireIn(p *Pass, n ast.Node) *ast.CallExpr {
+	var found *ast.CallExpr
+	ast.Inspect(n, func(x ast.Node) bool {
+		if found != nil {
+			return false
 		}
-		switch parent := parents[call].(type) {
-		case *ast.ExprStmt:
-			// Bare call: the resource is dropped on the floor.
-			p.Report(r.rule, call.Pos(), fmt.Sprintf(
-				"result of %s is discarded; the %s is never %s", calleeName(call), r.what, r.mustRelease))
-		case *ast.AssignStmt:
-			if len(parent.Rhs) != 1 || parent.Rhs[0] != call {
-				return true // multi-value tricks; out of scope
-			}
-			id, ok := parent.Lhs[0].(*ast.Ident)
-			if !ok {
-				return true // stored into a field/index: escapes
-			}
-			if id.Name == "_" {
-				p.Report(r.rule, call.Pos(), fmt.Sprintf(
-					"%s from %s assigned to _; it is never %s", r.what, calleeName(call), r.mustRelease))
-				return true
-			}
-			obj := p.Pkg.Info.Defs[id]
-			if obj == nil {
-				obj = p.Pkg.Info.Uses[id] // plain `=` to an existing var
-			}
-			if obj == nil {
-				return true
-			}
-			if !r.balanced(p, body, parents, id, obj) {
-				p.Report(r.rule, call.Pos(), fmt.Sprintf(
-					"%s from %s is never %s on some path (no release, return, or hand-off found)",
-					r.what, calleeName(call), r.mustRelease))
-			}
+		if _, ok := x.(*ast.FuncLit); ok {
+			return false
 		}
-		// Other contexts (return value, call argument) hand the resource to
-		// the caller/callee, which owns the release.
+		if call, ok := x.(*ast.CallExpr); ok && r.isAcquire(p, call) {
+			found = call
+			return false
+		}
 		return true
 	})
+	return found
 }
 
-// balanced reports whether the resource object is released or escapes
-// somewhere in the function body.
-func (r *pairingRule) balanced(p *Pass, body *ast.BlockStmt, parents map[ast.Node]ast.Node, def *ast.Ident, obj types.Object) bool {
+// checkBody builds the CFG once and verifies every acquire site in it.
+func (r *pairingRule) checkBody(p *Pass, body *ast.BlockStmt) {
+	// Fast pre-scan: most functions contain no acquire at all.
+	any := false
+	ast.Inspect(body, func(x ast.Node) bool {
+		if any {
+			return false
+		}
+		if call, ok := x.(*ast.CallExpr); ok && r.isAcquire(p, call) {
+			any = true
+		}
+		return true
+	})
+	if !any {
+		return
+	}
+	parents := parentMap(body)
+	cfg := BuildCFG(body)
+	for _, blk := range cfg.Blocks {
+		for i, n := range blk.Nodes {
+			if call := r.acquireIn(p, n); call != nil {
+				r.checkAcquire(p, cfg, blk, i, n, call, parents)
+			}
+		}
+	}
+}
+
+// defOrUse resolves an identifier to its object.
+func defOrUse(info *types.Info, id *ast.Ident) types.Object {
+	if obj := info.Defs[id]; obj != nil {
+		return obj
+	}
+	return info.Uses[id]
+}
+
+// checkAcquire verifies one acquire site: the resource must be released or
+// escape on every path from the acquire to function exit.
+func (r *pairingRule) checkAcquire(p *Pass, cfg *CFG, blk *Block, idx int, node ast.Node, call *ast.CallExpr, parents map[ast.Node]ast.Node) {
+	switch parent := parents[call].(type) {
+	case *ast.ExprStmt:
+		// Bare call: the resource is dropped on the floor.
+		p.Report(r.rule, call.Pos(), fmt.Sprintf(
+			"result of %s is discarded; the %s is never %s", calleeName(call), r.what, r.mustRelease))
+
+	case *ast.AssignStmt:
+		if len(parent.Rhs) != 1 || parent.Rhs[0] != call {
+			return // multi-value tricks; out of scope
+		}
+		id, ok := parent.Lhs[0].(*ast.Ident)
+		if !ok {
+			return // stored straight into a field/index: escapes
+		}
+		if id.Name == "_" {
+			p.Report(r.rule, call.Pos(), fmt.Sprintf(
+				"%s from %s assigned to _; it is never %s", r.what, calleeName(call), r.mustRelease))
+			return
+		}
+		obj := defOrUse(p.Pkg.Info, id)
+		if obj == nil {
+			return
+		}
+		// The acquire's error result, if any: paths where it is non-nil
+		// carry no resource.
+		var errObj types.Object
+		if len(parent.Lhs) > 1 {
+			if eid, ok := parent.Lhs[len(parent.Lhs)-1].(*ast.Ident); ok && eid.Name != "_" {
+				if o := defOrUse(p.Pkg.Info, eid); o != nil && isErrorType(o.Type()) {
+					errObj = o
+				}
+			}
+		}
+		ls := LeakSearch{
+			Classify: func(n ast.Node) nodeClass {
+				if n == node || n == parent {
+					return classStop // back at the acquire: a fresh iteration
+				}
+				switch s := n.(type) {
+				case *ast.ReturnStmt:
+					if r.satisfiesIn(p, parents, s, obj) {
+						return classSatisfy
+					}
+					return classExitLeak
+				case *ast.DeferStmt:
+					if r.satisfiesIn(p, parents, s, obj) {
+						return classDefer
+					}
+					return classNone
+				}
+				if r.satisfiesIn(p, parents, n, obj) {
+					return classSatisfy
+				}
+				return classNone
+			},
+		}
+		if errObj != nil {
+			info := p.Pkg.Info
+			ls.ErrPrune = func(e Edge) bool { return edgeImpliesNonNil(info, e, errObj) }
+			ls.KillsErr = func(n ast.Node) bool { return assignsObj(info, n, errObj) }
+		}
+		if path, found := FindLeakPath(cfg, blk, idx+1, ls); found {
+			p.ReportPath(r.rule, call.Pos(), fmt.Sprintf(
+				"%s from %s is never %s (no release, return, or hand-off on the reported path)",
+				r.what, calleeName(call), r.mustRelease),
+				RenderPath(p.Pkg.Fset, path))
+		}
+	}
+	// Other contexts (return value, call argument) hand the resource to
+	// the caller/callee, which owns the release.
+}
+
+// satisfiesIn reports whether the subtree of n contains a use of obj that
+// releases the resource or lets it escape.
+func (r *pairingRule) satisfiesIn(p *Pass, parents map[ast.Node]ast.Node, n ast.Node, obj types.Object) bool {
 	ok := false
-	ast.Inspect(body, func(n ast.Node) bool {
+	ast.Inspect(n, func(x ast.Node) bool {
 		if ok {
 			return false
 		}
-		id, isIdent := n.(*ast.Ident)
-		if !isIdent || id == def || p.Pkg.Info.Uses[id] != obj {
+		id, isIdent := x.(*ast.Ident)
+		if !isIdent || p.Pkg.Info.Uses[id] != obj {
 			return true
 		}
 		if r.useSatisfies(p, parents, id) {
@@ -120,11 +222,19 @@ func (r *pairingRule) balanced(p *Pass, body *ast.BlockStmt, parents map[ast.Nod
 	return ok
 }
 
-// useSatisfies classifies one use of the resource variable: a release call,
-// or any escape (return, hand-off, aliasing, storage) counts as balanced.
+// useSatisfies classifies one use of the resource variable: a release call
+// (resource as argument or receiver), or any escape (return, hand-off,
+// aliasing, storage) counts as balanced.
 func (r *pairingRule) useSatisfies(p *Pass, parents map[ast.Node]ast.Node, id *ast.Ident) bool {
 	switch parent := parents[id].(type) {
 	case *ast.CallExpr:
+		if isBuiltinCall(p, parent) {
+			// append aliases the resource into a collection (an escape);
+			// len/cap/make/... merely read a value (a worker-grant int used
+			// as a size is not a hand-off).
+			fun, _ := parent.Fun.(*ast.Ident)
+			return fun != nil && fun.Name == "append"
+		}
 		for _, arg := range parent.Args {
 			if arg == id {
 				return true // release call, or hand-off that transfers ownership
@@ -132,7 +242,14 @@ func (r *pairingRule) useSatisfies(p *Pass, parents map[ast.Node]ast.Node, id *a
 		}
 		return false // id is part of the callee expression
 	case *ast.SelectorExpr:
-		return false // field/method access, not a release
+		// A release method invoked on the resource itself: sp.Finish().
+		if parent.X != id {
+			return false
+		}
+		if call, ok := parents[parent].(*ast.CallExpr); ok && call.Fun == parent {
+			return r.releaseNames[parent.Sel.Name]
+		}
+		return false
 	case *ast.ReturnStmt:
 		return true
 	case *ast.AssignStmt:
@@ -154,11 +271,97 @@ func (r *pairingRule) useSatisfies(p *Pass, parents map[ast.Node]ast.Node, id *a
 	return false
 }
 
+// isBuiltinCall reports whether the call's callee is a universe builtin
+// (make, len, append, ...): passing the resource there is a read, not a
+// hand-off.
+func isBuiltinCall(p *Pass, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isBuiltin := p.Pkg.Info.Uses[id].(*types.Builtin)
+	return isBuiltin
+}
+
+// edgeImpliesNonNil reports whether taking e implies `errObj != nil`: the
+// true edge of `err != nil` or the false edge of `err == nil`.
+func edgeImpliesNonNil(info *types.Info, e Edge, errObj types.Object) bool {
+	be, ok := e.Cond.(*ast.BinaryExpr)
+	if !ok {
+		return false
+	}
+	var id *ast.Ident
+	if x, okx := be.X.(*ast.Ident); okx && isNilIdent(be.Y) {
+		id = x
+	} else if y, oky := be.Y.(*ast.Ident); oky && isNilIdent(be.X) {
+		id = y
+	}
+	if id == nil || info.Uses[id] != errObj {
+		return false
+	}
+	switch be.Op.String() {
+	case "!=":
+		return !e.Neg
+	case "==":
+		return e.Neg
+	}
+	return false
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+// assignsObj reports whether the node reassigns obj (after which the
+// acquire's error check no longer guards the resource).
+func assignsObj(info *types.Info, n ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(n, func(x ast.Node) bool {
+		if found {
+			return false
+		}
+		if _, ok := x.(*ast.FuncLit); ok {
+			return false
+		}
+		as, ok := x.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for _, lhs := range as.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok {
+				if o := info.Defs[id]; o == obj {
+					found = true
+				}
+				if o := info.Uses[id]; o == obj {
+					found = true
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// nestedFuncLits returns the function literals directly nested in body
+// (literals inside those literals are found by the recursive caller).
+func nestedFuncLits(body *ast.BlockStmt) []*ast.FuncLit {
+	var out []*ast.FuncLit
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			out = append(out, lit)
+			return false
+		}
+		return true
+	})
+	return out
+}
+
 // pinpairAnalyzer: every buffer.Fetch/NewPage pin must reach an Unpin (a
 // leaked pin permanently blocks clock eviction in that stripe).
 var pinpairAnalyzer = &Analyzer{
 	Name: "pinpair",
-	Doc:  "flags Fetch/NewPage call sites whose pinned frame is never Unpinned",
+	Doc:  "flags Fetch/NewPage call sites whose pinned frame is not Unpinned on some path",
 	Run: (&pairingRule{
 		rule:         "pinpair",
 		acquireNames: map[string]bool{"Fetch": true, "NewPage": true},
@@ -177,7 +380,7 @@ var pinpairAnalyzer = &Analyzer{
 // every later query on that node draws from.
 var workerpairAnalyzer = &Analyzer{
 	Name: "workerpair",
-	Doc:  "flags Ctx.AcquireWorkers call sites whose worker grant never reaches ReleaseWorkers",
+	Doc:  "flags Ctx.AcquireWorkers call sites whose worker grant does not reach ReleaseWorkers on some path",
 	Run: (&pairingRule{
 		rule:         "workerpair",
 		acquireNames: map[string]bool{"AcquireWorkers": true},
@@ -207,7 +410,7 @@ func isWorkerAcquire(p *Pass, call *ast.CallExpr) bool {
 // hand the Tx off); an abandoned Tx holds its SS2PL locks forever.
 var txnpairAnalyzer = &Analyzer{
 	Name: "txnpair",
-	Doc:  "flags Begin/BeginWithID call sites whose transaction is never finished",
+	Doc:  "flags Begin/BeginWithID call sites whose transaction is not finished on some path",
 	Run: (&pairingRule{
 		rule:         "txnpair",
 		acquireNames: map[string]bool{"Begin": true, "BeginWithID": true},
@@ -217,5 +420,24 @@ var txnpairAnalyzer = &Analyzer{
 		what:         "transaction",
 		mustRelease:  "committed or rolled back",
 		skipPkg:      "repro/internal/txn",
+	}).run,
+}
+
+// spanpairAnalyzer: every obs span opened with StartSpan must reach
+// Finish on all paths or escape to an owner (exec.Traced finishes its span
+// at Close). An unfinished span renders as a dangling operator in
+// EXPLAIN ANALYZE and hides where an errored query actually stopped.
+var spanpairAnalyzer = &Analyzer{
+	Name: "spanpair",
+	Doc:  "flags StartSpan call sites whose span does not reach Finish on some path",
+	Run: (&pairingRule{
+		rule:         "spanpair",
+		acquireNames: map[string]bool{"StartSpan": true, "startSpan": true},
+		releaseNames: map[string]bool{"Finish": true},
+		resultPkg:    "internal/obs",
+		resultName:   "Span",
+		what:         "span",
+		mustRelease:  "finished",
+		skipPkg:      "repro/internal/obs",
 	}).run,
 }

@@ -1,0 +1,280 @@
+package main
+
+// sendstop is the CFG-backed successor of the old goleak-hint heuristic.
+// Instead of pattern-matching for "some sign of cancellation", it proves a
+// termination property per channel send: every send in a `go func` literal
+// in the exchange packages must be one of
+//
+//   - a comm clause of a select that also has a stop clause (a receive from
+//     a done/stop/ctx channel, or a default) from which the goroutine's
+//     exit is reachable in the CFG, or
+//   - a send on a channel that is provably buffered (made with a non-zero
+//     capacity in the same enclosing function) and that the goroutine sends
+//     on at most once per execution (the send does not sit on a CFG cycle),
+//     i.e. the errgroup pattern `errs := make(chan error, n)` + one
+//     goroutine sending once.
+//
+// Anything else can block forever when the consumer abandons the stream —
+// the classic exchange-operator goroutine leak — and is reported.
+
+import (
+	"fmt"
+	"go/ast"
+	"regexp"
+)
+
+// sendstopPkgs are the packages whose goroutines move query data between
+// operators and nodes.
+var sendstopPkgs = map[string]bool{
+	"repro/internal/exec":    true,
+	"repro/internal/cluster": true,
+}
+
+var sendstopAnalyzer = &Analyzer{
+	Name: "sendstop",
+	Doc:  "proves every channel send in an exec/cluster goroutine can terminate: select with a reachable stop case, or a bounded single-shot buffered send",
+	Run:  runSendstop,
+}
+
+// stopNameRe matches identifiers that by convention carry a cancellation or
+// completion signal (stop, done, quit, ctx.Done(), cancel, closed).
+var stopNameRe = regexp.MustCompile(`(?i)^(stop|done|quit|ctx|cancel|closed)`)
+
+func runSendstop(p *Pass) {
+	if !sendstopPkgs[p.Pkg.Path] {
+		return
+	}
+	for _, f := range p.Pkg.Files {
+		if p.isTestFile(f.Pos()) {
+			continue
+		}
+		funcBodies(f, func(name string, body *ast.BlockStmt) {
+			buffered := bufferedChans(body)
+			ast.Inspect(body, func(n ast.Node) bool {
+				g, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				if lit, ok := g.Call.Fun.(*ast.FuncLit); ok {
+					checkGoroutineSends(p, lit, buffered)
+				}
+				return true
+			})
+		})
+	}
+}
+
+// bufferedChans collects the channels the function visibly creates with a
+// non-zero capacity, keyed by their rendered expression path ("errs",
+// "d.errs"). The capacity expression is the programmer's declaration that
+// sends are bounded; this pass only checks the declaration exists.
+func bufferedChans(body *ast.BlockStmt) map[string]bool {
+	out := map[string]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			if !isBufferedMake(rhs) {
+				continue
+			}
+			if path := exprPath(as.Lhs[i]); path != "" {
+				out[path] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// isBufferedMake reports whether e is make(chan T, n) with n not the
+// literal 0.
+func isBufferedMake(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok || len(call.Args) != 2 {
+		return false
+	}
+	if id, ok := call.Fun.(*ast.Ident); !ok || id.Name != "make" {
+		return false
+	}
+	if _, ok := call.Args[0].(*ast.ChanType); !ok {
+		return false
+	}
+	if lit, ok := call.Args[1].(*ast.BasicLit); ok && lit.Value == "0" {
+		return false
+	}
+	return true
+}
+
+// exprPath renders an ident/selector chain ("x", "x.f.g"); "" for anything
+// else.
+func exprPath(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		base := exprPath(x.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + x.Sel.Name
+	}
+	return ""
+}
+
+// checkGoroutineSends verifies every send statement in one goroutine body
+// (excluding nested function literals, which have their own scope and —
+// when launched with go — their own check).
+func checkGoroutineSends(p *Pass, lit *ast.FuncLit, buffered map[string]bool) {
+	cfg := BuildCFG(lit.Body)
+	parents := parentMap(lit.Body)
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if fl, ok := n.(*ast.FuncLit); ok && fl != lit {
+			return false
+		}
+		send, ok := n.(*ast.SendStmt)
+		if !ok {
+			return true
+		}
+		checkSend(p, cfg, parents, send, buffered)
+		return true
+	})
+}
+
+func checkSend(p *Pass, cfg *CFG, parents map[ast.Node]ast.Node, send *ast.SendStmt, buffered map[string]bool) {
+	chName := exprPath(send.Chan)
+	if chName == "" {
+		chName = "channel"
+	}
+
+	// Send as a select comm clause: the select must carry a stop clause
+	// from which the goroutine's exit is reachable.
+	if cc, ok := parents[send].(*ast.CommClause); ok && cc.Comm == send {
+		sel := enclosingSelect(parents, cc)
+		if sel == nil {
+			return
+		}
+		stop := stopClause(sel, cc)
+		if stop == nil {
+			p.Report("sendstop", send.Pos(), fmt.Sprintf(
+				"select sending on %s has no stop/done/default case; the goroutine blocks forever if the consumer departs", chName))
+			return
+		}
+		if stop.Comm == nil {
+			return // default clause: the select (and so the send) never blocks
+		}
+		if blk := clauseBlock(cfg, sel, stop); blk != nil && !cfg.Reachable(blk)[cfg.Exit] {
+			p.Report("sendstop", send.Pos(), fmt.Sprintf(
+				"the stop case guarding the send on %s cannot reach the goroutine's exit", chName))
+		}
+		return
+	}
+
+	// Bare send: allowed only under the bounded single-shot buffered-channel
+	// proof.
+	if buffered[exprPath(send.Chan)] && !onCycle(cfg, send) {
+		return
+	}
+	p.Report("sendstop", send.Pos(), fmt.Sprintf(
+		"send on %s outside select: the goroutine blocks forever if the receiver is gone; "+
+			"wrap it in a select with a stop/done case, or make the channel buffered in this function and send at most once", chName))
+}
+
+// enclosingSelect walks up from a comm clause to its select statement.
+func enclosingSelect(parents map[ast.Node]ast.Node, cc *ast.CommClause) *ast.SelectStmt {
+	for n := parents[cc]; n != nil; n = parents[n] {
+		if sel, ok := n.(*ast.SelectStmt); ok {
+			return sel
+		}
+	}
+	return nil
+}
+
+// stopClause returns a clause of sel (other than sendClause) that stops the
+// goroutine from blocking: a default, or a receive from a stop-like channel.
+func stopClause(sel *ast.SelectStmt, sendClause *ast.CommClause) *ast.CommClause {
+	for _, raw := range sel.Body.List {
+		cc, ok := raw.(*ast.CommClause)
+		if !ok || cc == sendClause {
+			continue
+		}
+		if cc.Comm == nil {
+			return cc // default: the select never blocks
+		}
+		if ch := recvChan(cc.Comm); ch != nil && isStopExpr(ch) {
+			return cc
+		}
+	}
+	return nil
+}
+
+// recvChan extracts the channel of a receive comm statement (`<-ch`,
+// `v := <-ch`, `v, ok := <-ch`), or nil for sends.
+func recvChan(comm ast.Stmt) ast.Expr {
+	var e ast.Expr
+	switch s := comm.(type) {
+	case *ast.ExprStmt:
+		e = s.X
+	case *ast.AssignStmt:
+		if len(s.Rhs) == 1 {
+			e = s.Rhs[0]
+		}
+	}
+	if ue, ok := e.(*ast.UnaryExpr); ok && ue.Op.String() == "<-" {
+		return ue.X
+	}
+	return nil
+}
+
+// isStopExpr reports whether the received-from expression names a stop
+// signal: `stop`, `p.done`, `ctx.Done()`.
+func isStopExpr(e ast.Expr) bool {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return stopNameRe.MatchString(x.Name)
+	case *ast.SelectorExpr:
+		return stopNameRe.MatchString(x.Sel.Name)
+	case *ast.CallExpr:
+		return stopNameRe.MatchString(calleeName(x))
+	}
+	return false
+}
+
+// clauseBlock finds the CFG block holding the given (non-default) clause's
+// comm node.
+func clauseBlock(cfg *CFG, sel *ast.SelectStmt, cc *ast.CommClause) *Block {
+	for _, b := range cfg.Blocks {
+		if b.SelectCase != sel {
+			continue
+		}
+		for _, n := range b.Nodes {
+			if n == cc.Comm {
+				return b
+			}
+		}
+	}
+	return nil
+}
+
+// onCycle reports whether the send statement sits on a CFG cycle (i.e. one
+// goroutine execution may reach it more than once).
+func onCycle(cfg *CFG, send *ast.SendStmt) bool {
+	var home *Block
+	for _, b := range cfg.Blocks {
+		for _, n := range b.Nodes {
+			if n == send {
+				home = b
+			}
+		}
+	}
+	if home == nil {
+		return true // not located: be conservative
+	}
+	for _, e := range home.Succs {
+		if cfg.Reachable(e.To)[home] {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,70 @@
+// Package fixtures exercises the lockorder analyzer with a self-contained
+// lock hierarchy: a coarse table latch ordered above a fine row latch, and
+// a leaf-only stats latch nothing may nest under.
+//
+//lint:lockorder-before fix.table fix.row
+package fixtures
+
+import "sync"
+
+type table struct {
+	mu sync.Mutex //lint:lockorder fix.table
+}
+
+type row struct {
+	mu sync.Mutex //lint:lockorder fix.row
+}
+
+type stats struct {
+	mu sync.Mutex //lint:lockorder fix.stats leaf
+}
+
+func okDeclaredOrder(t *table, r *row) {
+	t.mu.Lock()
+	r.mu.Lock()
+	r.mu.Unlock()
+	t.mu.Unlock()
+}
+
+func invertedOrder(t *table, r *row) {
+	r.mu.Lock()
+	t.mu.Lock() // want "not covered"
+	t.mu.Unlock()
+	r.mu.Unlock()
+}
+
+func underLeaf(s *stats, r *row) {
+	s.mu.Lock()
+	r.mu.Lock() // want "leaf-only"
+	r.mu.Unlock()
+	s.mu.Unlock()
+}
+
+func lockRow(r *row) {
+	r.mu.Lock()
+	r.mu.Unlock()
+}
+
+// transitiveViaCall: the violation is one call away — caught through the
+// callee's may-acquire summary, not a syntactic Lock call.
+func transitiveViaCall(s *stats, r *row) {
+	s.mu.Lock()
+	lockRow(r) // want "may acquire"
+	s.mu.Unlock()
+}
+
+// okSequential: release before acquiring the other class; no nesting.
+func okSequential(t *table, r *row) {
+	r.mu.Lock()
+	r.mu.Unlock()
+	t.mu.Lock()
+	t.mu.Unlock()
+}
+
+func okSuppressed(t *table, r *row) {
+	r.mu.Lock()
+	//lint:ignore lockorder fixture: single-threaded bootstrap, ordering moot
+	t.mu.Lock()
+	t.mu.Unlock()
+	r.mu.Unlock()
+}

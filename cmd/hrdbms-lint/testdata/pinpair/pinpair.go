@@ -26,6 +26,29 @@ func leakBlank(m *buffer.Manager, k page.Key) {
 	}
 }
 
+// leakOnEarlyReturn unpins on the happy path but not on the skip branch;
+// the diagnostic names that concrete path.
+func leakOnEarlyReturn(m *buffer.Manager, k page.Key, skip bool) {
+	f, err := m.Fetch(k) // want "never"
+	if err != nil {
+		return
+	}
+	if skip {
+		return
+	}
+	m.Unpin(f, false)
+}
+
+// okErrPathPruned: the only Unpin-free return is the failed-fetch path,
+// which carries no pin — the err-check pruning must not report it.
+func okErrPathPruned(m *buffer.Manager, k page.Key) {
+	f, err := m.Fetch(k)
+	if err != nil {
+		return
+	}
+	m.Unpin(f, false)
+}
+
 func okDeferredUnpin(m *buffer.Manager, k page.Key) error {
 	f, err := m.Fetch(k)
 	if err != nil {

@@ -1,0 +1,82 @@
+// Package fixtures exercises the sendstop analyzer. The test loads it
+// under the package path repro/internal/cluster, one of the two packages
+// the rule applies to.
+package fixtures
+
+func bareSendLeak(out chan int) {
+	go func() {
+		out <- 1 // want "outside select"
+	}()
+}
+
+func selectNoStop(out chan int, other chan int) {
+	go func() {
+		select {
+		case out <- 1: // want "no stop/done/default"
+		case other <- 2: // want "no stop/done/default"
+		}
+	}()
+}
+
+// stopCannotExit has a stop case, but it only drains: the goroutine loops
+// forever, so the stop case proves nothing about termination.
+func stopCannotExit(out chan int, done chan struct{}) {
+	go func() {
+		for {
+			select {
+			case out <- 1: // want "cannot reach"
+			case <-done:
+			}
+		}
+	}()
+}
+
+// loopedBufferedLeak: the channel is buffered, but the send sits on a CFG
+// cycle, so one execution may send more times than the buffer holds.
+func loopedBufferedLeak(n int) chan int {
+	out := make(chan int, 4)
+	go func() {
+		for i := 0; i < n; i++ {
+			out <- i // want "outside select"
+		}
+	}()
+	return out
+}
+
+func okSelectStop(out chan int, stop chan struct{}) {
+	go func() {
+		for {
+			select {
+			case out <- 1:
+			case <-stop:
+				return
+			}
+		}
+	}()
+}
+
+func okDefault(out chan int) {
+	go func() {
+		select {
+		case out <- 1:
+		default:
+		}
+	}()
+}
+
+// okBoundedErrgroup is the sanctioned bare-send shape: buffered in this
+// function, sent at most once per goroutine.
+func okBoundedErrgroup(work func() error) chan error {
+	errs := make(chan error, 1)
+	go func() {
+		errs <- work()
+	}()
+	return errs
+}
+
+func okSuppressed(out chan int) {
+	go func() {
+		//lint:ignore sendstop fixture: the consumer contract guarantees a drain
+		out <- 1
+	}()
+}

@@ -1,0 +1,80 @@
+// Package fixtures exercises the slabown analyzer: the slab returned by
+// NextBatch (and any alias or sub-slice of it) must not be stored beyond
+// the batch lifetime. Row values are immutable and retainable.
+package fixtures
+
+import "repro/internal/types"
+
+type batchSrc struct{ rows []types.Row }
+
+func (b *batchSrc) NextBatch() ([]types.Row, error) { return b.rows, nil }
+
+type sink struct {
+	last []types.Row
+	rows []types.Row
+}
+
+type rowSink struct{ row types.Row }
+
+var lastBatch []types.Row
+
+func leakField(src *batchSrc, s *sink) {
+	b, _ := src.NextBatch()
+	s.last = b // want "stored into field"
+}
+
+func leakSubslice(src *batchSrc, s *sink) {
+	b, _ := src.NextBatch()
+	s.rows = b[:1] // want "stored into field"
+}
+
+func leakAlias(src *batchSrc, s *sink) {
+	b, _ := src.NextBatch()
+	alias := b
+	s.last = alias // want "stored into field"
+}
+
+func leakPackageVar(src *batchSrc) {
+	b, _ := src.NextBatch()
+	lastBatch = b // want "package variable"
+}
+
+func leakClosure(src *batchSrc) func() types.Row {
+	b, _ := src.NextBatch()
+	return func() types.Row {
+		return b[0] // want "escaping closure"
+	}
+}
+
+// okRowRetained: b[i] is a row VALUE, immutable by contract.
+func okRowRetained(src *batchSrc, rs *rowSink) {
+	b, _ := src.NextBatch()
+	rs.row = b[0]
+}
+
+// okCopied: copy produces independent storage.
+func okCopied(src *batchSrc, s *sink) {
+	b, _ := src.NextBatch()
+	cp := make([]types.Row, len(b))
+	copy(cp, b)
+	s.rows = cp
+}
+
+// okAppended: append into a destination the sink owns is a copy, not a
+// store of the slab's slice header.
+func okAppended(src *batchSrc, s *sink) {
+	b, _ := src.NextBatch()
+	s.rows = append(s.rows[:0], b...)
+}
+
+// okImmediateClosure runs before the next NextBatch can be issued.
+func okImmediateClosure(src *batchSrc) int {
+	b, _ := src.NextBatch()
+	return func() int { return len(b) }()
+}
+
+func okSuppressed(src *batchSrc, s *sink) {
+	b, _ := src.NextBatch()
+	//lint:ignore slabown fixture: sink is drained before the next NextBatch
+	s.last = b
+}

@@ -1,0 +1,52 @@
+// Package fixtures exercises the spanpair analyzer: every span opened with
+// StartSpan must reach Finish on all paths, or escape to an owner.
+package fixtures
+
+import "repro/internal/obs"
+
+func leakDiscarded(tr *obs.QueryTrace) {
+	tr.StartSpan("scan", 0) // want "discarded"
+}
+
+func leakBlank(tr *obs.QueryTrace) {
+	_ = tr.StartSpan("scan", 0) // want "assigned to _"
+}
+
+// leakEarlyReturn finishes the span on the happy path but not on the
+// early return: the path-sensitive search reports that concrete path.
+func leakEarlyReturn(tr *obs.QueryTrace, rows int) {
+	sp := tr.StartSpan("agg", 1) // want "never"
+	if rows == 0 {
+		return
+	}
+	sp.AddRowsOut(int64(rows))
+	sp.Finish()
+}
+
+func okDeferFinish(tr *obs.QueryTrace) {
+	sp := tr.StartSpan("sort", 0)
+	defer sp.Finish()
+	sp.AddRowsOut(1)
+}
+
+func okDirectFinish(tr *obs.QueryTrace) {
+	sp := tr.StartSpan("join", 2)
+	sp.Finish()
+}
+
+func okEscapesViaReturn(tr *obs.QueryTrace) *obs.Span {
+	return tr.StartSpan("join", 2)
+}
+
+type traced struct{ sp *obs.Span }
+
+// okEscapesViaField mirrors exec.Traced: the struct owns the span and
+// finishes it at Close.
+func okEscapesViaField(tr *obs.QueryTrace, t *traced) {
+	t.sp = tr.StartSpan("exchange", 0)
+}
+
+func okSuppressed(tr *obs.QueryTrace) {
+	//lint:ignore spanpair fixture: root span intentionally spans the whole query
+	tr.StartSpan("root", 0)
+}

@@ -12,6 +12,16 @@ func leakDiscarded(m *txn.Manager) {
 	m.BeginWithID(42) // want "discarded"
 }
 
+// leakOnBranch commits on the slow path only; the fast-return branch
+// abandons the transaction with its SS2PL locks held.
+func leakOnBranch(m *txn.Manager, fast bool) error {
+	tx := m.Begin() // want "never"
+	if fast {
+		return nil
+	}
+	return m.Commit(tx)
+}
+
 func okCommit(m *txn.Manager) error {
 	tx := m.Begin()
 	return m.Commit(tx)

@@ -25,6 +25,14 @@ func bareFlushAll(m *buffer.Manager) {
 	m.FlushAll() // want "silently discarded"
 }
 
+func deferredFlush(l *wal.Log) {
+	defer l.Flush() // want "deferred"
+}
+
+func okDeferredClose(l *wal.Log) {
+	defer l.Close()
+}
+
 func okChecked(l *wal.Log) error {
 	return l.Flush()
 }

@@ -16,12 +16,21 @@ var walerrPkgs = []string{
 }
 
 // walerrAnalyzer flags discarded error results from WAL/storage/buffer/txn
-// write paths in non-test code: both bare expression statements and
-// explicit `_ =` discards.
+// write paths in non-test code: bare expression statements, explicit `_ =`
+// discards, and deferred calls. Only deferred Close-shaped calls are exempt
+// (the idiomatic best-effort cleanup `defer f.Close()`); deferring Flush,
+// Append, or any other durability call throws its error away at the exact
+// moment it matters.
 var walerrAnalyzer = &Analyzer{
 	Name: "walerr",
-	Doc:  "flags discarded errors from WAL/storage write paths",
+	Doc:  "flags discarded errors from WAL/storage write paths, including non-Close deferred calls",
 	Run:  runWalerr,
+}
+
+// isCloseShaped reports whether the call is the sanctioned best-effort
+// cleanup shape: a method or function named Close taking no arguments.
+func isCloseShaped(call *ast.CallExpr) bool {
+	return calleeName(call) == "Close" && len(call.Args) == 0
 }
 
 func isWalerrTarget(p *Pass, call *ast.CallExpr) (string, bool) {
@@ -60,6 +69,11 @@ func runWalerr(p *Pass) {
 		}
 		ast.Inspect(f, func(n ast.Node) bool {
 			switch stmt := n.(type) {
+			case *ast.DeferStmt:
+				if name, ok := isWalerrTarget(p, stmt.Call); ok && !isCloseShaped(stmt.Call) {
+					p.Report("walerr", stmt.Call.Pos(), fmt.Sprintf(
+						"error from deferred %s is silently discarded (only deferred Close is exempt; check the error inline or in a named-return wrapper)", name))
+				}
 			case *ast.ExprStmt:
 				call, ok := stmt.X.(*ast.CallExpr)
 				if !ok {

@@ -45,8 +45,13 @@ type Stats struct {
 	Writes    int64
 }
 
+// The stripe latch is the outermost lock on the page path: eviction runs the
+// WAL flush-before-evict hook and the store write-back while holding it.
+//
+//lint:lockorder-before buffer.stripe page.file
+//lint:lockorder-before buffer.stripe wal.log
 type stripe struct {
-	mu     sync.Mutex
+	mu     sync.Mutex //lint:lockorder buffer.stripe
 	frames map[page.Key]*Frame
 	clock  []*Frame
 	hand   int

@@ -753,6 +753,7 @@ func (q *queryExec) pickOne(ds *dstream) exec.Operator {
 		coordSide: func() exec.Operator { return exec.NewRecv(q.coord.Ep, ch, 1, ds.sch) },
 		launch: func() []func() error {
 			return []func() error{func() error {
+				defer ssp.Finish()
 				return exec.SendAll(w.execCtx, ep, q.coord.ID, ch, ds.ops[0])
 			}}
 		},
@@ -769,12 +770,14 @@ func (q *queryExec) gatherPlain(ds *dstream) exec.Operator {
 	// Per-worker Send spans chain the gather to each worker's subtree and
 	// count the bytes that worker puts on the wire.
 	eps := make([]network.Endpoint, len(ds.ops))
+	ssps := make([]*obs.Span, len(ds.ops))
 	for wi := range ds.ops {
 		w := q.c.Workers[wi]
 		ssp := q.startSpan("Send", w.ID)
 		ssp.SetParent(gsp)
 		q.spanOf(ds.ops[wi]).SetParent(ssp)
 		eps[wi] = exec.NewCountingEndpoint(w.Ep, ssp)
+		ssps[wi] = ssp
 	}
 	d := &workerDriver{
 		coordSide: func() exec.Operator {
@@ -785,8 +788,10 @@ func (q *queryExec) gatherPlain(ds *dstream) exec.Operator {
 			for wi := range ds.ops {
 				op := ds.ops[wi]
 				ep := eps[wi]
+				sp := ssps[wi]
 				ectx := q.c.Workers[wi].execCtx
 				fns = append(fns, func() error {
+					defer sp.Finish()
 					return exec.SendAll(ectx, ep, coordID, ch, op)
 				})
 			}
@@ -804,12 +809,14 @@ func (q *queryExec) gatherOrdered(ds *dstream, keys []exec.SortKey) exec.Operato
 	coordID := q.coord.ID
 	gsp := q.startSpan("GatherMerge", coordID)
 	eps := make([]network.Endpoint, len(ds.ops))
+	ssps := make([]*obs.Span, len(ds.ops))
 	for wi := range ds.ops {
 		w := q.c.Workers[wi]
 		ssp := q.startSpan("Send", w.ID)
 		ssp.SetParent(gsp)
 		q.spanOf(ds.ops[wi]).SetParent(ssp)
 		eps[wi] = exec.NewCountingEndpoint(w.Ep, ssp)
+		ssps[wi] = ssp
 	}
 	d := &workerDriver{
 		coordSide: func() exec.Operator {
@@ -824,9 +831,11 @@ func (q *queryExec) gatherOrdered(ds *dstream, keys []exec.SortKey) exec.Operato
 			for wi := range ds.ops {
 				op := ds.ops[wi]
 				ep := eps[wi]
+				sp := ssps[wi]
 				ch := fmt.Sprintf("%s.%d", base, wi)
 				ectx := q.c.Workers[wi].execCtx
 				fns = append(fns, func() error {
+					defer sp.Finish()
 					return exec.SendAll(ectx, ep, coordID, ch, op)
 				})
 			}
@@ -848,12 +857,14 @@ func (q *queryExec) gatherTree(ds *dstream, combine func([]exec.Operator) exec.O
 	coordEp := q.coord.Ep
 	gsp := q.startSpan("TreeReduce", q.coord.ID)
 	eps := make([]network.Endpoint, len(ds.ops))
+	ssps := make([]*obs.Span, len(ds.ops))
 	for wi := range ds.ops {
 		w := q.c.Workers[wi]
 		ssp := q.startSpan("TreeSend", w.ID)
 		ssp.SetParent(gsp)
 		q.spanOf(ds.ops[wi]).SetParent(ssp)
 		eps[wi] = exec.NewCountingEndpoint(w.Ep, ssp)
+		ssps[wi] = ssp
 	}
 	d := &workerDriver{
 		coordSide: func() exec.Operator {
@@ -868,8 +879,10 @@ func (q *queryExec) gatherTree(ds *dstream, combine func([]exec.Operator) exec.O
 			for wi := range ds.ops {
 				op := ds.ops[wi]
 				ep := eps[wi]
+				sp := ssps[wi]
 				ectx := q.c.Workers[wi].execCtx
 				fns = append(fns, func() error {
+					defer sp.Finish()
 					_, err := exec.RunTreeReduce(ectx, ep, spec, op, combine)
 					return err
 				})
@@ -916,7 +929,8 @@ func (d *workerDriver) Open() error {
 	d.errs = make(chan error, len(fns))
 	d.pending = len(fns)
 	for _, fn := range fns {
-		//lint:ignore goleak-hint bounded: errs is buffered to len(fns), the send never blocks
+		// errs is buffered to len(fns) above, so the single send never blocks
+		// (sendstop's bounded-buffer proof).
 		go func(fn func() error) { d.errs <- fn() }(fn)
 	}
 	return nil

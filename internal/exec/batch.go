@@ -153,6 +153,7 @@ func (a *batchToRow) Next() (types.Row, bool, error) {
 		if err != nil || !ok {
 			return nil, false, err
 		}
+		//lint:ignore slabown row cursor: this adapter is the slab's owner and drains cur before its next NextBatch call
 		a.cur, a.pos = b, 0
 	}
 	r := a.cur[a.pos]

@@ -375,6 +375,7 @@ func (s *Shuffle) Next() (types.Row, bool, error) {
 		if err != nil || !ok {
 			return nil, false, err
 		}
+		//lint:ignore slabown row cursor: the shuffle owns the delivered slab and drains cur before the next NextBatch
 		s.cur, s.pos = b, 0
 	}
 	r := s.cur[s.pos]

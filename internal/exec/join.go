@@ -544,6 +544,7 @@ func (h *HashJoin) Next() (types.Row, bool, error) {
 		if err != nil || !ok {
 			return nil, false, err
 		}
+		//lint:ignore slabown row cursor: the join owns its result slab and drains cur before the next NextBatch
 		h.cur, h.pos = b, 0
 	}
 	r := h.cur[h.pos]

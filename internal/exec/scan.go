@@ -52,7 +52,11 @@ func (s *scanFeed) launch() {
 		snd := &batchSender{out: s.batches, stop: s.stop, size: s.batch}
 		err := s.start(snd)
 		if err != nil {
-			s.errCh <- err
+			select {
+			case s.errCh <- err:
+			case <-s.stop:
+				// Consumer closed early; nobody will read the error.
+			}
 		}
 		close(s.batches)
 	}()
@@ -64,6 +68,7 @@ func (s *scanFeed) Next() (types.Row, bool, error) {
 		if err != nil || !ok {
 			return nil, false, err
 		}
+		//lint:ignore slabown row cursor: the feed owns its own slab and drains cur before the next NextBatch
 		s.cur, s.pos = b, 0
 	}
 	r := s.cur[s.pos]
@@ -100,7 +105,6 @@ func (s *scanFeed) Close() error {
 		// observes the closed stop channel via batchSender.flush and closes
 		// batches, which ends this loop.
 		if s.batches != nil {
-			//lint:ignore goleak-hint bounded drain: producer sees closed stop and closes batches
 			go func(ch chan []types.Row) {
 				for range ch {
 				}

@@ -279,7 +279,11 @@ func newPrefetchRun(src *spillReader, slab int) *prefetchRun {
 		for {
 			r, ok, err := src.next()
 			if err != nil {
-				p.errCh <- err
+				select {
+				case p.errCh <- err:
+				case <-p.stop:
+					// Consumer closed early; nobody will read the error.
+				}
 				return
 			}
 			if !ok {
@@ -331,7 +335,6 @@ func (p *prefetchRun) close() {
 	close(p.stop)
 	// Drain so the decoder goroutine can exit. Bounded: the decoder
 	// observes the closed stop channel and closes batches.
-	//lint:ignore goleak-hint bounded drain: decoder sees closed stop and closes batches
 	go func(ch chan []types.Row) {
 		for range ch {
 		}

@@ -69,11 +69,13 @@ func (t *Traced) Next() (types.Row, bool, error) {
 	return row, ok, err
 }
 
-// Close closes the wrapped operator.
+// Close closes the wrapped operator and finishes its span: Close is the
+// last lifecycle call on an operator, so the span's counters are final.
 func (t *Traced) Close() error {
 	start := time.Now()
 	err := t.in.Close()
 	t.sp.AddWall(time.Since(start))
+	t.sp.Finish()
 	return err
 }
 

@@ -53,6 +53,10 @@ func TestNilTraceAndSpanAreNoops(t *testing.T) {
 	sp.AddSpill(1)
 	sp.AddState(1)
 	sp.SetParent(sp)
+	sp.Finish()
+	if !sp.Finished() {
+		t.Fatal("a nil span is trivially finished")
+	}
 	tr.SetWall(time.Second)
 	if tr.Render() != "" || tr.Spans() != nil {
 		t.Fatal("nil trace must render empty")

@@ -17,7 +17,7 @@ import (
 // "network.bytes_total", "query.seconds". Counters end in "_total" when
 // they are monotonic sums over the process lifetime.
 type Registry struct {
-	mu         sync.RWMutex
+	mu         sync.RWMutex //lint:lockorder obs.registry leaf
 	counters   map[string]*Counter
 	gauges     map[string]*Gauge
 	gaugeFuncs map[string]func() int64

@@ -46,6 +46,28 @@ type Span struct {
 	StateBytes   atomic.Int64
 	Workers      atomic.Int64 // intra-operator worker threads granted (morsel parallelism)
 	WallNS       atomic.Int64 // cumulative time inside Open/Next/Close (includes children)
+
+	finished atomic.Bool // set once by Finish; spans left unfinished indicate a tracing bug
+}
+
+// Finish marks the span complete. Idempotent and nil-safe: finishing twice
+// is harmless, and the disabled (nil) span path stays a single branch. Every
+// StartSpan must be paired with a Finish on all paths (the spanpair lint rule
+// enforces this) so a trace can distinguish "operator done" from "operator
+// abandoned".
+func (s *Span) Finish() {
+	if s != nil {
+		s.finished.Store(true)
+	}
+}
+
+// Finished reports whether Finish was called. Nil-safe (a nil span is
+// trivially finished: it never started).
+func (s *Span) Finished() bool {
+	if s == nil {
+		return true
+	}
+	return s.finished.Load()
 }
 
 // SetParent links this span under a parent span. Nil-safe.
@@ -170,7 +192,7 @@ type QueryTrace struct {
 	SQL   string
 	wall  atomic.Int64
 	seq   atomic.Int64
-	mu    sync.Mutex
+	mu    sync.Mutex //lint:lockorder obs.trace leaf
 	spans []*Span
 }
 

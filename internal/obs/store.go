@@ -13,7 +13,7 @@ type TraceStore struct {
 	done    chan struct{}
 	flushed chan struct{}
 
-	mu   sync.Mutex
+	mu   sync.Mutex //lint:lockorder obs.store leaf
 	ring []*QueryTrace
 	next int
 }

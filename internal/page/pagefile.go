@@ -18,7 +18,7 @@ import (
 // Slot layout: 8-byte header (compressed length uint32, flags uint32) then
 // the compressed page bytes. Flag bit0 = stored raw (incompressible page).
 type File struct {
-	mu       sync.RWMutex
+	mu       sync.RWMutex //lint:lockorder page.file
 	f        *os.File
 	pageSize int
 	numPages uint32

@@ -38,8 +38,13 @@ type lockState struct {
 }
 
 // LockManager grants page locks for one node.
+//
+// SS2PL writes the commit record while page locks are held, so the lock
+// manager sits above the WAL in the lock order.
+//
+//lint:lockorder-before txn.lockmgr wal.log
 type LockManager struct {
-	mu      sync.Mutex
+	mu      sync.Mutex //lint:lockorder txn.lockmgr
 	cond    *sync.Cond
 	locks   map[page.Key]*lockState
 	waits   map[uint64]map[uint64]bool // waiter → holders blocking it

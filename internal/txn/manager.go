@@ -19,7 +19,7 @@ type Manager struct {
 	Pages wal.PageAccess
 
 	nextTx atomic.Uint64
-	mu     sync.Mutex
+	mu     sync.Mutex //lint:lockorder txn.manager
 	active map[uint64]*Tx
 }
 
@@ -35,11 +35,16 @@ func NewManager(log *wal.Log, locks *LockManager, pages wal.PageAccess) *Manager
 func (m *Manager) SetNextTxID(next uint64) { m.nextTx.Store(next) }
 
 // Tx is one transaction's node-local state. It implements storage.TxHook.
+// Tx.mu guards the lastLSN chain and is deliberately held across WAL
+// appends: the record's PrevLSN and the updated lastLSN must be assigned
+// atomically or concurrent LogInsert/LogDelete calls would fork the chain.
+//
+//lint:lockorder-before txn.tx wal.log
 type Tx struct {
 	id      uint64
 	lastLSN uint64
 	mgr     *Manager
-	mu      sync.Mutex
+	mu      sync.Mutex //lint:lockorder txn.tx
 }
 
 // Begin starts a transaction with a locally assigned ID.

@@ -15,7 +15,7 @@ import (
 // tail that Flush forces to disk; the buffer manager calls FlushUpTo before
 // evicting a dirty page (the write-ahead rule).
 type Log struct {
-	mu         sync.Mutex
+	mu         sync.Mutex //lint:lockorder wal.log
 	f          *os.File
 	fileEnd    uint64 // durable bytes
 	tail       []byte // appended but not yet flushed

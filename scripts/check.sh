@@ -11,14 +11,18 @@ go build ./...
 echo "==> go vet"
 go vet ./...
 
-echo "==> hrdbms-lint"
-go run ./cmd/hrdbms-lint ./...
+echo "==> hrdbms-lint (JSON report: lint-report.json)"
+if ! go run ./cmd/hrdbms-lint -json ./... > lint-report.json; then
+  echo "lint findings:" >&2
+  cat lint-report.json >&2
+  exit 1
+fi
 
 echo "==> go test"
 go test ./...
 
-echo "==> go test -race (exec, cluster, buffer, txn, obs, network)"
-go test -race ./internal/exec ./internal/cluster ./internal/buffer ./internal/txn ./internal/obs ./internal/network
+echo "==> go test -race (exec, cluster, buffer, txn, obs, network, storage)"
+go test -race ./internal/exec ./internal/cluster ./internal/buffer ./internal/txn ./internal/obs ./internal/network ./internal/storage
 
 echo "==> go test -tags invariants (buffer, txn)"
 go test -tags invariants ./internal/buffer ./internal/txn
