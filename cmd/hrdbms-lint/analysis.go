@@ -48,6 +48,7 @@ var Analyzers = []*Analyzer{
 	workerpairAnalyzer,
 	spanpairAnalyzer,
 	slabownAnalyzer,
+	vecownAnalyzer,
 	lockorderAnalyzer,
 	walerrAnalyzer,
 	sendstopAnalyzer,

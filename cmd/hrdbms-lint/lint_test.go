@@ -87,6 +87,7 @@ func TestAnalyzersOnFixtures(t *testing.T) {
 		{"workerpair", "repro/internal/cluster", "workerpair"},
 		{"spanpair", "fixtures/spanpair", "spanpair"},
 		{"slabown", "fixtures/slabown", "slabown"},
+		{"vecown", "fixtures/vecown", "vecown"},
 		{"lockorder", "fixtures/lockorder", "lockorder"},
 		{"walerr", "fixtures/walerr", "walerr"},
 		{"sendstop", "repro/internal/cluster", "sendstop"},

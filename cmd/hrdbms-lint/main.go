@@ -7,6 +7,7 @@
 //	workerpair  every exec.Ctx.AcquireWorkers grant must reach ReleaseWorkers
 //	spanpair    every obs.QueryTrace.StartSpan must reach Finish on all paths
 //	slabown     NextBatch slabs must not be stored beyond the batch lifetime
+//	vecown      NextVec batches and their column slabs must not be retained
 //	lockorder   nested mutex acquisitions must respect the declared partial order
 //	walerr      errors on WAL/storage write paths must not be discarded
 //	sendstop    exec/cluster goroutine sends need a proven non-blocking exit

@@ -1,0 +1,102 @@
+// Package fixtures exercises the vecown analyzer: the *vec.Batch returned
+// by NextVec — and every slab reachable from it — must not be stored
+// beyond the batch lifetime. Boxed values and materialized rows are
+// independent storage and retainable.
+package fixtures
+
+import (
+	"repro/internal/types"
+	"repro/internal/vec"
+)
+
+type vecSrc struct{ b *vec.Batch }
+
+func (v *vecSrc) NextVec() (*vec.Batch, bool, error) { return v.b, true, nil }
+
+type sink struct {
+	last *vec.Batch
+	sel  []int32
+	ints []int64
+	col  vec.Col
+	n    int
+	v    types.Value
+	rows []types.Row
+}
+
+var lastVec *vec.Batch
+
+func leakBatchField(src *vecSrc, s *sink) {
+	b, _, _ := src.NextVec()
+	s.last = b // want "stored into field"
+}
+
+func leakSelSlab(src *vecSrc, s *sink) {
+	b, _, _ := src.NextVec()
+	s.sel = b.Sel // want "stored into field"
+}
+
+func leakColSlab(src *vecSrc, s *sink) {
+	b, _, _ := src.NextVec()
+	s.ints = b.Cols[0].I // want "stored into field"
+}
+
+func leakColHeader(src *vecSrc, s *sink) {
+	b, _, _ := src.NextVec()
+	s.col = b.Cols[0] // want "stored into field"
+}
+
+func leakAlias(src *vecSrc, s *sink) {
+	b, _, _ := src.NextVec()
+	sel := b.Sel[:0]
+	s.sel = sel // want "stored into field"
+}
+
+func leakPackageVar(src *vecSrc) {
+	b, _, _ := src.NextVec()
+	lastVec = b // want "package variable"
+}
+
+func leakClosure(src *vecSrc) func() int {
+	b, _, _ := src.NextVec()
+	return func() int {
+		return b.N // want "escaping closure"
+	}
+}
+
+// okScalar: b.N copies a scalar, nothing producer-owned is retained.
+func okScalar(src *vecSrc, s *sink) {
+	b, _, _ := src.NextVec()
+	s.n = b.N
+}
+
+// okBoxedValue: Col.Value boxes into independent storage, retainable by
+// contract.
+func okBoxedValue(src *vecSrc, s *sink) {
+	b, _, _ := src.NextVec()
+	s.v = b.Cols[0].Value(0)
+}
+
+// okMaterialize: Materialize flattens the batch into rows the caller owns.
+func okMaterialize(src *vecSrc, s *sink) {
+	b, _, _ := src.NextVec()
+	s.rows = b.Materialize(nil)
+}
+
+// okSelRewrite: the contract lets the consumer rewrite Sel in place —
+// writes INTO the batch are sanctioned.
+func okSelRewrite(src *vecSrc) {
+	b, _, _ := src.NextVec()
+	b.Sel = b.Sel[:0]
+}
+
+// okImmediateClosure runs before the next NextVec can be issued.
+func okImmediateClosure(src *vecSrc) int {
+	b, _, _ := src.NextVec()
+	return func() int { return b.N }()
+}
+
+func okSuppressed(src *vecSrc, s *sink) {
+	b, _, _ := src.NextVec()
+	//lint:ignore vecown fixture: cursor is consumed before the next NextVec
+	s.last = b
+}

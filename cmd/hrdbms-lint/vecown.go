@@ -1,0 +1,254 @@
+package main
+
+// vecown enforces the VecOperator ownership contract documented in
+// internal/exec/vector.go and internal/vec: the *vec.Batch returned by
+// NextVec — and every slab reachable from it (Sel, a column's I/F/Codes/
+// Nulls slices, a Col header copy) — is valid only until the producer's
+// next NextVec or Close call. Storing the batch pointer or a slab into a
+// struct field, a package variable, or a closure that outlives the
+// statement retains memory the producer is about to reset and refill.
+// Boxed values (Col.Value(i)) and materialized rows (Batch.Materialize,
+// Batch.ReadRow) are independent storage and may be retained.
+//
+// The analysis is the vector sibling of slabown and intra-procedural in
+// the same way: it tracks variables bound to a NextVec result (and their
+// aliases and derived slabs) through the function and flags
+//
+//   - assignment of a batch/slab expression to a struct field or
+//     package-level variable, and
+//   - any use of a tracked variable inside a function literal that is not
+//     invoked on the spot.
+//
+// Writes INTO the tracked batch are sanctioned — the contract explicitly
+// lets the consumer rewrite b.Sel in place — so stores whose destination
+// is itself rooted at a tracked batch never trip the rule. Function-call
+// results (Value, Materialize, ReadRow) resolve to no root and are the
+// sanctioned escape hatch, as are scalar reads like b.N.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+var vecownAnalyzer = &Analyzer{
+	Name: "vecown",
+	Doc:  "flags NextVec batches (or their column slabs) stored into fields, package vars, or escaping closures",
+	Run:  runVecown,
+}
+
+func runVecown(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		funcBodies(f, func(name string, body *ast.BlockStmt) {
+			checkVecBody(p, body)
+			for _, lit := range nestedFuncLits(body) {
+				checkVecFuncLits(p, lit.Body)
+			}
+		})
+	}
+}
+
+// checkVecFuncLits recurses the per-literal analysis: each literal body is
+// its own scope for batches acquired inside it.
+func checkVecFuncLits(p *Pass, body *ast.BlockStmt) {
+	checkVecBody(p, body)
+	for _, lit := range nestedFuncLits(body) {
+		checkVecFuncLits(p, lit.Body)
+	}
+}
+
+// isVecNamed reports whether t is the named type internal/vec.<name>.
+func isVecNamed(t types.Type, name string) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == name && obj.Pkg() != nil && strings.HasSuffix(obj.Pkg().Path(), "internal/vec")
+}
+
+// isVecBatchPtr reports whether t is *vec.Batch.
+func isVecBatchPtr(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	return ok && isVecNamed(ptr.Elem(), "Batch")
+}
+
+// isNextVecCall reports whether call is a NextVec returning a vector batch.
+func isNextVecCall(p *Pass, call *ast.CallExpr) bool {
+	if calleeName(call) != "NextVec" {
+		return false
+	}
+	results := resultTuple(p.Pkg.Info, call)
+	return len(results) > 0 && isVecBatchPtr(results[0])
+}
+
+// vecHazardType reports whether retaining a value of type t can retain
+// producer-owned slab memory: the batch pointer itself, any slice (Sel,
+// I/F/Codes/Nulls, Cols), any pointer derived from the batch, or a Col
+// header copy (a struct of slice headers). Scalars and boxed values are
+// safe.
+func vecHazardType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch x := t.(type) {
+	case *types.Slice, *types.Pointer:
+		return true
+	case *types.Named:
+		return isVecNamed(x, "Col") || isVecNamed(x, "Batch")
+	}
+	return false
+}
+
+// vecRoot resolves an expression to the batch variable it is derived from:
+// the ident itself, or the root of a selector/index/slice chain (b.Sel,
+// b.Cols[i].I, b.Sel[:n], &b.Cols[i]). Call results are NOT derived —
+// Value/Materialize/ReadRow produce independent storage by contract.
+func vecRoot(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// checkVecBody analyzes one function body (not descending into nested
+// literals except to look for escaping uses of this body's batches).
+func checkVecBody(p *Pass, body *ast.BlockStmt) {
+	info := p.Pkg.Info
+
+	// Pass 1: collect tracked objects — NextVec results and, to fixpoint,
+	// their aliases and derived slabs. Only hazard-typed bindings are
+	// tracked: n := b.N copies a scalar and retains nothing.
+	tracked := map[types.Object]bool{}
+	ownLit := map[ast.Node]bool{} // nested literal subtrees, skipped in pass 1
+	for _, lit := range nestedFuncLits(body) {
+		ownLit[lit] = true
+	}
+	scan := func() bool {
+		changed := false
+		ast.Inspect(body, func(n ast.Node) bool {
+			if ownLit[n] {
+				return false
+			}
+			as, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			mark := func(lhs ast.Expr) {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || id.Name == "_" {
+					return
+				}
+				if obj := defOrUse(info, id); obj != nil && !tracked[obj] {
+					tracked[obj] = true
+					changed = true
+				}
+			}
+			if len(as.Rhs) == 1 {
+				if call, ok := as.Rhs[0].(*ast.CallExpr); ok && isNextVecCall(p, call) {
+					mark(as.Lhs[0])
+					return true
+				}
+			}
+			if len(as.Lhs) == len(as.Rhs) {
+				for i, rhs := range as.Rhs {
+					if !vecHazardType(info.TypeOf(rhs)) {
+						continue
+					}
+					if root := vecRoot(rhs); root != nil {
+						if obj := info.Uses[root]; obj != nil && tracked[obj] {
+							mark(as.Lhs[i])
+						}
+					}
+				}
+			}
+			return true
+		})
+		return changed
+	}
+	for scan() {
+	}
+	if len(tracked) == 0 {
+		return
+	}
+
+	isTrackedExpr := func(e ast.Expr) bool {
+		root := vecRoot(e)
+		if root == nil {
+			return false
+		}
+		obj := info.Uses[root]
+		return obj != nil && tracked[obj]
+	}
+
+	// Pass 2: flag stores into fields and package variables. A destination
+	// rooted at a tracked batch is a write INTO the batch (b.Sel = ...),
+	// sanctioned by the contract.
+	ast.Inspect(body, func(n ast.Node) bool {
+		if ownLit[n] {
+			return false
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			if !vecHazardType(info.TypeOf(rhs)) || !isTrackedExpr(rhs) {
+				continue
+			}
+			switch lhs := as.Lhs[i].(type) {
+			case *ast.SelectorExpr:
+				if isTrackedExpr(lhs) {
+					continue // write into the batch itself (e.g. b.Sel = sel)
+				}
+				p.Report("vecown", rhs.Pos(), fmt.Sprintf(
+					"NextVec batch slab stored into field %s outlives the batch: it is only valid until the producer's next NextVec/Close (materialize or copy; boxed values are retainable, slabs are not)",
+					lhs.Sel.Name))
+			case *ast.Ident:
+				if obj := defOrUse(info, lhs); obj != nil && isPackageLevel(obj) {
+					p.Report("vecown", rhs.Pos(), fmt.Sprintf(
+						"NextVec batch slab stored into package variable %s outlives the batch: it is only valid until the producer's next NextVec/Close (materialize or copy)",
+						lhs.Name))
+				}
+			}
+		}
+		return true
+	})
+
+	// Pass 3: flag tracked uses inside closures that are not invoked on the
+	// spot — by the time a goroutine or stored callback runs, the producer
+	// may have reset and refilled the batch.
+	parents := parentMap(body)
+	for _, lit := range nestedFuncLits(body) {
+		if call, ok := parents[lit].(*ast.CallExpr); ok && call.Fun == lit {
+			continue // immediately invoked: runs before the next NextVec
+		}
+		ast.Inspect(lit, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if obj := info.Uses[id]; obj != nil && tracked[obj] {
+				p.Report("vecown", id.Pos(), fmt.Sprintf(
+					"NextVec batch %s captured by an escaping closure: the closure may run after the producer reclaims the batch (materialize the rows before capture)", id.Name))
+				return false
+			}
+			return true
+		})
+	}
+}

@@ -69,6 +69,11 @@ type ExecProfile struct {
 	// SortParallelism is the worker count requested for parallel sort-run
 	// generation on worker nodes. 0/1 = serial.
 	SortParallelism int
+	// VectorizedScan runs columnar fragment scans through the typed vector
+	// path (exec.VecColumnarScan): column slabs decode straight into
+	// vec.Batch columns with no per-value boxing. The vector scan decodes
+	// serially, so ScanParallelism does not apply to it.
+	VectorizedScan bool
 }
 
 // HRDBMSProfile is the paper's system: everything on.
@@ -83,6 +88,7 @@ func HRDBMSProfile() ExecProfile {
 		ScanParallelism:     4,
 		AggParallelism:      4,
 		SortParallelism:     4,
+		VectorizedScan:      true,
 	}
 }
 

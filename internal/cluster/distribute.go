@@ -350,7 +350,15 @@ func (q *queryExec) distributeScan(x *plan.Scan) (*dstream, exec.Operator, error
 			if fr == nil {
 				return nil, nil, fmt.Errorf("cluster: worker %d has no fragment of %s", w.ID, name)
 			}
-			op = exec.NewColumnarScan(fr, x.Alias, wcfg)
+			if q.prof.VectorizedScan {
+				// The vector scan decodes pages serially into typed slabs;
+				// morsel parallelism belongs to the boxed scan only.
+				vcfg := wcfg
+				vcfg.Parallel = 0
+				op = exec.FromVec(exec.NewVecColumnarScan(fr, x.Alias, vcfg))
+			} else {
+				op = exec.NewColumnarScan(fr, x.Alias, wcfg)
+			}
 		} else {
 			fr := w.frags[name]
 			if fr == nil {

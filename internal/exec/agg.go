@@ -249,7 +249,15 @@ type HashAggregate struct {
 // the input schema must be groupCols ++ partial states (4 columns per spec).
 func NewHashAggregate(ctx *Ctx, in Operator, groupBy []expr.Expr, specs []AggSpec, mode AggMode) *HashAggregate {
 	h := &HashAggregate{In: in, GroupBy: groupBy, Specs: specs, Mode: mode, ctx: ctx}
-	inSch := in.Schema()
+	h.out = aggOutputSchema(in.Schema(), groupBy, specs, mode)
+	return h
+}
+
+// aggOutputSchema computes the aggregation output schema: group columns
+// followed by either partial-state columns (Partial/Merge) or final value
+// columns. Shared by the row and the vector aggregate so both emit
+// identically-typed rows.
+func aggOutputSchema(inSch types.Schema, groupBy []expr.Expr, specs []AggSpec, mode AggMode) types.Schema {
 	var cols []types.Column
 	for gi, g := range groupBy {
 		name := g.String()
@@ -289,8 +297,7 @@ func NewHashAggregate(ctx *Ctx, in Operator, groupBy []expr.Expr, specs []AggSpe
 			cols = append(cols, types.Column{Name: sp.Name, Kind: kind})
 		}
 	}
-	h.out = types.Schema{Cols: cols}
-	return h
+	return types.Schema{Cols: cols}
 }
 
 // Schema implements Operator.

@@ -11,6 +11,7 @@ import (
 	"repro/internal/network"
 	"repro/internal/topology"
 	"repro/internal/types"
+	"repro/internal/vec"
 )
 
 // Exchange operators move rows between nodes. The shuffle comes in two
@@ -33,16 +34,22 @@ const (
 // reaches callers (an abandoned stream has no consumer to report to).
 var errShuffleClosed = errors.New("exec: shuffle closed")
 
-func encodeBatch(msgType byte, origin int, rows []types.Row) []byte {
-	buf := make([]byte, 0, 64)
+// exchangeHeader appends the 3-byte exchange header. The receive loop and
+// hub forwarding read Payload[0] (type) and Payload[1:3] (origin) directly,
+// so the header layout is load-bearing independent of the row encoding.
+func exchangeHeader(buf []byte, msgType byte, origin int) []byte {
 	buf = append(buf, msgType)
 	var o [2]byte
 	binary.LittleEndian.PutUint16(o[:], uint16(origin))
-	buf = append(buf, o[:]...)
-	for _, r := range rows {
-		buf = types.AppendRow(buf, r)
-	}
-	return buf
+	return append(buf, o[:]...)
+}
+
+// encodeBatch serializes rows column-wise (typed arrays, null bitmaps,
+// per-message string dictionaries — see vec wire format) behind the
+// exchange header. The LZ4 framing in the network layer composes on top.
+func encodeBatch(msgType byte, origin int, rows []types.Row) []byte {
+	buf := exchangeHeader(make([]byte, 0, 64), msgType, origin)
+	return vec.EncodeRows(buf, rows)
 }
 
 func decodeBatch(b []byte) (msgType byte, origin int, rows []types.Row, err error) {
@@ -51,14 +58,9 @@ func decodeBatch(b []byte) (msgType byte, origin int, rows []types.Row, err erro
 	}
 	msgType = b[0]
 	origin = int(binary.LittleEndian.Uint16(b[1:]))
-	pos := 3
-	for pos < len(b) {
-		r, n, err := types.DecodeRow(b[pos:])
-		if err != nil {
-			return 0, 0, nil, err
-		}
-		rows = append(rows, r)
-		pos += n
+	rows, err = vec.DecodeRows(b[3:])
+	if err != nil {
+		return 0, 0, nil, err
 	}
 	return msgType, origin, rows, nil
 }
@@ -425,6 +427,9 @@ func SendAll(ctx *Ctx, ep network.Endpoint, to int, channel string, in Operator)
 	}
 	defer in.Close()
 	wire := ctx.wireBatchRows()
+	if v, ok := nativeVec(in); ok {
+		return sendAllVec(ep, to, channel, v, wire)
+	}
 	var batch []types.Row
 	flush := func() error {
 		if len(batch) == 0 {
@@ -456,6 +461,36 @@ func SendAll(ctx *Ctx, ep network.Endpoint, to int, channel string, in Operator)
 	}
 	if err := flush(); err != nil {
 		return err
+	}
+	return ep.Send(to, to, channel, encodeBatch(msgEOF, ep.NodeID(), nil))
+}
+
+// sendAllVec is SendAll's vector-native path: batches are encoded straight
+// from typed column slabs — no boxed row materialization on the send side —
+// chunked into wire messages of at most wire active rows each, so message
+// counts derive from the same Ctx.BatchRows knob as the row path.
+func sendAllVec(ep network.Endpoint, to int, channel string, v VecOperator, wire int) error {
+	for {
+		b, ok, err := v.NextVec()
+		if err != nil {
+			_ = ep.Send(to, to, channel, encodeBatch(msgEOF, ep.NodeID(), nil))
+			return err
+		}
+		if !ok {
+			break
+		}
+		n := b.Rows()
+		for off := 0; off < n; off += wire {
+			end := off + wire
+			if end > n {
+				end = n
+			}
+			payload := exchangeHeader(make([]byte, 0, 64), msgData, ep.NodeID())
+			payload = vec.EncodeBatch(payload, b, off, end)
+			if err := ep.Send(to, to, channel, payload); err != nil {
+				return err
+			}
+		}
 	}
 	return ep.Send(to, to, channel, encodeBatch(msgEOF, ep.NodeID(), nil))
 }

@@ -6,6 +6,7 @@ import (
 	"repro/internal/network"
 	"repro/internal/obs"
 	"repro/internal/types"
+	"repro/internal/vec"
 )
 
 // Traced wraps an operator and charges its Open/Next/Close time and output
@@ -20,12 +21,21 @@ type Traced struct {
 // NewTraced wraps in with span sp. If sp is nil the operator is returned
 // unwrapped. A batch-native input gets a wrapper that is itself
 // batch-native — embedding alone would hide NextBatch behind the Operator
-// interface and silently drop the whole plan to the row path.
+// interface and silently drop the whole plan to the row path. Likewise a
+// vector-native input gets a wrapper exposing NextVec, so tracing never
+// demotes a vector plan to boxed rows.
 func NewTraced(in Operator, sp *obs.Span) Operator {
 	if sp == nil {
 		return in
 	}
 	t := &Traced{in: in, sp: sp}
+	if vin, ok := nativeVec(in); ok {
+		tv := &tracedVec{Traced: t, vin: vin}
+		if bin, ok := nativeBatch(in); ok {
+			return &tracedVecBatch{tracedVec: tv, bin: bin}
+		}
+		return tv
+	}
 	if bin, ok := nativeBatch(in); ok {
 		return &tracedBatch{Traced: t, bin: bin}
 	}
@@ -35,6 +45,12 @@ func NewTraced(in Operator, sp *obs.Span) Operator {
 // Unwrap returns the operator beneath a Traced wrapper (or op itself).
 // Plan-shape assertions and re-wrapping logic see through tracing with it.
 func Unwrap(op Operator) Operator {
+	if t, ok := op.(*tracedVecBatch); ok {
+		return t.in
+	}
+	if t, ok := op.(*tracedVec); ok {
+		return t.in
+	}
 	if t, ok := op.(*tracedBatch); ok {
 		return t.in
 	}
@@ -89,6 +105,46 @@ type tracedBatch struct {
 
 // NextBatch pulls one slab, charging time and counting rows and batches.
 func (t *tracedBatch) NextBatch() ([]types.Row, bool, error) {
+	start := time.Now()
+	b, ok, err := t.bin.NextBatch()
+	t.sp.AddWall(time.Since(start))
+	if ok && err == nil {
+		t.sp.AddRowsOut(int64(len(b)))
+		t.sp.AddBatches(1)
+	}
+	return b, ok, err
+}
+
+// tracedVec is the Traced wrapper for vector-native operators: NextVec
+// charges time, the batch's active rows, and the vector-batch counter, so
+// EXPLAIN ANALYZE shows the vector path in effect.
+type tracedVec struct {
+	*Traced
+	vin VecOperator
+}
+
+// NextVec pulls one vector batch, charging time, rows, and batch count.
+func (t *tracedVec) NextVec() (*vec.Batch, bool, error) {
+	start := time.Now()
+	b, ok, err := t.vin.NextVec()
+	t.sp.AddWall(time.Since(start))
+	if ok && err == nil {
+		t.sp.AddRowsOut(int64(b.Rows()))
+		t.sp.AddVecBatches(1)
+	}
+	return b, ok, err
+}
+
+// tracedVecBatch additionally forwards the batch face of an operator that
+// is both vector- and batch-native, so consumers on either path keep their
+// native protocol through the tracing wrapper.
+type tracedVecBatch struct {
+	*tracedVec
+	bin BatchOperator
+}
+
+// NextBatch pulls one slab, charging time and counting rows and batches.
+func (t *tracedVecBatch) NextBatch() ([]types.Row, bool, error) {
 	start := time.Now()
 	b, ok, err := t.bin.NextBatch()
 	t.sp.AddWall(time.Since(start))

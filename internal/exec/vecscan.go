@@ -1,0 +1,206 @@
+package exec
+
+import (
+	"repro/internal/page"
+	"repro/internal/storage"
+	"repro/internal/types"
+	"repro/internal/vec"
+)
+
+// vecScanFeed is the vector sibling of scanFeed: a scan thread decodes PAX
+// page sets straight into typed column slabs and ships whole *vec.Batch
+// values across one channel. Each shipped batch is freshly built with its
+// own dictionaries (never touched by the scan thread again), so consumers
+// own shipped batches outright — stronger than the NextVec contract needs —
+// and no dictionary is ever shared across the goroutine boundary while
+// still being appended to.
+type vecScanFeed struct {
+	sch     types.Schema
+	start   func(snd *vecBatchSender) error
+	batches chan *vec.Batch
+	errCh   chan error
+	stop    chan struct{}
+	batch   int
+	depth   int
+	started bool
+	closed  bool
+}
+
+func (s *vecScanFeed) Schema() types.Schema { return s.sch }
+
+func (s *vecScanFeed) Open() error {
+	if s.batch <= 0 {
+		s.batch = DefaultBatchRows
+	}
+	if s.depth <= 0 {
+		s.depth = DefaultScanFeedDepth
+	}
+	s.batches = make(chan *vec.Batch, s.depth)
+	s.errCh = make(chan error, 1)
+	s.stop = make(chan struct{})
+	s.started = false
+	s.closed = false
+	return nil
+}
+
+func (s *vecScanFeed) launch() {
+	s.started = true
+	go func() {
+		snd := &vecBatchSender{out: s.batches, stop: s.stop, sch: s.sch, size: s.batch}
+		err := s.start(snd)
+		if err != nil {
+			select {
+			case s.errCh <- err:
+			case <-s.stop:
+				// Consumer closed early; nobody will read the error.
+			}
+		}
+		close(s.batches)
+	}()
+}
+
+// NextVec implements the vector half of VecOperator.
+func (s *vecScanFeed) NextVec() (*vec.Batch, bool, error) {
+	if !s.started {
+		s.launch()
+	}
+	b, ok := <-s.batches
+	if ok {
+		return b, true, nil
+	}
+	select {
+	case err := <-s.errCh:
+		return nil, false, err
+	default:
+		return nil, false, nil
+	}
+}
+
+func (s *vecScanFeed) Close() error {
+	if !s.closed {
+		s.closed = true
+		if s.stop != nil {
+			close(s.stop)
+		}
+		// Drain so the producer goroutine can exit; bounded exactly like
+		// scanFeed.Close (the producer observes stop in flush).
+		if s.batches != nil {
+			go func(ch chan *vec.Batch) {
+				for range ch {
+				}
+			}(s.batches)
+		}
+	}
+	return nil
+}
+
+// vecBatchSender accumulates decoded page sets into a batch and ships the
+// batch once it reaches the slab size. Shipped batches are never reused.
+type vecBatchSender struct {
+	out   chan<- *vec.Batch
+	stop  <-chan struct{}
+	sch   types.Schema
+	size  int
+	cur   *vec.Batch
+	sent  int64
+	nrows int64
+}
+
+// building returns the batch under construction, allocating a fresh one
+// (fresh dictionaries) after every flush.
+func (b *vecBatchSender) building() *vec.Batch {
+	if b.cur == nil {
+		b.cur = vec.New(b.sch)
+	}
+	return b.cur
+}
+
+// maybeFlush ships the batch when full; reports false when the consumer is
+// gone and the scan should abort.
+func (b *vecBatchSender) maybeFlush() bool {
+	if b.cur == nil || b.cur.N < b.size {
+		return true
+	}
+	return b.flush()
+}
+
+// flush ships the current batch (if non-empty).
+func (b *vecBatchSender) flush() bool {
+	if b.cur == nil || b.cur.N == 0 {
+		return true
+	}
+	select {
+	case b.out <- b.cur:
+		b.sent++
+		b.nrows += int64(b.cur.N)
+		b.cur = nil
+		return true
+	case <-b.stop:
+		return false
+	}
+}
+
+// VecColumnarScan is the vector-native PAX-table scan: page sets are
+// decoded column-wise into typed slabs while their frames stay pinned —
+// no boxed row slab is ever materialized. Page-set skipping (predicate
+// cache and min-max) applies as in ColumnarScan; per-row predicate
+// evaluation moves downstream into a VecFilter (see NewVecColumnarScan),
+// so predicate-cache absence recording does not happen on this path. The
+// scan thread is serial; morsel-parallel scans stay on the row path.
+type VecColumnarScan struct {
+	vecScanFeed
+	vecRowShim
+	fr  *storage.ColumnarFragment
+	cfg ScanConfig
+}
+
+// NewVecColumnarScan builds a vectorized scan over a columnar fragment.
+// When cfg.Pred is set, the scan is wrapped in a VecFilter so the returned
+// operator drops non-matching rows exactly like ColumnarScan does.
+func NewVecColumnarScan(fr *storage.ColumnarFragment, alias string, cfg ScanConfig) VecOperator {
+	sch := fr.Def.Schema
+	if alias != "" {
+		sch = sch.Qualify(alias)
+	}
+	cs := &VecColumnarScan{fr: fr, cfg: cfg}
+	cs.vecScanFeed.sch = sch
+	cs.vecScanFeed.start = cs.run
+	cs.vecScanFeed.batch = cfg.BatchRows
+	cs.vecScanFeed.depth = cfg.Ctx.scanFeedDepth()
+	cs.vecRowShim.src = cs
+	if cfg.Pred != nil {
+		return NewVecFilter(cfg.Ctx, cs, cfg.Pred)
+	}
+	return cs
+}
+
+// Open implements Operator.
+func (cs *VecColumnarScan) Open() error {
+	cs.cur, cs.pos = nil, 0
+	return cs.vecScanFeed.Open()
+}
+
+func (cs *VecColumnarScan) run(snd *vecBatchSender) error {
+	opts := buildScanOptions(cs.cfg)
+	stats, err := cs.fr.ScanPageSets(opts, func(set page.PageSet) (bool, error) {
+		b := snd.building()
+		for ci := range set.Pages {
+			col := &b.Cols[ci]
+			if derr := set.Pages[ci].DecodeInto(func(v types.Value) bool {
+				col.Append(v)
+				return true
+			}); derr != nil {
+				return false, derr
+			}
+		}
+		b.N += set.NumRows()
+		return snd.maybeFlush(), nil
+	})
+	snd.flush()
+	if cs.cfg.Stats != nil {
+		*cs.cfg.Stats = stats
+	}
+	cs.cfg.Trace.AddScan(stats.RowsRead, stats.PagesRead, stats.PagesSkipped)
+	cs.cfg.Trace.AddVecBatches(snd.sent)
+	return err
+}

@@ -1,0 +1,1108 @@
+package exec
+
+import (
+	"errors"
+	"strings"
+
+	"repro/internal/expr"
+	"repro/internal/types"
+	"repro/internal/vec"
+)
+
+// VecOperator is the typed-columnar sibling of BatchOperator: NextVec
+// returns a *vec.Batch of unboxed column slabs instead of a boxed row slab.
+//
+// Ownership mirrors the slab contract (see vec package doc): the returned
+// batch — column slabs, bitmaps, and selection vector — is valid only until
+// the producer's next NextVec or Close; the caller may rewrite Sel in place
+// but must not retain the batch or its arrays. Boxed values copied out are
+// immutable and retainable.
+type VecOperator interface {
+	Operator
+	// NextVec returns the next batch; ok=false signals exhaustion.
+	// Implementations never return a batch with zero active rows and
+	// ok=true.
+	NextVec() (*vec.Batch, bool, error)
+}
+
+// nativeVec reports whether the operator exposes a native vector path.
+func nativeVec(op Operator) (VecOperator, bool) {
+	v, ok := op.(VecOperator)
+	return v, ok
+}
+
+// vecFromRows adapts a row/batch producer to the vector path by boxing row
+// slabs into a reused batch. The adapter owns the batch (and its string
+// dictionaries, so codes stay stable across the stream).
+type vecFromRows struct {
+	in    Operator
+	bin   BatchOperator
+	batch *vec.Batch
+}
+
+// ToVec returns a VecOperator view of op: the operator itself when it is
+// vector-native, otherwise a boxing adapter pulling row slabs of the given
+// size (0 = DefaultBatchRows).
+func ToVec(op Operator, size int) VecOperator {
+	if v, ok := nativeVec(op); ok {
+		return v
+	}
+	if size <= 0 {
+		size = DefaultBatchRows
+	}
+	return &vecFromRows{in: op, bin: ToBatch(op, size)}
+}
+
+func (a *vecFromRows) Schema() types.Schema { return a.in.Schema() }
+func (a *vecFromRows) Open() error          { return a.in.Open() }
+func (a *vecFromRows) Close() error         { return a.in.Close() }
+
+func (a *vecFromRows) Next() (types.Row, bool, error) { return a.in.Next() }
+
+func (a *vecFromRows) NextVec() (*vec.Batch, bool, error) {
+	rows, ok, err := a.bin.NextBatch()
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	a.batch = vec.FromRows(a.in.Schema(), rows, a.batch)
+	return a.batch, true, nil
+}
+
+// FromVec returns the row-path view of a vector operator. Vector operators
+// implement Operator/BatchOperator themselves (via vecRowShim), so this is
+// the identity; it exists to mark adapter seams in plans.
+func FromVec(op VecOperator) Operator { return op }
+
+// vecRowShim gives a vector-native operator its Operator/BatchOperator
+// faces by materializing batches from the owner's NextVec. Embedders set
+// src to themselves in their constructor.
+type vecRowShim struct {
+	src  VecOperator
+	cur  *vec.Batch
+	pos  int
+	slab []types.Row
+}
+
+func (s *vecRowShim) Next() (types.Row, bool, error) {
+	for s.cur == nil || s.pos >= s.cur.Rows() {
+		b, ok, err := s.src.NextVec()
+		if err != nil || !ok {
+			s.cur = nil
+			return nil, false, err
+		}
+		//lint:ignore vecown row cursor: consumed before the next NextVec
+		s.cur = b
+		s.pos = 0
+	}
+	i := s.cur.Index(s.pos)
+	s.pos++
+	// Row values must be retainable: box into a fresh row.
+	row := make(types.Row, len(s.cur.Cols))
+	return s.cur.ReadRow(i, row), true, nil
+}
+
+func (s *vecRowShim) NextBatch() ([]types.Row, bool, error) {
+	b, ok, err := s.src.NextVec()
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	s.slab = b.Materialize(s.slab)
+	return s.slab, true, nil
+}
+
+// errVecFallback signals that a compiled kernel met a runtime layout it
+// cannot handle (e.g. a demoted boxed column); the operator re-evaluates
+// the batch through the row expression path, preserving exact semantics.
+var errVecFallback = errors.New("exec: vector kernel fallback")
+
+// numVec is a compiled numeric result over the active rows of a batch:
+// dense (index k = k-th active row), all-int or all-float, with an optional
+// dense null mask.
+type numVec struct {
+	isFloat bool
+	i       []int64
+	f       []float64
+	null    []bool // nil = no nulls
+}
+
+// numNode evaluates a numeric (INT/FLOAT/DATE) expression vectorized.
+type numNode interface {
+	evalNum(b *vec.Batch, n int) (numVec, error)
+}
+
+// boolNode evaluates a boolean expression vectorized into dense truth and
+// null masks (SQL three-valued logic: null[k] overrides t[k]).
+type boolNode interface {
+	evalBool(b *vec.Batch, n int) (t, null []bool, err error)
+}
+
+func growBools(s []bool, n int) []bool {
+	if cap(s) < n {
+		return make([]bool, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = false
+	}
+	return s
+}
+
+func growInts(s []int64, n int) []int64 {
+	if cap(s) < n {
+		return make([]int64, n)
+	}
+	return s[:n]
+}
+
+func growFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+// numColNode gathers a typed numeric column through the selection vector.
+type numColNode struct {
+	idx  int
+	i    []int64
+	f    []float64
+	null []bool
+}
+
+func (nc *numColNode) evalNum(b *vec.Batch, n int) (numVec, error) {
+	c := &b.Cols[nc.idx]
+	switch c.Form {
+	case vec.FormInt:
+		if b.Sel == nil && len(c.Nulls) == 0 {
+			return numVec{i: c.I[:n]}, nil // zero-copy passthrough
+		}
+		nc.i = growInts(nc.i, n)
+		var null []bool
+		for k := 0; k < n; k++ {
+			i := b.Index(k)
+			nc.i[k] = c.I[i]
+			if c.IsNull(i) {
+				if null == nil {
+					null = growBools(nc.null, n)
+				}
+				null[k] = true
+			}
+		}
+		if null != nil {
+			nc.null = null
+		}
+		return numVec{i: nc.i, null: null}, nil
+	case vec.FormFloat:
+		if b.Sel == nil && len(c.Nulls) == 0 {
+			return numVec{isFloat: true, f: c.F[:n]}, nil
+		}
+		nc.f = growFloats(nc.f, n)
+		var null []bool
+		for k := 0; k < n; k++ {
+			i := b.Index(k)
+			nc.f[k] = c.F[i]
+			if c.IsNull(i) {
+				if null == nil {
+					null = growBools(nc.null, n)
+				}
+				null[k] = true
+			}
+		}
+		if null != nil {
+			nc.null = null
+		}
+		return numVec{isFloat: true, f: nc.f, null: null}, nil
+	default:
+		return numVec{}, errVecFallback
+	}
+}
+
+// numConstNode broadcasts a literal.
+type numConstNode struct {
+	isFloat bool
+	iv      int64
+	fv      float64
+	i       []int64
+	f       []float64
+}
+
+func (nc *numConstNode) evalNum(_ *vec.Batch, n int) (numVec, error) {
+	if nc.isFloat {
+		nc.f = growFloats(nc.f, n)
+		for k := range nc.f {
+			nc.f[k] = nc.fv
+		}
+		return numVec{isFloat: true, f: nc.f}, nil
+	}
+	nc.i = growInts(nc.i, n)
+	for k := range nc.i {
+		nc.i[k] = nc.iv
+	}
+	return numVec{i: nc.i}, nil
+}
+
+// arithNode is vectorized +, -, * with int/float promotion (matching
+// expr.arith for INT/FLOAT operands; DATE arithmetic is not compiled).
+type arithNode struct {
+	op     expr.BinOp
+	l, r   numNode
+	i      []int64
+	f      []float64
+	lf, rf []float64
+	null   []bool
+}
+
+func (a *arithNode) evalNum(b *vec.Batch, n int) (numVec, error) {
+	lv, err := a.l.evalNum(b, n)
+	if err != nil {
+		return numVec{}, err
+	}
+	rv, err := a.r.evalNum(b, n)
+	if err != nil {
+		return numVec{}, err
+	}
+	null := mergeNulls(&a.null, lv.null, rv.null, n)
+	if !lv.isFloat && !rv.isFloat {
+		a.i = growInts(a.i, n)
+		switch a.op {
+		case expr.OpAdd:
+			for k := 0; k < n; k++ {
+				a.i[k] = lv.i[k] + rv.i[k]
+			}
+		case expr.OpSub:
+			for k := 0; k < n; k++ {
+				a.i[k] = lv.i[k] - rv.i[k]
+			}
+		default:
+			for k := 0; k < n; k++ {
+				a.i[k] = lv.i[k] * rv.i[k]
+			}
+		}
+		return numVec{i: a.i, null: null}, nil
+	}
+	a.f = growFloats(a.f, n)
+	lf := lv.asFloats(&a.lf)
+	rf := rv.asFloats(&a.rf)
+	switch a.op {
+	case expr.OpAdd:
+		for k := 0; k < n; k++ {
+			a.f[k] = lf[k] + rf[k]
+		}
+	case expr.OpSub:
+		for k := 0; k < n; k++ {
+			a.f[k] = lf[k] - rf[k]
+		}
+	default:
+		for k := 0; k < n; k++ {
+			a.f[k] = lf[k] * rf[k]
+		}
+	}
+	return numVec{isFloat: true, f: a.f, null: null}, nil
+}
+
+// asFloats returns the vector's values as floats, converting ints into the
+// provided scratch slice when needed.
+func (v numVec) asFloats(scratch *[]float64) []float64 {
+	if v.isFloat {
+		return v.f
+	}
+	s := growFloats(*scratch, len(v.i))
+	for k, x := range v.i {
+		s[k] = float64(x)
+	}
+	*scratch = s
+	return s
+}
+
+// mergeNulls ORs two optional dense null masks into owned scratch.
+func mergeNulls(scratch *[]bool, a, b []bool, n int) []bool {
+	if a == nil && b == nil {
+		return nil
+	}
+	s := growBools(*scratch, n)
+	for k := 0; k < n; k++ {
+		s[k] = (a != nil && a[k]) || (b != nil && b[k])
+	}
+	*scratch = s
+	return s
+}
+
+// cmpNumNode is a vectorized numeric comparison. mixed selects float
+// comparison, mirroring types.Compare: same-kind INT/DATE operands compare
+// by integer payload, cross-kind numeric operands compare by Float().
+type cmpNumNode struct {
+	op     expr.BinOp
+	mixed  bool
+	l, r   numNode
+	t      []bool
+	null   []bool
+	lf, rf []float64
+}
+
+func cmpHolds(op expr.BinOp, c int) bool {
+	switch op {
+	case expr.OpEq:
+		return c == 0
+	case expr.OpNe:
+		return c != 0
+	case expr.OpLt:
+		return c < 0
+	case expr.OpLe:
+		return c <= 0
+	case expr.OpGt:
+		return c > 0
+	default:
+		return c >= 0
+	}
+}
+
+func (cn *cmpNumNode) evalBool(b *vec.Batch, n int) ([]bool, []bool, error) {
+	lv, err := cn.l.evalNum(b, n)
+	if err != nil {
+		return nil, nil, err
+	}
+	rv, err := cn.r.evalNum(b, n)
+	if err != nil {
+		return nil, nil, err
+	}
+	null := mergeNulls(&cn.null, lv.null, rv.null, n)
+	cn.t = growBools(cn.t, n)
+	if !cn.mixed && !lv.isFloat && !rv.isFloat {
+		li, ri := lv.i, rv.i
+		switch cn.op {
+		case expr.OpEq:
+			for k := 0; k < n; k++ {
+				cn.t[k] = li[k] == ri[k]
+			}
+		case expr.OpNe:
+			for k := 0; k < n; k++ {
+				cn.t[k] = li[k] != ri[k]
+			}
+		case expr.OpLt:
+			for k := 0; k < n; k++ {
+				cn.t[k] = li[k] < ri[k]
+			}
+		case expr.OpLe:
+			for k := 0; k < n; k++ {
+				cn.t[k] = li[k] <= ri[k]
+			}
+		case expr.OpGt:
+			for k := 0; k < n; k++ {
+				cn.t[k] = li[k] > ri[k]
+			}
+		default:
+			for k := 0; k < n; k++ {
+				cn.t[k] = li[k] >= ri[k]
+			}
+		}
+		return cn.t, null, nil
+	}
+	lf := lv.asFloats(&cn.lf)
+	rf := rv.asFloats(&cn.rf)
+	switch cn.op {
+	case expr.OpEq:
+		for k := 0; k < n; k++ {
+			cn.t[k] = lf[k] == rf[k]
+		}
+	case expr.OpNe:
+		for k := 0; k < n; k++ {
+			cn.t[k] = lf[k] != rf[k]
+		}
+	case expr.OpLt:
+		for k := 0; k < n; k++ {
+			cn.t[k] = lf[k] < rf[k]
+		}
+	case expr.OpLe:
+		for k := 0; k < n; k++ {
+			cn.t[k] = lf[k] <= rf[k]
+		}
+	case expr.OpGt:
+		for k := 0; k < n; k++ {
+			cn.t[k] = lf[k] > rf[k]
+		}
+	default:
+		for k := 0; k < n; k++ {
+			cn.t[k] = lf[k] >= rf[k]
+		}
+	}
+	return cn.t, null, nil
+}
+
+// cmpStrConstNode compares a dictionary string column against a literal.
+// Equality tests resolve the literal to a code once per batch; ordering
+// tests compare dictionary strings per row (still unboxed).
+type cmpStrConstNode struct {
+	op   expr.BinOp
+	idx  int
+	s    string
+	t    []bool
+	null []bool
+}
+
+func (cs *cmpStrConstNode) evalBool(b *vec.Batch, n int) ([]bool, []bool, error) {
+	c := &b.Cols[cs.idx]
+	if c.Form != vec.FormStr {
+		return nil, nil, errVecFallback
+	}
+	cs.t = growBools(cs.t, n)
+	var null []bool
+	for k := 0; k < n; k++ {
+		if c.IsNull(b.Index(k)) {
+			if null == nil {
+				null = growBools(cs.null, n)
+			}
+			null[k] = true
+		}
+	}
+	if null != nil {
+		cs.null = null
+	}
+	switch cs.op {
+	case expr.OpEq, expr.OpNe:
+		code, found := c.Dict.Lookup(cs.s)
+		want := cs.op == expr.OpEq
+		for k := 0; k < n; k++ {
+			cs.t[k] = (found && c.Codes[b.Index(k)] == code) == want
+		}
+	default:
+		for k := 0; k < n; k++ {
+			c2 := strings.Compare(c.Dict.Str(c.Codes[b.Index(k)]), cs.s)
+			cs.t[k] = cmpHolds(cs.op, c2)
+		}
+	}
+	return cs.t, null, nil
+}
+
+// cmpStrColsNode compares two dictionary string columns. When both share
+// one dictionary, equality is pure code comparison.
+type cmpStrColsNode struct {
+	op      expr.BinOp
+	li, ri  int
+	t, null []bool
+}
+
+func (cs *cmpStrColsNode) evalBool(b *vec.Batch, n int) ([]bool, []bool, error) {
+	lc, rc := &b.Cols[cs.li], &b.Cols[cs.ri]
+	if lc.Form != vec.FormStr || rc.Form != vec.FormStr {
+		return nil, nil, errVecFallback
+	}
+	cs.t = growBools(cs.t, n)
+	var null []bool
+	for k := 0; k < n; k++ {
+		i := b.Index(k)
+		if lc.IsNull(i) || rc.IsNull(i) {
+			if null == nil {
+				null = growBools(cs.null, n)
+			}
+			null[k] = true
+		}
+	}
+	if null != nil {
+		cs.null = null
+	}
+	shared := lc.Dict == rc.Dict
+	if shared && (cs.op == expr.OpEq || cs.op == expr.OpNe) {
+		want := cs.op == expr.OpEq
+		for k := 0; k < n; k++ {
+			i := b.Index(k)
+			cs.t[k] = (lc.Codes[i] == rc.Codes[i]) == want
+		}
+		return cs.t, null, nil
+	}
+	for k := 0; k < n; k++ {
+		i := b.Index(k)
+		c2 := strings.Compare(lc.Dict.Str(lc.Codes[i]), rc.Dict.Str(rc.Codes[i]))
+		cs.t[k] = cmpHolds(cs.op, c2)
+	}
+	return cs.t, null, nil
+}
+
+// logicNode is vectorized AND/OR over {true, false, unknown}. Dense
+// evaluation of both sides is safe because compiled nodes cannot raise
+// row-level evaluation errors (division is never compiled).
+type logicNode struct {
+	and     bool
+	l, r    boolNode
+	t, null []bool
+}
+
+func (ln *logicNode) evalBool(b *vec.Batch, n int) ([]bool, []bool, error) {
+	lt, lnull, err := ln.l.evalBool(b, n)
+	if err != nil {
+		return nil, nil, err
+	}
+	// The left result lives in the left child's scratch; evaluating the
+	// right child could share nodes only if the tree aliased, which
+	// compile never produces, so reading lt afterwards is safe.
+	rt, rnull, err := ln.r.evalBool(b, n)
+	if err != nil {
+		return nil, nil, err
+	}
+	ln.t = growBools(ln.t, n)
+	var null []bool
+	for k := 0; k < n; k++ {
+		lN := lnull != nil && lnull[k]
+		rN := rnull != nil && rnull[k]
+		lT := !lN && lt[k]
+		rT := !rN && rt[k]
+		if ln.and {
+			switch {
+			case (!lN && !lT) || (!rN && !rT):
+				ln.t[k] = false
+			case lN || rN:
+				if null == nil {
+					null = growBools(ln.null, n)
+				}
+				null[k] = true
+			default:
+				ln.t[k] = true
+			}
+		} else {
+			switch {
+			case lT || rT:
+				ln.t[k] = true
+			case lN || rN:
+				if null == nil {
+					null = growBools(ln.null, n)
+				}
+				null[k] = true
+			default:
+				ln.t[k] = false
+			}
+		}
+	}
+	if null != nil {
+		ln.null = null
+	}
+	return ln.t, null, nil
+}
+
+// notNode negates a boolean vector; unknown stays unknown.
+type notNode struct {
+	e boolNode
+	t []bool
+}
+
+func (nn *notNode) evalBool(b *vec.Batch, n int) ([]bool, []bool, error) {
+	t, null, err := nn.e.evalBool(b, n)
+	if err != nil {
+		return nil, nil, err
+	}
+	nn.t = growBools(nn.t, n)
+	for k := 0; k < n; k++ {
+		nn.t[k] = !t[k]
+	}
+	return nn.t, null, nil
+}
+
+// isNullColNode vectorizes `col IS [NOT] NULL`.
+type isNullColNode struct {
+	idx    int
+	negate bool
+	t      []bool
+}
+
+func (in *isNullColNode) evalBool(b *vec.Batch, n int) ([]bool, []bool, error) {
+	c := &b.Cols[in.idx]
+	in.t = growBools(in.t, n)
+	for k := 0; k < n; k++ {
+		in.t[k] = c.IsNull(b.Index(k)) != in.negate
+	}
+	return in.t, nil, nil
+}
+
+// boolColNode reads a BOOLEAN column as a predicate.
+type boolColNode struct {
+	idx     int
+	t, null []bool
+}
+
+func (bc *boolColNode) evalBool(b *vec.Batch, n int) ([]bool, []bool, error) {
+	c := &b.Cols[bc.idx]
+	if c.Form != vec.FormInt {
+		return nil, nil, errVecFallback
+	}
+	bc.t = growBools(bc.t, n)
+	var null []bool
+	for k := 0; k < n; k++ {
+		i := b.Index(k)
+		bc.t[k] = c.I[i] != 0
+		if c.IsNull(i) {
+			if null == nil {
+				null = growBools(bc.null, n)
+			}
+			null[k] = true
+		}
+	}
+	if null != nil {
+		bc.null = null
+	}
+	return bc.t, null, nil
+}
+
+func numericExprKind(k types.Kind) bool {
+	return k == types.KindInt || k == types.KindFloat || k == types.KindDate
+}
+
+// compileNum compiles an INT/FLOAT expression to a vectorized node, or nil
+// when the shape is unsupported (the caller falls back to row evaluation).
+// DATE operands are deliberately excluded from compiled arithmetic so the
+// date±int promotion rules stay in one place (expr.arith).
+func compileNum(e expr.Expr, sch types.Schema) numNode {
+	switch x := e.(type) {
+	case *expr.Col:
+		if x.Index < 0 || x.Index >= sch.Len() {
+			return nil
+		}
+		switch sch.Cols[x.Index].Kind {
+		case types.KindInt, types.KindFloat, types.KindDate:
+			return &numColNode{idx: x.Index}
+		}
+		return nil
+	case *expr.Const:
+		switch x.V.K {
+		case types.KindInt:
+			return &numConstNode{iv: x.V.I}
+		case types.KindFloat:
+			return &numConstNode{isFloat: true, fv: x.V.F}
+		}
+		return nil
+	case *expr.Bin:
+		if x.Op != expr.OpAdd && x.Op != expr.OpSub && x.Op != expr.OpMul {
+			return nil
+		}
+		lk, rk := expr.KindOf(x.L, sch), expr.KindOf(x.R, sch)
+		if (lk != types.KindInt && lk != types.KindFloat) || (rk != types.KindInt && rk != types.KindFloat) {
+			return nil
+		}
+		l, r := compileNum(x.L, sch), compileNum(x.R, sch)
+		if l == nil || r == nil {
+			return nil
+		}
+		return &arithNode{op: x.Op, l: l, r: r}
+	}
+	return nil
+}
+
+// compileBool compiles a predicate to a vectorized node, or nil when
+// unsupported. LIKE, BETWEEN, IN, CASE, functions, and division inside
+// predicates all take the row fallback.
+func compileBool(e expr.Expr, sch types.Schema) boolNode {
+	switch x := e.(type) {
+	case *expr.Col:
+		if x.Index >= 0 && x.Index < sch.Len() && sch.Cols[x.Index].Kind == types.KindBool {
+			return &boolColNode{idx: x.Index}
+		}
+		return nil
+	case *expr.Not:
+		if inner := compileBool(x.E, sch); inner != nil {
+			return &notNode{e: inner}
+		}
+		return nil
+	case *expr.IsNull:
+		if c, ok := x.E.(*expr.Col); ok && c.Index >= 0 && c.Index < sch.Len() {
+			return &isNullColNode{idx: c.Index, negate: x.Negate}
+		}
+		return nil
+	case *expr.Bin:
+		if x.Op == expr.OpAnd || x.Op == expr.OpOr {
+			l, r := compileBool(x.L, sch), compileBool(x.R, sch)
+			if l == nil || r == nil {
+				return nil
+			}
+			return &logicNode{and: x.Op == expr.OpAnd, l: l, r: r}
+		}
+		if !x.Op.IsComparison() {
+			return nil
+		}
+		lk, rk := expr.KindOf(x.L, sch), expr.KindOf(x.R, sch)
+		if numericExprKind(lk) && numericExprKind(rk) {
+			l, r := compileNum(x.L, sch), compileNum(x.R, sch)
+			if l == nil || r == nil {
+				return nil
+			}
+			return &cmpNumNode{op: x.Op, mixed: lk != rk, l: l, r: r}
+		}
+		if lk == types.KindString && rk == types.KindString {
+			lc, lok := x.L.(*expr.Col)
+			if !lok {
+				return nil
+			}
+			switch rv := x.R.(type) {
+			case *expr.Const:
+				if rv.V.K == types.KindString {
+					return &cmpStrConstNode{op: x.Op, idx: lc.Index, s: rv.V.S}
+				}
+			case *expr.Col:
+				return &cmpStrColsNode{op: x.Op, li: lc.Index, ri: rv.Index}
+			}
+			return nil
+		}
+		return nil
+	}
+	return nil
+}
+
+// VecFilter evaluates its predicate into the selection vector of the input
+// batch — survivors are recorded as row indices, the column slabs are never
+// copied or compacted. Compiled predicates run typed kernels; unsupported
+// shapes (LIKE, IN, CASE, division, boxed columns) fall back to row
+// evaluation per batch, preserving exact expression semantics.
+type VecFilter struct {
+	vecRowShim
+	ctx     *Ctx
+	in      VecOperator
+	pred    expr.Expr
+	node    boolNode
+	sel     []int32
+	scratch types.Row
+}
+
+// NewVecFilter builds a vectorized filter; the predicate must be bound to
+// the input schema.
+func NewVecFilter(ctx *Ctx, in VecOperator, pred expr.Expr) *VecFilter {
+	f := &VecFilter{ctx: ctx, in: in, pred: pred, node: compileBool(pred, in.Schema())}
+	f.vecRowShim.src = f
+	return f
+}
+
+// Schema implements Operator.
+func (f *VecFilter) Schema() types.Schema { return f.in.Schema() }
+
+// Open implements Operator.
+func (f *VecFilter) Open() error {
+	f.cur, f.pos = nil, 0
+	return f.in.Open()
+}
+
+// Close implements Operator.
+func (f *VecFilter) Close() error { return f.in.Close() }
+
+// NextVec implements VecOperator.
+func (f *VecFilter) NextVec() (*vec.Batch, bool, error) {
+	for {
+		b, ok, err := f.in.NextVec()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		n := b.Rows()
+		if n == 0 {
+			continue
+		}
+		if f.ctx != nil {
+			f.ctx.RowsProcessed.Add(int64(n))
+		}
+		sel := f.sel[:0]
+		compiled := false
+		if f.node != nil {
+			t, null, err := f.node.evalBool(b, n)
+			if err == nil {
+				compiled = true
+				for k := 0; k < n; k++ {
+					if t[k] && (null == nil || !null[k]) {
+						sel = append(sel, int32(b.Index(k)))
+					}
+				}
+			} else if !errors.Is(err, errVecFallback) {
+				return nil, false, err
+			}
+		}
+		if !compiled {
+			if f.scratch == nil {
+				f.scratch = make(types.Row, len(b.Cols))
+			}
+			for k := 0; k < n; k++ {
+				i := b.Index(k)
+				keep, err := expr.EvalBool(f.pred, b.ReadRow(i, f.scratch))
+				if err != nil {
+					return nil, false, err
+				}
+				if keep {
+					sel = append(sel, int32(i))
+				}
+			}
+		}
+		f.sel = sel
+		if len(sel) == 0 {
+			continue
+		}
+		b.Sel = sel
+		return b, true, nil
+	}
+}
+
+// colGather densifies one input column through the batch's selection into
+// operator-owned scratch, so downstream consumers see Sel == nil columns.
+type colGather struct {
+	i     []int64
+	f     []float64
+	codes []int32
+	vals  []types.Value
+	nulls []uint64
+}
+
+func growWords(s []uint64, n int) []uint64 {
+	w := (n + 63) / 64
+	if cap(s) < w {
+		return make([]uint64, w)
+	}
+	s = s[:w]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+func (g *colGather) gather(b *vec.Batch, idx, n int) vec.Col {
+	c := &b.Cols[idx]
+	out := vec.Col{Kind: c.Kind, Form: c.Form, Dict: c.Dict}
+	anyNull := false
+	switch c.Form {
+	case vec.FormInt:
+		g.i = growInts(g.i, n)
+		for k := 0; k < n; k++ {
+			g.i[k] = c.I[b.Index(k)]
+		}
+		out.I = g.i
+	case vec.FormFloat:
+		g.f = growFloats(g.f, n)
+		for k := 0; k < n; k++ {
+			g.f[k] = c.F[b.Index(k)]
+		}
+		out.F = g.f
+	case vec.FormStr:
+		if cap(g.codes) < n {
+			g.codes = make([]int32, n)
+		}
+		g.codes = g.codes[:n]
+		for k := 0; k < n; k++ {
+			g.codes[k] = c.Codes[b.Index(k)]
+		}
+		out.Codes = g.codes
+	default:
+		if cap(g.vals) < n {
+			g.vals = make([]types.Value, n)
+		}
+		g.vals = g.vals[:n]
+		for k := 0; k < n; k++ {
+			g.vals[k] = c.Vals[b.Index(k)]
+		}
+		out.Vals = g.vals
+		return out // boxed carries NULL in Vals, no bitmap
+	}
+	for k := 0; k < n; k++ {
+		if c.IsNull(b.Index(k)) {
+			anyNull = true
+			break
+		}
+	}
+	if anyNull {
+		g.nulls = growWords(g.nulls, n)
+		for k := 0; k < n; k++ {
+			if c.IsNull(b.Index(k)) {
+				g.nulls = vec.SetBit(g.nulls, k)
+			}
+		}
+		out.Nulls = g.nulls
+	}
+	return out
+}
+
+// boolsToBitmap converts a dense null mask into a bitmap in scratch.
+func boolsToBitmap(scratch *[]uint64, null []bool, n int) []uint64 {
+	if null == nil {
+		return nil
+	}
+	any := false
+	for k := 0; k < n; k++ {
+		if null[k] {
+			any = true
+			break
+		}
+	}
+	if !any {
+		return nil
+	}
+	s := growWords(*scratch, n)
+	for k := 0; k < n; k++ {
+		if null[k] {
+			s = vec.SetBit(s, k)
+		}
+	}
+	*scratch = s
+	return s
+}
+
+// vecProjItem is one compiled output column of a VecProject.
+type vecProjItem struct {
+	pass  int // input column index for passthrough, -1 otherwise
+	num   numNode
+	boolN boolNode
+	g     colGather
+	nulls []uint64
+	ints  []int64
+}
+
+// VecProject computes output expressions into flat output columns. The
+// output batch is dense (no selection): plain column references pass
+// through zero-copy when the input has no selection, gather otherwise;
+// compiled arithmetic lands directly in typed output slabs. Any
+// uncompilable expression sends the whole operator to the row fallback
+// (boxing per batch), keeping semantics identical to Project.
+type VecProject struct {
+	vecRowShim
+	ctx     *Ctx
+	in      VecOperator
+	exprs   []expr.Expr
+	out     types.Schema
+	items   []vecProjItem // nil = always use the row fallback
+	ob      vec.Batch
+	fb      *vec.Batch
+	scratch types.Row
+}
+
+// NewVecProject builds a vectorized projection; exprs must be bound to the
+// input schema and names gives the output column names.
+func NewVecProject(ctx *Ctx, in VecOperator, exprs []expr.Expr, names []string) *VecProject {
+	sch := in.Schema()
+	cols := make([]types.Column, len(exprs))
+	for i, e := range exprs {
+		cols[i] = types.Column{Name: names[i], Kind: expr.KindOf(e, sch)}
+	}
+	p := &VecProject{ctx: ctx, in: in, exprs: exprs, out: types.Schema{Cols: cols}}
+	p.vecRowShim.src = p
+	items := make([]vecProjItem, len(exprs))
+	for i, e := range exprs {
+		items[i].pass = -1
+		if c, ok := e.(*expr.Col); ok && c.Index >= 0 && c.Index < sch.Len() {
+			items[i].pass = c.Index
+			continue
+		}
+		if nn := compileNum(e, sch); nn != nil {
+			items[i].num = nn
+			continue
+		}
+		if bn := compileBool(e, sch); bn != nil {
+			items[i].boolN = bn
+			continue
+		}
+		items = nil
+		break
+	}
+	p.items = items
+	p.ob.Sch = p.out
+	p.ob.Cols = make([]vec.Col, len(exprs))
+	return p
+}
+
+// Schema implements Operator.
+func (p *VecProject) Schema() types.Schema { return p.out }
+
+// Open implements Operator.
+func (p *VecProject) Open() error {
+	p.cur, p.pos = nil, 0
+	return p.in.Open()
+}
+
+// Close implements Operator.
+func (p *VecProject) Close() error { return p.in.Close() }
+
+// NextVec implements VecOperator.
+func (p *VecProject) NextVec() (*vec.Batch, bool, error) {
+	b, ok, err := p.in.NextVec()
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	n := b.Rows()
+	if p.ctx != nil {
+		p.ctx.RowsProcessed.Add(int64(n))
+	}
+	if p.items != nil {
+		out, err := p.vectorized(b, n)
+		if err == nil {
+			return out, true, nil
+		}
+		if !errors.Is(err, errVecFallback) {
+			return nil, false, err
+		}
+	}
+	out, err := p.fallback(b, n)
+	if err != nil {
+		return nil, false, err
+	}
+	return out, true, nil
+}
+
+// vectorized builds the output batch from compiled items. Column headers
+// are fully rebuilt each call, so sharing input slabs is safe: nothing is
+// ever appended to a shared header.
+func (p *VecProject) vectorized(b *vec.Batch, n int) (*vec.Batch, error) {
+	for j := range p.items {
+		it := &p.items[j]
+		switch {
+		case it.pass >= 0:
+			if b.Sel == nil {
+				p.ob.Cols[j] = b.Cols[it.pass]
+			} else {
+				p.ob.Cols[j] = it.g.gather(b, it.pass, n)
+			}
+		case it.num != nil:
+			nv, err := it.num.evalNum(b, n)
+			if err != nil {
+				return nil, err
+			}
+			kind := p.out.Cols[j].Kind
+			col := vec.Col{Kind: kind, Nulls: boolsToBitmap(&it.nulls, nv.null, n)}
+			if nv.isFloat {
+				col.Form, col.F = vec.FormFloat, nv.f
+			} else {
+				col.Form, col.I = vec.FormInt, nv.i
+			}
+			p.ob.Cols[j] = col
+		default:
+			t, null, err := it.boolN.evalBool(b, n)
+			if err != nil {
+				return nil, err
+			}
+			it.ints = growInts(it.ints, n)
+			for k := 0; k < n; k++ {
+				if t[k] {
+					it.ints[k] = 1
+				} else {
+					it.ints[k] = 0
+				}
+			}
+			p.ob.Cols[j] = vec.Col{
+				Kind: types.KindBool, Form: vec.FormInt,
+				I: it.ints, Nulls: boolsToBitmap(&it.nulls, null, n),
+			}
+		}
+	}
+	p.ob.N = n
+	p.ob.Sel = nil
+	return &p.ob, nil
+}
+
+// fallback evaluates every expression row-wise into a boxed-append batch.
+func (p *VecProject) fallback(b *vec.Batch, n int) (*vec.Batch, error) {
+	if p.fb == nil {
+		p.fb = vec.New(p.out)
+	} else {
+		p.fb.Reset()
+	}
+	if p.scratch == nil {
+		p.scratch = make(types.Row, len(b.Cols))
+	}
+	for k := 0; k < n; k++ {
+		row := b.ReadRow(b.Index(k), p.scratch)
+		for j, e := range p.exprs {
+			v, err := e.Eval(row)
+			if err != nil {
+				return nil, err
+			}
+			p.fb.Cols[j].Append(v)
+		}
+		p.fb.N++
+	}
+	return p.fb, nil
+}

@@ -42,6 +42,7 @@ type Span struct {
 	NetBytes     atomic.Int64 // bytes this operator put on the wire
 	NetMsgs      atomic.Int64
 	Batches      atomic.Int64 // row slabs this operator shipped (vectorized path)
+	VecBatches   atomic.Int64 // typed columnar batches this operator shipped (vector path)
 	SpillBytes   atomic.Int64
 	StateBytes   atomic.Int64
 	Workers      atomic.Int64 // intra-operator worker threads granted (morsel parallelism)
@@ -124,6 +125,14 @@ func (s *Span) AddBatches(n int64) {
 	}
 }
 
+// AddVecBatches counts typed columnar batches moved by the vector path.
+// Nil-safe.
+func (s *Span) AddVecBatches(n int64) {
+	if s != nil {
+		s.VecBatches.Add(n)
+	}
+}
+
 // AddSpill records spill volume. Nil-safe.
 func (s *Span) AddSpill(n int64) {
 	if s != nil {
@@ -159,6 +168,7 @@ type SpanSnapshot struct {
 	NetBytes     int64  `json:"net_bytes,omitempty"`
 	NetMsgs      int64  `json:"net_msgs,omitempty"`
 	Batches      int64  `json:"batches,omitempty"`
+	VecBatches   int64  `json:"vec_batches,omitempty"`
 	SpillBytes   int64  `json:"spill_bytes,omitempty"`
 	StateBytes   int64  `json:"state_bytes,omitempty"`
 	Workers      int64  `json:"workers,omitempty"`
@@ -178,6 +188,7 @@ func (s *Span) snapshot() SpanSnapshot {
 		NetBytes:     s.NetBytes.Load(),
 		NetMsgs:      s.NetMsgs.Load(),
 		Batches:      s.Batches.Load(),
+		VecBatches:   s.VecBatches.Load(),
 		SpillBytes:   s.SpillBytes.Load(),
 		StateBytes:   s.StateBytes.Load(),
 		Workers:      s.Workers.Load(),
@@ -310,6 +321,9 @@ func (s SpanSnapshot) line() string {
 	}
 	if s.Batches > 0 {
 		fmt.Fprintf(&sb, " batches=%d", s.Batches)
+	}
+	if s.VecBatches > 0 {
+		fmt.Fprintf(&sb, " vec_batches=%d", s.VecBatches)
 	}
 	if s.SpillBytes > 0 {
 		fmt.Fprintf(&sb, " spill=%dB", s.SpillBytes)

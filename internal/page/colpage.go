@@ -103,6 +103,34 @@ func (p ColumnPage) Values() ([]types.Value, error) {
 	return vals, nil
 }
 
+// DecodeInto streams every value on the page through fn without building
+// an intermediate slice — the vectorized scan path appends payloads
+// straight into typed column slabs. Decoding stops early when fn returns
+// false.
+func (p ColumnPage) DecodeInto(fn func(types.Value) bool) error {
+	payload := p.Buf[colHeaderSize : colHeaderSize+p.payloadLen()]
+	if p.packed() {
+		raw, err := compress.DecompressHuffman(payload)
+		if err != nil {
+			return fmt.Errorf("page: unpack column page: %w", err)
+		}
+		payload = raw
+	}
+	n := p.NumValues()
+	pos := 0
+	for i := 0; i < n; i++ {
+		v, m, err := types.DecodeValue(payload[pos:])
+		if err != nil {
+			return fmt.Errorf("page: column value %d: %w", i, err)
+		}
+		if !fn(v) {
+			return nil
+		}
+		pos += m
+	}
+	return nil
+}
+
 // Seal Huffman-packs the payload in place if that shrinks it. Sealed pages
 // are read-only. Reports whether packing was applied.
 func (p ColumnPage) Seal() bool {

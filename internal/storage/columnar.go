@@ -260,6 +260,91 @@ func (fr *ColumnarFragment) Scan(opts ScanOptions, fn func(r types.Row) bool) (S
 	return stats, nil
 }
 
+// ScanPageSets iterates the fragment page-set-wise instead of row-wise:
+// fn receives each surviving set while its frames are pinned, so it can
+// decode column pages straight into typed vector slabs without the boxed
+// row materialization Scan pays. Page-set skipping (predicate cache and
+// min-max) applies exactly as in Scan, but absence is NOT recorded into the
+// predicate cache — fn sees whole sets, so the per-row predicate pass that
+// proves absence never runs here. Open (unflushed) sets come last per disk,
+// never skipped, matching Scan's ordering. fn returns false to stop.
+func (fr *ColumnarFragment) ScanPageSets(opts ScanOptions, fn func(set page.PageSet) (bool, error)) (ScanStats, error) {
+	var stats ScanStats
+	n := fr.Def.Schema.Len()
+	for disk, fileID := range fr.Files {
+		numPages := fr.Node.NumPages(fileID)
+		numSets := int(numPages) / n
+		for s := 0; s < numSets; s++ {
+			base := uint32(s * n)
+			key := page.Key{File: fileID, Page: base}
+			if len(opts.SkipConj) > 0 {
+				if opts.UseCache && fr.PredCache.CanSkip(key, opts.SkipConj) {
+					stats.PagesSkipped += int64(n)
+					continue
+				}
+				if opts.UseMinMax && fr.MinMax.CanSkip(key, opts.SkipConj) {
+					stats.PagesSkipped += int64(n)
+					continue
+				}
+			}
+			frames := make([]*buffer.Frame, 0, n)
+			set := page.PageSet{}
+			bad := false
+			for i := 0; i < n; i++ {
+				f, err := fr.Node.Buf.Fetch(page.Key{File: fileID, Page: base + uint32(i)})
+				if err != nil {
+					for _, pf := range frames {
+						fr.Node.Buf.Unpin(pf, false)
+					}
+					return stats, err
+				}
+				cp, err := page.AsColumnPage(f.Buf)
+				if err != nil {
+					fr.Node.Buf.Unpin(f, false)
+					bad = true
+					break
+				}
+				frames = append(frames, f)
+				set.Pages = append(set.Pages, cp)
+			}
+			if bad {
+				for _, pf := range frames {
+					fr.Node.Buf.Unpin(pf, false)
+				}
+				continue
+			}
+			cont, err := fn(set)
+			for _, pf := range frames {
+				fr.Node.Buf.Unpin(pf, false)
+			}
+			if err != nil {
+				return stats, err
+			}
+			stats.PagesRead += int64(n)
+			stats.RowsRead += int64(set.NumRows())
+			if !cont {
+				fr.Node.RowsScanned.Add(stats.RowsRead)
+				return stats, nil
+			}
+		}
+		// Open (unflushed) set: never skipped.
+		open := fr.open[disk]
+		if open.NumRows() > 0 {
+			cont, err := fn(open)
+			if err != nil {
+				return stats, err
+			}
+			stats.RowsRead += int64(open.NumRows())
+			if !cont {
+				fr.Node.RowsScanned.Add(stats.RowsRead)
+				return stats, nil
+			}
+		}
+	}
+	fr.Node.RowsScanned.Add(stats.RowsRead)
+	return stats, nil
+}
+
 // setMorsel is a contiguous run of sealed page sets of one disk's file.
 type setMorsel struct {
 	disk  int

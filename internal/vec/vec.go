@@ -1,0 +1,367 @@
+// Package vec defines the typed columnar batch format of the vectorized
+// execution path: per-column unboxed slabs ([]int64, []float64, dictionary
+// codes for strings), a null bitmap, and a selection vector. Batches are
+// produced straight from PAX column pages without materializing boxed
+// types.Value structs, so kernels (filter, project, aggregate, join) run
+// tight loops over flat arrays.
+//
+// # Ownership contract
+//
+// A *Batch returned by a producer's NextVec — including every column slab,
+// the null bitmaps, and the selection vector — is owned by the caller only
+// until the producer's next NextVec or Close call; producers reuse the
+// backing arrays. Callers may rewrite Sel in place (that is how filters
+// work) but must treat column slabs as read-only. Boxed values copied out
+// via Col.Value are immutable and may be retained; the slabs and Sel may
+// not. The vecown lint rule enforces the non-retention half of this.
+package vec
+
+import "repro/internal/types"
+
+// Form identifies the physical layout of one column.
+type Form uint8
+
+// Column layouts.
+const (
+	// FormBoxed stores boxed types.Value — the fallback for columns whose
+	// schema kind is unknown (KindNull) or whose values turn out mixed-kind
+	// at runtime (e.g. the $min/$max partial-aggregate columns).
+	FormBoxed Form = iota
+	// FormInt stores the int64 payload of INT, DATE, and BOOLEAN values.
+	FormInt
+	// FormFloat stores float64 payloads.
+	FormFloat
+	// FormStr stores int32 codes into a per-column dictionary.
+	FormStr
+)
+
+// FormFor returns the natural layout for a schema kind.
+func FormFor(k types.Kind) Form {
+	switch k {
+	case types.KindInt, types.KindDate, types.KindBool:
+		return FormInt
+	case types.KindFloat:
+		return FormFloat
+	case types.KindString:
+		return FormStr
+	default:
+		return FormBoxed
+	}
+}
+
+// Dict is an append-only string dictionary. A producer owns one Dict per
+// string column and keeps it for the whole stream, so codes are stable
+// across batches and consumers may compare by code whenever two columns
+// share the same *Dict.
+type Dict struct {
+	strs   []string
+	index  map[string]int32
+	hashes []uint64 // lazily filled; hashes[c] == types.Hash of strs[c]
+}
+
+// NewDict returns an empty dictionary.
+func NewDict() *Dict { return &Dict{index: make(map[string]int32)} }
+
+// Code interns s, returning its stable code.
+func (d *Dict) Code(s string) int32 {
+	if c, ok := d.index[s]; ok {
+		return c
+	}
+	c := int32(len(d.strs))
+	d.strs = append(d.strs, s)
+	d.index[s] = c
+	return c
+}
+
+// Lookup returns the code of s without interning it.
+func (d *Dict) Lookup(s string) (int32, bool) {
+	c, ok := d.index[s]
+	return c, ok
+}
+
+// Str returns the string for a code.
+func (d *Dict) Str(c int32) string { return d.strs[c] }
+
+// Len returns the number of distinct entries.
+func (d *Dict) Len() int { return len(d.strs) }
+
+// Hash returns types.Hash of the entry, cached per code so hash joins and
+// aggregations hash each distinct string once per stream.
+func (d *Dict) Hash(c int32) uint64 {
+	for len(d.hashes) < len(d.strs) {
+		d.hashes = append(d.hashes, types.Hash(types.NewString(d.strs[len(d.hashes)])))
+	}
+	return d.hashes[c]
+}
+
+// Col is one column of a batch. Exactly one payload slice is active,
+// selected by Form; null positions hold the zero element there and are
+// marked in the Nulls bitmap (nil bitmap = no nulls). FormBoxed columns
+// carry NULL inside Vals and ignore the bitmap.
+type Col struct {
+	Kind  types.Kind
+	Form  Form
+	I     []int64
+	F     []float64
+	Codes []int32
+	Dict  *Dict
+	Vals  []types.Value
+	Nulls []uint64
+}
+
+// SetBit sets bit i, growing the word slice as needed.
+func SetBit(bm []uint64, i int) []uint64 {
+	w := i >> 6
+	for len(bm) <= w {
+		bm = append(bm, 0)
+	}
+	bm[w] |= 1 << (uint(i) & 63)
+	return bm
+}
+
+// GetBit reports bit i (false beyond the slice, matching "no nulls").
+func GetBit(bm []uint64, i int) bool {
+	w := i >> 6
+	return w < len(bm) && bm[w]&(1<<(uint(i)&63)) != 0
+}
+
+// Len returns the number of values appended to the column.
+func (c *Col) Len() int {
+	switch c.Form {
+	case FormInt:
+		return len(c.I)
+	case FormFloat:
+		return len(c.F)
+	case FormStr:
+		return len(c.Codes)
+	default:
+		return len(c.Vals)
+	}
+}
+
+// IsNull reports whether position i is SQL NULL.
+func (c *Col) IsNull(i int) bool {
+	if c.Form == FormBoxed {
+		return c.Vals[i].K == types.KindNull
+	}
+	return GetBit(c.Nulls, i)
+}
+
+// HasNulls reports whether any appended position is NULL.
+func (c *Col) HasNulls() bool {
+	if c.Form == FormBoxed {
+		for _, v := range c.Vals {
+			if v.K == types.KindNull {
+				return true
+			}
+		}
+		return false
+	}
+	for _, w := range c.Nulls {
+		if w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Value boxes position i. The result is immutable and safe to retain.
+func (c *Col) Value(i int) types.Value {
+	if c.Form != FormBoxed && GetBit(c.Nulls, i) {
+		return types.Null
+	}
+	switch c.Form {
+	case FormInt:
+		return types.Value{K: c.Kind, I: c.I[i]}
+	case FormFloat:
+		return types.Value{K: types.KindFloat, F: c.F[i]}
+	case FormStr:
+		return types.Value{K: types.KindString, S: c.Dict.Str(c.Codes[i])}
+	default:
+		return c.Vals[i]
+	}
+}
+
+// Append appends one value. A value whose kind does not match the column's
+// typed layout demotes the whole column to FormBoxed (the safety net that
+// keeps adapters total: mixed-kind streams stay correct, just slower).
+func (c *Col) Append(v types.Value) {
+	i := c.Len()
+	if v.K == types.KindNull {
+		switch c.Form {
+		case FormInt:
+			c.Nulls = SetBit(c.Nulls, i)
+			c.I = append(c.I, 0)
+		case FormFloat:
+			c.Nulls = SetBit(c.Nulls, i)
+			c.F = append(c.F, 0)
+		case FormStr:
+			c.Nulls = SetBit(c.Nulls, i)
+			c.Codes = append(c.Codes, 0)
+		default:
+			c.Vals = append(c.Vals, types.Null)
+		}
+		return
+	}
+	switch c.Form {
+	case FormInt:
+		if v.K == c.Kind {
+			c.I = append(c.I, v.I)
+			return
+		}
+	case FormFloat:
+		if v.K == types.KindFloat {
+			c.F = append(c.F, v.F)
+			return
+		}
+	case FormStr:
+		if v.K == types.KindString {
+			c.Codes = append(c.Codes, c.Dict.Code(v.S))
+			return
+		}
+	default:
+		c.Vals = append(c.Vals, v)
+		return
+	}
+	c.demote(i)
+	c.Vals = append(c.Vals, v)
+}
+
+// AppendInt appends a non-null fixed-width payload (Int/Date/Bool) without
+// boxing. Callers must only use it on FormInt columns of the matching kind.
+func (c *Col) AppendInt(x int64) { c.I = append(c.I, x) }
+
+// AppendFloat appends a non-null float payload without boxing.
+func (c *Col) AppendFloat(x float64) { c.F = append(c.F, x) }
+
+// AppendCode appends a dictionary code minted from this column's Dict.
+func (c *Col) AppendCode(code int32) { c.Codes = append(c.Codes, code) }
+
+// AppendNull appends a NULL.
+func (c *Col) AppendNull() { c.Append(types.Null) }
+
+// demote rewrites the first n typed entries as boxed values.
+func (c *Col) demote(n int) {
+	vals := make([]types.Value, n)
+	for i := 0; i < n; i++ {
+		vals[i] = c.Value(i)
+	}
+	c.Form = FormBoxed
+	c.Vals = vals
+	c.I, c.F, c.Codes, c.Dict, c.Nulls = nil, nil, nil, nil, nil
+}
+
+// reset truncates the column for reuse, keeping backing arrays and the
+// dictionary (codes stay stable across the producer's stream).
+func (c *Col) reset() {
+	c.I = c.I[:0]
+	c.F = c.F[:0]
+	c.Codes = c.Codes[:0]
+	c.Vals = c.Vals[:0]
+	c.Nulls = c.Nulls[:0]
+}
+
+// Batch is one vectorized batch: N appended rows across Cols, with an
+// optional selection vector. Sel == nil means all N rows are active;
+// otherwise Sel lists the active row indices in order. Filters narrow a
+// batch by rewriting Sel only — the column slabs are never compacted.
+type Batch struct {
+	Sch  types.Schema
+	Cols []Col
+	N    int
+	Sel  []int32
+}
+
+// New returns an empty batch laid out for the schema. String columns get a
+// fresh dictionary owned by this batch's producer.
+func New(sch types.Schema) *Batch {
+	b := &Batch{Sch: sch, Cols: make([]Col, sch.Len())}
+	for i, sc := range sch.Cols {
+		b.Cols[i].Kind = sc.Kind
+		b.Cols[i].Form = FormFor(sc.Kind)
+		if b.Cols[i].Form == FormStr {
+			b.Cols[i].Dict = NewDict()
+		}
+	}
+	return b
+}
+
+// Rows returns the number of active rows (selection-aware).
+func (b *Batch) Rows() int {
+	if b.Sel != nil {
+		return len(b.Sel)
+	}
+	return b.N
+}
+
+// Index maps the k-th active row to its physical row index.
+func (b *Batch) Index(k int) int {
+	if b.Sel != nil {
+		return int(b.Sel[k])
+	}
+	return k
+}
+
+// Reset truncates the batch for reuse: columns empty, no selection,
+// dictionaries retained.
+func (b *Batch) Reset() {
+	for i := range b.Cols {
+		b.Cols[i].reset()
+	}
+	b.N = 0
+	b.Sel = nil
+}
+
+// AppendRow appends one boxed row.
+func (b *Batch) AppendRow(r types.Row) {
+	for i := range b.Cols {
+		b.Cols[i].Append(r[i])
+	}
+	b.N++
+}
+
+// FromRows appends rows into dst, allocating a batch when dst is nil.
+// The returned batch has no selection.
+func FromRows(sch types.Schema, rows []types.Row, dst *Batch) *Batch {
+	if dst == nil {
+		dst = New(sch)
+	} else {
+		dst.Reset()
+	}
+	for _, r := range rows {
+		dst.AppendRow(r)
+	}
+	return dst
+}
+
+// ReadRow boxes the physical row i into scratch (len == number of columns)
+// and returns it. The scratch row must not outlive the batch unless its
+// values are copied out (values themselves are immutable).
+func (b *Batch) ReadRow(i int, scratch types.Row) types.Row {
+	for c := range b.Cols {
+		scratch[c] = b.Cols[c].Value(i)
+	}
+	return scratch
+}
+
+// Materialize boxes the active rows into slab (reusing its backing array),
+// allocating one flat value array so rows stay retainable by callers under
+// the row-slab contract.
+func (b *Batch) Materialize(slab []types.Row) []types.Row {
+	n := b.Rows()
+	k := len(b.Cols)
+	slab = slab[:0]
+	if n == 0 {
+		return slab
+	}
+	vals := make([]types.Value, n*k)
+	for x := 0; x < n; x++ {
+		i := b.Index(x)
+		row := vals[x*k : (x+1)*k : (x+1)*k]
+		for c := range b.Cols {
+			row[c] = b.Cols[c].Value(i)
+		}
+		slab = append(slab, row)
+	}
+	return slab
+}

@@ -32,6 +32,12 @@ go test -race -count=1 \
   -run 'TestShuffleTinyBatchRows|TestSendAllHonorsWireBatchRows|TestAdaptersRoundTrip|TestBatchRowParityPipeline|TestGraceJoinAdapterSpillParity|TestSortAdapterSpillParity' \
   ./internal/exec
 
+echo "==> vector kernels: vec/row parity under race (nulls, dict strings, spill)"
+go test -race -count=1 \
+  -run 'TestVecRowParityPipeline|TestVecRowParityTPCHAgg|TestVecRowParityNulls|TestVecAggSpillParity|TestVecJoinParity|TestVecJoinOverflowSpillParity|TestSendAllVecHonorsWireBatchRows' \
+  ./internal/exec
+go test -race -count=1 ./internal/vec
+
 echo "==> morsel parallelism: parallel/serial parity under race, tiny budgets"
 go test -race -count=1 -run 'TestParallel|TestColumnarParallel' \
   ./internal/exec ./internal/storage
@@ -40,7 +46,7 @@ echo "==> bench smoke (executed per-query stats + tracing)"
 go run ./cmd/hrdbms-bench -exp exec -json /tmp/bench_exec_smoke.json >/dev/null
 rm -f /tmp/bench_exec_smoke.json
 
-echo "==> bench smoke (batch vs row pipeline)"
+echo "==> bench smoke (row vs batch vs vector pipeline, golden parity)"
 go test -run '^$' -bench BenchmarkBatchVsRow -benchtime 1x ./internal/exec >/dev/null
 
 echo "==> bench smoke (parallel vs serial, golden parity + throughput)"
