@@ -11,6 +11,7 @@ import (
 var rowchanPkgs = map[string]bool{
 	"repro/internal/exec":    true,
 	"repro/internal/cluster": true,
+	"repro/internal/srv":     true,
 }
 
 // rowchanAllowFiles are the adapter seams where row-granular plumbing is

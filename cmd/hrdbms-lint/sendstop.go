@@ -28,6 +28,7 @@ import (
 var sendstopPkgs = map[string]bool{
 	"repro/internal/exec":    true,
 	"repro/internal/cluster": true,
+	"repro/internal/srv":     true,
 }
 
 var sendstopAnalyzer = &Analyzer{

@@ -1,15 +1,19 @@
 // Command hrdbms-server runs an HRDBMS node set reachable over TCP: it
 // embeds a cluster (coordinators + workers in this process, as the
 // in-process substitution DESIGN.md documents) and serves a line protocol
-// on a real socket so external clients can submit SQL.
+// on a real socket through the serving layer (internal/srv): per-connection
+// sessions, admission control with a bounded queue, KILL, and graceful
+// drain on SIGTERM.
 //
-// Protocol: one SQL statement per line; the server answers with
-// tab-separated rows, then a line "OK <n> rows" or "ERR <message>".
+// Protocol: one statement per line; the server answers with tab-separated
+// rows, then a line "OK <n> rows" or "ERR <message>". Besides SQL the
+// server understands PREPARE <name> AS <sql>, EXECUTE <name>, KILL <qid>,
+// SET <batchrows|parallel> <value>, SHOW SESSIONS, and SHOW QUERIES.
 //
 // With -http set, a second listener serves observability endpoints:
-// GET /metrics (plain-text registry) and GET /debug/queries (recent query
-// traces as JSON). -trace records a per-operator trace of every query into
-// the /debug/queries ring.
+// GET /metrics (plain-text registry, including the srv.* serving metrics)
+// and GET /debug/queries (recent query traces as JSON). -trace records a
+// per-operator trace of every query into the /debug/queries ring.
 //
 // Usage:
 //
@@ -19,16 +23,18 @@
 package main
 
 import (
-	"bufio"
 	"flag"
 	"fmt"
 	"net"
 	"net/http"
 	"os"
-	"strings"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/srv"
 	"repro/internal/tpch"
 )
 
@@ -39,6 +45,11 @@ func main() {
 	workers := flag.Int("workers", 4, "number of worker nodes")
 	dir := flag.String("dir", "", "data directory (default: temp)")
 	tpchSF := flag.Float64("tpch", 0, "preload TPC-H at this scale factor")
+	maxConns := flag.Int("max-conns", 256, "maximum concurrent client sessions")
+	maxActive := flag.Int("max-active", 0, "maximum concurrently running queries (0 = default)")
+	queueDepth := flag.Int("queue-depth", 0, "admission queue depth (0 = default)")
+	idle := flag.Duration("idle-timeout", 0, "close connections idle this long (0 = never)")
+	drain := flag.Duration("drain-timeout", 10*time.Second, "graceful-drain wait for in-flight queries")
 	flag.Parse()
 
 	baseDir := *dir
@@ -83,48 +94,48 @@ func main() {
 		fmt.Printf("loaded TPC-H SF%g\n", *tpchSF)
 	}
 
+	server := newServer(db, srv.Config{
+		MaxConns:     *maxConns,
+		IdleTimeout:  *idle,
+		DrainTimeout: *drain,
+		Admission:    srv.AdmissionConfig{MaxActive: *maxActive, QueueDepth: *queueDepth},
+	})
+
 	l, err := net.Listen("tcp", *listen)
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Printf("hrdbms-server listening on %s (%d workers, data in %s)\n",
 		l.Addr(), *workers, baseDir)
-	for {
-		conn, err := l.Accept()
-		if err != nil {
-			fatal(err)
+
+	// SIGTERM/SIGINT trigger a graceful drain: stop accepting, fail queued
+	// queries, let running ones finish (or kill them after drain-timeout),
+	// then close every connection and exit cleanly.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+	go func() {
+		s := <-sig
+		fmt.Printf("hrdbms-server: %v, draining\n", s)
+		if err := server.Shutdown(); err != nil {
+			fmt.Fprintln(os.Stderr, "hrdbms-server: drain:", err)
 		}
-		go serve(db, conn)
+	}()
+
+	if err := server.Serve(l); err != nil {
+		fatal(err)
 	}
+	fmt.Println("hrdbms-server: drained, bye")
 }
 
+// newServer wires the serving layer over an open database.
+func newServer(db *core.DB, cfg srv.Config) *srv.Server {
+	return srv.New(db.Cluster(), cfg, db.Registry())
+}
+
+// serve handles one connection with a default-configured serving layer
+// (kept for tests that drive the protocol over a pipe).
 func serve(db *core.DB, conn net.Conn) {
-	defer conn.Close()
-	sc := bufio.NewScanner(conn)
-	sc.Buffer(make([]byte, 1<<16), 1<<22)
-	w := bufio.NewWriter(conn)
-	defer w.Flush()
-	for sc.Scan() {
-		sql := strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(sc.Text()), ";"))
-		if sql == "" {
-			continue
-		}
-		res, err := db.Exec(sql)
-		if err != nil {
-			fmt.Fprintf(w, "ERR %v\n", err)
-			w.Flush()
-			continue
-		}
-		for _, r := range res.Rows {
-			fmt.Fprintln(w, r.String())
-		}
-		if res.Message != "" {
-			fmt.Fprintf(w, "OK %s\n", res.Message)
-		} else {
-			fmt.Fprintf(w, "OK %d rows\n", len(res.Rows))
-		}
-		w.Flush()
-	}
+	newServer(db, srv.Config{}).ServeConn(conn)
 }
 
 func fatal(err error) {

@@ -102,6 +102,7 @@ type Config struct {
 	Nmax            int // neighbor limit for tree and ring topologies
 	MemRows         int // per-operator memory budget (rows)
 	BatchRows       int // rows per slab on the vectorized path (0 = defaults)
+	MailboxCap      int // per-channel fabric mailbox bound (0 = 1024 messages)
 	// ParallelBudget is the per-worker pool of extra operator threads that
 	// exec.Ctx.AcquireWorkers grants from. 0 derives it from the host CPU
 	// count; a negative value pins the budget to zero (all operators serial
@@ -186,7 +187,7 @@ func New(cfg Config) (*Cluster, error) {
 	}
 	c := &Cluster{
 		Cfg:      cfg,
-		Fabric:   network.NewFabric(ids, 1024),
+		Fabric:   network.NewFabric(ids, cfg.MailboxCap),
 		External: external.NewRegistry(),
 		Reg:      obs.NewRegistry(),
 		Traces:   obs.NewTraceStore(64),

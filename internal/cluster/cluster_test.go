@@ -754,3 +754,80 @@ func TestConcurrentDMLInvariant(t *testing.T) {
 		t.Fatalf("invariant broken: %v", res.Rows[0])
 	}
 }
+
+// TestTreeReduceShuffleBackpressure reproduces the Q7-class deadlock: a
+// tree-reduced scalar aggregate over a shuffle join, with the fabric
+// mailbox shrunk so the shuffle traffic cannot buffer fully. If an
+// intermediate tree node drained child partials before its local branch
+// (the branch that consumes its own shuffle input), the undelivered
+// shuffle traffic would fill its mailbox, the last shuffle sender would
+// block, and the leaves feeding Recv could never produce their partials.
+func TestTreeReduceShuffleBackpressure(t *testing.T) {
+	testutil.AssertNoGoroutineLeak(t)
+	c, err := New(Config{
+		NumWorkers: 4,
+		BaseDir:    t.TempDir(),
+		PageSize:   8192,
+		Nmax:       2, // deep tree: intermediate nodes below the root
+		MemRows:    1 << 20,
+		BatchRows:  1, // one row per wire message: maximal mailbox pressure
+		MailboxCap: 4,
+		Profile:    HRDBMSProfile(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	ddl := []string{
+		`CREATE TABLE orders (o_orderkey INT, o_custkey INT, o_totalprice FLOAT)
+			PARTITION BY HASH(o_custkey)`,
+		`CREATE TABLE lineitem (l_orderkey INT, l_quantity FLOAT)
+			PARTITION BY HASH(l_orderkey)`,
+	}
+	for _, stmt := range ddl {
+		if _, err := c.ExecSQL(stmt); err != nil {
+			t.Fatalf("ddl: %v", err)
+		}
+	}
+	var orders, lineitem []types.Row
+	for i := int64(0); i < 240; i++ {
+		orders = append(orders, types.Row{
+			types.NewInt(1000 + i), types.NewInt(i % 60), types.NewFloat(float64(i) + 1),
+		})
+	}
+	for i := int64(0); i < 900; i++ {
+		lineitem = append(lineitem, types.Row{
+			types.NewInt(1000 + i%240), types.NewFloat(float64(i%50) + 1),
+		})
+	}
+	if _, err := c.Load("orders", orders); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Load("lineitem", lineitem); err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan error, 1)
+	var res *Result
+	go func() {
+		r, err := c.ExecSQL(
+			`SELECT sum(l_quantity), count(*) FROM orders, lineitem WHERE o_orderkey = l_orderkey`)
+		res = r
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("tree-reduce deadlocked under shuffle backpressure")
+	}
+	// Every lineitem row matches exactly one order; 18 full 1..50 cycles.
+	if got := res.Rows[0][0].Float(); got != 22950 {
+		t.Fatalf("sum(l_quantity) = %v, want 22950", got)
+	}
+	if got := res.Rows[0][1].Int(); got != 900 {
+		t.Fatalf("count(*) = %d, want 900", got)
+	}
+}

@@ -61,6 +61,18 @@ type queryExec struct {
 	xseq  int
 	prof  ExecProfile
 
+	// Serving-layer state (nil/zero outside the served path). opts carries
+	// the per-query controls; ctxs are per-worker child contexts deriving
+	// from the workers' shared contexts (same counters and parallel budget,
+	// private cancellation and batch sizing); qids lists this query's ID
+	// plus those of its materialized subqueries (the channel namespaces to
+	// release); live counts the query's background loops so release waits
+	// for quiescence.
+	opts *QueryOptions
+	ctxs []*exec.Ctx
+	qids *[]uint64
+	live *sync.WaitGroup
+
 	// Tracing state (nil for untraced queries — the zero-overhead path).
 	// tr collects spans; spans maps each wrapped operator to its span so
 	// parents link children across distribute calls; scope attributes the
@@ -68,6 +80,71 @@ type queryExec struct {
 	tr    *obs.QueryTrace
 	spans map[exec.Operator]*obs.Span
 	scope *network.MeterScope
+}
+
+// newQueryExec allocates a query id and builds per-query execution state.
+// opts, when non-nil, threads the serving layer's controls in: the kill
+// switch and per-session batch sizing become per-worker child contexts and
+// MaxParallel clamps the profile's parallelism degrees.
+func (c *Cluster) newQueryExec(coord *CoordinatorNode, opts *QueryOptions) *queryExec {
+	q := &queryExec{c: c, coord: coord, qid: c.querySeq.Add(1), prof: c.Cfg.Profile}
+	ids := []uint64{q.qid}
+	q.qids = &ids
+	q.live = &sync.WaitGroup{}
+	if opts == nil {
+		return q
+	}
+	q.opts = opts
+	if opts.MaxParallel > 0 {
+		q.prof = q.prof.clampParallelism(opts.MaxParallel)
+	}
+	if opts.Cancel != nil || opts.BatchRows > 0 {
+		q.ctxs = make([]*exec.Ctx, len(c.Workers))
+		for i, w := range c.Workers {
+			child := w.execCtx.Child(opts.Cancel)
+			if opts.BatchRows > 0 {
+				child.BatchRows = opts.BatchRows
+			}
+			q.ctxs[i] = child
+		}
+	}
+	return q
+}
+
+// wctx returns the execution context for worker index wi: the per-query
+// child when the serving layer supplied options, the worker's shared
+// context otherwise.
+func (q *queryExec) wctx(wi int) *exec.Ctx {
+	if q.ctxs != nil {
+		return q.ctxs[wi]
+	}
+	return q.c.Workers[wi].execCtx
+}
+
+// cancel returns the query's kill switch (nil when unkillable).
+func (q *queryExec) cancel() *exec.Cancel {
+	if q.opts == nil {
+		return nil
+	}
+	return q.opts.Cancel
+}
+
+// releaseWhenQuiet frees the query's fabric mailboxes (one channel
+// namespace per query ID) once every background loop reading them has
+// exited. Mailboxes are created lazily and would otherwise accumulate for
+// the fabric's lifetime — fatal for a server running thousands of queries.
+func (q *queryExec) releaseWhenQuiet() {
+	if q.live == nil || q.qids == nil {
+		return
+	}
+	ids := append([]uint64(nil), (*q.qids)...)
+	live, f := q.live, q.c.Fabric
+	go func() {
+		live.Wait()
+		for _, id := range ids {
+			f.ReleasePrefix(fmt.Sprintf("q%d.", id))
+		}
+	}()
 }
 
 func (q *queryExec) channel(tag string) string {
@@ -95,7 +172,7 @@ func (c *Cluster) CompileDistributed(root plan.Node) (exec.Operator, error) {
 // route through it; Section I: query results are always routed to the
 // client through the coordinator that planned the query).
 func (c *Cluster) CompileDistributedOn(coord *CoordinatorNode, root plan.Node) (exec.Operator, error) {
-	q := &queryExec{c: c, coord: coord, qid: c.querySeq.Add(1), prof: c.Cfg.Profile}
+	q := c.newQueryExec(coord, nil)
 	if err := q.materializeScalars(root); err != nil {
 		return nil, err
 	}
@@ -162,7 +239,11 @@ func (q *queryExec) materializeScalars(root plan.Node) error {
 func (q *queryExec) runSubquery(root plan.Node) ([]types.Row, error) {
 	sub := &queryExec{
 		c: q.c, coord: q.coord, qid: q.c.querySeq.Add(1), prof: q.prof,
+		opts: q.opts, ctxs: q.ctxs, qids: q.qids, live: q.live,
 		tr: q.tr, spans: q.spans, scope: q.scope,
+	}
+	if q.qids != nil {
+		*q.qids = append(*q.qids, sub.qid)
 	}
 	q.scope.AddPrefix(fmt.Sprintf("q%d.", sub.qid))
 	if err := sub.materializeScalars(root); err != nil {
@@ -215,7 +296,7 @@ func (q *queryExec) distribute(n plan.Node) (*dstream, exec.Operator, error) {
 		out := &dstream{sch: ds.sch, dist: ds.dist}
 		for wi, op := range ds.ops {
 			w := q.c.Workers[wi]
-			out.ops = append(out.ops, q.wrap("Filter", w.ID, exec.NewFilter(w.execCtx, op, x.Pred), op))
+			out.ops = append(out.ops, q.wrap("Filter", w.ID, exec.NewFilter(q.wctx(wi), op, x.Pred), op))
 		}
 		return out, nil, nil
 	case *plan.Project:
@@ -230,7 +311,7 @@ func (q *queryExec) distribute(n plan.Node) (*dstream, exec.Operator, error) {
 		out := &dstream{sch: x.Schema(), dist: newDist}
 		for wi, op := range ds.ops {
 			w := q.c.Workers[wi]
-			out.ops = append(out.ops, q.wrap("Project", w.ID, exec.NewProject(w.execCtx, op, x.Exprs, x.Names), op))
+			out.ops = append(out.ops, q.wrap("Project", w.ID, exec.NewProject(q.wctx(wi), op, x.Exprs, x.Names), op))
 		}
 		return out, nil, nil
 	case *plan.Join:
@@ -251,7 +332,7 @@ func (q *queryExec) distribute(n plan.Node) (*dstream, exec.Operator, error) {
 		sorted := make([]exec.Operator, len(ds.ops))
 		for wi, op := range ds.ops {
 			w := q.c.Workers[wi]
-			srt := exec.NewSort(w.execCtx, op, keys)
+			srt := exec.NewSort(q.wctx(wi), op, keys)
 			srt.Parallel = q.prof.SortParallelism
 			sorted[wi] = q.wrap("Sort", w.ID, srt, op)
 		}
@@ -333,17 +414,18 @@ func (q *queryExec) distributeScan(x *plan.Scan) (*dstream, exec.Operator, error
 	}
 	ds := &dstream{sch: x.Schema()}
 	name := lower(x.Table.Name)
-	for _, w := range q.c.Workers {
+	for wi, w := range q.c.Workers {
 		// The scan span is created before the operator so the scan thread
 		// can deposit its page/row stats directly.
 		sp := q.startSpan("Scan "+name, w.ID)
+		wctx := q.wctx(wi)
 		wcfg := cfg
 		wcfg.Trace = sp
-		wcfg.BatchRows = w.execCtx.BatchRows
+		wcfg.BatchRows = wctx.BatchRows
 		// Morsel parallelism: the scan asks for the profile's degree and the
 		// worker's shared budget decides what it actually gets.
 		wcfg.Parallel = q.prof.ScanParallelism
-		wcfg.Ctx = w.execCtx
+		wcfg.Ctx = wctx
 		var op exec.Operator
 		if x.Table.Columnar {
 			fr := w.colFrags[name]
@@ -458,7 +540,7 @@ func (q *queryExec) distributeJoin(x *plan.Join) (*dstream, exec.Operator, error
 		out := &dstream{sch: x.Schema(), dist: d}
 		for wi := range q.c.Workers {
 			w := q.c.Workers[wi]
-			jop := q.makeJoin(w.execCtx, l.ops[wi], r.ops[wi], x, par)
+			jop := q.makeJoin(q.wctx(wi), l.ops[wi], r.ops[wi], x, par)
 			out.ops = append(out.ops, q.wrap(joinLabel(x), w.ID, jop, l.ops[wi], r.ops[wi]))
 		}
 		return out
@@ -533,22 +615,24 @@ func (q *queryExec) shuffle(ds *dstream, keys []expr.Expr, names []string) (*dst
 	}
 	for wi, op := range ds.ops {
 		w := q.c.Workers[wi]
+		wctx := q.wctx(wi)
 		in := op
 		if q.prof.BlockingShuffle {
 			// MapReduce-style: materialize (and implicitly sort boundary)
 			// before sending.
-			in = q.wrap("Materialize", w.ID, exec.NewMaterialize(w.execCtx, in, true), in)
+			in = q.wrap("Materialize", w.ID, exec.NewMaterialize(wctx, in, true), in)
 		}
 		// The shuffle's sends (including hub forwards) count against its
 		// span, matching the fabric meter's per-link accounting.
 		sp := q.startSpan("Shuffle", w.ID)
-		sh, err := exec.NewShuffle(w.execCtx, exec.NewCountingEndpoint(w.Ep, sp), spec, in, keys, ds.sch)
+		sh, err := exec.NewShuffle(wctx, exec.NewCountingEndpoint(w.Ep, sp), spec, in, keys, ds.sch)
 		if err != nil {
 			return nil, err
 		}
+		sh.OnLoops = q.live
 		recv := q.attach(sh, sp, in)
 		if q.prof.MaterializeShuffle {
-			recv = q.wrap("Materialize", w.ID, exec.NewMaterialize(w.execCtx, recv, true), recv)
+			recv = q.wrap("Materialize", w.ID, exec.NewMaterialize(wctx, recv, true), recv)
 		}
 		out.ops = append(out.ops, recv)
 	}
@@ -588,7 +672,7 @@ func (q *queryExec) distributeAgg(x *plan.Agg) (*dstream, exec.Operator, error) 
 		out := &dstream{sch: x.Schema(), dist: distInfo{kind: distPartitioned, cols: aggOutCols(x, groupNames)}}
 		for wi, op := range ds.ops {
 			w := q.c.Workers[wi]
-			agg := exec.NewHashAggregate(w.execCtx, op, x.GroupBy, specs, exec.AggComplete)
+			agg := exec.NewHashAggregate(q.wctx(wi), op, x.GroupBy, specs, exec.AggComplete)
 			agg.Parallel = q.prof.AggParallelism
 			out.ops = append(out.ops, q.wrap("HashAgg", w.ID, agg, op))
 		}
@@ -604,7 +688,7 @@ func (q *queryExec) distributeAgg(x *plan.Agg) (*dstream, exec.Operator, error) 
 		out := &dstream{sch: x.Schema(), dist: distInfo{kind: distPartitioned, cols: aggOutCols(x, groupNames)}}
 		for wi, op := range shuffled.ops {
 			w := q.c.Workers[wi]
-			agg := exec.NewHashAggregate(w.execCtx, op, x.GroupBy, specs, exec.AggComplete)
+			agg := exec.NewHashAggregate(q.wctx(wi), op, x.GroupBy, specs, exec.AggComplete)
 			agg.Parallel = q.prof.AggParallelism
 			out.ops = append(out.ops, q.wrap("HashAgg", w.ID, agg, op))
 		}
@@ -627,7 +711,7 @@ func (q *queryExec) distributeAgg(x *plan.Agg) (*dstream, exec.Operator, error) 
 		partials := make([]exec.Operator, len(ds.ops))
 		for wi, op := range ds.ops {
 			w := q.c.Workers[wi]
-			agg := exec.NewHashAggregate(w.execCtx, op, nil, specs, exec.AggPartial)
+			agg := exec.NewHashAggregate(q.wctx(wi), op, nil, specs, exec.AggPartial)
 			agg.Parallel = q.prof.AggParallelism
 			partials[wi] = q.wrap("HashAgg partial", w.ID, agg, op)
 		}
@@ -656,7 +740,7 @@ func (q *queryExec) distributeAgg(x *plan.Agg) (*dstream, exec.Operator, error) 
 	}
 	for wi, op := range shuffled.ops {
 		w := q.c.Workers[wi]
-		agg := exec.NewHashAggregate(w.execCtx, op, x.GroupBy, specs, exec.AggComplete)
+		agg := exec.NewHashAggregate(q.wctx(wi), op, x.GroupBy, specs, exec.AggComplete)
 		out.ops = append(out.ops, q.wrap("HashAgg", w.ID, agg, op))
 	}
 	return out, nil, nil
@@ -698,7 +782,7 @@ func (q *queryExec) treeAggregate(ds *dstream, x *plan.Agg, specs []exec.AggSpec
 	partials := make([]exec.Operator, len(ds.ops))
 	for wi, op := range ds.ops {
 		w := q.c.Workers[wi]
-		agg := exec.NewHashAggregate(w.execCtx, op, x.GroupBy, specs, exec.AggPartial)
+		agg := exec.NewHashAggregate(q.wctx(wi), op, x.GroupBy, specs, exec.AggPartial)
 		agg.Parallel = q.prof.AggParallelism
 		partials[wi] = q.wrap("HashAgg partial", w.ID, agg, op)
 	}
@@ -726,7 +810,7 @@ func (q *queryExec) distributeLimit(x *plan.Limit) (*dstream, exec.Operator, err
 		local := make([]exec.Operator, len(ds.ops))
 		for wi, op := range ds.ops {
 			w := q.c.Workers[wi]
-			local[wi] = q.wrap("TopK", w.ID, exec.NewTopK(w.execCtx, op, keys, int(x.N)), op)
+			local[wi] = q.wrap("TopK", w.ID, exec.NewTopK(q.wctx(wi), op, keys, int(x.N)), op)
 		}
 		merged := q.gatherOrdered(&dstream{ops: local, sch: ds.sch}, keys)
 		return nil, q.wrap("Limit", q.coord.ID, exec.NewLimit(merged, x.N, 0), merged), nil
@@ -758,11 +842,12 @@ func (q *queryExec) pickOne(ds *dstream) exec.Operator {
 	q.spanOf(ds.ops[0]).SetParent(ssp)
 	ep := exec.NewCountingEndpoint(w.Ep, ssp)
 	d := &workerDriver{
+		live:      q.live,
 		coordSide: func() exec.Operator { return exec.NewRecv(q.coord.Ep, ch, 1, ds.sch) },
 		launch: func() []func() error {
 			return []func() error{func() error {
 				defer ssp.Finish()
-				return exec.SendAll(w.execCtx, ep, q.coord.ID, ch, ds.ops[0])
+				return exec.SendAll(q.wctx(0), ep, q.coord.ID, ch, ds.ops[0])
 			}}
 		},
 	}
@@ -788,6 +873,7 @@ func (q *queryExec) gatherPlain(ds *dstream) exec.Operator {
 		ssps[wi] = ssp
 	}
 	d := &workerDriver{
+		live: q.live,
 		coordSide: func() exec.Operator {
 			return exec.NewRecv(coordEp, ch, len(ds.ops), ds.sch)
 		},
@@ -797,7 +883,7 @@ func (q *queryExec) gatherPlain(ds *dstream) exec.Operator {
 				op := ds.ops[wi]
 				ep := eps[wi]
 				sp := ssps[wi]
-				ectx := q.c.Workers[wi].execCtx
+				ectx := q.wctx(wi)
 				fns = append(fns, func() error {
 					defer sp.Finish()
 					return exec.SendAll(ectx, ep, coordID, ch, op)
@@ -827,6 +913,7 @@ func (q *queryExec) gatherOrdered(ds *dstream, keys []exec.SortKey) exec.Operato
 		ssps[wi] = ssp
 	}
 	d := &workerDriver{
+		live: q.live,
 		coordSide: func() exec.Operator {
 			ins := make([]exec.Operator, len(ds.ops))
 			for wi := range ds.ops {
@@ -841,7 +928,7 @@ func (q *queryExec) gatherOrdered(ds *dstream, keys []exec.SortKey) exec.Operato
 				ep := eps[wi]
 				sp := ssps[wi]
 				ch := fmt.Sprintf("%s.%d", base, wi)
-				ectx := q.c.Workers[wi].execCtx
+				ectx := q.wctx(wi)
 				fns = append(fns, func() error {
 					defer sp.Finish()
 					return exec.SendAll(ectx, ep, coordID, ch, op)
@@ -875,6 +962,7 @@ func (q *queryExec) gatherTree(ds *dstream, combine func([]exec.Operator) exec.O
 		ssps[wi] = ssp
 	}
 	d := &workerDriver{
+		live: q.live,
 		coordSide: func() exec.Operator {
 			op, err := exec.RunTreeReduce(nil, coordEp, spec, exec.NewSource(ds.sch, nil), combine)
 			if err != nil || op == nil {
@@ -888,7 +976,7 @@ func (q *queryExec) gatherTree(ds *dstream, combine func([]exec.Operator) exec.O
 				op := ds.ops[wi]
 				ep := eps[wi]
 				sp := ssps[wi]
-				ectx := q.c.Workers[wi].execCtx
+				ectx := q.wctx(wi)
 				fns = append(fns, func() error {
 					defer sp.Finish()
 					_, err := exec.RunTreeReduce(ectx, ep, spec, op, combine)
@@ -909,6 +997,10 @@ func (q *queryExec) gatherTree(ds *dstream, combine func([]exec.Operator) exec.O
 type workerDriver struct {
 	coordSide func() exec.Operator
 	launch    func() []func() error
+	// live, when set, counts this gather's in-flight machinery (worker send
+	// goroutines plus the coordinator receive side) toward the query's
+	// quiescence group so mailbox release waits for it.
+	live *sync.WaitGroup
 
 	op      exec.Operator
 	bop     exec.BatchOperator
@@ -916,6 +1008,7 @@ type workerDriver struct {
 	pending int
 	mu      sync.Mutex
 	firstE  error
+	tracked bool
 }
 
 // Schema implements exec.Operator.
@@ -934,12 +1027,19 @@ func (d *workerDriver) Open() error {
 		return err
 	}
 	fns := d.launch()
-	d.errs = make(chan error, len(fns))
+	// The goroutines close over a local so an abandoning Close (which nils
+	// d.errs) never races their send.
+	errs := make(chan error, len(fns))
+	d.errs = errs
 	d.pending = len(fns)
 	for _, fn := range fns {
 		// errs is buffered to len(fns) above, so the single send never blocks
 		// (sendstop's bounded-buffer proof).
-		go func(fn func() error) { d.errs <- fn() }(fn)
+		go func(fn func() error) { errs <- fn() }(fn)
+	}
+	if d.live != nil && !d.tracked {
+		d.live.Add(1)
+		d.tracked = true
 	}
 	return nil
 }
@@ -984,12 +1084,51 @@ func (d *workerDriver) finish() error {
 	return d.firstE
 }
 
-// Close implements exec.Operator.
+// Close implements exec.Operator. A driver closed with workers still
+// pending was abandoned mid-stream (KILL, drain, or an upstream limit): its
+// worker send goroutines may be blocked on full mailboxes that the
+// coordinator will never pull again. Closing the receive side there would
+// leak those goroutines forever, so Close hands the stream to a background
+// drainer that pulls it to exhaustion — killed senders finish their EOF
+// protocol quickly — then collects the worker errors and releases the
+// query's quiescence token.
 func (d *workerDriver) Close() error {
-	if d.op != nil {
-		return d.op.Close()
+	done := func() {
+		if d.tracked {
+			d.tracked = false
+			if d.live != nil {
+				d.live.Done()
+			}
+		}
 	}
-	return nil
+	if d.op == nil {
+		done()
+		return nil
+	}
+	if d.pending > 0 {
+		op, errs, pending := d.op, d.errs, d.pending
+		live, tracked := d.live, d.tracked
+		d.op, d.bop, d.errs, d.pending, d.tracked = nil, nil, nil, 0, false
+		go func() {
+			for {
+				if _, ok, err := op.Next(); err != nil || !ok {
+					break
+				}
+			}
+			for i := 0; i < pending; i++ {
+				<-errs
+			}
+			_ = op.Close()
+			if tracked && live != nil {
+				live.Done()
+			}
+		}()
+		return nil
+	}
+	err := d.op.Close()
+	d.op, d.bop = nil, nil
+	done()
+	return err
 }
 
 // renameSchema overrides an operator's reported schema, preserving the

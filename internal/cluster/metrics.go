@@ -50,30 +50,42 @@ type RunMetrics struct {
 
 // RunMetered executes a plan and reports metrics for it.
 func (c *Cluster) RunMetered(root plan.Node) ([]types.Row, RunMetrics, error) {
-	rows, m, _, err := c.runMetered(c.Coords[0], root, false, "")
+	rows, m, _, err := c.runMetered(c.Coords[0], root, false, "", nil)
 	return rows, m, err
 }
 
 // RunTraced executes a plan with per-operator tracing and returns the
 // stitched query trace alongside the metrics. sql labels the trace.
 func (c *Cluster) RunTraced(root plan.Node, sql string) ([]types.Row, RunMetrics, *obs.QueryTrace, error) {
-	return c.runMetered(c.Coords[0], root, true, sql)
+	return c.runMetered(c.Coords[0], root, true, sql, nil)
 }
 
 // runMetered is the shared execution path: it allocates the query id,
 // opens a meter scope on the query's channel prefix (subqueries add their
 // own prefixes), optionally wires a tracer through distribution, runs the
-// dataflow, and assembles the metrics.
-func (c *Cluster) runMetered(coord *CoordinatorNode, root plan.Node, traced bool, sql string) ([]types.Row, RunMetrics, *obs.QueryTrace, error) {
-	qid := c.querySeq.Add(1)
-	scope := c.Fabric.Meter().Scope(fmt.Sprintf("q%d.", qid))
+// dataflow, and assembles the metrics. opts, when non-nil, threads the
+// serving layer's per-query controls (kill switch, batch sizing,
+// parallelism clamp) through distribution; a traced query that waited in
+// the admission queue gets that wait recorded as an Admission span.
+func (c *Cluster) runMetered(coord *CoordinatorNode, root plan.Node, traced bool, sql string, opts *QueryOptions) ([]types.Row, RunMetrics, *obs.QueryTrace, error) {
+	q := c.newQueryExec(coord, opts)
+	scope := c.Fabric.Meter().Scope(fmt.Sprintf("q%d.", q.qid))
 	defer scope.Close()
-	q := &queryExec{c: c, coord: coord, qid: qid, prof: c.Cfg.Profile, scope: scope}
+	q.scope = scope
+	// Mailboxes for the query's channel namespaces are freed once every
+	// exchange loop has exited, whether the query completes or is killed
+	// mid-stream.
+	defer q.releaseWhenQuiet()
 	var tr *obs.QueryTrace
 	if traced {
-		tr = obs.NewQueryTrace(qid, sql)
+		tr = obs.NewQueryTrace(q.qid, sql)
 		q.tr = tr
 		q.spans = map[exec.Operator]*obs.Span{}
+		if opts != nil && opts.QueueWait > 0 {
+			asp := tr.StartSpan("Admission", coord.ID)
+			asp.AddWall(opts.QueueWait)
+			asp.Finish()
+		}
 	}
 
 	type snap struct {
@@ -104,7 +116,10 @@ func (c *Cluster) runMetered(coord *CoordinatorNode, root plan.Node, traced bool
 	if coordOp == nil {
 		coordOp = q.gatherPlain(ds)
 	}
-	rows, err := collectRows(coordOp)
+	// Guard re-checks the kill switch on every coordinator pull, so KILL
+	// surfaces within one batch boundary even while the plan is waiting on
+	// a network message.
+	rows, err := collectRows(exec.Guard(q.cancel(), coordOp))
 	if err != nil {
 		return nil, m, tr, err
 	}

@@ -4,10 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"strings"
-	"time"
 
 	"repro/internal/catalog"
-	"repro/internal/exec"
 	"repro/internal/expr"
 	"repro/internal/index"
 	"repro/internal/opt"
@@ -30,13 +28,58 @@ type Result struct {
 // workers; DML runs under a distributed transaction committed with
 // hierarchical 2PC; DDL synchronizes coordinator metadata replicas.
 func (c *Cluster) ExecSQL(sql string) (*Result, error) {
+	return c.ExecSQLOpts(sql, nil)
+}
+
+// ExecSQLOpts executes one SQL statement with the serving layer's
+// per-query controls (kill switch, batch sizing, parallelism clamp,
+// admission annotation) threaded through read execution. A nil opts is
+// exactly ExecSQL.
+func (c *Cluster) ExecSQLOpts(sql string, opts *QueryOptions) (*Result, error) {
 	stmt, err := sqlparse.Parse(sql)
 	if err != nil {
 		return nil, err
 	}
+	return c.execStmt(stmt, sql, opts)
+}
+
+// Prepared is a parsed statement a session holds for repeated execution:
+// parse once, execute many times, each run with fresh per-query controls.
+type Prepared struct {
+	stmt sqlparse.Stmt
+	sql  string
+}
+
+// SQL returns the statement text the prepared statement was parsed from.
+func (p *Prepared) SQL() string { return p.sql }
+
+// Prepare parses a statement for later execution via ExecPrepared.
+func (c *Cluster) Prepare(sql string) (*Prepared, error) {
+	stmt, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	return &Prepared{stmt: stmt, sql: sql}, nil
+}
+
+// ExecPrepared executes a previously prepared statement, skipping the parse.
+func (c *Cluster) ExecPrepared(p *Prepared, opts *QueryOptions) (*Result, error) {
+	return c.execStmt(p.stmt, p.sql, opts)
+}
+
+// execStmt dispatches one parsed statement. Reads honor opts; DML/DDL run
+// to completion once started (killing them mid-2PC would trade a clean
+// rollback path for torn global transactions), so opts only gates their
+// start.
+func (c *Cluster) execStmt(stmt sqlparse.Stmt, sql string, opts *QueryOptions) (*Result, error) {
+	if opts != nil && opts.Cancel != nil {
+		if err := opts.Cancel.Err(); err != nil {
+			return nil, err
+		}
+	}
 	switch x := stmt.(type) {
 	case *sqlparse.Select:
-		return c.runSelect(x, sql)
+		return c.runSelect(x, sql, opts)
 	case *sqlparse.Explain:
 		if x.Analyze {
 			return c.explainAnalyze(x.Query, sql)
@@ -85,7 +128,7 @@ func (c *Cluster) Plan(sel *sqlparse.Select) (plan.Node, error) {
 // histogram (seconds, log-ish spacing).
 var querySecondsBounds = []float64{0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 10}
 
-func (c *Cluster) runSelect(sel *sqlparse.Select, sql string) (*Result, error) {
+func (c *Cluster) runSelect(sel *sqlparse.Select, sql string, opts *QueryOptions) (*Result, error) {
 	// Spread read queries over the coordinators (Section I: multiple
 	// coordinators process requests in parallel; results route through the
 	// coordinator that planned the query).
@@ -98,25 +141,18 @@ func (c *Cluster) runSelect(sel *sqlparse.Select, sql string) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	if c.Cfg.TraceQueries {
-		rows, m, tr, err := c.runMetered(coord, node, true, sql)
-		if err != nil {
-			return nil, err
-		}
+	// Both traced and untraced reads go through runMetered: it is the path
+	// that threads per-query controls into distribution and frees the
+	// query's fabric mailboxes afterwards — required for a server running
+	// an unbounded stream of queries.
+	rows, m, tr, err := c.runMetered(coord, node, c.Cfg.TraceQueries, sql, opts)
+	if err != nil {
+		return nil, err
+	}
+	if tr != nil {
 		c.Traces.Add(tr)
-		c.Reg.Histogram("query.seconds", querySecondsBounds).Observe(m.Wall.Seconds())
-		return &Result{Schema: node.Schema(), Rows: rows}, nil
 	}
-	start := time.Now()
-	op, err := c.CompileDistributedOn(coord, node)
-	if err != nil {
-		return nil, err
-	}
-	rows, err := exec.Collect(op)
-	if err != nil {
-		return nil, err
-	}
-	c.Reg.Histogram("query.seconds", querySecondsBounds).Observe(time.Since(start).Seconds())
+	c.Reg.Histogram("query.seconds", querySecondsBounds).Observe(m.Wall.Seconds())
 	return &Result{Schema: node.Schema(), Rows: rows}, nil
 }
 

@@ -472,6 +472,12 @@ func (h *HashAggregate) prepareSerial(fromStates bool) error {
 	// removes the per-row iterator call.
 	if bin, ok := nativeBatch(h.In); ok {
 		for {
+			// Per-batch kill check: the input may produce many rows per
+			// upstream cancel check (a high-fanout join probe), and the
+			// blocking build would otherwise run to exhaustion.
+			if err := h.ctx.canceled(); err != nil {
+				return err
+			}
 			batch, ok, err := bin.NextBatch()
 			if err != nil {
 				return err
@@ -486,6 +492,7 @@ func (h *HashAggregate) prepareSerial(fromStates bool) error {
 			}
 		}
 	} else {
+		rowsSinceCheck := 0
 		for {
 			r, ok, err := h.In.Next()
 			if err != nil {
@@ -493,6 +500,12 @@ func (h *HashAggregate) prepareSerial(fromStates bool) error {
 			}
 			if !ok {
 				break
+			}
+			if rowsSinceCheck++; rowsSinceCheck >= 1024 {
+				rowsSinceCheck = 0
+				if err := h.ctx.canceled(); err != nil {
+					return err
+				}
 			}
 			if err := ingest(r); err != nil {
 				return err
@@ -714,7 +727,7 @@ func (h *HashAggregate) prepareParallel(degree int, fromStates bool) error {
 			}
 		}(aw)
 	}
-	feedErr := feedRowBatches(h.In, h.ctx.batchRows(), batches, stop)
+	feedErr := feedRowBatches(h.ctx, h.In, h.ctx.batchRows(), batches, stop)
 	close(batches)
 	wg.Wait()
 	abortSpills := func() {
@@ -784,10 +797,16 @@ func (h *HashAggregate) prepareParallel(degree int, fromStates bool) error {
 // fanning slabs out to parallel build workers. Every slab is copied before
 // crossing the goroutine boundary (the producer reuses its slab buffer per
 // the batch ownership contract). Returns early without error when stop
-// closes — the workers already have an error to report.
-func feedRowBatches(in Operator, size int, batches chan<- []types.Row, stop <-chan struct{}) error {
+// closes — the workers already have an error to report. The kill switch is
+// re-checked per batch: blocking consumers (aggregation, sort) may sit over
+// inputs that buffer many rows per upstream cancel check, and this bound
+// keeps KILL latency at one batch regardless.
+func feedRowBatches(ctx *Ctx, in Operator, size int, batches chan<- []types.Row, stop <-chan struct{}) error {
 	if bin, ok := nativeBatch(in); ok {
 		for {
+			if err := ctx.canceled(); err != nil {
+				return err
+			}
 			b, ok, err := bin.NextBatch()
 			if err != nil {
 				return err
@@ -815,6 +834,9 @@ func feedRowBatches(in Operator, size int, batches chan<- []types.Row, stop <-ch
 		}
 		buf = append(buf, r)
 		if len(buf) >= size {
+			if err := ctx.canceled(); err != nil {
+				return err
+			}
 			select {
 			case batches <- buf:
 			case <-stop:

@@ -107,6 +107,17 @@ type Shuffle struct {
 	ring    topology.Ring
 	selfPos int
 
+	// OnLoops, when set, brackets the shuffle's background loops for
+	// query-level quiescence tracking (the cluster releases a query's
+	// fabric mailboxes only after every loop reading them has exited):
+	// Add(1) when Open starts the loops, Done when the receive loop — the
+	// last reader of this node's mailbox — exits. A *sync.WaitGroup
+	// satisfies it.
+	OnLoops interface {
+		Add(delta int)
+		Done()
+	}
+
 	batches   chan []types.Row
 	errCh     chan error
 	done      chan struct{} // closed by Close; unblocks every channel send
@@ -198,6 +209,9 @@ func (s *Shuffle) send(destPos int, payload []byte) error {
 
 // start launches the sender and receiver loops.
 func (s *Shuffle) start() {
+	if s.OnLoops != nil {
+		s.OnLoops.Add(1)
+	}
 	// Forwarding queue: the receive loop must never block on a network
 	// send, or two hubs with full mailboxes could deadlock each other. The
 	// queue is unbounded; a dedicated goroutine drains it.
@@ -219,6 +233,9 @@ func (s *Shuffle) start() {
 	}()
 	// Receive/forward loop.
 	go func() {
+		if s.OnLoops != nil {
+			defer s.OnLoops.Done()
+		}
 		defer close(s.batches)
 		defer fq.close()
 		pending := s.transitPairs()
@@ -296,6 +313,30 @@ func (s *Shuffle) start() {
 			batches[dest] = batches[dest][:0]
 			return s.send(dest, payload)
 		}
+		// eofAll emits this sender's EOF to every destination exactly once —
+		// peers and our own receive loop (which counts a self-EOF) need one
+		// each to terminate, on success and failure paths alike. Returns the
+		// first send error (already-failed callers ignore it).
+		eofSent := make([]bool, n)
+		eofAll := func() error {
+			var firstErr error
+			for d := 0; d < n; d++ {
+				if eofSent[d] {
+					continue
+				}
+				eofSent[d] = true
+				var err error
+				if d == s.selfPos {
+					err = s.ep.Send(s.ep.NodeID(), s.ep.NodeID(), s.Spec.Channel, encodeBatch(msgEOF, s.selfPos, nil))
+				} else {
+					err = s.send(d, encodeBatch(msgEOF, s.selfPos, nil))
+				}
+				if err != nil && firstErr == nil {
+					firstErr = err
+				}
+			}
+			return firstErr
+		}
 		fail := func(err error) {
 			if err != errShuffleClosed {
 				select {
@@ -303,12 +344,8 @@ func (s *Shuffle) start() {
 				case <-s.done:
 				}
 			}
-			// Still emit EOFs so peers terminate.
-			for d := 0; d < n; d++ {
-				if d != s.selfPos {
-					_ = s.send(d, encodeBatch(msgEOF, s.selfPos, nil))
-				}
-			}
+			// Still emit EOFs so peers (and our receive loop) terminate.
+			_ = eofAll()
 		}
 		route := func(r types.Row) error {
 			hk, err := HashKeys(s.Keys, r)
@@ -325,6 +362,12 @@ func (s *Shuffle) start() {
 		if s.In != nil {
 			bin := ToBatch(s.In, wire)
 			for {
+				// Killed query: stop partitioning between batches. fail()
+				// still emits EOFs, so peers and hubs terminate normally.
+				if err := s.ctx.canceled(); err != nil {
+					fail(err)
+					return
+				}
 				b, ok, err := bin.NextBatch()
 				if err != nil {
 					fail(err)
@@ -347,21 +390,8 @@ func (s *Shuffle) start() {
 				return
 			}
 		}
-		// EOF per destination, own destination handled synchronously.
-		for d := 0; d < n; d++ {
-			if d == s.selfPos {
-				continue
-			}
-			if err := s.send(d, encodeBatch(msgEOF, s.selfPos, nil)); err != nil {
-				select {
-				case s.errCh <- err:
-				case <-s.done:
-				}
-				return
-			}
-		}
-		// Our own EOF: counted directly by the receive loop.
-		if err := s.ep.Send(s.ep.NodeID(), s.ep.NodeID(), s.Spec.Channel, encodeBatch(msgEOF, s.selfPos, nil)); err != nil {
+		// EOF per destination (own EOF counted directly by the receive loop).
+		if err := eofAll(); err != nil {
 			select {
 			case s.errCh <- err:
 			case <-s.done:
@@ -428,7 +458,7 @@ func SendAll(ctx *Ctx, ep network.Endpoint, to int, channel string, in Operator)
 	defer in.Close()
 	wire := ctx.wireBatchRows()
 	if v, ok := nativeVec(in); ok {
-		return sendAllVec(ep, to, channel, v, wire)
+		return sendAllVec(ctx, ep, to, channel, v, wire)
 	}
 	var batch []types.Row
 	flush := func() error {
@@ -441,6 +471,12 @@ func SendAll(ctx *Ctx, ep network.Endpoint, to int, channel string, in Operator)
 	}
 	bin := ToBatch(in, wire)
 	for {
+		// Killed query: abort between batches but still EOF the receiver so
+		// the gather protocol terminates on the coordinator.
+		if err := ctx.canceled(); err != nil {
+			_ = ep.Send(to, to, channel, encodeBatch(msgEOF, ep.NodeID(), nil))
+			return err
+		}
 		b, ok, err := bin.NextBatch()
 		if err != nil {
 			_ = flush()
@@ -469,8 +505,12 @@ func SendAll(ctx *Ctx, ep network.Endpoint, to int, channel string, in Operator)
 // from typed column slabs — no boxed row materialization on the send side —
 // chunked into wire messages of at most wire active rows each, so message
 // counts derive from the same Ctx.BatchRows knob as the row path.
-func sendAllVec(ep network.Endpoint, to int, channel string, v VecOperator, wire int) error {
+func sendAllVec(ctx *Ctx, ep network.Endpoint, to int, channel string, v VecOperator, wire int) error {
 	for {
+		if err := ctx.canceled(); err != nil {
+			_ = ep.Send(to, to, channel, encodeBatch(msgEOF, ep.NodeID(), nil))
+			return err
+		}
 		b, ok, err := v.NextVec()
 		if err != nil {
 			_ = ep.Send(to, to, channel, encodeBatch(msgEOF, ep.NodeID(), nil))
@@ -641,13 +681,21 @@ func RunTreeReduce(ctx *Ctx, ep network.Endpoint, spec TreeReduceSpec, local Ope
 		return nil, fmt.Errorf("exec: node %d not in tree spec", ep.NodeID())
 	}
 	// Ordered merges need per-child streams, so each tree edge gets its own
-	// channel with exactly one sender.
+	// channel with exactly one sender. The local branch goes FIRST: when the
+	// local pipeline participates in an all-to-all shuffle, every node must
+	// keep consuming its shuffle input for the senders to finish. A combine
+	// that drained child partials before the local branch would park this
+	// node's shuffle consumer behind Recv, the undelivered shuffle traffic
+	// would fill this node's mailbox, the last shuffle sender would block,
+	// and the leaves — stuck waiting for that sender's partitions — could
+	// never produce the partials Recv is waiting for (deadlocks TPC-H Q7
+	// once the working set outgrows the mailbox bound).
 	children := tree.Children(pos)
 	ins := make([]Operator, 0, len(children)+1)
+	ins = append(ins, local)
 	for _, c := range children {
 		ins = append(ins, NewRecv(ep, fmt.Sprintf("%s:edge:%d-%d", spec.Channel, c, pos), 1, local.Schema()))
 	}
-	ins = append(ins, local)
 	combined := combine(ins)
 	if pos == 0 {
 		return combined, nil

@@ -27,6 +27,22 @@ type Operator interface {
 	Close() error
 }
 
+// Counters is the metering block shared by every Ctx derived from one
+// node context. It lives behind a pointer so a per-query child Ctx (see
+// Child) still charges the node-level counters the cluster gauges and
+// runMetered diffs read, and so Ctx itself stays shallow-copyable.
+type Counters struct {
+	// RowsProcessed, SpillBytes, SpillFiles meter work for the
+	// performance model.
+	RowsProcessed atomic.Int64
+	SpillBytes    atomic.Int64
+	SpillFiles    atomic.Int64
+	// StateBytes accumulates the bytes held by stateful operators (hash
+	// join build sides, aggregation tables, sort buffers) — the memory
+	// working set the paper's OOM discussion is about.
+	StateBytes atomic.Int64
+}
+
 // Ctx carries per-query execution state shared by the operators of one
 // plan fragment on one node.
 type Ctx struct {
@@ -52,14 +68,9 @@ type Ctx struct {
 	// scans; zero selects storage.DefaultMorselPages.
 	MorselPages int
 
-	// Metering for the performance model.
-	RowsProcessed atomic.Int64
-	SpillBytes    atomic.Int64
-	SpillFiles    atomic.Int64
-	// StateBytes accumulates the bytes held by stateful operators (hash
-	// join build sides, aggregation tables, sort buffers) — the memory
-	// working set the paper's OOM discussion is about.
-	StateBytes atomic.Int64
+	// Counters meters work into the node-level block shared with every
+	// sibling Ctx of the same node (see Child).
+	*Counters
 
 	// parallelBudget, when set, bounds the node's total intra-operator
 	// parallelism: operators acquire worker tokens and degrade gracefully
@@ -67,6 +78,47 @@ type Ctx struct {
 	// resource management: "worker nodes manage memory and degree of
 	// parallelism individually").
 	parallelBudget chan struct{}
+
+	// cancel, when set, aborts the fragment between batches: scan feeds
+	// stop producing, exchanges stop sending (but still EOF their peers),
+	// and pull loops surface the cause. Nil means uncancellable.
+	cancel *Cancel
+}
+
+// Child derives a per-query context from a node context: tuning knobs are
+// copied (callers may then override per session), while the metering
+// counters and the node's parallel budget stay shared, so concurrent
+// queries on one node still compete for the same worker tokens and show up
+// in the same gauges. The cancel handle is private to the child.
+func (c *Ctx) Child(cancel *Cancel) *Ctx {
+	child := *c
+	child.cancel = cancel
+	return &child
+}
+
+// Cancel returns the context's cancellation handle (nil if none).
+func (c *Ctx) Cancel() *Cancel {
+	if c == nil {
+		return nil
+	}
+	return c.cancel
+}
+
+// canceled reports whether the fragment should abort, with the cause.
+func (c *Ctx) canceled() error {
+	if c == nil || c.cancel == nil {
+		return nil
+	}
+	return c.cancel.Err()
+}
+
+// cancelDone exposes the done channel for select loops; nil-safe (a nil
+// channel never selects ready).
+func (c *Ctx) cancelDone() <-chan struct{} {
+	if c == nil {
+		return nil
+	}
+	return c.cancel.Done()
 }
 
 // SetParallelBudget installs a node-wide cap on extra operator threads.
@@ -176,7 +228,7 @@ func (c *Ctx) addState(n int64) {
 
 // NewCtx builds a context with a temp dir and row budget.
 func NewCtx(tempDir string, memRows int) *Ctx {
-	return &Ctx{TempDir: tempDir, MemRows: memRows}
+	return &Ctx{TempDir: tempDir, MemRows: memRows, Counters: &Counters{}}
 }
 
 func (c *Ctx) tempFile(pattern string) (*os.File, error) {

@@ -20,6 +20,7 @@ type scanFeed struct {
 	batches chan []types.Row
 	errCh   chan error
 	stop    chan struct{}
+	cancel  *Cancel
 	batch   int
 	depth   int
 	started bool
@@ -49,7 +50,7 @@ func (s *scanFeed) Open() error {
 func (s *scanFeed) launch() {
 	s.started = true
 	go func() {
-		snd := &batchSender{out: s.batches, stop: s.stop, size: s.batch}
+		snd := &batchSender{out: s.batches, stop: s.stop, cancel: s.cancel, size: s.batch}
 		err := s.start(snd)
 		if err != nil {
 			select {
@@ -91,8 +92,13 @@ func (s *scanFeed) NextBatch() ([]types.Row, bool, error) {
 	case err := <-s.errCh:
 		return nil, false, err
 	default:
-		return nil, false, nil
 	}
+	// A killed scan stops producing mid-stream; surface the kill cause so
+	// the truncated stream can never be mistaken for normal exhaustion.
+	if err := s.cancel.Err(); err != nil {
+		return nil, false, err
+	}
+	return nil, false, nil
 }
 
 func (s *scanFeed) Close() error {
@@ -119,11 +125,12 @@ func (s *scanFeed) Close() error {
 // sendRow select: the channel synchronization now costs one select per
 // size rows.
 type batchSender struct {
-	out  chan<- []types.Row
-	stop <-chan struct{}
-	slab []types.Row
-	size int
-	sent int64
+	out    chan<- []types.Row
+	stop   <-chan struct{}
+	cancel *Cancel
+	slab   []types.Row
+	size   int
+	sent   int64
 }
 
 // send buffers one row, flushing when the slab is full. It returns false
@@ -151,6 +158,10 @@ func (b *batchSender) flush() bool {
 		b.slab = make([]types.Row, 0, b.size)
 		return true
 	case <-b.stop:
+		return false
+	case <-b.cancel.Done():
+		// Killed query: stop producing. The consumer learns the cause from
+		// scanFeed.NextBatch (or the coordinator's cancel guard).
 		return false
 	}
 }
@@ -214,6 +225,7 @@ func NewRowScan(fr *storage.Fragment, alias string, cfg ScanConfig) *FragmentSca
 	fs.scanFeed.start = fs.run
 	fs.scanFeed.batch = cfg.BatchRows
 	fs.scanFeed.depth = cfg.Ctx.scanFeedDepth()
+	fs.scanFeed.cancel = cfg.Ctx.Cancel()
 	return fs
 }
 
@@ -260,7 +272,7 @@ func (fs *FragmentScan) run(snd *batchSender) error {
 func (fs *FragmentScan) runParallel(snd *batchSender, opts storage.ScanOptions, degree int) error {
 	senders := make([]*batchSender, degree)
 	for i := range senders {
-		senders[i] = &batchSender{out: snd.out, stop: snd.stop, size: snd.size}
+		senders[i] = &batchSender{out: snd.out, stop: snd.stop, cancel: snd.cancel, size: snd.size}
 	}
 	evalErrs := make([]error, degree)
 	stats, err := fs.fr.ParallelScan(opts, degree, fs.cfg.Ctx.morselPages(), func(w int, rid page.RID, r types.Row) bool {
@@ -313,6 +325,7 @@ func NewColumnarScan(fr *storage.ColumnarFragment, alias string, cfg ScanConfig)
 	cs.scanFeed.start = cs.run
 	cs.scanFeed.batch = cfg.BatchRows
 	cs.scanFeed.depth = cfg.Ctx.scanFeedDepth()
+	cs.scanFeed.cancel = cfg.Ctx.Cancel()
 	return cs
 }
 
@@ -357,7 +370,7 @@ func (cs *ColumnarScan) run(snd *batchSender) error {
 func (cs *ColumnarScan) runParallel(snd *batchSender, opts storage.ScanOptions, degree int) error {
 	senders := make([]*batchSender, degree)
 	for i := range senders {
-		senders[i] = &batchSender{out: snd.out, stop: snd.stop, size: snd.size}
+		senders[i] = &batchSender{out: snd.out, stop: snd.stop, cancel: snd.cancel, size: snd.size}
 	}
 	evalErrs := make([]error, degree)
 	stats, err := cs.fr.ParallelScan(opts, degree, 1, func(w int, r types.Row) bool {

@@ -427,7 +427,7 @@ func (s *Sort) prepareParallel(degree int) error {
 			}
 		}(sw)
 	}
-	feedErr := feedRowBatches(s.In, s.ctx.batchRows(), batches, stop)
+	feedErr := feedRowBatches(s.ctx, s.In, s.ctx.batchRows(), batches, stop)
 	close(batches)
 	wg.Wait()
 	var firstErr error

@@ -1,0 +1,188 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/obs"
+	"repro/internal/srv"
+	"repro/internal/tpch"
+)
+
+// ServeLevelStat is one concurrency level of the serving-layer sweep: N
+// clients each running the TPC-H mix through sessions and admission
+// control. Latency includes queue wait (it is what a client observes);
+// queue wait is also reported separately so saturation is attributable.
+type ServeLevelStat struct {
+	Clients      int     `json:"clients"`
+	Queries      int     `json:"queries"`
+	Failed       int     `json:"failed"`
+	Rejected     int64   `json:"rejected"`
+	P50MS        float64 `json:"p50_ms"`
+	P99MS        float64 `json:"p99_ms"`
+	QueueP50MS   float64 `json:"queue_wait_p50_ms"`
+	QueueP99MS   float64 `json:"queue_wait_p99_ms"`
+	WallMS       float64 `json:"wall_ms"`
+	QPS          float64 `json:"qps"`
+	HeapMB       float64 `json:"heap_mb"`
+	MaxActive    int     `json:"max_active"`
+	QueueDepth   int     `json:"queue_depth"`
+	SlowAdmits   int64   `json:"slow_admits"`
+	KilledCount  int64   `json:"killed"`
+	AdmittedOnce int64   `json:"admitted"`
+}
+
+// ServeBench sweeps the serving layer over concurrency levels: for each
+// level it starts a fresh server (sessions + admission) over one shared
+// TPC-H cluster, runs N concurrent clients each submitting the query mix,
+// and reports client-observed latency percentiles, queue wait, and
+// rejection counts. The admission queue is sized so no level sheds load —
+// the sweep measures scheduling, not rejection.
+func (r *Runner) ServeBench(workers int, levels []int, perClient int) ([]ServeLevelStat, error) {
+	if workers == 0 {
+		workers = 4
+	}
+	if len(levels) == 0 {
+		levels = []int{1, 4, 16, 64}
+	}
+	c, err := r.newCluster("hrdbms", workers)
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+
+	queries := tpch.Queries()
+	ids := tpch.QueryIDs()
+	if perClient <= 0 {
+		perClient = len(ids)
+	}
+
+	maxLevel := 0
+	for _, n := range levels {
+		if n > maxLevel {
+			maxLevel = n
+		}
+	}
+
+	var out []ServeLevelStat
+	r.printf("\n=== Serving-layer concurrency sweep (%d workers, SF%g, %d queries/client) ===\n",
+		workers, r.SF, perClient)
+	r.printf("%8s %8s %7s %9s %9s %10s %10s %9s %8s %8s\n",
+		"clients", "queries", "failed", "p50(ms)", "p99(ms)", "qwait50", "qwait99", "wall(ms)", "qps", "heap(MB)")
+	for _, n := range levels {
+		reg := obs.NewRegistry()
+		maxActive := workers
+		queueDepth := 2 * maxLevel // every client can queue; the sweep never sheds
+		s := srv.New(c, srv.Config{
+			MaxConns: maxLevel + 8,
+			Admission: srv.AdmissionConfig{
+				MaxActive:       maxActive,
+				QueueDepth:      queueDepth,
+				QueuePerSession: queueDepth,
+			},
+		}, reg)
+
+		type sample struct{ lat, wait time.Duration }
+		samples := make([][]sample, n)
+		failures := make([]error, n)
+		start := time.Now()
+		var wg sync.WaitGroup
+		for ci := 0; ci < n; ci++ {
+			wg.Add(1)
+			go func(ci int) {
+				defer wg.Done()
+				sess, err := s.Sessions().Open()
+				if err != nil {
+					failures[ci] = err
+					return
+				}
+				defer s.Sessions().Close(sess)
+				for qi := 0; qi < perClient; qi++ {
+					// Stagger the mix so clients do not run in lockstep.
+					sql := queries[ids[(ci+qi)%len(ids)]]
+					qStart := time.Now()
+					_, wait, err := s.RunQuery(sess, func(opts *cluster.QueryOptions) (*cluster.Result, error) {
+						return c.ExecSQLOpts(sql, opts)
+					})
+					if err != nil {
+						failures[ci] = fmt.Errorf("client %d query %d: %w", ci, qi, err)
+						return
+					}
+					samples[ci] = append(samples[ci], sample{lat: time.Since(qStart), wait: wait})
+				}
+			}(ci)
+		}
+		wg.Wait()
+		wall := time.Since(start)
+
+		st := ServeLevelStat{
+			Clients:    n,
+			MaxActive:  maxActive,
+			QueueDepth: queueDepth,
+			WallMS:     float64(wall.Nanoseconds()) / 1e6,
+		}
+		var lats, waits []float64
+		for ci := range samples {
+			if failures[ci] != nil {
+				st.Failed++
+				r.printf("  FAILED: %v\n", failures[ci])
+			}
+			for _, sm := range samples[ci] {
+				lats = append(lats, float64(sm.lat.Nanoseconds())/1e6)
+				waits = append(waits, float64(sm.wait.Nanoseconds())/1e6)
+			}
+		}
+		st.Queries = len(lats)
+		st.P50MS, st.P99MS = percentile(lats, 50), percentile(lats, 99)
+		st.QueueP50MS, st.QueueP99MS = percentile(waits, 50), percentile(waits, 99)
+		if wall > 0 {
+			st.QPS = float64(st.Queries) / wall.Seconds()
+		}
+		for _, m := range reg.Snapshot() {
+			switch m.Name {
+			case "srv.rejected.queue_full", "srv.rejected.draining", "srv.rejected.conn_limit":
+				st.Rejected += int64(m.Value)
+			case "srv.admission.slow":
+				st.SlowAdmits = int64(m.Value)
+			case "srv.killed.running", "srv.killed.queued":
+				st.KilledCount += int64(m.Value)
+			case "srv.admitted":
+				st.AdmittedOnce = int64(m.Value)
+			}
+		}
+		var ms runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&ms)
+		st.HeapMB = float64(ms.HeapAlloc) / (1 << 20)
+
+		out = append(out, st)
+		r.printf("%8d %8d %7d %9.2f %9.2f %10.2f %10.2f %9.0f %8.1f %8.1f\n",
+			st.Clients, st.Queries, st.Failed, st.P50MS, st.P99MS,
+			st.QueueP50MS, st.QueueP99MS, st.WallMS, st.QPS, st.HeapMB)
+		if err := s.Shutdown(); err != nil {
+			return nil, fmt.Errorf("level %d shutdown: %w", n, err)
+		}
+	}
+	return out, nil
+}
+
+// percentile returns the p-th percentile (nearest-rank) of unsorted values.
+func percentile(vals []float64, p float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), vals...)
+	sort.Float64s(s)
+	rank := int(float64(len(s))*p/100+0.5) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(s) {
+		rank = len(s) - 1
+	}
+	return s[rank]
+}

@@ -357,6 +357,35 @@ func (f *Fabric) Endpoint(id int) (Endpoint, error) {
 	return e, nil
 }
 
+// ReleasePrefix drops every mailbox whose channel name starts with prefix,
+// on every endpoint. Mailboxes are created lazily per (endpoint, channel)
+// and would otherwise live for the fabric's lifetime; a serving cluster
+// runs thousands of queries, each with its own "q<qid>." channel
+// namespace, so the query path releases the namespace when the query ends
+// to keep fabric memory bounded. A straggling send after release simply
+// recreates an empty (and unread) mailbox — harmless, the EOF protocol has
+// already completed by then.
+func (f *Fabric) ReleasePrefix(prefix string) {
+	if prefix == "" {
+		return
+	}
+	f.mu.Lock()
+	eps := make([]*inprocEndpoint, 0, len(f.endpoints))
+	for _, e := range f.endpoints {
+		eps = append(eps, e)
+	}
+	f.mu.Unlock()
+	for _, e := range eps {
+		e.mu.Lock()
+		for ch := range e.boxes {
+			if len(ch) >= len(prefix) && ch[:len(prefix)] == prefix {
+				delete(e.boxes, ch)
+			}
+		}
+		e.mu.Unlock()
+	}
+}
+
 // CloseAll shuts every endpoint.
 func (f *Fabric) CloseAll() {
 	f.mu.Lock()

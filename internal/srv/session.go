@@ -1,0 +1,214 @@
+package srv
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/obs"
+)
+
+// ErrConnLimit rejects a new connection when the server is at MaxConns.
+var ErrConnLimit = errors.New("srv: connection limit reached")
+
+// SessionState is a session's lifecycle position.
+type SessionState int32
+
+const (
+	// SessionIdle: connected, no query in flight.
+	SessionIdle SessionState = iota
+	// SessionActive: a query is queued or running on this session.
+	SessionActive
+	// SessionDraining: the server is shutting down; the session finishes
+	// its in-flight work but accepts no new queries.
+	SessionDraining
+)
+
+func (s SessionState) String() string {
+	switch s {
+	case SessionIdle:
+		return "idle"
+	case SessionActive:
+		return "active"
+	case SessionDraining:
+		return "draining"
+	}
+	return fmt.Sprintf("state(%d)", int32(s))
+}
+
+// Session is one client's server-side state: identity, lifecycle, prepared
+// statements (parse-once/execute-many through cluster.Prepare), per-session
+// settings, and accounting.
+type Session struct {
+	ID uint64
+
+	mu         sync.Mutex
+	state      SessionState
+	prepared   map[string]*cluster.Prepared
+	batchRows  int           // SET batchrows — 0 keeps the cluster default
+	maxPar     int           // SET parallel — 0 keeps the profile's degrees
+	queries    int64         // statements executed
+	rowsOut    int64         // result rows returned
+	queueWait  time.Duration // cumulative admission wait
+	lastActive time.Time
+}
+
+// State reports the session's current lifecycle state.
+func (s *Session) State() SessionState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.state
+}
+
+// setState transitions idle<->active; draining is sticky.
+func (s *Session) setState(st SessionState) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.state == SessionDraining && st != SessionDraining {
+		return
+	}
+	s.state = st
+	s.lastActive = time.Now()
+}
+
+// Options snapshots the session's per-query controls for one execution.
+func (s *Session) Options() cluster.QueryOptions {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return cluster.QueryOptions{BatchRows: s.batchRows, MaxParallel: s.maxPar}
+}
+
+// Set applies a per-session setting (the wire layer's SET command).
+func (s *Session) Set(name string, value int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch name {
+	case "batchrows":
+		if value < 0 {
+			return fmt.Errorf("srv: batchrows must be >= 0")
+		}
+		s.batchRows = value
+	case "parallel":
+		if value < 0 {
+			return fmt.Errorf("srv: parallel must be >= 0")
+		}
+		s.maxPar = value
+	default:
+		return fmt.Errorf("srv: unknown setting %q (have batchrows, parallel)", name)
+	}
+	return nil
+}
+
+// Prepare stores a parsed statement under name, replacing any previous one.
+func (s *Session) Prepare(name string, p *cluster.Prepared) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.prepared == nil {
+		s.prepared = map[string]*cluster.Prepared{}
+	}
+	s.prepared[name] = p
+}
+
+// Lookup fetches a prepared statement by name.
+func (s *Session) Lookup(name string) (*cluster.Prepared, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, ok := s.prepared[name]
+	return p, ok
+}
+
+// account records one finished statement.
+func (s *Session) account(rows int, wait time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.queries++
+	s.rowsOut += int64(rows)
+	s.queueWait += wait
+	s.lastActive = time.Now()
+}
+
+// Stats reports the session's accounting (SHOW SESSIONS).
+func (s *Session) Stats() (queries, rows int64, wait time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.queries, s.rowsOut, s.queueWait
+}
+
+// Sessions is the session manager: it mints IDs, enforces the connection
+// cap, and tracks live sessions for SHOW SESSIONS and drain.
+type Sessions struct {
+	max int
+	reg *obs.Registry
+
+	mu  sync.Mutex
+	m   map[uint64]*Session
+	seq uint64
+}
+
+// NewSessions builds a manager capped at max concurrent sessions
+// (0 = 256). reg may be nil.
+func NewSessions(max int, reg *obs.Registry) *Sessions {
+	if max <= 0 {
+		max = 256
+	}
+	s := &Sessions{max: max, reg: reg, m: map[uint64]*Session{}}
+	if reg != nil {
+		reg.RegisterGaugeFunc("srv.sessions", func() int64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return int64(len(s.m))
+		})
+	}
+	return s
+}
+
+// Open admits a new session or rejects with ErrConnLimit.
+func (s *Sessions) Open() (*Session, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.m) >= s.max {
+		if s.reg != nil {
+			s.reg.Counter("srv.rejected.conn_limit").Inc()
+		}
+		return nil, fmt.Errorf("%w (max %d)", ErrConnLimit, s.max)
+	}
+	s.seq++
+	sess := &Session{ID: s.seq, lastActive: time.Now()}
+	s.m[sess.ID] = sess
+	if s.reg != nil {
+		s.reg.Counter("srv.sessions.opened").Inc()
+	}
+	return sess, nil
+}
+
+// Close removes a session.
+func (s *Sessions) Close(sess *Session) {
+	if sess == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.m, sess.ID)
+}
+
+// List snapshots live sessions ordered by id.
+func (s *Sessions) List() []*Session {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Session, 0, len(s.m))
+	for _, sess := range s.m {
+		out = append(out, sess)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// DrainAll marks every live session draining.
+func (s *Sessions) DrainAll() {
+	for _, sess := range s.List() {
+		sess.setState(SessionDraining)
+	}
+}

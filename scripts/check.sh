@@ -21,8 +21,8 @@ fi
 echo "==> go test"
 go test ./...
 
-echo "==> go test -race (exec, cluster, buffer, txn, obs, network, storage)"
-go test -race ./internal/exec ./internal/cluster ./internal/buffer ./internal/txn ./internal/obs ./internal/network ./internal/storage
+echo "==> go test -race (exec, cluster, srv, buffer, txn, obs, network, storage)"
+go test -race ./internal/exec ./internal/cluster ./internal/srv ./internal/buffer ./internal/txn ./internal/obs ./internal/network ./internal/storage
 
 echo "==> go test -tags invariants (buffer, txn)"
 go test -tags invariants ./internal/buffer ./internal/txn
@@ -45,6 +45,9 @@ go test -race -count=1 -run 'TestParallel|TestColumnarParallel' \
 echo "==> bench smoke (executed per-query stats + tracing)"
 go run ./cmd/hrdbms-bench -exp exec -json /tmp/bench_exec_smoke.json >/dev/null
 rm -f /tmp/bench_exec_smoke.json
+
+echo "==> bench smoke (serving layer: 4 concurrent clients through admission)"
+go run ./cmd/hrdbms-bench -exp serve -sf 0.01 -levels 4 -per-client 4 >/dev/null
 
 echo "==> bench smoke (row vs batch vs vector pipeline, golden parity)"
 go test -run '^$' -bench BenchmarkBatchVsRow -benchtime 1x ./internal/exec >/dev/null
