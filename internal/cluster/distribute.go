@@ -433,11 +433,7 @@ func (q *queryExec) distributeScan(x *plan.Scan) (*dstream, exec.Operator, error
 				return nil, nil, fmt.Errorf("cluster: worker %d has no fragment of %s", w.ID, name)
 			}
 			if q.prof.VectorizedScan {
-				// The vector scan decodes pages serially into typed slabs;
-				// morsel parallelism belongs to the boxed scan only.
-				vcfg := wcfg
-				vcfg.Parallel = 0
-				op = exec.FromVec(exec.NewVecColumnarScan(fr, x.Alias, vcfg))
+				op = exec.FromVec(exec.NewVecColumnarScan(fr, x.Alias, wcfg))
 			} else {
 				op = exec.NewColumnarScan(fr, x.Alias, wcfg)
 			}

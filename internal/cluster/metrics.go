@@ -30,6 +30,10 @@ type RunMetrics struct {
 	PagesRead    int64
 	PagesSkipped int64
 	PageBytes    int64 // PagesRead × page size
+	// Page decode outcomes on the vector scan path: pages decoded by the
+	// typed batch decoders vs pages that fell back to boxed DecodeInto.
+	DecodeTypedPages int64
+	DecodeBoxedPages int64
 	// Spill/materialization volume (blocking shuffles, Grace joins,
 	// external sorts).
 	SpillBytes int64
@@ -90,16 +94,19 @@ func (c *Cluster) runMetered(coord *CoordinatorNode, root plan.Node, traced bool
 
 	type snap struct {
 		rows, spill, state, scanned, pagesRead int64
+		decodeTyped, decodeBoxed               int64
 	}
 	before := make([]snap, len(c.Workers))
 	for i, w := range c.Workers {
 		bs := w.Store.Buf.Stats()
 		before[i] = snap{
-			rows:      w.execCtx.RowsProcessed.Load(),
-			spill:     w.execCtx.SpillBytes.Load(),
-			state:     w.execCtx.StateBytes.Load(),
-			scanned:   w.Store.RowsScanned.Load(),
-			pagesRead: bs.Hits + bs.Misses, // logical page accesses
+			rows:        w.execCtx.RowsProcessed.Load(),
+			spill:       w.execCtx.SpillBytes.Load(),
+			state:       w.execCtx.StateBytes.Load(),
+			scanned:     w.Store.RowsScanned.Load(),
+			pagesRead:   bs.Hits + bs.Misses, // logical page accesses
+			decodeTyped: w.execCtx.DecodeTypedPages.Load(),
+			decodeBoxed: w.execCtx.DecodeBoxedPages.Load(),
 		}
 	}
 	skippedBefore := c.totalSkipped()
@@ -139,6 +146,8 @@ func (c *Cluster) runMetered(coord *CoordinatorNode, root plan.Node, traced bool
 		m.ScanRows += w.Store.RowsScanned.Load() - before[i].scanned
 		bs := w.Store.Buf.Stats()
 		m.PagesRead += (bs.Hits + bs.Misses) - before[i].pagesRead
+		m.DecodeTypedPages += w.execCtx.DecodeTypedPages.Load() - before[i].decodeTyped
+		m.DecodeBoxedPages += w.execCtx.DecodeBoxedPages.Load() - before[i].decodeBoxed
 	}
 	m.PagesSkipped = c.totalSkipped() - skippedBefore
 	m.PageBytes = m.PagesRead * int64(c.Cfg.PageSize)

@@ -124,6 +124,20 @@ func registerClusterMetrics(c *Cluster) {
 		}
 		return n
 	})
+	r.RegisterGaugeFunc("exec.decode_typed_pages_total", func() int64 {
+		var n int64
+		for _, w := range c.Workers {
+			n += w.execCtx.DecodeTypedPages.Load()
+		}
+		return n
+	})
+	r.RegisterGaugeFunc("exec.decode_boxed_pages_total", func() int64 {
+		var n int64
+		for _, w := range c.Workers {
+			n += w.execCtx.DecodeBoxedPages.Load()
+		}
+		return n
+	})
 	r.RegisterGaugeFunc("exec.spill_bytes_total", func() int64 {
 		var n int64
 		for _, w := range c.Workers {

@@ -168,6 +168,12 @@ func DecompressHuffman(src []byte) ([]byte, error) {
 	if n == 0 {
 		return []byte{}, nil
 	}
+	// A symbol consumes at least one bit, so a corrupted size header cannot
+	// legitimately exceed 8 symbols per stream byte — reject instead of
+	// allocating attacker-controlled amounts.
+	if n > uint64(len(data))*8 {
+		return nil, fmt.Errorf("compress: huffman size %d exceeds stream capacity (%d bytes)", n, len(data))
+	}
 
 	// Build canonical decode tables: firstCode[len], firstIndex[len], and
 	// symbols sorted by (len, sym).

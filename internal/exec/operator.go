@@ -41,6 +41,13 @@ type Counters struct {
 	// join build sides, aggregation tables, sort buffers) — the memory
 	// working set the paper's OOM discussion is about.
 	StateBytes atomic.Int64
+	// DecodeTypedPages/DecodeBoxedPages count column pages decoded by the
+	// typed batch decoders vs pages that fell back to the boxed
+	// DecodeInto path (kind mismatch or untyped layout). A nonzero boxed
+	// count on an OLAP workload means a scan is silently paying the
+	// boxing tax.
+	DecodeTypedPages atomic.Int64
+	DecodeBoxedPages atomic.Int64
 }
 
 // Ctx carries per-query execution state shared by the operators of one

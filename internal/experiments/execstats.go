@@ -23,12 +23,17 @@ type QueryExecStat struct {
 	ScanRows     int64  `json:"scan_rows"`
 	PagesRead    int64  `json:"pages_read"`
 	PagesSkipped int64  `json:"pages_skipped"`
-	SpillBytes   int64  `json:"spill_bytes"`
-	StateBytes   int64  `json:"state_bytes"`
-	NetBytes     int64  `json:"net_bytes"`
-	NetMessages  int64  `json:"net_messages"`
-	Exchanges    int    `json:"exchanges"`
-	WallNS       int64  `json:"wall_ns"`
+	// Vector-scan page decode outcomes: typed batch decoders vs the boxed
+	// DecodeInto fallback. Boxed should be 0 on the TPC-H schema; nonzero
+	// means some scan silently pays the per-cell boxing tax.
+	DecodeTypedPages int64 `json:"decode_typed_pages"`
+	DecodeBoxedPages int64 `json:"decode_boxed_pages"`
+	SpillBytes       int64 `json:"spill_bytes"`
+	StateBytes       int64 `json:"state_bytes"`
+	NetBytes         int64 `json:"net_bytes"`
+	NetMessages      int64 `json:"net_messages"`
+	Exchanges        int   `json:"exchanges"`
+	WallNS           int64 `json:"wall_ns"`
 	// VecVsBatchRowsPerSec is set only on the synthetic
 	// "bench:vector_vs_batch" row: the typed vector pipeline's throughput
 	// as a multiple of the boxed batch engine's on the same data.
@@ -75,18 +80,20 @@ func (r *Runner) ExecStats(workers int, trace bool) ([]QueryExecStat, error) {
 			return nil, fmt.Errorf("%s run: %w", qid, err)
 		}
 		st := QueryExecStat{
-			Query:        qid,
-			ResultRows:   len(rows),
-			WorkRows:     m.WorkRows,
-			ScanRows:     m.ScanRows,
-			PagesRead:    m.PagesRead,
-			PagesSkipped: m.PagesSkipped,
-			SpillBytes:   m.SpillBytes,
-			StateBytes:   m.StateBytes,
-			NetBytes:     m.NetBytes,
-			NetMessages:  m.NetMessages,
-			Exchanges:    m.Exchanges,
-			WallNS:       int64(m.Wall),
+			Query:            qid,
+			ResultRows:       len(rows),
+			WorkRows:         m.WorkRows,
+			ScanRows:         m.ScanRows,
+			PagesRead:        m.PagesRead,
+			PagesSkipped:     m.PagesSkipped,
+			DecodeTypedPages: m.DecodeTypedPages,
+			DecodeBoxedPages: m.DecodeBoxedPages,
+			SpillBytes:       m.SpillBytes,
+			StateBytes:       m.StateBytes,
+			NetBytes:         m.NetBytes,
+			NetMessages:      m.NetMessages,
+			Exchanges:        m.Exchanges,
+			WallNS:           int64(m.Wall),
 		}
 		out = append(out, st)
 		r.printf("%-5s %8d %9d %9d %7d %7d %10d %6d %5d %9.2f\n",

@@ -43,6 +43,8 @@ type Span struct {
 	NetMsgs      atomic.Int64
 	Batches      atomic.Int64 // row slabs this operator shipped (vectorized path)
 	VecBatches   atomic.Int64 // typed columnar batches this operator shipped (vector path)
+	DecodeTyped  atomic.Int64 // column pages decoded by the typed batch decoders
+	DecodeBoxed  atomic.Int64 // column pages that fell back to boxed DecodeInto
 	SpillBytes   atomic.Int64
 	StateBytes   atomic.Int64
 	Workers      atomic.Int64 // intra-operator worker threads granted (morsel parallelism)
@@ -147,6 +149,15 @@ func (s *Span) AddState(n int64) {
 	}
 }
 
+// AddDecode records how a scan's column pages decoded: typed batch
+// decoders vs the boxed DecodeInto fallback. Nil-safe.
+func (s *Span) AddDecode(typed, boxed int64) {
+	if s != nil {
+		s.DecodeTyped.Add(typed)
+		s.DecodeBoxed.Add(boxed)
+	}
+}
+
 // AddWorkers records the parallel worker threads an operator was granted
 // from the node budget. Nil-safe.
 func (s *Span) AddWorkers(n int64) {
@@ -169,6 +180,8 @@ type SpanSnapshot struct {
 	NetMsgs      int64  `json:"net_msgs,omitempty"`
 	Batches      int64  `json:"batches,omitempty"`
 	VecBatches   int64  `json:"vec_batches,omitempty"`
+	DecodeTyped  int64  `json:"decode_typed,omitempty"`
+	DecodeBoxed  int64  `json:"decode_boxed,omitempty"`
 	SpillBytes   int64  `json:"spill_bytes,omitempty"`
 	StateBytes   int64  `json:"state_bytes,omitempty"`
 	Workers      int64  `json:"workers,omitempty"`
@@ -189,6 +202,8 @@ func (s *Span) snapshot() SpanSnapshot {
 		NetMsgs:      s.NetMsgs.Load(),
 		Batches:      s.Batches.Load(),
 		VecBatches:   s.VecBatches.Load(),
+		DecodeTyped:  s.DecodeTyped.Load(),
+		DecodeBoxed:  s.DecodeBoxed.Load(),
 		SpillBytes:   s.SpillBytes.Load(),
 		StateBytes:   s.StateBytes.Load(),
 		Workers:      s.Workers.Load(),
@@ -324,6 +339,9 @@ func (s SpanSnapshot) line() string {
 	}
 	if s.VecBatches > 0 {
 		fmt.Fprintf(&sb, " vec_batches=%d", s.VecBatches)
+	}
+	if s.DecodeTyped > 0 || s.DecodeBoxed > 0 {
+		fmt.Fprintf(&sb, " decode=%dT/%dB", s.DecodeTyped, s.DecodeBoxed)
 	}
 	if s.SpillBytes > 0 {
 		fmt.Fprintf(&sb, " spill=%dB", s.SpillBytes)

@@ -72,8 +72,7 @@ func (p ColumnPage) Append(v types.Value) bool {
 		return false
 	}
 	off := colHeaderSize + p.payloadLen()
-	out := types.AppendValue(p.Buf[off:off], v)
-	_ = out
+	types.AppendValue(p.Buf[off:off], v)
 	p.setPayloadLen(p.payloadLen() + sz)
 	setCount(p.Buf, countOf(p.Buf)+1)
 	return true
@@ -81,13 +80,9 @@ func (p ColumnPage) Append(v types.Value) bool {
 
 // Values decodes every value on the page.
 func (p ColumnPage) Values() ([]types.Value, error) {
-	payload := p.Buf[colHeaderSize : colHeaderSize+p.payloadLen()]
-	if p.packed() {
-		raw, err := compress.DecompressHuffman(payload)
-		if err != nil {
-			return nil, fmt.Errorf("page: unpack column page: %w", err)
-		}
-		payload = raw
+	payload, err := p.payload()
+	if err != nil {
+		return nil, err
 	}
 	n := p.NumValues()
 	vals := make([]types.Value, 0, n)
@@ -108,13 +103,9 @@ func (p ColumnPage) Values() ([]types.Value, error) {
 // straight into typed column slabs. Decoding stops early when fn returns
 // false.
 func (p ColumnPage) DecodeInto(fn func(types.Value) bool) error {
-	payload := p.Buf[colHeaderSize : colHeaderSize+p.payloadLen()]
-	if p.packed() {
-		raw, err := compress.DecompressHuffman(payload)
-		if err != nil {
-			return fmt.Errorf("page: unpack column page: %w", err)
-		}
-		payload = raw
+	payload, err := p.payload()
+	if err != nil {
+		return err
 	}
 	n := p.NumValues()
 	pos := 0

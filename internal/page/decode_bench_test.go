@@ -1,0 +1,142 @@
+package page
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/types"
+	"repro/internal/vec"
+)
+
+// BenchmarkTypedVsBoxedDecode compares the typed batch decoders against
+// the boxed DecodeInto path (each cell boxed into a types.Value and
+// re-packed by Col.Append) on realistic column pages — the exact pair of
+// paths VecColumnarScan chooses between per page.
+func BenchmarkTypedVsBoxedDecode(b *testing.B) {
+	rng := rand.New(rand.NewSource(42))
+	const pageSize = 32 * 1024
+
+	mkInt := func() (ColumnPage, int) {
+		p := InitColumnPage(make([]byte, pageSize))
+		n := 0
+		for p.Append(types.NewInt(rng.Int63n(1_000_000))) {
+			n++
+		}
+		return p, n
+	}
+	mkFloat := func() (ColumnPage, int) {
+		p := InitColumnPage(make([]byte, pageSize))
+		n := 0
+		for p.Append(types.NewFloat(rng.Float64() * 1e5)) {
+			n++
+		}
+		return p, n
+	}
+	mkStr := func() (ColumnPage, int) {
+		p := InitColumnPage(make([]byte, pageSize))
+		n := 0
+		for p.Append(types.NewString(fmt.Sprintf("STATUS-%02d", n%25))) {
+			n++
+		}
+		p.Seal() // dictionary pages ship Huffman-packed
+		return p, n
+	}
+
+	intPage, intN := mkInt()
+	floatPage, floatN := mkFloat()
+	strPage, strN := mkStr()
+
+	rows := func(b *testing.B, n int) {
+		b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "rows/s")
+	}
+
+	b.Run("int64/typed", func(b *testing.B) {
+		dst := make([]int64, 0, intN)
+		var bm vec.Bitmap
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			dst = dst[:0]
+			bm.Truncate(0)
+			var err error
+			dst, err = intPage.DecodeInt64s(types.KindInt, dst, &bm)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		rows(b, intN)
+	})
+	b.Run("int64/boxed", func(b *testing.B) {
+		col := vec.Col{Kind: types.KindInt, Form: vec.FormInt, I: make([]int64, 0, intN)}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			col.I = col.I[:0]
+			if err := intPage.DecodeInto(func(v types.Value) bool {
+				col.Append(v)
+				return true
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		rows(b, intN)
+	})
+	b.Run("float64/typed", func(b *testing.B) {
+		dst := make([]float64, 0, floatN)
+		var bm vec.Bitmap
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			dst = dst[:0]
+			bm.Truncate(0)
+			var err error
+			dst, err = floatPage.DecodeFloat64s(dst, &bm)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		rows(b, floatN)
+	})
+	b.Run("float64/boxed", func(b *testing.B) {
+		col := vec.Col{Kind: types.KindFloat, Form: vec.FormFloat, F: make([]float64, 0, floatN)}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			col.F = col.F[:0]
+			if err := floatPage.DecodeInto(func(v types.Value) bool {
+				col.Append(v)
+				return true
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		rows(b, floatN)
+	})
+	b.Run("dict-string/typed", func(b *testing.B) {
+		dict := vec.NewDict()
+		dst := make([]int32, 0, strN)
+		var bm vec.Bitmap
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			dst = dst[:0]
+			bm.Truncate(0)
+			var err error
+			dst, err = strPage.DecodeStrings(dict, dst, &bm)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		rows(b, strN)
+	})
+	b.Run("dict-string/boxed", func(b *testing.B) {
+		col := vec.Col{Kind: types.KindString, Form: vec.FormStr, Dict: vec.NewDict(), Codes: make([]int32, 0, strN)}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			col.Codes = col.Codes[:0]
+			if err := strPage.DecodeInto(func(v types.Value) bool {
+				col.Append(v)
+				return true
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		rows(b, strN)
+	})
+}

@@ -1,0 +1,421 @@
+package page
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/types"
+	"repro/internal/vec"
+)
+
+// buildColPage appends vals into a fresh column page, failing the test if
+// they don't fit. seal attempts Huffman packing (applied only when it
+// shrinks the payload).
+func buildColPage(t *testing.T, size int, vals []types.Value, seal bool) ColumnPage {
+	t.Helper()
+	p := InitColumnPage(make([]byte, size))
+	for i, v := range vals {
+		if !p.Append(v) {
+			t.Fatalf("value %d of %d does not fit a %d-byte page", i, len(vals), size)
+		}
+	}
+	if seal {
+		p.Seal()
+	}
+	return p
+}
+
+// boxedDecode is the golden reference: the boxed DecodeInto path.
+func boxedDecode(t *testing.T, p ColumnPage) []types.Value {
+	t.Helper()
+	var out []types.Value
+	if err := p.DecodeInto(func(v types.Value) bool {
+		out = append(out, v)
+		return true
+	}); err != nil {
+		t.Fatalf("DecodeInto: %v", err)
+	}
+	return out
+}
+
+// intPageValues builds kind-homogeneous int-family values with NULL runs.
+func intPageValues(kind types.Kind, n int, rng *rand.Rand) []types.Value {
+	vals := make([]types.Value, n)
+	for i := range vals {
+		switch {
+		case i%7 == 3, i%11 == 10: // NULL runs and stragglers
+			vals[i] = types.Null
+		case kind == types.KindBool:
+			vals[i] = types.NewBool(rng.Intn(2) == 0)
+		case kind == types.KindDate:
+			vals[i] = types.NewDate(rng.Int63n(40000) - 10000)
+		default:
+			vals[i] = types.NewInt(rng.Int63() - rng.Int63()) // negatives too
+		}
+	}
+	return vals
+}
+
+func TestDecodeInt64sParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, kind := range []types.Kind{types.KindInt, types.KindDate, types.KindBool} {
+		t.Run(fmt.Sprint(kind), func(t *testing.T) {
+			vals := intPageValues(kind, 300, rng)
+			p := buildColPage(t, 8192, vals, false)
+			want := boxedDecode(t, p)
+			var bm vec.Bitmap
+			got, err := p.DecodeInt64s(kind, nil, &bm)
+			if err != nil {
+				t.Fatalf("DecodeInt64s: %v", err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("decoded %d values, want %d", len(got), len(want))
+			}
+			for i, w := range want {
+				if w.K == types.KindNull {
+					if !bm.Get(i) {
+						t.Fatalf("value %d: want NULL bit", i)
+					}
+					continue
+				}
+				if bm.Get(i) {
+					t.Fatalf("value %d: unexpected NULL bit", i)
+				}
+				if got[i] != w.I {
+					t.Fatalf("value %d: got %d want %d", i, got[i], w.I)
+				}
+			}
+		})
+	}
+}
+
+func TestDecodeFloat64sParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	vals := make([]types.Value, 300)
+	for i := range vals {
+		if i%9 == 4 {
+			vals[i] = types.Null
+		} else {
+			vals[i] = types.NewFloat(rng.NormFloat64() * 1e6)
+		}
+	}
+	p := buildColPage(t, 8192, vals, false)
+	want := boxedDecode(t, p)
+	var bm vec.Bitmap
+	got, err := p.DecodeFloat64s(nil, &bm)
+	if err != nil {
+		t.Fatalf("DecodeFloat64s: %v", err)
+	}
+	for i, w := range want {
+		if w.K == types.KindNull {
+			if !bm.Get(i) {
+				t.Fatalf("value %d: want NULL bit", i)
+			}
+			continue
+		}
+		if bm.Get(i) || got[i] != w.F {
+			t.Fatalf("value %d: got %v null=%v want %v", i, got[i], bm.Get(i), w.F)
+		}
+	}
+}
+
+func TestDecodeStringsParity(t *testing.T) {
+	for _, sealed := range []bool{false, true} {
+		t.Run(fmt.Sprintf("sealed=%v", sealed), func(t *testing.T) {
+			vals := make([]types.Value, 400)
+			for i := range vals {
+				switch {
+				case i%13 == 5:
+					vals[i] = types.Null
+				default:
+					// Low-cardinality, repetitive: Huffman packing shrinks it.
+					vals[i] = types.NewString(fmt.Sprintf("STATUS-%d", i%4))
+				}
+			}
+			p := buildColPage(t, 16384, vals, sealed)
+			if sealed && !p.packed() {
+				t.Fatal("test page did not Huffman-pack; pick more repetitive data")
+			}
+			want := boxedDecode(t, p)
+			dict := vec.NewDict()
+			var bm vec.Bitmap
+			got, err := p.DecodeStrings(dict, nil, &bm)
+			if err != nil {
+				t.Fatalf("DecodeStrings: %v", err)
+			}
+			for i, w := range want {
+				if w.K == types.KindNull {
+					if !bm.Get(i) {
+						t.Fatalf("value %d: want NULL bit", i)
+					}
+					continue
+				}
+				if bm.Get(i) || dict.Str(got[i]) != w.S {
+					t.Fatalf("value %d: got %q want %q", i, dict.Str(got[i]), w.S)
+				}
+			}
+			if dict.Len() != 4 {
+				t.Fatalf("dictionary has %d entries, want 4", dict.Len())
+			}
+		})
+	}
+}
+
+func TestDecodeEmptyPage(t *testing.T) {
+	p := InitColumnPage(make([]byte, 4096))
+	var bm vec.Bitmap
+	ints, err := p.DecodeInt64s(types.KindInt, nil, &bm)
+	if err != nil || len(ints) != 0 {
+		t.Fatalf("empty int decode: %v, %d values", err, len(ints))
+	}
+	floats, err := p.DecodeFloat64s(nil, &bm)
+	if err != nil || len(floats) != 0 {
+		t.Fatalf("empty float decode: %v, %d values", err, len(floats))
+	}
+	codes, err := p.DecodeStrings(vec.NewDict(), nil, &bm)
+	if err != nil || len(codes) != 0 {
+		t.Fatalf("empty string decode: %v, %d values", err, len(codes))
+	}
+}
+
+// TestDecodeKindMismatchRollback: a mixed-kind page must return
+// ErrKindMismatch with the destination slab and null bitmap rolled back to
+// their input state, so the caller's boxed fallback starts clean.
+func TestDecodeKindMismatchRollback(t *testing.T) {
+	p := InitColumnPage(make([]byte, 4096))
+	for _, v := range []types.Value{
+		types.NewInt(1), types.Null, types.NewInt(2), types.NewString("oops"), types.NewInt(3),
+	} {
+		if !p.Append(v) {
+			t.Fatal("append failed")
+		}
+	}
+	dst := []int64{77, 88}
+	var bm vec.Bitmap
+	bm.Set(1) // pre-existing NULL mark under the caller's base
+	got, err := p.DecodeInt64s(types.KindInt, dst, &bm)
+	if !errors.Is(err, ErrKindMismatch) {
+		t.Fatalf("err = %v, want ErrKindMismatch", err)
+	}
+	if len(got) != 2 || got[0] != 77 || got[1] != 88 {
+		t.Fatalf("dst not rolled back: %v", got)
+	}
+	if !bm.Get(1) {
+		t.Fatal("pre-existing null bit lost in rollback")
+	}
+	for i := 2; i < 10; i++ {
+		if bm.Get(i) {
+			t.Fatalf("null bit %d survived rollback", i)
+		}
+	}
+	// A DATE tag is int64-shaped but a different kind: still a mismatch,
+	// because Col.Append would demote on it.
+	if _, err := p.DecodeInt64s(types.KindDate, nil, &bm); !errors.Is(err, ErrKindMismatch) {
+		t.Fatalf("date-vs-int err = %v, want ErrKindMismatch", err)
+	}
+}
+
+// randomSel returns a random ascending subset of [0, n).
+func randomSel(n int, rng *rand.Rand) []int32 {
+	var sel []int32
+	for i := 0; i < n; i++ {
+		if rng.Intn(3) == 0 {
+			sel = append(sel, int32(i))
+		}
+	}
+	return sel
+}
+
+func TestDecodeSelParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	t.Run("int64", func(t *testing.T) {
+		vals := intPageValues(types.KindInt, 250, rng)
+		p := buildColPage(t, 8192, vals, false)
+		sel := randomSel(len(vals), rng)
+		var bm vec.Bitmap
+		got, err := p.DecodeInt64sSel(types.KindInt, nil, &bm, sel)
+		if err != nil {
+			t.Fatalf("DecodeInt64sSel: %v", err)
+		}
+		if len(got) != len(sel) {
+			t.Fatalf("decoded %d, want %d", len(got), len(sel))
+		}
+		for k, i := range sel {
+			if vals[i].K == types.KindNull {
+				if !bm.Get(k) {
+					t.Fatalf("sel %d (pos %d): want NULL", k, i)
+				}
+				continue
+			}
+			if bm.Get(k) || got[k] != vals[i].I {
+				t.Fatalf("sel %d (pos %d): got %d want %d", k, i, got[k], vals[i].I)
+			}
+		}
+	})
+	t.Run("float64", func(t *testing.T) {
+		vals := make([]types.Value, 250)
+		for i := range vals {
+			if i%8 == 6 {
+				vals[i] = types.Null
+			} else {
+				vals[i] = types.NewFloat(rng.Float64())
+			}
+		}
+		p := buildColPage(t, 8192, vals, false)
+		sel := randomSel(len(vals), rng)
+		var bm vec.Bitmap
+		got, err := p.DecodeFloat64sSel(nil, &bm, sel)
+		if err != nil {
+			t.Fatalf("DecodeFloat64sSel: %v", err)
+		}
+		for k, i := range sel {
+			if vals[i].K == types.KindNull {
+				if !bm.Get(k) {
+					t.Fatalf("sel %d: want NULL", k)
+				}
+			} else if bm.Get(k) || got[k] != vals[i].F {
+				t.Fatalf("sel %d: got %v want %v", k, got[k], vals[i].F)
+			}
+		}
+	})
+	t.Run("strings-sealed", func(t *testing.T) {
+		vals := make([]types.Value, 300)
+		for i := range vals {
+			if i%10 == 7 {
+				vals[i] = types.Null
+			} else {
+				vals[i] = types.NewString(fmt.Sprintf("FLAG-%d", i%3))
+			}
+		}
+		p := buildColPage(t, 16384, vals, true)
+		sel := randomSel(len(vals), rng)
+		dict := vec.NewDict()
+		var bm vec.Bitmap
+		got, err := p.DecodeStringsSel(dict, nil, &bm, sel)
+		if err != nil {
+			t.Fatalf("DecodeStringsSel: %v", err)
+		}
+		for k, i := range sel {
+			if vals[i].K == types.KindNull {
+				if !bm.Get(k) {
+					t.Fatalf("sel %d: want NULL", k)
+				}
+			} else if bm.Get(k) || dict.Str(got[k]) != vals[i].S {
+				t.Fatalf("sel %d: got %q want %q", k, dict.Str(got[k]), vals[i].S)
+			}
+		}
+		// Unselected values must not be interned: with sel hitting all 3
+		// distinct strings the dict still has at most 3 entries.
+		if dict.Len() > 3 {
+			t.Fatalf("dictionary has %d entries, want <= 3", dict.Len())
+		}
+	})
+	t.Run("empty-sel", func(t *testing.T) {
+		p := buildColPage(t, 4096, intPageValues(types.KindInt, 50, rng), false)
+		var bm vec.Bitmap
+		got, err := p.DecodeInt64sSel(types.KindInt, nil, &bm, nil)
+		if err != nil || len(got) != 0 {
+			t.Fatalf("empty sel: %v, %d values", err, len(got))
+		}
+	})
+	t.Run("sel-beyond-page", func(t *testing.T) {
+		p := buildColPage(t, 4096, intPageValues(types.KindInt, 20, rng), false)
+		var bm vec.Bitmap
+		if _, err := p.DecodeInt64sSel(types.KindInt, nil, &bm, []int32{5, 25}); err == nil {
+			t.Fatal("selection beyond page count must error")
+		}
+	})
+}
+
+func TestBitmapTruncate(t *testing.T) {
+	var bm vec.Bitmap
+	for _, i := range []int{0, 5, 63, 64, 70, 128, 200} {
+		bm.Set(i)
+	}
+	bm.Truncate(64)
+	for _, i := range []int{0, 5, 63} {
+		if !bm.Get(i) {
+			t.Fatalf("bit %d lost below truncation point", i)
+		}
+	}
+	for _, i := range []int{64, 70, 128, 200} {
+		if bm.Get(i) {
+			t.Fatalf("bit %d survived Truncate(64)", i)
+		}
+	}
+	if !bm.Any() {
+		t.Fatal("Any lost remaining bits")
+	}
+	bm.Truncate(0)
+	if bm.Any() {
+		t.Fatal("Truncate(0) left bits set")
+	}
+}
+
+// FuzzTypedDecode feeds arbitrary bytes to every typed decoder: they must
+// error on corruption — never panic, over-read, or disagree with the boxed
+// DecodeInto path when they do succeed.
+func FuzzTypedDecode(f *testing.F) {
+	// Seed with well-formed pages of each kind, sealed and unsealed.
+	seed := func(vals []types.Value, seal bool) {
+		p := InitColumnPage(make([]byte, 2048))
+		for _, v := range vals {
+			p.Append(v)
+		}
+		if seal {
+			p.Seal()
+		}
+		f.Add(p.Buf)
+	}
+	seed([]types.Value{types.NewInt(42), types.Null, types.NewInt(-7)}, false)
+	seed([]types.Value{types.NewFloat(3.14), types.Null}, false)
+	seed([]types.Value{types.NewBool(true), types.NewBool(false)}, false)
+	seed([]types.Value{types.NewDate(19000), types.Null}, false)
+	strs := make([]types.Value, 64)
+	for i := range strs {
+		strs[i] = types.NewString(fmt.Sprintf("AA-%d", i%2))
+	}
+	seed(strs, true)
+
+	f.Fuzz(func(t *testing.T, buf []byte) {
+		p := ColumnPage{Buf: buf}
+		var boxed []types.Value
+		boxedErr := p.DecodeInto(func(v types.Value) bool {
+			boxed = append(boxed, v)
+			return true
+		})
+		check := func(name string, n int, err error) {
+			if err != nil {
+				return // corruption detected: fine
+			}
+			if boxedErr != nil {
+				t.Fatalf("%s succeeded but DecodeInto failed: %v", name, boxedErr)
+			}
+			if n != len(boxed) {
+				t.Fatalf("%s decoded %d values, DecodeInto %d", name, n, len(boxed))
+			}
+		}
+		for _, kind := range []types.Kind{types.KindInt, types.KindDate, types.KindBool} {
+			var bm vec.Bitmap
+			out, err := p.DecodeInt64s(kind, nil, &bm)
+			check("DecodeInt64s", len(out), err)
+			sel := []int32{0, 2}
+			var bm2 vec.Bitmap
+			if _, err := p.DecodeInt64sSel(kind, nil, &bm2, sel); err != nil {
+				continue
+			}
+		}
+		var bm vec.Bitmap
+		out, err := p.DecodeFloat64s(nil, &bm)
+		check("DecodeFloat64s", len(out), err)
+		var bm3 vec.Bitmap
+		codes, err := p.DecodeStrings(vec.NewDict(), nil, &bm3)
+		check("DecodeStrings", len(codes), err)
+		var bm4 vec.Bitmap
+		_, _ = p.DecodeStringsSel(vec.NewDict(), nil, &bm4, []int32{1, 3})
+		var bm5 vec.Bitmap
+		_, _ = p.DecodeFloat64sSel(nil, &bm5, []int32{0})
+	})
+}

@@ -263,65 +263,24 @@ func (fr *ColumnarFragment) Scan(opts ScanOptions, fn func(r types.Row) bool) (S
 // ScanPageSets iterates the fragment page-set-wise instead of row-wise:
 // fn receives each surviving set while its frames are pinned, so it can
 // decode column pages straight into typed vector slabs without the boxed
-// row materialization Scan pays. Page-set skipping (predicate cache and
-// min-max) applies exactly as in Scan, but absence is NOT recorded into the
-// predicate cache — fn sees whole sets, so the per-row predicate pass that
-// proves absence never runs here. Open (unflushed) sets come last per disk,
-// never skipped, matching Scan's ordering. fn returns false to stop.
-func (fr *ColumnarFragment) ScanPageSets(opts ScanOptions, fn func(set page.PageSet) (bool, error)) (ScanStats, error) {
+// row materialization Scan pays. fn also receives the set's base page key
+// and whether the set is sealed (immutable on disk), so a caller that
+// evaluates the full predicate during decode can record proven absence
+// into the predicate cache itself — sealed sets only. Page-set skipping
+// (predicate cache and min-max) applies exactly as in Scan. Open
+// (unflushed) sets come last per disk, never skipped, matching Scan's
+// ordering. fn returns false to stop.
+func (fr *ColumnarFragment) ScanPageSets(opts ScanOptions, fn func(set page.PageSet, key page.Key, sealed bool) (bool, error)) (ScanStats, error) {
 	var stats ScanStats
 	n := fr.Def.Schema.Len()
 	for disk, fileID := range fr.Files {
 		numPages := fr.Node.NumPages(fileID)
 		numSets := int(numPages) / n
 		for s := 0; s < numSets; s++ {
-			base := uint32(s * n)
-			key := page.Key{File: fileID, Page: base}
-			if len(opts.SkipConj) > 0 {
-				if opts.UseCache && fr.PredCache.CanSkip(key, opts.SkipConj) {
-					stats.PagesSkipped += int64(n)
-					continue
-				}
-				if opts.UseMinMax && fr.MinMax.CanSkip(key, opts.SkipConj) {
-					stats.PagesSkipped += int64(n)
-					continue
-				}
-			}
-			frames := make([]*buffer.Frame, 0, n)
-			set := page.PageSet{}
-			bad := false
-			for i := 0; i < n; i++ {
-				f, err := fr.Node.Buf.Fetch(page.Key{File: fileID, Page: base + uint32(i)})
-				if err != nil {
-					for _, pf := range frames {
-						fr.Node.Buf.Unpin(pf, false)
-					}
-					return stats, err
-				}
-				cp, err := page.AsColumnPage(f.Buf)
-				if err != nil {
-					fr.Node.Buf.Unpin(f, false)
-					bad = true
-					break
-				}
-				frames = append(frames, f)
-				set.Pages = append(set.Pages, cp)
-			}
-			if bad {
-				for _, pf := range frames {
-					fr.Node.Buf.Unpin(pf, false)
-				}
-				continue
-			}
-			cont, err := fn(set)
-			for _, pf := range frames {
-				fr.Node.Buf.Unpin(pf, false)
-			}
+			cont, err := fr.scanOneSet(opts, fileID, s, &stats, fn)
 			if err != nil {
 				return stats, err
 			}
-			stats.PagesRead += int64(n)
-			stats.RowsRead += int64(set.NumRows())
 			if !cont {
 				fr.Node.RowsScanned.Add(stats.RowsRead)
 				return stats, nil
@@ -330,7 +289,7 @@ func (fr *ColumnarFragment) ScanPageSets(opts ScanOptions, fn func(set page.Page
 		// Open (unflushed) set: never skipped.
 		open := fr.open[disk]
 		if open.NumRows() > 0 {
-			cont, err := fn(open)
+			cont, err := fn(open, page.Key{}, false)
 			if err != nil {
 				return stats, err
 			}
@@ -343,6 +302,159 @@ func (fr *ColumnarFragment) ScanPageSets(opts ScanOptions, fn func(set page.Page
 	}
 	fr.Node.RowsScanned.Add(stats.RowsRead)
 	return stats, nil
+}
+
+// scanOneSet applies the per-set skip checks, pins the set's frames, runs
+// fn on the pinned set, and unpins. Shared by the serial and parallel
+// page-set scans.
+func (fr *ColumnarFragment) scanOneSet(opts ScanOptions, fileID page.FileID, s int, stats *ScanStats, fn func(set page.PageSet, key page.Key, sealed bool) (bool, error)) (bool, error) {
+	n := fr.Def.Schema.Len()
+	base := uint32(s * n)
+	key := page.Key{File: fileID, Page: base}
+	if len(opts.SkipConj) > 0 {
+		if opts.UseCache && fr.PredCache.CanSkip(key, opts.SkipConj) {
+			stats.PagesSkipped += int64(n)
+			return true, nil
+		}
+		if opts.UseMinMax && fr.MinMax.CanSkip(key, opts.SkipConj) {
+			stats.PagesSkipped += int64(n)
+			return true, nil
+		}
+	}
+	frames := make([]*buffer.Frame, 0, n)
+	set := page.PageSet{}
+	for i := 0; i < n; i++ {
+		f, err := fr.Node.Buf.Fetch(page.Key{File: fileID, Page: base + uint32(i)})
+		if err != nil {
+			for _, pf := range frames {
+				fr.Node.Buf.Unpin(pf, false)
+			}
+			return false, err
+		}
+		cp, err := page.AsColumnPage(f.Buf)
+		if err != nil {
+			fr.Node.Buf.Unpin(f, false)
+			for _, pf := range frames {
+				fr.Node.Buf.Unpin(pf, false)
+			}
+			return true, nil
+		}
+		frames = append(frames, f)
+		set.Pages = append(set.Pages, cp)
+	}
+	cont, err := fn(set, key, true)
+	for _, pf := range frames {
+		fr.Node.Buf.Unpin(pf, false)
+	}
+	if err != nil {
+		return false, err
+	}
+	stats.PagesRead += int64(n)
+	stats.RowsRead += int64(set.NumRows())
+	return cont, nil
+}
+
+// ParallelScanPageSets is ScanPageSets with N workers over the sealed page
+// sets: workers claim runs of morselSets sets from a shared counter
+// (ParallelScan's morsel scheme), and fn runs concurrently from all
+// workers, each set pinned for the duration of its fn call. The open
+// in-memory sets are scanned serially by worker 0 after the workers
+// finish, never skipped, matching the ordering guarantee that unflushed
+// rows come last per disk. fn returning false stops every worker after its
+// current set. workers <= 1 degrades to the serial ScanPageSets.
+func (fr *ColumnarFragment) ParallelScanPageSets(opts ScanOptions, workers, morselSets int, fn func(worker int, set page.PageSet, key page.Key, sealed bool) (bool, error)) (ScanStats, error) {
+	if workers <= 1 {
+		return fr.ScanPageSets(opts, func(set page.PageSet, key page.Key, sealed bool) (bool, error) {
+			return fn(0, set, key, sealed)
+		})
+	}
+	if morselSets <= 0 {
+		morselSets = 1
+	}
+	n := fr.Def.Schema.Len()
+	var morsels []setMorsel
+	for disk, fileID := range fr.Files {
+		numSets := int(fr.Node.NumPages(fileID)) / n
+		for start := 0; start < numSets; start += morselSets {
+			end := start + morselSets
+			if end > numSets {
+				end = numSets
+			}
+			morsels = append(morsels, setMorsel{disk: disk, file: fileID, start: start, end: end})
+		}
+	}
+	var (
+		next     atomic.Int64
+		stop     atomic.Bool
+		mu       sync.Mutex
+		total    ScanStats
+		firstErr error
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var stats ScanStats
+		claim:
+			for !stop.Load() {
+				i := int(next.Add(1) - 1)
+				if i >= len(morsels) {
+					break
+				}
+				m := morsels[i]
+				for s := m.start; s < m.end; s++ {
+					if stop.Load() {
+						break claim
+					}
+					cont, err := fr.scanOneSet(opts, m.file, s, &stats, func(set page.PageSet, key page.Key, sealed bool) (bool, error) {
+						return fn(w, set, key, sealed)
+					})
+					if err != nil {
+						stop.Store(true)
+						mu.Lock()
+						if firstErr == nil {
+							firstErr = err
+						}
+						mu.Unlock()
+						break claim
+					}
+					if !cont {
+						stop.Store(true)
+						break claim
+					}
+				}
+			}
+			mu.Lock()
+			total.PagesRead += stats.PagesRead
+			total.PagesSkipped += stats.PagesSkipped
+			total.RowsRead += stats.RowsRead
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+	if firstErr != nil || stop.Load() {
+		fr.Node.RowsScanned.Add(total.RowsRead)
+		return total, firstErr
+	}
+	// Open (unflushed) sets: serial tail, never skipped or recorded.
+	for disk := range fr.Files {
+		open := fr.open[disk]
+		if open.NumRows() == 0 {
+			continue
+		}
+		cont, err := fn(0, open, page.Key{}, false)
+		if err != nil {
+			fr.Node.RowsScanned.Add(total.RowsRead)
+			return total, err
+		}
+		total.RowsRead += int64(open.NumRows())
+		if !cont {
+			break
+		}
+	}
+	fr.Node.RowsScanned.Add(total.RowsRead)
+	return total, nil
 }
 
 // setMorsel is a contiguous run of sealed page sets of one disk's file.

@@ -3,7 +3,9 @@ package tpch
 // DDL returns the CREATE TABLE statements for the TPC-H schema with the
 // partitioning the paper's running example uses: small dimension tables
 // replicated, customer/orders co-partitioned on the customer key, and
-// lineitem partitioned on the order key.
+// lineitem partitioned on the order key. The two scan-heavy fact tables
+// are COLUMNAR (PAX page sets), matching the storage the paper used in
+// its Q1 discussion, so benchmarks exercise the typed vector scan path.
 func DDL() []string {
 	return []string{
 		`CREATE TABLE region (
@@ -34,7 +36,7 @@ func DDL() []string {
 			o_orderkey INT, o_custkey INT, o_orderstatus VARCHAR(1),
 			o_totalprice DECIMAL(15,2), o_orderdate DATE, o_orderpriority VARCHAR(15),
 			o_clerk VARCHAR(15), o_shippriority INT, o_comment VARCHAR(79)
-		) PARTITION BY HASH(o_custkey)`,
+		) COLUMNAR PARTITION BY HASH(o_custkey)`,
 		`CREATE TABLE lineitem (
 			l_orderkey INT, l_partkey INT, l_suppkey INT, l_linenumber INT,
 			l_quantity DECIMAL(15,2), l_extendedprice DECIMAL(15,2),
@@ -42,6 +44,6 @@ func DDL() []string {
 			l_returnflag VARCHAR(1), l_linestatus VARCHAR(1),
 			l_shipdate DATE, l_commitdate DATE, l_receiptdate DATE,
 			l_shipinstruct VARCHAR(25), l_shipmode VARCHAR(10), l_comment VARCHAR(44)
-		) PARTITION BY HASH(l_orderkey) CLUSTER BY (l_shipdate)`,
+		) COLUMNAR PARTITION BY HASH(l_orderkey) CLUSTER BY (l_shipdate)`,
 	}
 }

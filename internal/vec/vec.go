@@ -73,6 +73,22 @@ func (d *Dict) Code(s string) int32 {
 	return c
 }
 
+// CodeBytes interns the bytes as a string, returning its stable code. The
+// lookup of an already-interned entry does not allocate (the compiler
+// elides the []byte→string conversion in a map index expression); only a
+// first-seen entry copies the bytes. This is the typed page decoders' hot
+// path: one map probe per cell, no boxing.
+func (d *Dict) CodeBytes(b []byte) int32 {
+	if c, ok := d.index[string(b)]; ok {
+		return c
+	}
+	s := string(b)
+	c := int32(len(d.strs))
+	d.strs = append(d.strs, s)
+	d.index[s] = c
+	return c
+}
+
 // Lookup returns the code of s without interning it.
 func (d *Dict) Lookup(s string) (int32, bool) {
 	c, ok := d.index[s]

@@ -21,8 +21,8 @@ fi
 echo "==> go test"
 go test ./...
 
-echo "==> go test -race (exec, cluster, srv, buffer, txn, obs, network, storage)"
-go test -race ./internal/exec ./internal/cluster ./internal/srv ./internal/buffer ./internal/txn ./internal/obs ./internal/network ./internal/storage
+echo "==> go test -race (exec, cluster, srv, buffer, txn, obs, network, storage, page)"
+go test -race ./internal/exec ./internal/cluster ./internal/srv ./internal/buffer ./internal/txn ./internal/obs ./internal/network ./internal/storage ./internal/page
 
 echo "==> go test -tags invariants (buffer, txn)"
 go test -tags invariants ./internal/buffer ./internal/txn
@@ -54,5 +54,11 @@ go test -run '^$' -bench BenchmarkBatchVsRow -benchtime 1x ./internal/exec >/dev
 
 echo "==> bench smoke (parallel vs serial, golden parity + throughput)"
 go test -run '^$' -bench BenchmarkParallelVsSerial -benchtime 1x ./internal/exec >/dev/null
+
+echo "==> bench smoke (typed vs boxed page decode)"
+go test -run '^$' -bench BenchmarkTypedVsBoxedDecode -benchtime 1x ./internal/page >/dev/null
+
+echo "==> fuzz smoke (typed decoders must error, never panic, on corrupt pages)"
+go test -run '^$' -fuzz '^FuzzTypedDecode$' -fuzztime 5s ./internal/page >/dev/null
 
 echo "OK"
