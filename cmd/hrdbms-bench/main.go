@@ -41,6 +41,9 @@ func main() {
 	dir := flag.String("dir", "", "working directory (default: temp)")
 	jsonOut := flag.String("json", "", "with -exp exec/serve: write stats JSON to this file")
 	trace := flag.Bool("trace", false, "with -exp exec: print the per-operator span tree of every query")
+	baseline := flag.String("baseline", "", "with -exp exec: fail if work_rows/net_bytes of the -assert queries regress vs this JSON baseline")
+	assert := flag.String("assert", "q7,q9,q17,q21", "with -baseline: comma-separated queries to gate")
+	tol := flag.Float64("tol", 0.10, "with -baseline: allowed fractional growth before failing")
 	sweep := flag.String("sweep", "", "with -exp exec: comma-separated intra-node parallelism degrees to sweep (e.g. 1,2,4)")
 	levels := flag.String("levels", "", "with -exp serve: comma-separated client concurrency levels (default 1,4,16,64)")
 	perClient := flag.Int("per-client", 0, "with -exp serve: queries per client (default: the full TPC-H mix once)")
@@ -115,6 +118,15 @@ func main() {
 		}
 		var stats []experiments.QueryExecStat
 		stats, err = r.ExecStats(n, *trace)
+		if err == nil && *baseline != "" {
+			var queries []string
+			for _, q := range strings.Split(*assert, ",") {
+				if q = strings.TrimSpace(q); q != "" {
+					queries = append(queries, q)
+				}
+			}
+			err = experiments.CheckExecRegression(stats, *baseline, queries, *tol)
+		}
 		if err == nil && *jsonOut != "" {
 			var buf []byte
 			buf, err = json.MarshalIndent(stats, "", "  ")

@@ -10,6 +10,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/types"
 )
@@ -163,9 +164,22 @@ const (
 
 // ColumnStats holds per-column statistics for cost estimation.
 type ColumnStats struct {
-	NDV       int64 // number of distinct values
+	NDV       int64 // number of distinct values (exact iff NDVExact)
 	Min, Max  types.Value
 	NullCount int64
+	// NDVExact is set when NDV was counted exactly (small column domain);
+	// otherwise NDV is the Sketch's HyperLogLog estimate. The group-by
+	// pushdown's uniqueness test only trusts exact counts.
+	NDVExact bool
+	// AvgWidth is the average encoded value width in bytes (string
+	// lengths; 8 for fixed-width kinds), used for network costing.
+	AvgWidth float64
+	// Hist is an equi-depth histogram over non-null values (ascending
+	// Upper bounds); empty when the column was never analyzed.
+	Hist []HistBucket
+	// Sketch is the streaming NDV sketch, kept so stats can be merged
+	// across fragments and refreshed incrementally.
+	Sketch *NDVSketch
 }
 
 // TableStats holds per-table statistics.
@@ -182,6 +196,11 @@ type Catalog struct {
 	indexes map[string]*IndexDef
 	stats   map[string]*TableStats
 	version uint64
+	// defaultStatsFallbacks counts Stats() calls that returned the
+	// conservative default because the table was never analyzed; exported
+	// as the opt.stats_default_fallback metric so missing statistics are
+	// visible instead of quietly poisoning plans.
+	defaultStatsFallbacks atomic.Int64
 }
 
 // New creates an empty catalog.
@@ -313,7 +332,14 @@ func (c *Catalog) Stats(table string) *TableStats {
 	if s, ok := c.stats[strings.ToLower(table)]; ok {
 		return s
 	}
+	c.defaultStatsFallbacks.Add(1)
 	return &TableStats{RowCount: 1000, Pages: 10, Cols: map[string]*ColumnStats{}}
+}
+
+// DefaultStatsFallbacks returns how many times Stats served the
+// never-analyzed default instead of real statistics.
+func (c *Catalog) DefaultStatsFallbacks() int64 {
+	return c.defaultStatsFallbacks.Load()
 }
 
 // Version returns the catalog's monotonically increasing change counter,
@@ -341,6 +367,8 @@ func (c *Catalog) Snapshot() *Catalog {
 		s := &TableStats{RowCount: v.RowCount, Pages: v.Pages, Cols: map[string]*ColumnStats{}}
 		for ck, cv := range v.Cols {
 			cs := *cv
+			cs.Hist = append([]HistBucket(nil), cv.Hist...)
+			cs.Sketch = cv.Sketch.Clone()
 			s.Cols[ck] = &cs
 		}
 		out.stats[k] = s
@@ -349,28 +377,14 @@ func (c *Catalog) Snapshot() *Catalog {
 	return out
 }
 
-// ComputeStats derives statistics from a full set of rows (ANALYZE).
+// ComputeStats derives statistics from a full set of rows (ANALYZE). It is
+// a convenience wrapper over the streaming StatsBuilder, which callers with
+// row iterators should use directly: memory stays bounded regardless of
+// table size (bounded reservoir + sketch per column, no distinct-value map).
 func ComputeStats(schema types.Schema, rows []types.Row) *TableStats {
-	s := &TableStats{RowCount: int64(len(rows)), Cols: map[string]*ColumnStats{}}
-	for ci, col := range schema.Cols {
-		cs := &ColumnStats{}
-		distinct := map[string]bool{}
-		for _, r := range rows {
-			v := r[ci]
-			if v.IsNull() {
-				cs.NullCount++
-				continue
-			}
-			distinct[v.String()] = true
-			if cs.Min.IsNull() || types.Compare(v, cs.Min) < 0 {
-				cs.Min = v
-			}
-			if cs.Max.IsNull() || types.Compare(v, cs.Max) > 0 {
-				cs.Max = v
-			}
-		}
-		cs.NDV = int64(len(distinct))
-		s.Cols[strings.ToLower(col.Name)] = cs
+	b := NewStatsBuilder(schema)
+	for _, r := range rows {
+		b.Add(r)
 	}
-	return s
+	return b.Finish()
 }

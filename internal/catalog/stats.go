@@ -1,0 +1,394 @@
+// Streaming statistics collection: a HyperLogLog-style NDV sketch, a
+// reservoir-sampled equi-depth histogram, and the StatsBuilder that feeds
+// both one row at a time. ANALYZE and load-time stats go through the
+// builder so no full distinct-value map (and no materialized table) is ever
+// needed; the optimizer consumes the results through ColumnStats.FracLE /
+// FracLT for range-predicate selectivity.
+package catalog
+
+import (
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/types"
+)
+
+const (
+	// sketchBits is the HLL precision: 2^sketchBits registers. p=10 gives
+	// a ~3.2% standard error, plenty for join-cardinality estimation.
+	sketchBits      = 10
+	sketchRegisters = 1 << sketchBits
+
+	// exactNDVCap bounds the exact distinct-hash set kept alongside the
+	// sketch. Below the cap NDV is exact (and NDVExact is set), which the
+	// group-by pushdown's uniqueness test depends on; above it the
+	// builder drops the set and reports the sketch estimate.
+	exactNDVCap = 8192
+
+	// histSampleCap bounds the per-column reservoir used to build the
+	// equi-depth histogram.
+	histSampleCap = 4096
+	// histBuckets is the number of equi-depth buckets built from the
+	// reservoir (fewer if the sample is small).
+	histBuckets = 64
+)
+
+// NDVSketch is a fixed-size HyperLogLog register array fed with
+// types.Hash values. It is a plain value type: Clone for snapshots,
+// Merge to combine per-fragment sketches.
+type NDVSketch struct {
+	Regs []uint8
+}
+
+// NewNDVSketch allocates an empty sketch.
+func NewNDVSketch() *NDVSketch {
+	return &NDVSketch{Regs: make([]uint8, sketchRegisters)}
+}
+
+// mix is a 64-bit finalizer (splitmix64) applied over types.Hash output;
+// FNV alone does not disperse its low bits well enough for register
+// selection on sequential keys.
+func mix(h uint64) uint64 {
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+// Add observes one hashed value.
+func (s *NDVSketch) Add(h uint64) {
+	h = mix(h)
+	idx := h >> (64 - sketchBits)
+	rest := h<<sketchBits | 1<<(sketchBits-1) // avoid rank 0 on zero remainder
+	rank := uint8(1)
+	for rest&(1<<63) == 0 {
+		rank++
+		rest <<= 1
+	}
+	if rank > s.Regs[idx] {
+		s.Regs[idx] = rank
+	}
+}
+
+// Merge folds another sketch into s (register-wise max).
+func (s *NDVSketch) Merge(o *NDVSketch) {
+	if o == nil {
+		return
+	}
+	for i, r := range o.Regs {
+		if r > s.Regs[i] {
+			s.Regs[i] = r
+		}
+	}
+}
+
+// Clone deep-copies the sketch.
+func (s *NDVSketch) Clone() *NDVSketch {
+	if s == nil {
+		return nil
+	}
+	out := &NDVSketch{Regs: make([]uint8, len(s.Regs))}
+	copy(out.Regs, s.Regs)
+	return out
+}
+
+// Estimate returns the HyperLogLog cardinality estimate with the standard
+// linear-counting correction for small ranges.
+func (s *NDVSketch) Estimate() int64 {
+	m := float64(len(s.Regs))
+	if m == 0 {
+		return 0
+	}
+	var sum float64
+	zeros := 0
+	for _, r := range s.Regs {
+		sum += 1 / float64(uint64(1)<<r)
+		if r == 0 {
+			zeros++
+		}
+	}
+	alpha := 0.7213 / (1 + 1.079/m)
+	e := alpha * m * m / sum
+	if e <= 2.5*m && zeros > 0 {
+		e = m * math.Log(m/float64(zeros))
+	}
+	return int64(e + 0.5)
+}
+
+// HistBucket is one equi-depth histogram bucket: the estimated number of
+// non-null rows with value in (previous bucket's Upper, Upper]. The first
+// bucket's lower bound is the column minimum. UpperRows is the estimated
+// number of rows exactly equal to Upper — bucket cuts extend through
+// duplicate runs, so a heavy hitter becomes its own bucket boundary and its
+// mass is carried here, which is what lets FracLT(v) exclude it instead of
+// interpolating the whole bucket.
+type HistBucket struct {
+	Upper     types.Value
+	Rows      int64
+	UpperRows int64
+}
+
+// FracLE estimates the fraction of non-null values <= v. The bool is
+// false when the column has no usable distribution info (no histogram and
+// no numeric min/max).
+func (cs *ColumnStats) FracLE(v types.Value) (float64, bool) {
+	return cs.fracBelow(v, true)
+}
+
+// FracLT estimates the fraction of non-null values < v.
+func (cs *ColumnStats) FracLT(v types.Value) (float64, bool) {
+	return cs.fracBelow(v, false)
+}
+
+func (cs *ColumnStats) fracBelow(v types.Value, inclusive bool) (float64, bool) {
+	if cs == nil || v.IsNull() {
+		return 0, false
+	}
+	if len(cs.Hist) == 0 {
+		// No histogram: linear interpolation between min and max for
+		// numeric kinds, otherwise give up.
+		lo, lok := numeric(cs.Min)
+		hi, hok := numeric(cs.Max)
+		x, xok := numeric(v)
+		if !lok || !hok || !xok {
+			return 0, false
+		}
+		if x < lo {
+			return 0, true
+		}
+		if x >= hi {
+			return 1, true
+		}
+		if hi == lo {
+			return 0.5, true
+		}
+		return (x - lo) / (hi - lo), true
+	}
+	var total, below int64
+	for _, b := range cs.Hist {
+		total += b.Rows
+	}
+	if total == 0 {
+		return 0, false
+	}
+	lower := cs.Min
+	for _, b := range cs.Hist {
+		c := types.Compare(v, b.Upper)
+		if c > 0 || (c == 0 && inclusive) {
+			below += b.Rows
+			lower = b.Upper
+			continue
+		}
+		if c == 0 {
+			// Exclusive comparison against the bucket's upper bound: the
+			// whole bucket except the rows equal to it.
+			below += b.Rows - b.UpperRows
+			break
+		}
+		// v falls strictly inside this bucket: interpolate numerically over
+		// the sub-upper mass when possible, otherwise assume the midpoint.
+		frac := 0.5
+		lo, lok := numeric(lower)
+		hi, hok := numeric(b.Upper)
+		x, xok := numeric(v)
+		if lok && hok && xok && hi > lo {
+			frac = (x - lo) / (hi - lo)
+			if frac < 0 {
+				frac = 0
+			} else if frac > 1 {
+				frac = 1
+			}
+		}
+		below += int64(frac * float64(b.Rows-b.UpperRows))
+		break
+	}
+	f := float64(below) / float64(total)
+	if f > 1 {
+		f = 1
+	}
+	return f, true
+}
+
+// numeric maps a value onto the real line for interpolation.
+func numeric(v types.Value) (float64, bool) {
+	switch v.K {
+	case types.KindInt, types.KindDate:
+		return float64(v.I), true
+	case types.KindFloat:
+		return v.F, true
+	case types.KindBool:
+		if v.I != 0 {
+			return 1, true
+		}
+		return 0, true
+	default:
+		return 0, false
+	}
+}
+
+// StatsBuilder accumulates table statistics one row at a time in bounded
+// memory: per column a min/max, null count, NDV sketch (plus an exact
+// distinct-hash set up to exactNDVCap), average width, and a reservoir
+// sample that Finish turns into an equi-depth histogram.
+type StatsBuilder struct {
+	sch  types.Schema
+	rows int64
+	cols []*colBuilder
+}
+
+type colBuilder struct {
+	nulls    int64
+	min, max types.Value
+	sketch   *NDVSketch
+	exact    map[uint64]struct{} // nil once exactNDVCap is exceeded
+	widthSum int64
+	seen     int64 // non-null values observed (reservoir stream length)
+	sample   []types.Value
+	rng      uint64
+}
+
+// NewStatsBuilder starts a builder for the given schema.
+func NewStatsBuilder(sch types.Schema) *StatsBuilder {
+	b := &StatsBuilder{sch: sch, cols: make([]*colBuilder, len(sch.Cols))}
+	for i := range b.cols {
+		b.cols[i] = &colBuilder{
+			sketch: NewNDVSketch(),
+			exact:  map[uint64]struct{}{},
+			// Deterministic per-column seed: stats (and therefore plans)
+			// must be reproducible across runs.
+			rng: 0x9e3779b97f4a7c15 ^ uint64(i+1)*0xbf58476d1ce4e5b9,
+		}
+	}
+	return b
+}
+
+// next is a xorshift64* step for reservoir sampling.
+func (c *colBuilder) next() uint64 {
+	x := c.rng
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	c.rng = x
+	return x * 0x2545f4914f6cdd1d
+}
+
+// Add observes one row.
+func (b *StatsBuilder) Add(r types.Row) {
+	b.rows++
+	for i, c := range b.cols {
+		if i >= len(r) {
+			break
+		}
+		v := r[i]
+		if v.IsNull() {
+			c.nulls++
+			continue
+		}
+		h := types.Hash(v)
+		c.sketch.Add(h)
+		if c.exact != nil {
+			c.exact[h] = struct{}{}
+			if len(c.exact) > exactNDVCap {
+				c.exact = nil
+			}
+		}
+		if c.min.IsNull() || types.Compare(v, c.min) < 0 {
+			c.min = v
+		}
+		if c.max.IsNull() || types.Compare(v, c.max) > 0 {
+			c.max = v
+		}
+		if v.K == types.KindString {
+			c.widthSum += int64(len(v.S))
+		} else {
+			c.widthSum += 8
+		}
+		// Reservoir sampling (algorithm R) for the histogram.
+		c.seen++
+		if len(c.sample) < histSampleCap {
+			c.sample = append(c.sample, v)
+		} else if j := c.next() % uint64(c.seen); j < histSampleCap {
+			c.sample[j] = v
+		}
+	}
+}
+
+// Rows returns the number of rows observed so far.
+func (b *StatsBuilder) Rows() int64 { return b.rows }
+
+// Finish produces the table statistics from everything observed so far.
+// The builder stays usable: more rows may be added and Finish called again
+// (incremental load-time statistics), since sorting the reservoir for the
+// histogram only permutes it and replacement stays uniform.
+func (b *StatsBuilder) Finish() *TableStats {
+	s := &TableStats{RowCount: b.rows, Cols: map[string]*ColumnStats{}}
+	for i, col := range b.sch.Cols {
+		c := b.cols[i]
+		cs := &ColumnStats{
+			Min:       c.min,
+			Max:       c.max,
+			NullCount: c.nulls,
+			Sketch:    c.sketch,
+		}
+		if c.exact != nil {
+			cs.NDV = int64(len(c.exact))
+			cs.NDVExact = true
+		} else {
+			cs.NDV = c.sketch.Estimate()
+		}
+		if c.seen > 0 {
+			cs.AvgWidth = float64(c.widthSum) / float64(c.seen)
+		}
+		cs.Hist = equiDepth(c.sample, c.seen)
+		s.Cols[strings.ToLower(col.Name)] = cs
+	}
+	return s
+}
+
+// equiDepth sorts the reservoir and cuts it into histBuckets buckets whose
+// Rows counts are scaled from the sample up to the full non-null count.
+func equiDepth(sample []types.Value, total int64) []HistBucket {
+	n := len(sample)
+	if n < 2 {
+		return nil
+	}
+	sort.Slice(sample, func(i, j int) bool { return types.Compare(sample[i], sample[j]) < 0 })
+	nb := histBuckets
+	if n < nb {
+		nb = n
+	}
+	out := make([]HistBucket, 0, nb)
+	scale := float64(total) / float64(n)
+	prevEnd := 0
+	for b := 1; b <= nb; b++ {
+		end := n * b / nb
+		if end <= prevEnd {
+			continue
+		}
+		// Extend the bucket through duplicates of its upper bound so
+		// bucket boundaries are distinct values.
+		upper := sample[end-1]
+		for end < n && types.Compare(sample[end], upper) == 0 {
+			end++
+		}
+		// Count the duplicate run of the upper bound inside the bucket
+		// (sorted, so it is the bucket's tail).
+		firstEq := end - 1
+		for firstEq > prevEnd && types.Compare(sample[firstEq-1], upper) == 0 {
+			firstEq--
+		}
+		out = append(out, HistBucket{
+			Upper:     upper,
+			Rows:      int64(float64(end-prevEnd)*scale + 0.5),
+			UpperRows: int64(float64(end-firstEq)*scale + 0.5),
+		})
+		prevEnd = end
+		if end >= n {
+			break
+		}
+	}
+	return out
+}

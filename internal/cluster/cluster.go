@@ -18,6 +18,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -27,6 +28,7 @@ import (
 	"repro/internal/index"
 	"repro/internal/network"
 	"repro/internal/obs"
+	"repro/internal/opt"
 	"repro/internal/storage"
 	"repro/internal/twopc"
 	"repro/internal/txn"
@@ -154,6 +156,15 @@ type Cluster struct {
 	Reg *obs.Registry
 	// Traces retains recent query traces for /debug/queries.
 	Traces *obs.TraceStore
+	// Feedback accumulates observed subtree cardinalities from traced
+	// queries; the optimizer prefers them over the statistics model.
+	Feedback *opt.Feedback
+
+	// loadStats holds one streaming statistics builder per table so
+	// successive Load batches accumulate into one distribution instead of
+	// each batch replacing the last. ANALYZE swaps in a fresh builder.
+	statsMu   sync.Mutex
+	loadStats map[string]*catalog.StatsBuilder
 
 	querySeq atomic.Uint64
 	coordSeq atomic.Uint64
@@ -190,7 +201,9 @@ func New(cfg Config) (*Cluster, error) {
 		Fabric:   network.NewFabric(ids, cfg.MailboxCap),
 		External: external.NewRegistry(),
 		Reg:      obs.NewRegistry(),
-		Traces:   obs.NewTraceStore(64),
+		Traces:    obs.NewTraceStore(64),
+		Feedback:  opt.NewFeedback(),
+		loadStats: map[string]*catalog.StatsBuilder{},
 	}
 	c.txSeq.Store(1)
 
@@ -356,8 +369,21 @@ func (c *Cluster) Load(table string, rows []types.Row) (int, error) {
 			total += n
 		}
 	}
-	// Refresh statistics on load (ANALYZE) using a sample of the rows.
-	stats := catalog.ComputeStats(def.Schema, rows)
+	// Refresh statistics incrementally: each batch streams into the
+	// table's persistent builder, so multi-batch loads see the whole
+	// distribution (histogram from a reservoir, NDV from a sketch) without
+	// the catalog ever holding the loaded rows.
+	c.statsMu.Lock()
+	sb := c.loadStats[lower(def.Name)]
+	if sb == nil {
+		sb = catalog.NewStatsBuilder(def.Schema)
+		c.loadStats[lower(def.Name)] = sb
+	}
+	for _, r := range rows {
+		sb.Add(r)
+	}
+	stats := sb.Finish()
+	c.statsMu.Unlock()
 	for _, cn := range c.Coords {
 		cn.Cat.SetStats(def.Name, stats)
 	}

@@ -80,6 +80,30 @@ type queryExec struct {
 	tr    *obs.QueryTrace
 	spans map[exec.Operator]*obs.Span
 	scope *network.MeterScope
+
+	// Cardinality state (traced queries only): est estimates each subtree
+	// once for span stamping and runtime re-costing; fb lists the traced
+	// subtrees whose actual row counts feed back into the estimator after a
+	// successful run.
+	est *opt.Estimator
+	fb  []fbTarget
+}
+
+// fbTarget ties one plan subtree's signature to the spans that will hold
+// its actual output cardinality after execution.
+type fbTarget struct {
+	sig        string
+	spans      []*obs.Span
+	replicated bool // every span carries a full copy; average, don't sum
+}
+
+// estimator returns the query's cardinality estimator, feedback-aware when
+// the cluster keeps a feedback store.
+func (q *queryExec) estimator() *opt.Estimator {
+	if q.est == nil {
+		q.est = &opt.Estimator{Cat: q.c.Catalog(), FB: q.c.Feedback}
+	}
+	return q.est
 }
 
 // newQueryExec allocates a query id and builds per-query execution state.
@@ -260,8 +284,46 @@ func (q *queryExec) runSubquery(root plan.Node) ([]types.Row, error) {
 }
 
 // distribute returns either a worker-resident stream or a coordinator
-// operator (exactly one non-nil).
+// operator (exactly one non-nil). On traced queries it additionally stamps
+// every placed operator's span with the optimizer's row estimate (the
+// `est=` column of EXPLAIN ANALYZE) and registers the subtree for post-run
+// cardinality feedback; untraced queries go straight to distributeNode.
 func (q *queryExec) distribute(n plan.Node) (*dstream, exec.Operator, error) {
+	ds, coordOp, err := q.distributeNode(n)
+	if err != nil || q.tr == nil {
+		return ds, coordOp, err
+	}
+	est := q.estimator().Estimate(n)
+	t := fbTarget{sig: opt.Signature(n)}
+	switch {
+	case coordOp != nil:
+		if sp := q.spanOf(coordOp); sp != nil {
+			sp.SetEst(int64(est + 0.5))
+			t.spans = append(t.spans, sp)
+		}
+	case ds != nil && len(ds.ops) > 0:
+		// Per-worker estimate: an even share of the total, or the full count
+		// when every worker holds a replica.
+		t.replicated = ds.dist.kind == distReplicated
+		per := est
+		if !t.replicated {
+			per = est / float64(len(ds.ops))
+		}
+		for _, op := range ds.ops {
+			if sp := q.spanOf(op); sp != nil {
+				sp.SetEst(int64(per + 0.5))
+				t.spans = append(t.spans, sp)
+			}
+		}
+	}
+	if len(t.spans) > 0 && q.c.Feedback != nil {
+		q.fb = append(q.fb, t)
+	}
+	return ds, coordOp, nil
+}
+
+// distributeNode dispatches one plan node to its distribution strategy.
+func (q *queryExec) distributeNode(n plan.Node) (*dstream, exec.Operator, error) {
 	switch x := n.(type) {
 	case *plan.Scan:
 		return q.distributeScan(x)
@@ -562,6 +624,17 @@ func (q *queryExec) distributeJoin(x *plan.Join) (*dstream, exec.Operator, error
 	// Both partitioned/random: exploit or create co-location.
 	leftOK := q.prof.EnforceLocality && leftPlain && distMatches(left.dist, leftNames, x.Left.Schema())
 	rightOK := q.prof.EnforceLocality && rightPlain && distMatches(right.dist, rightNames, x.Right.Schema())
+	// Re-cost the movement at this exchange boundary: with runtime
+	// distributions known and feedback-corrected estimates, replicating a
+	// small build side can beat repartitioning a large probe side. The
+	// planner's Dist annotation is advisory; this decision is authoritative.
+	if !leftOK && q.wantBroadcast(x, leftNames, rightNames, rightOK) {
+		b, err := q.broadcast(right)
+		if err != nil {
+			return nil, nil, err
+		}
+		return join(left, b, left.dist), nil, nil
+	}
 	if !leftOK {
 		left, err = q.shuffle(left, x.EquiLeft, leftNames)
 		if err != nil {
@@ -579,6 +652,59 @@ func (q *queryExec) distributeJoin(x *plan.Join) (*dstream, exec.Operator, error
 		outDist = distInfo{kind: distPartitioned, cols: leftNames}
 	}
 	return join(left, right, outDist), nil, nil
+}
+
+// wantBroadcast decides shuffle-vs-broadcast for an equi-join whose probe
+// side is mispartitioned, using the shared cost model on the estimated
+// build-side size. Inner/semi/anti joins stay correct under a replicated
+// build side because each probe row lives on exactly one worker and sees
+// the complete build set there.
+func (q *queryExec) wantBroadcast(x *plan.Join, leftNames, rightNames []string, rightOK bool) bool {
+	switch x.Type {
+	case exec.JoinInner, exec.JoinSemi, exec.JoinAnti:
+	default:
+		return false
+	}
+	if len(leftNames) == 0 {
+		return false
+	}
+	est := q.estimator()
+	ld := opt.DistInfo{Kind: opt.DistRandom} // caller established !leftOK
+	rd := opt.DistInfo{Kind: opt.DistRandom}
+	if rightOK {
+		rd = opt.DistInfo{Kind: opt.DistPartitioned, Cols: rightNames}
+	}
+	net := opt.ChooseJoinNet(ld, rd, leftNames, rightNames,
+		est.Estimate(x.Left), est.RowWidth(x.Left),
+		est.Estimate(x.Right), est.RowWidth(x.Right), len(q.c.Workers))
+	return net.Broadcast
+}
+
+// broadcast replicates a worker stream to every worker (the build side of
+// a broadcast join), reusing the shuffle fabric machinery with its
+// Broadcast flag so EOF accounting, hub forwarding and quiescence tracking
+// are shared. The output is distReplicated.
+func (q *queryExec) broadcast(ds *dstream) (*dstream, error) {
+	ch := q.channel("b")
+	spec := exec.ShuffleSpec{
+		Channel:      ch,
+		Nodes:        q.c.WorkerIDs(),
+		Nmax:         q.c.Cfg.Nmax,
+		Hierarchical: q.prof.HierarchicalShuffle,
+		Broadcast:    true,
+	}
+	out := &dstream{sch: ds.sch, dist: distInfo{kind: distReplicated}}
+	for wi, op := range ds.ops {
+		w := q.c.Workers[wi]
+		sp := q.startSpan("Broadcast", w.ID)
+		sh, err := exec.NewShuffle(q.wctx(wi), exec.NewCountingEndpoint(w.Ep, sp), spec, op, nil, ds.sch)
+		if err != nil {
+			return nil, err
+		}
+		sh.OnLoops = q.live
+		out.ops = append(out.ops, q.attach(sh, sp, op))
+	}
+	return out, nil
 }
 
 func (q *queryExec) makeJoin(ctx *exec.Ctx, l, r exec.Operator, x *plan.Join, par int) exec.Operator {
@@ -719,8 +845,7 @@ func (q *queryExec) distributeAgg(x *plan.Agg) (*dstream, exec.Operator, error) 
 	// Cost-based choice (phase 3): pre-aggregation + tree merge when the
 	// estimated number of groups is small (Section IV/V); shuffle-based
 	// grouping when groups are many (the Q18 case: 1.5B groups).
-	est := &opt.Estimator{Cat: q.c.Catalog()}
-	groups := est.Estimate(x)
+	groups := q.estimator().Estimate(x)
 	preAggLimit := 64.0 * 1024
 	if q.prof.PreAggTree && groups <= preAggLimit {
 		return nil, q.treeAggregate(ds, x, specs), nil
@@ -850,8 +975,14 @@ func (q *queryExec) pickOne(ds *dstream) exec.Operator {
 	return q.attach(d, gsp)
 }
 
-// gatherPlain brings a worker stream to the coordinator, unordered.
+// gatherPlain brings a worker stream to the coordinator, unordered. A
+// replicated stream is gathered from a single worker — pulling every
+// replica would duplicate rows (visible as W× result inflation on cross
+// joins against replicated tables).
 func (q *queryExec) gatherPlain(ds *dstream) exec.Operator {
+	if ds.dist.kind == distReplicated {
+		return q.pickOne(ds)
+	}
 	ch := q.channel("g")
 	coordEp := q.coord.Ep
 	coordID := q.coord.ID

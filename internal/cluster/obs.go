@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"repro/internal/catalog"
 	"repro/internal/exec"
 	"repro/internal/obs"
 )
@@ -110,6 +111,23 @@ func registerClusterMetrics(c *Cluster) {
 		return n
 	})
 	r.RegisterGaugeFunc("skipcache.skipped_total", c.totalSkipped)
+	// Estimator health: how often the planner had to fall back to the
+	// default row-count guess because a table had no collected statistics.
+	r.RegisterGaugeFunc("opt.stats_default_fallback", func() int64 {
+		var n int64
+		seen := map[*catalog.Catalog]bool{}
+		for _, cn := range c.Coords {
+			if seen[cn.Cat] {
+				continue
+			}
+			seen[cn.Cat] = true
+			n += cn.Cat.DefaultStatsFallbacks()
+		}
+		return n
+	})
+	r.RegisterGaugeFunc("opt.feedback_entries", func() int64 {
+		return int64(c.Feedback.Len())
+	})
 	r.RegisterGaugeFunc("storage.rows_scanned_total", func() int64 {
 		var n int64
 		for _, w := range c.Workers {

@@ -121,7 +121,14 @@ func (c *Cluster) Plan(sel *sqlparse.Select) (plan.Node, error) {
 	if err != nil {
 		return nil, err
 	}
-	return opt.Optimize(node, c.Catalog())
+	return opt.OptimizeOpts(node, c.Catalog(), c.optOptions())
+}
+
+// optOptions parameterizes the optimizer for this concrete cluster: the
+// real worker count drives the network cost model, and the feedback store
+// lets repeated queries estimate from observed cardinalities.
+func (c *Cluster) optOptions() opt.Options {
+	return opt.Options{Workers: len(c.Workers), Feedback: c.Feedback}
 }
 
 // querySecondsBounds buckets per-query latency for the query.seconds
@@ -137,7 +144,7 @@ func (c *Cluster) runSelect(sel *sqlparse.Select, sql string, opts *QueryOptions
 	if err != nil {
 		return nil, err
 	}
-	node, err = opt.Optimize(node, coord.Cat)
+	node, err = opt.OptimizeOpts(node, coord.Cat, c.optOptions())
 	if err != nil {
 		return nil, err
 	}
@@ -702,7 +709,10 @@ func (c *Cluster) abortGlobal(txid uint64, ids []int) error {
 	return firstErr
 }
 
-// analyzeStmt recomputes table statistics from a full scan.
+// analyzeStmt recomputes table statistics from a full scan, streaming rows
+// through the statistics builder so the table is never materialized at the
+// coordinator: histograms come from a bounded reservoir sample, NDV from a
+// fixed-size sketch, so ANALYZE memory is constant in table size.
 func (c *Cluster) analyzeStmt(x *sqlparse.Analyze) (*Result, error) {
 	def, err := c.Catalog().Table(x.Table)
 	if err != nil {
@@ -717,11 +727,34 @@ func (c *Cluster) analyzeStmt(x *sqlparse.Analyze) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	rows, err := c.Run(node)
+	op, err := c.CompileDistributed(node)
 	if err != nil {
 		return nil, err
 	}
-	stats := catalog.ComputeStats(def.Schema, rows)
+	sb := catalog.NewStatsBuilder(def.Schema)
+	if err := op.Open(); err != nil {
+		return nil, err
+	}
+	for {
+		r, ok, err := op.Next()
+		if err != nil {
+			_ = op.Close()
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		sb.Add(r)
+	}
+	if err := op.Close(); err != nil {
+		return nil, err
+	}
+	stats := sb.Finish()
+	// The fresh full-scan builder supersedes the accumulated load-time one
+	// (which drifts under deletes/updates); later loads extend it.
+	c.statsMu.Lock()
+	c.loadStats[lower(def.Name)] = sb
+	c.statsMu.Unlock()
 	for _, cn := range c.Coords {
 		cn.Cat.SetStats(def.Name, stats)
 	}

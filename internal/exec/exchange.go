@@ -72,6 +72,13 @@ type ShuffleSpec struct {
 	Nodes        []int  // participating node IDs (all send and all receive)
 	Nmax         int    // neighbor limit; 0 means direct shuffle
 	Hierarchical bool
+	// Broadcast replicates instead of partitioning: every input row goes
+	// to every participating node (keys are ignored). The EOF protocol,
+	// Nmax-bounded forwarding, and quiescence tracking are identical to a
+	// hash shuffle — only the routing differs. Used when the optimizer
+	// decides replicating a small build side beats repartitioning a large
+	// probe side.
+	Broadcast bool
 }
 
 // ring builds the routing ring over positions 0..len(Nodes)-1.
@@ -348,6 +355,17 @@ func (s *Shuffle) start() {
 			_ = eofAll()
 		}
 		route := func(r types.Row) error {
+			if s.Spec.Broadcast {
+				for dest := 0; dest < n; dest++ {
+					batches[dest] = append(batches[dest], r)
+					if len(batches[dest]) >= wire {
+						if err := flush(dest); err != nil {
+							return err
+						}
+					}
+				}
+				return nil
+			}
 			hk, err := HashKeys(s.Keys, r)
 			if err != nil {
 				return err

@@ -180,6 +180,62 @@ func TestBroadcastExchange(t *testing.T) {
 	}
 }
 
+// TestShuffleBroadcastFlag exercises ShuffleSpec.Broadcast: every node's
+// input rows must arrive at every node (the broadcast-join build side),
+// with no hashing involved.
+func TestShuffleBroadcastFlag(t *testing.T) {
+	testutil.AssertNoGoroutineLeak(t)
+	const n, perNode = 4, 25
+	ids := []int{0, 1, 2, 3}
+	fabric := network.NewFabric(ids, 256)
+	defer fabric.CloseAll()
+	spec := ShuffleSpec{Channel: "t-bcast", Nodes: ids, Nmax: 3, Hierarchical: true, Broadcast: true}
+
+	results := make([][]types.Row, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ep, err := fabric.Endpoint(i)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			var rows []types.Row
+			for k := 0; k < perNode; k++ {
+				rows = append(rows, types.Row{types.NewInt(int64(i*perNode + k))})
+			}
+			src := NewSource(intSchema("v"), rows)
+			sh, err := NewShuffle(nil, ep, spec, src, nil, types.Schema{})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			results[i], errs[i] = Collect(sh)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("node %d: %v", i, err)
+		}
+	}
+	for node, rows := range results {
+		if len(rows) != n*perNode {
+			t.Fatalf("node %d received %d rows, want %d (full copy)", node, len(rows), n*perNode)
+		}
+		seen := map[int64]bool{}
+		for _, r := range rows {
+			seen[r[0].Int()] = true
+		}
+		if len(seen) != n*perNode {
+			t.Fatalf("node %d: %d distinct of %d — duplicates replaced rows", node, len(seen), n*perNode)
+		}
+	}
+}
+
 func TestTreeReduceAggregation(t *testing.T) {
 	// 7 nodes, fan-out 2: hierarchical pre-aggregation up the tree, as the
 	// paper's tree-topology aggregation does.

@@ -1,7 +1,9 @@
 package experiments
 
 import (
+	"encoding/json"
 	"fmt"
+	"os"
 
 	"repro/internal/cluster"
 	"repro/internal/obs"
@@ -109,4 +111,65 @@ func (r *Runner) ExecStats(workers int, trace bool) ([]QueryExecStat, error) {
 	}
 	out = append(out, vb)
 	return out, nil
+}
+
+// CheckExecRegression compares freshly measured per-query stats against a
+// committed JSON baseline (BENCH_EXEC.json) and fails if any named query's
+// executed work grew beyond the tolerance. WorkRows and NetBytes are the
+// gated quantities: they are what the cost-based optimizer's join ordering
+// and shuffle-vs-broadcast decisions directly control, and they are
+// deterministic for a fixed scale factor, seed, and worker count (unlike
+// wall time or message counts, which depend on flush timing). tol is a
+// fraction: 0.10 allows 10% growth before failing.
+func CheckExecRegression(stats []QueryExecStat, baselinePath string, queries []string, tol float64) error {
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+	var base []QueryExecStat
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("baseline %s: %w", baselinePath, err)
+	}
+	baseBy := make(map[string]QueryExecStat, len(base))
+	for _, b := range base {
+		baseBy[b.Query] = b
+	}
+	curBy := make(map[string]QueryExecStat, len(stats))
+	for _, s := range stats {
+		curBy[s.Query] = s
+	}
+	var failures []string
+	for _, q := range queries {
+		b, ok := baseBy[q]
+		if !ok {
+			return fmt.Errorf("query %s not in baseline %s", q, baselinePath)
+		}
+		c, ok := curBy[q]
+		if !ok {
+			return fmt.Errorf("query %s not in measured stats", q)
+		}
+		if float64(c.WorkRows) > float64(b.WorkRows)*(1+tol) {
+			failures = append(failures, fmt.Sprintf(
+				"%s work_rows %d > baseline %d (+%.0f%% allowed)",
+				q, c.WorkRows, b.WorkRows, tol*100))
+		}
+		if float64(c.NetBytes) > float64(b.NetBytes)*(1+tol) {
+			failures = append(failures, fmt.Sprintf(
+				"%s net_bytes %d > baseline %d (+%.0f%% allowed)",
+				q, c.NetBytes, b.NetBytes, tol*100))
+		}
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("executed-work regression vs %s:\n  %s",
+			baselinePath, joinLines(failures))
+	}
+	return nil
+}
+
+func joinLines(ss []string) string {
+	out := ss[0]
+	for _, s := range ss[1:] {
+		out += "\n  " + s
+	}
+	return out
 }

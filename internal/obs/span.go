@@ -36,6 +36,7 @@ type Span struct {
 	parent atomic.Int64
 
 	RowsOut      atomic.Int64 // rows this operator produced
+	EstRows      atomic.Int64 // optimizer-estimated rows (0 = not stamped)
 	ScanRows     atomic.Int64 // rows read by a scan before predicates
 	PagesRead    atomic.Int64
 	PagesSkipped atomic.Int64
@@ -87,6 +88,14 @@ func (s *Span) Parent() int64 {
 		return 0
 	}
 	return s.parent.Load()
+}
+
+// SetEst stamps the optimizer's row estimate so EXPLAIN ANALYZE can show
+// est= next to the actual count. Nil-safe.
+func (s *Span) SetEst(n int64) {
+	if s != nil {
+		s.EstRows.Store(n)
+	}
 }
 
 // AddRowsOut counts produced rows. Nil-safe.
@@ -173,6 +182,7 @@ type SpanSnapshot struct {
 	Op           string `json:"op"`
 	Node         int    `json:"node"`
 	RowsOut      int64  `json:"rows_out"`
+	EstRows      int64  `json:"est_rows,omitempty"`
 	ScanRows     int64  `json:"scan_rows,omitempty"`
 	PagesRead    int64  `json:"pages_read,omitempty"`
 	PagesSkipped int64  `json:"pages_skipped,omitempty"`
@@ -195,6 +205,7 @@ func (s *Span) snapshot() SpanSnapshot {
 		Op:           s.Op,
 		Node:         s.Node,
 		RowsOut:      s.RowsOut.Load(),
+		EstRows:      s.EstRows.Load(),
 		ScanRows:     s.ScanRows.Load(),
 		PagesRead:    s.PagesRead.Load(),
 		PagesSkipped: s.PagesSkipped.Load(),
@@ -325,6 +336,9 @@ func (s SpanSnapshot) line() string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "%s [node %d] (rows=%d time=%.3fms", s.Op, s.Node, s.RowsOut,
 		float64(s.WallNS)/1e6)
+	if s.EstRows > 0 {
+		fmt.Fprintf(&sb, " est=%d", s.EstRows)
+	}
 	if s.ScanRows > 0 {
 		fmt.Fprintf(&sb, " scanned=%d", s.ScanRows)
 	}

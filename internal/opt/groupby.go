@@ -17,7 +17,8 @@ import (
 //  2. the left join keys are a subset of the group-by expressions (so all
 //     rows of a group share one join key), and
 //  3. the RIGHT input joins on a unique key (each left row matches at most
-//     one right row — verified from catalog statistics: NDV == row count),
+//     one right row — verified from catalog statistics: exact NDV == row
+//     count; sketch estimates cannot prove uniqueness),
 //
 // the aggregation can run below the join:
 //
@@ -170,7 +171,15 @@ func rightSideUnique(n plan.Node, keys []expr.Expr, cat *catalog.Catalog) bool {
 				bare = bare[i+1:]
 			}
 			cs, exists := stats.Cols[bare]
-			return exists && stats.RowCount > 0 && cs.NDV == stats.RowCount
+			if !exists || stats.RowCount <= 0 {
+				return false
+			}
+			// The rewrite is only correct when the key really is unique, so
+			// a sketch-estimated NDV (±2% error) can never prove it; only
+			// the exact distinct count qualifies. Duplicates always drive
+			// the exact count strictly below the row count, so this cannot
+			// false-positive.
+			return cs.NDVExact && cs.NDV == stats.RowCount
 		default:
 			return false
 		}

@@ -1,9 +1,11 @@
 // Package opt implements HRDBMS's phase-1 global optimization (Section V):
-// statistics-based cardinality estimation and greedy join enumeration.
-// (Selection/projection pushdown and decorrelation happen during plan
-// building; the dataflow conversion and dataflow optimization phases —
-// operator distribution, shuffle insertion and elimination, pre-aggregation
-// splitting — live in the cluster layer, which owns node placement.)
+// statistics-based cardinality estimation (histograms + NDV sketches),
+// DPsize join enumeration with network-aware costing, and runtime
+// cardinality feedback. (Selection/projection pushdown and decorrelation
+// happen during plan building; the dataflow conversion and dataflow
+// optimization phases — operator distribution, shuffle insertion and
+// elimination, pre-aggregation splitting — live in the cluster layer,
+// which owns node placement and re-costs joins at exchange boundaries.)
 package opt
 
 import (
@@ -15,24 +17,51 @@ import (
 	"repro/internal/exec"
 	"repro/internal/expr"
 	"repro/internal/plan"
+	"repro/internal/types"
 )
 
-// Estimator computes cardinalities from catalog statistics.
+// Estimator computes cardinalities from catalog statistics, preferring
+// observed actuals from the Feedback store when a subtree has run before.
 type Estimator struct {
 	Cat *catalog.Catalog
+	// FB, when set, overrides the statistics model with observed row
+	// counts for subtrees whose structural signature has been recorded.
+	FB *Feedback
+	// sigs memoizes subtree signatures by node pointer during one
+	// optimization pass (signature building is recursive and Estimate is
+	// called O(2^n) times by the DP).
+	sigs map[plan.Node]string
+}
+
+// signature returns Signature(n), memoized per node pointer.
+func (e *Estimator) signature(n plan.Node) string {
+	if s, ok := e.sigs[n]; ok {
+		return s
+	}
+	s := Signature(n)
+	if e.sigs == nil {
+		e.sigs = map[plan.Node]string{}
+	}
+	e.sigs[n] = s
+	return s
 }
 
 // Estimate returns the estimated output row count of a plan node.
 func (e *Estimator) Estimate(n plan.Node) float64 {
+	if e.FB != nil {
+		if rows, ok := e.FB.Lookup(e.signature(n)); ok {
+			return math.Max(1, rows)
+		}
+	}
 	switch x := n.(type) {
 	case *plan.Scan:
 		base := float64(e.Cat.Stats(x.Table.Name).RowCount)
 		if base < 1 {
 			base = 1
 		}
-		return math.Max(1, base*e.selectivity(x.Pred, x.Table.Name))
+		return math.Max(1, base*e.selectivity(x.Pred, x))
 	case *plan.Filter:
-		return math.Max(1, e.Estimate(x.Child)*e.selectivity(x.Pred, ""))
+		return math.Max(1, e.Estimate(x.Child)*e.selectivity(x.Pred, x.Child))
 	case *plan.Project, *plan.Rename:
 		return e.Estimate(n.Children()[0])
 	case *plan.Join:
@@ -52,7 +81,7 @@ func (e *Estimator) Estimate(n plan.Node) float64 {
 			if ndv < 1 {
 				ndv = math.Max(l, r)
 			}
-			sel := e.selectivity(x.Residual, "")
+			sel := e.selectivity(x.Residual, x)
 			return math.Max(1, l*r/ndv*sel)
 		}
 	case *plan.Agg:
@@ -119,14 +148,62 @@ func (e *Estimator) resolveBaseColumn(n plan.Node, name string) (string, string,
 	return table, bare, table != ""
 }
 
-// selectivity estimates the fraction of rows a predicate keeps.
-func (e *Estimator) selectivity(pred expr.Expr, table string) float64 {
+// colStatsFor resolves a (possibly qualified) column reference against the
+// base tables under scope and returns its column and table statistics.
+func (e *Estimator) colStatsFor(scope plan.Node, name string) (*catalog.ColumnStats, *catalog.TableStats) {
+	if scope == nil {
+		return nil, nil
+	}
+	if table, bare, ok := e.resolveBaseColumn(scope, name); ok {
+		ts := e.Cat.Stats(table)
+		if cs, exists := ts.Cols[bare]; exists {
+			return cs, ts
+		}
+	}
+	return nil, nil
+}
+
+// selectivity estimates the fraction of rows a predicate keeps. The scope
+// node (the predicate's input subtree) resolves column references to base-
+// table statistics; nil scope disables stats-based refinement.
+func (e *Estimator) selectivity(pred expr.Expr, scope plan.Node) float64 {
 	if pred == nil {
 		return 1
 	}
 	sel := 1.0
+	// Range conjuncts on the same column form one interval: combining
+	// their boundary fractions (upper mass − lower mass) instead of
+	// multiplying them as independent predicates avoids the classic 2×
+	// overestimate on date windows like `d >= a AND d < b`.
+	type interval struct {
+		lower, upper float64 // mass excluded below / included through
+		nn           float64
+	}
+	ivals := map[string]*interval{}
+	var cols []string
 	for _, c := range expr.Conjuncts(pred) {
-		sel *= e.atomSelectivity(c, table)
+		key, isUpper, frac, nn, ok := e.rangeBound(c, scope)
+		if !ok {
+			sel *= e.atomSelectivity(c, scope)
+			continue
+		}
+		iv := ivals[key]
+		if iv == nil {
+			iv = &interval{lower: 0, upper: 1, nn: nn}
+			ivals[key] = iv
+			cols = append(cols, key)
+		}
+		if isUpper {
+			iv.upper = math.Min(iv.upper, frac)
+		} else {
+			iv.lower = math.Max(iv.lower, frac)
+		}
+	}
+	// cols (not map order) keeps the product bit-identical across runs —
+	// plan choice must be deterministic.
+	for _, key := range cols {
+		iv := ivals[key]
+		sel *= clampSel(math.Max(0, iv.upper-iv.lower) * iv.nn)
 	}
 	if sel < 1e-9 {
 		sel = 1e-9
@@ -134,55 +211,243 @@ func (e *Estimator) selectivity(pred expr.Expr, table string) float64 {
 	return sel
 }
 
-func (e *Estimator) atomSelectivity(c expr.Expr, table string) float64 {
+// rangeBound decomposes a conjunct that is a histogram-estimable range
+// comparison on one column into an interval boundary: upper bounds report
+// the included mass below them, lower bounds the excluded mass below them.
+func (e *Estimator) rangeBound(c expr.Expr, scope plan.Node) (key string, isUpper bool, frac, nn float64, ok bool) {
+	x, isBin := c.(*expr.Bin)
+	if !isBin {
+		return "", false, 0, 0, false
+	}
+	switch x.Op {
+	case expr.OpLt, expr.OpLe, expr.OpGt, expr.OpGe:
+	default:
+		return "", false, 0, 0, false
+	}
+	col, v, flipped, okc := colConst(x.L, x.R)
+	if !okc || v.IsNull() {
+		return "", false, 0, 0, false
+	}
+	cs, ts := e.colStatsFor(scope, col.Name)
+	if cs == nil {
+		return "", false, 0, 0, false
+	}
+	op := mirrorOp(x.Op, flipped)
+	var f float64
+	var have bool
+	switch op {
+	case expr.OpLt:
+		f, have = cs.FracLT(v)
+		isUpper = true
+	case expr.OpLe:
+		f, have = cs.FracLE(v)
+		isUpper = true
+	case expr.OpGt:
+		f, have = cs.FracLE(v)
+	case expr.OpGe:
+		f, have = cs.FracLT(v)
+	}
+	if !have {
+		return "", false, 0, 0, false
+	}
+	return strings.ToLower(col.Name), isUpper, f, notNullFrac(cs, ts), true
+}
+
+// mirrorOp flips a comparison operator when the constant was on the left.
+func mirrorOp(op expr.BinOp, flipped bool) expr.BinOp {
+	if !flipped {
+		return op
+	}
+	switch op {
+	case expr.OpLt:
+		return expr.OpGt
+	case expr.OpLe:
+		return expr.OpGe
+	case expr.OpGt:
+		return expr.OpLt
+	case expr.OpGe:
+		return expr.OpLe
+	}
+	return op
+}
+
+// colConst decomposes a binary comparison into (column, constant) when one
+// side is a column reference and the other a literal; flipped reports the
+// constant was on the left (so the operator must mirror).
+func colConst(l, r expr.Expr) (col *expr.Col, v types.Value, flipped, ok bool) {
+	if c, isCol := l.(*expr.Col); isCol {
+		if k, isConst := r.(*expr.Const); isConst {
+			return c, k.V, false, true
+		}
+	}
+	if c, isCol := r.(*expr.Col); isCol {
+		if k, isConst := l.(*expr.Const); isConst {
+			return c, k.V, true, true
+		}
+	}
+	return nil, types.Null, false, false
+}
+
+// notNullFrac is the fraction of rows with a non-null value in the column.
+func notNullFrac(cs *catalog.ColumnStats, ts *catalog.TableStats) float64 {
+	if ts == nil || ts.RowCount <= 0 || cs == nil {
+		return 1
+	}
+	f := 1 - float64(cs.NullCount)/float64(ts.RowCount)
+	if f < 0 {
+		return 0
+	}
+	return f
+}
+
+func (e *Estimator) atomSelectivity(c expr.Expr, scope plan.Node) float64 {
 	switch x := c.(type) {
 	case *expr.Bin:
 		switch x.Op {
 		case expr.OpEq:
 			// 1/NDV when the column is known.
-			if col, ok := x.L.(*expr.Col); ok && table != "" {
-				bare := strings.ToLower(col.Name)
-				if idx := strings.LastIndexByte(bare, '.'); idx >= 0 {
-					bare = bare[idx+1:]
-				}
-				if cs, exists := e.Cat.Stats(table).Cols[bare]; exists && cs.NDV > 0 {
-					return 1 / float64(cs.NDV)
+			if col, v, _, ok := colConst(x.L, x.R); ok && !v.IsNull() {
+				if cs, ts := e.colStatsFor(scope, col.Name); cs != nil && cs.NDV > 0 {
+					return notNullFrac(cs, ts) / float64(cs.NDV)
 				}
 			}
 			return 0.05
 		case expr.OpNe:
 			return 0.9
 		case expr.OpLt, expr.OpLe, expr.OpGt, expr.OpGe:
-			return 1.0 / 3
+			return e.rangeSelectivity(x, scope)
 		case expr.OpOr:
-			a := e.atomSelectivity(x.L, table)
-			b := e.atomSelectivity(x.R, table)
+			a := e.atomSelectivity(x.L, scope)
+			b := e.atomSelectivity(x.R, scope)
 			return math.Min(1, a+b-a*b)
 		case expr.OpAnd:
-			return e.atomSelectivity(x.L, table) * e.atomSelectivity(x.R, table)
+			return e.atomSelectivity(x.L, scope) * e.atomSelectivity(x.R, scope)
 		}
 	case *expr.Between:
+		if sel, ok := e.betweenSelectivity(x, scope); ok {
+			return sel
+		}
+		if x.Negate {
+			return 0.75
+		}
 		return 0.25
 	case *expr.Like:
 		return 0.1
 	case *expr.InList:
-		return math.Min(1, 0.05*float64(len(x.Vals)))
-	case *expr.IsNull:
-		if x.Negate {
-			return 0.95
+		sel := math.Min(1, 0.05*float64(len(x.Vals)))
+		if col, isCol := x.E.(*expr.Col); isCol {
+			if cs, ts := e.colStatsFor(scope, col.Name); cs != nil && cs.NDV > 0 {
+				sel = math.Min(1, notNullFrac(cs, ts)*float64(len(x.Vals))/float64(cs.NDV))
+			}
 		}
-		return 0.05
+		if x.Negate {
+			return 1 - sel
+		}
+		return sel
+	case *expr.IsNull:
+		frac := 0.05
+		if col, isCol := x.E.(*expr.Col); isCol {
+			if cs, ts := e.colStatsFor(scope, col.Name); cs != nil && ts != nil && ts.RowCount > 0 {
+				frac = float64(cs.NullCount) / float64(ts.RowCount)
+			}
+		}
+		if x.Negate {
+			return 1 - frac
+		}
+		return frac
 	case *expr.Not:
-		return 1 - e.atomSelectivity(x.E, table)
+		return 1 - e.atomSelectivity(x.E, scope)
 	}
 	return 0.5
 }
 
-// Optimize runs phase-1 transformations: greedy join reordering of inner-
-// join clusters using the estimator.
+// rangeSelectivity estimates a single-column range comparison from the
+// column's equi-depth histogram (min/max interpolation when no histogram
+// exists), replacing the old magic 1/3 constant whenever statistics allow.
+func (e *Estimator) rangeSelectivity(x *expr.Bin, scope plan.Node) float64 {
+	const fallback = 1.0 / 3
+	col, v, flipped, ok := colConst(x.L, x.R)
+	if !ok || v.IsNull() {
+		return fallback
+	}
+	cs, ts := e.colStatsFor(scope, col.Name)
+	if cs == nil {
+		return fallback
+	}
+	// const OP col  ≡  col OP' const with the comparison mirrored.
+	op := mirrorOp(x.Op, flipped)
+	var frac float64
+	var have bool
+	switch op {
+	case expr.OpLt:
+		frac, have = cs.FracLT(v)
+	case expr.OpLe:
+		frac, have = cs.FracLE(v)
+	case expr.OpGt:
+		if f, okf := cs.FracLE(v); okf {
+			frac, have = 1-f, true
+		}
+	case expr.OpGe:
+		if f, okf := cs.FracLT(v); okf {
+			frac, have = 1-f, true
+		}
+	}
+	if !have {
+		return fallback
+	}
+	return clampSel(frac * notNullFrac(cs, ts))
+}
+
+// betweenSelectivity estimates col BETWEEN lo AND hi from the histogram.
+func (e *Estimator) betweenSelectivity(x *expr.Between, scope plan.Node) (float64, bool) {
+	col, isCol := x.E.(*expr.Col)
+	if !isCol {
+		return 0, false
+	}
+	loC, loOK := x.Lo.(*expr.Const)
+	hiC, hiOK := x.Hi.(*expr.Const)
+	if !loOK || !hiOK || loC.V.IsNull() || hiC.V.IsNull() {
+		return 0, false
+	}
+	cs, ts := e.colStatsFor(scope, col.Name)
+	if cs == nil {
+		return 0, false
+	}
+	hi, ok1 := cs.FracLE(hiC.V)
+	lo, ok2 := cs.FracLT(loC.V)
+	if !ok1 || !ok2 {
+		return 0, false
+	}
+	sel := clampSel((hi - lo) * notNullFrac(cs, ts))
+	if x.Negate {
+		return clampSel(1 - sel), true
+	}
+	return sel, true
+}
+
+func clampSel(s float64) float64 {
+	if s < 0 {
+		return 0
+	}
+	if s > 1 {
+		return 1
+	}
+	return s
+}
+
+// Optimize runs phase-1 transformations with default options: DPsize join
+// reordering of inner-join clusters using the estimator, cost-based
+// group-by pushdown, and join-distribution annotation.
 func Optimize(root plan.Node, cat *catalog.Catalog) (plan.Node, error) {
-	est := &Estimator{Cat: cat}
-	out, err := rewriteJoins(root, est)
+	return OptimizeOpts(root, cat, Options{})
+}
+
+// OptimizeOpts is Optimize parameterized for a concrete cluster: the
+// worker count scales the network cost terms and the feedback store
+// supplies observed cardinalities from earlier queries.
+func OptimizeOpts(root plan.Node, cat *catalog.Catalog, o Options) (plan.Node, error) {
+	est := &Estimator{Cat: cat, FB: o.Feedback}
+	out, err := rewriteJoins(root, est, o)
 	if err != nil {
 		return nil, err
 	}
@@ -193,14 +458,19 @@ func Optimize(root plan.Node, cat *catalog.Catalog) (plan.Node, error) {
 	if err := plan.Rebind(out); err != nil {
 		return nil, err
 	}
+	// Annotate each join with its modeled distribution strategy (shuffle
+	// vs broadcast vs co-located) so the choice is visible in EXPLAIN and
+	// golden plans; the cluster layer re-costs at exchange boundaries
+	// with live distribution info and feedback before acting on it.
+	annotateJoinDist(out, est, o)
 	return out, nil
 }
 
 // rewriteJoins walks top-down; at the top of each maximal inner-join
-// cluster it reorders the cluster greedily.
-func rewriteJoins(n plan.Node, est *Estimator) (plan.Node, error) {
+// cluster it reorders the cluster with the DP enumerator.
+func rewriteJoins(n plan.Node, est *Estimator, o Options) (plan.Node, error) {
 	if j, ok := n.(*plan.Join); ok && j.Type == exec.JoinInner {
-		reordered, err := reorderCluster(j, est)
+		reordered, err := reorderCluster(j, est, o)
 		if err != nil {
 			return nil, err
 		}
@@ -209,43 +479,43 @@ func rewriteJoins(n plan.Node, est *Estimator) (plan.Node, error) {
 	// Recurse into children that are not part of a handled cluster.
 	switch x := n.(type) {
 	case *plan.Filter:
-		c, err := rewriteJoins(x.Child, est)
+		c, err := rewriteJoins(x.Child, est, o)
 		if err != nil {
 			return nil, err
 		}
 		x.Child = c
 	case *plan.Project:
-		c, err := rewriteJoins(x.Child, est)
+		c, err := rewriteJoins(x.Child, est, o)
 		if err != nil {
 			return nil, err
 		}
 		x.Child = c
 	case *plan.Agg:
-		c, err := rewriteJoins(x.Child, est)
+		c, err := rewriteJoins(x.Child, est, o)
 		if err != nil {
 			return nil, err
 		}
 		x.Child = c
 	case *plan.Sort:
-		c, err := rewriteJoins(x.Child, est)
+		c, err := rewriteJoins(x.Child, est, o)
 		if err != nil {
 			return nil, err
 		}
 		x.Child = c
 	case *plan.Limit:
-		c, err := rewriteJoins(x.Child, est)
+		c, err := rewriteJoins(x.Child, est, o)
 		if err != nil {
 			return nil, err
 		}
 		x.Child = c
 	case *plan.Distinct:
-		c, err := rewriteJoins(x.Child, est)
+		c, err := rewriteJoins(x.Child, est, o)
 		if err != nil {
 			return nil, err
 		}
 		x.Child = c
 	case *plan.Rename:
-		c, err := rewriteJoins(x.Child, est)
+		c, err := rewriteJoins(x.Child, est, o)
 		if err != nil {
 			return nil, err
 		}
@@ -253,11 +523,11 @@ func rewriteJoins(n plan.Node, est *Estimator) (plan.Node, error) {
 	case *plan.Join:
 		// Semi/anti joins (or an already-reordered inner cluster root):
 		// recurse into both sides independently.
-		l, err := rewriteJoins(x.Left, est)
+		l, err := rewriteJoins(x.Left, est, o)
 		if err != nil {
 			return nil, err
 		}
-		r, err := rewriteJoins(x.Right, est)
+		r, err := rewriteJoins(x.Right, est, o)
 		if err != nil {
 			return nil, err
 		}
@@ -268,7 +538,7 @@ func rewriteJoins(n plan.Node, est *Estimator) (plan.Node, error) {
 
 // reorderCluster flattens a maximal inner-join cluster rooted at j into
 // leaves + conditions and reassembles it in greedy order.
-func reorderCluster(j *plan.Join, est *Estimator) (plan.Node, error) {
+func reorderCluster(j *plan.Join, est *Estimator, o Options) (plan.Node, error) {
 	var leaves []plan.Node
 	var conds []expr.Expr
 	var collect func(n plan.Node) bool
@@ -293,7 +563,7 @@ func reorderCluster(j *plan.Join, est *Estimator) (plan.Node, error) {
 	if len(leaves) <= 2 {
 		// Nothing to reorder; but recurse into leaves for nested clusters.
 		for i, l := range leaves {
-			nl, err := rewriteJoins(l, est)
+			nl, err := rewriteJoins(l, est, o)
 			if err != nil {
 				return nil, err
 			}
@@ -302,14 +572,17 @@ func reorderCluster(j *plan.Join, est *Estimator) (plan.Node, error) {
 		return plan.AssembleJoins(leaves, conds)
 	}
 	for i, l := range leaves {
-		nl, err := rewriteJoins(l, est)
+		nl, err := rewriteJoins(l, est, o)
 		if err != nil {
 			return nil, err
 		}
 		leaves[i] = nl
 	}
 	conds = augmentWithEquivalences(conds)
-	order := greedyOrder(leaves, conds, est)
+	order := dpOrder(leaves, conds, est, o)
+	if order == nil {
+		order = greedyOrder(leaves, conds, est)
+	}
 	return plan.AssembleJoins(order, conds)
 }
 
@@ -370,7 +643,17 @@ func augmentWithEquivalences(conds []expr.Expr) []expr.Expr {
 		existing[c.String()] = true
 	}
 	out := append([]expr.Expr(nil), conds...)
-	for _, ms := range classes {
+	// Iterate classes in sorted-root order: map order would emit the
+	// derived conditions in a different sequence each run, and condition
+	// order must be deterministic (it decides conjunct order in assembled
+	// joins and breaks exact cost ties in enumeration).
+	roots := make([]string, 0, len(classes))
+	for root := range classes {
+		roots = append(roots, root)
+	}
+	sort.Strings(roots)
+	for _, root := range roots {
+		ms := classes[root]
 		sort.Slice(ms, func(i, j int) bool { return ms[i].name < ms[j].name })
 		for i := 0; i < len(ms); i++ {
 			for j := i + 1; j < len(ms); j++ {

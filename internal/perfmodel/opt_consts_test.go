@@ -1,0 +1,26 @@
+package perfmodel
+
+import (
+	"testing"
+
+	"repro/internal/opt"
+)
+
+// The optimizer cannot import perfmodel (perfmodel → cluster → opt), so it
+// restates the hrdbms profile's machine constants. This pins the mirror:
+// if the profile changes, the optimizer's copy must change with it.
+func TestOptCostConstantsMatch(t *testing.T) {
+	p, ok := Systems(0)["hrdbms"]
+	if !ok {
+		t.Fatal("hrdbms profile missing")
+	}
+	if p.RowsPerSec != opt.CostRowsPerSec {
+		t.Errorf("opt.CostRowsPerSec = %g, perfmodel hrdbms RowsPerSec = %g", opt.CostRowsPerSec, p.RowsPerSec)
+	}
+	if p.LinkBW != opt.CostLinkBW {
+		t.Errorf("opt.CostLinkBW = %g, perfmodel hrdbms LinkBW = %g", opt.CostLinkBW, p.LinkBW)
+	}
+	if p.DiskBW != opt.CostDiskBW {
+		t.Errorf("opt.CostDiskBW = %g, perfmodel hrdbms DiskBW = %g", opt.CostDiskBW, p.DiskBW)
+	}
+}

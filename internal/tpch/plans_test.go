@@ -1,0 +1,64 @@
+package tpch
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/plan"
+	"repro/internal/sqlparse"
+)
+
+var updatePlans = flag.Bool("update", false, "rewrite testdata/plans golden files with current optimizer output")
+
+// TestGoldenPlans pins the optimized plan of every TPC-H query at SF0.01,
+// seed 20260706, 4 workers. The golden files capture everything the
+// cost-based optimizer decides — join order from DP enumeration, the
+// shuffle-vs-broadcast dist= annotation per join, predicate pushdown, and
+// group-by placement — so any change to statistics, costing, or enumeration
+// shows up as a reviewable plan diff instead of a silent regression.
+// Regenerate intentionally with:
+//
+//	go test ./internal/tpch -run TestGoldenPlans -update
+func TestGoldenPlans(t *testing.T) {
+	if testing.Short() {
+		t.Skip("TPC-H stats build skipped in -short mode")
+	}
+	c, _ := loadedCluster(t, 4, 0.01)
+	if *updatePlans {
+		if err := os.MkdirAll(filepath.Join("testdata", "plans"), 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	queries := Queries()
+	for _, qid := range QueryIDs() {
+		sql := queries[qid]
+		t.Run(qid, func(t *testing.T) {
+			sel, err := sqlparse.ParseSelect(sql)
+			if err != nil {
+				t.Fatal(err)
+			}
+			node, err := c.Plan(sel)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := plan.Explain(node)
+			path := filepath.Join("testdata", "plans", qid+".txt")
+			if *updatePlans {
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden plan (run with -update to create): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("plan drift for %s (regenerate with -update if intended)\ngot:\n%s\nwant:\n%s",
+					qid, got, string(want))
+			}
+		})
+	}
+}

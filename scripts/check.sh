@@ -42,8 +42,14 @@ echo "==> morsel parallelism: parallel/serial parity under race, tiny budgets"
 go test -race -count=1 -run 'TestParallel|TestColumnarParallel' \
   ./internal/exec ./internal/storage
 
-echo "==> bench smoke (executed per-query stats + tracing)"
-go run ./cmd/hrdbms-bench -exp exec -json /tmp/bench_exec_smoke.json >/dev/null
+echo "==> optimizer: golden plans, q-error, DP invariant, feedback loop (race)"
+go test -race -count=1 -run 'TestGoldenPlans|TestQErrorGolden' ./internal/tpch
+go test -race -count=1 -run 'TestDPNeverWorseThanGreedy' ./internal/opt
+go test -race -count=1 -run 'TestCardinalityFeedbackLoop|TestExplainAnalyzeSQL' ./internal/cluster
+
+echo "==> bench smoke (executed per-query stats + Q7/Q9/Q17/Q21 non-regression gate)"
+go run ./cmd/hrdbms-bench -exp exec -json /tmp/bench_exec_smoke.json \
+  -baseline BENCH_EXEC.json -assert q7,q9,q17,q21 >/dev/null
 rm -f /tmp/bench_exec_smoke.json
 
 echo "==> bench smoke (serving layer: 4 concurrent clients through admission)"
